@@ -1,0 +1,1 @@
+examples/auction_analytics.ml: Array List Option Printf String Xvi_core Xvi_util Xvi_workload Xvi_xml Xvi_xpath

@@ -1,0 +1,1 @@
+examples/catalog_search.ml: Filename List Printf Sys Xvi_core Xvi_util Xvi_workload Xvi_xml Xvi_xpath

@@ -1,0 +1,1 @@
+examples/datetime_log.ml: List Option Printf Xvi_core Xvi_util Xvi_workload Xvi_xml

@@ -1,0 +1,1 @@
+examples/datetime_log.mli:

@@ -1,0 +1,1 @@
+examples/incremental_updates.ml: Array List Printf Xvi_core Xvi_txn Xvi_util Xvi_workload Xvi_xml

@@ -1,0 +1,1 @@
+examples/incremental_updates.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Xvi_core Xvi_xml Xvi_xpath

@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Array Float Int List Printf String

@@ -1,0 +1,648 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+  val to_string : t -> string
+  val size_bytes : int
+end
+
+module type S = sig
+  type key
+  type 'a t
+
+  val create : ?order:int -> unit -> 'a t
+  val of_sorted_array : ?order:int -> (key * 'a) array -> 'a t
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+  val find : 'a t -> key -> 'a option
+  val mem : 'a t -> key -> bool
+  val insert : 'a t -> key -> 'a -> unit
+  val remove : 'a t -> key -> bool
+  val iter : (key -> 'a -> unit) -> 'a t -> unit
+  val fold : (key -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+  val iter_range : ?lo:key -> ?hi:key -> (key -> 'a -> unit) -> 'a t -> unit
+  val range : ?lo:key -> ?hi:key -> 'a t -> (key * 'a) list
+  val min_binding : 'a t -> (key * 'a) option
+  val max_binding : 'a t -> (key * 'a) option
+  val height : 'a t -> int
+  val node_count : 'a t -> int
+  val memory_bytes : value_bytes:int -> 'a t -> int
+  val check_invariants : 'a t -> (unit, string) result
+end
+
+module Make (K : ORDERED) = struct
+  type key = K.t
+
+  (* Node layout. A leaf holds up to [order] keys; an internal node holds
+     up to [order] separators and [order + 1] children. Arrays are
+     allocated with one slot of slack so a node can temporarily overflow
+     during insertion and be split immediately afterwards.
+
+     Separator convention: child [i] of an internal node contains exactly
+     the keys [k] with [ikeys.(i-1) <= k < ikeys.(i)] (missing bounds are
+     infinite). Equal keys therefore descend to the right of their
+     separator. *)
+
+  type 'a leaf = {
+    mutable lkeys : key array;
+    mutable lvals : 'a array;
+    mutable ln : int;
+    mutable next : 'a leaf option;
+  }
+
+  type 'a node = Leaf of 'a leaf | Internal of 'a internal
+
+  and 'a internal = {
+    mutable ikeys : key array;
+    mutable kids : 'a node array;
+    mutable kn : int; (* number of children; separators in use = kn - 1 *)
+  }
+
+  type 'a t = { mutable root : 'a node option; mutable count : int; order : int }
+
+  let create ?(order = 32) () =
+    if order < 4 then invalid_arg "Btree.create: order must be >= 4";
+    { root = None; count = 0; order }
+
+  let length t = t.count
+  let is_empty t = t.count = 0
+  let min_leaf_keys t = t.order / 2
+  let min_internal_keys t = (t.order - 1) / 2
+
+  (* Smallest index [i] in [keys.(0 .. n-1)] with [key < keys.(i)];
+     [n] if none. Used to route searches through internal nodes. *)
+  let upper_bound keys n key =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare key keys.(mid) < 0 then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+  (* Smallest index [i] with [keys.(i) >= key]; [n] if none. *)
+  let lower_bound keys n key =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare keys.(mid) key < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let rec find_node node key =
+    match node with
+    | Leaf l ->
+        let i = lower_bound l.lkeys l.ln key in
+        if i < l.ln && K.compare l.lkeys.(i) key = 0 then Some l.lvals.(i)
+        else None
+    | Internal nd ->
+        let i = upper_bound nd.ikeys (nd.kn - 1) key in
+        find_node nd.kids.(i) key
+
+  let find t key = match t.root with None -> None | Some n -> find_node n key
+  let mem t key = find t key <> None
+
+  (* --- Insertion --- *)
+
+  let shift_right arr from upto =
+    (* open slot at [from], moving arr.(from .. upto-1) one step right *)
+    Array.blit arr from arr (from + 1) (upto - from)
+
+  let shift_left arr from upto =
+    (* close slot at [from], moving arr.(from+1 .. upto-1) one step left *)
+    Array.blit arr (from + 1) arr from (upto - from - 1)
+
+  let new_leaf t ~fill_key ~fill_val =
+    {
+      lkeys = Array.make (t.order + 1) fill_key;
+      lvals = Array.make (t.order + 1) fill_val;
+      ln = 0;
+      next = None;
+    }
+
+  let new_internal t ~fill_key ~fill_kid =
+    {
+      ikeys = Array.make (t.order + 1) fill_key;
+      kids = Array.make (t.order + 2) fill_kid;
+      kn = 0;
+    }
+
+  (* Split an over-full leaf in two; returns the separator (first key of the
+     right half) and the right half. *)
+  let split_leaf t l =
+    let mid = l.ln / 2 in
+    let right = new_leaf t ~fill_key:l.lkeys.(0) ~fill_val:l.lvals.(0) in
+    Array.blit l.lkeys mid right.lkeys 0 (l.ln - mid);
+    Array.blit l.lvals mid right.lvals 0 (l.ln - mid);
+    right.ln <- l.ln - mid;
+    l.ln <- mid;
+    right.next <- l.next;
+    l.next <- Some right;
+    (right.lkeys.(0), Leaf right)
+
+  let split_internal t nd =
+    let mid = nd.kn / 2 in
+    (* children 0..mid-1 stay; separator ikeys.(mid-1) moves up; children
+       mid..kn-1 go right with separators mid..kn-2. *)
+    let right = new_internal t ~fill_key:nd.ikeys.(0) ~fill_kid:nd.kids.(0) in
+    let sep = nd.ikeys.(mid - 1) in
+    Array.blit nd.kids mid right.kids 0 (nd.kn - mid);
+    Array.blit nd.ikeys mid right.ikeys 0 (nd.kn - 1 - mid);
+    right.kn <- nd.kn - mid;
+    nd.kn <- mid;
+    (sep, Internal right)
+
+  (* Returns [Some (sep, right)] if the node split, plus whether a new
+     binding was added (vs. replaced). *)
+  let rec insert_node t node key v =
+    match node with
+    | Leaf l ->
+        let i = lower_bound l.lkeys l.ln key in
+        if i < l.ln && K.compare l.lkeys.(i) key = 0 then begin
+          l.lvals.(i) <- v;
+          (None, false)
+        end
+        else begin
+          shift_right l.lkeys i l.ln;
+          shift_right l.lvals i l.ln;
+          l.lkeys.(i) <- key;
+          l.lvals.(i) <- v;
+          l.ln <- l.ln + 1;
+          if l.ln > t.order then (Some (split_leaf t l), true) else (None, true)
+        end
+    | Internal nd ->
+        let i = upper_bound nd.ikeys (nd.kn - 1) key in
+        let split, added = insert_node t nd.kids.(i) key v in
+        (match split with
+        | None -> (None, added)
+        | Some (sep, right) ->
+            shift_right nd.ikeys i (nd.kn - 1);
+            shift_right nd.kids (i + 1) nd.kn;
+            nd.ikeys.(i) <- sep;
+            nd.kids.(i + 1) <- right;
+            nd.kn <- nd.kn + 1;
+            if nd.kn > t.order + 1 then (Some (split_internal t nd), added)
+            else (None, added))
+
+  let insert t key v =
+    match t.root with
+    | None ->
+        let l = new_leaf t ~fill_key:key ~fill_val:v in
+        l.lkeys.(0) <- key;
+        l.lvals.(0) <- v;
+        l.ln <- 1;
+        t.root <- Some (Leaf l);
+        t.count <- 1
+    | Some root ->
+        let split, added = insert_node t root key v in
+        (match split with
+        | None -> ()
+        | Some (sep, right) ->
+            let nd = new_internal t ~fill_key:sep ~fill_kid:root in
+            nd.ikeys.(0) <- sep;
+            nd.kids.(0) <- root;
+            nd.kids.(1) <- right;
+            nd.kn <- 2;
+            t.root <- Some (Internal nd));
+        if added then t.count <- t.count + 1
+
+  (* --- Bulk loading --- *)
+
+  (* Split [n] items into chunks of at most [cap], each at least [minv]
+     (callers guarantee cap >= 2 * minv); a short tail steals from its
+     predecessor. Returns chunk sizes. *)
+  let chunk_sizes n ~cap ~minv =
+    if n <= cap then [ n ]
+    else begin
+      let full = n / cap and rest = n mod cap in
+      let sizes = List.init full (fun _ -> cap) in
+      if rest = 0 then sizes
+      else if rest >= minv then sizes @ [ rest ]
+      else
+        (* steal from the last full chunk *)
+        match List.rev sizes with
+        | last :: prefix ->
+            List.rev prefix @ [ last - (minv - rest); minv ]
+        | [] -> assert false
+    end
+
+  let of_sorted_array ?(order = 32) arr =
+    let t = create ~order () in
+    let n = Array.length arr in
+    for i = 1 to n - 1 do
+      if K.compare (fst arr.(i - 1)) (fst arr.(i)) >= 0 then
+        invalid_arg "Btree.of_sorted_array: keys not strictly ascending"
+    done;
+    if n > 0 then begin
+      (* leaf level *)
+      let sizes = chunk_sizes n ~cap:order ~minv:(min_leaf_keys t) in
+      let fill_key = fst arr.(0) and fill_val = snd arr.(0) in
+      let pos = ref 0 in
+      let leaves =
+        List.map
+          (fun size ->
+            let l = new_leaf t ~fill_key ~fill_val in
+            for i = 0 to size - 1 do
+              let k, v = arr.(!pos + i) in
+              l.lkeys.(i) <- k;
+              l.lvals.(i) <- v
+            done;
+            l.ln <- size;
+            pos := !pos + size;
+            (l.lkeys.(0), Leaf l))
+          sizes
+      in
+      (* chain the leaves *)
+      let rec chain = function
+        | (_, Leaf a) :: ((_, Leaf b) :: _ as rest) ->
+            a.next <- Some b;
+            chain rest
+        | _ -> ()
+      in
+      chain leaves;
+      (* build internal levels bottom-up; each entry carries the lowest
+         key of its subtree for use as a separator *)
+      let rec build level =
+        match level with
+        | [ (_, node) ] -> node
+        | _ ->
+            let cap = t.order + 1 and minv = min_internal_keys t + 1 in
+            let sizes = chunk_sizes (List.length level) ~cap ~minv in
+            let remaining = ref level in
+            let parents =
+              List.map
+                (fun size ->
+                  let nd =
+                    new_internal t ~fill_key
+                      ~fill_kid:(snd (List.hd !remaining))
+                  in
+                  let low = ref fill_key in
+                  for i = 0 to size - 1 do
+                    match !remaining with
+                    | (lk, child) :: rest ->
+                        if i = 0 then low := lk else nd.ikeys.(i - 1) <- lk;
+                        nd.kids.(i) <- child;
+                        remaining := rest
+                    | [] -> assert false
+                  done;
+                  nd.kn <- size;
+                  (!low, Internal nd))
+                sizes
+            in
+            build parents
+      in
+      t.root <- Some (build leaves);
+      t.count <- n
+    end;
+    t
+
+  (* --- Deletion --- *)
+
+  let leaf_size = function Leaf l -> l.ln | Internal nd -> nd.kn - 1
+
+  let underfull t node =
+    match node with
+    | Leaf l -> l.ln < min_leaf_keys t
+    | Internal nd -> nd.kn - 1 < min_internal_keys t
+
+  (* Rebalance child [i] of [nd], which has just underflowed. *)
+  let fix_child t nd i =
+    let child = nd.kids.(i) in
+    let borrow_from_left li =
+      match (nd.kids.(li), child) with
+      | Leaf left, Leaf c ->
+          shift_right c.lkeys 0 c.ln;
+          shift_right c.lvals 0 c.ln;
+          c.lkeys.(0) <- left.lkeys.(left.ln - 1);
+          c.lvals.(0) <- left.lvals.(left.ln - 1);
+          c.ln <- c.ln + 1;
+          left.ln <- left.ln - 1;
+          nd.ikeys.(li) <- c.lkeys.(0)
+      | Internal left, Internal c ->
+          shift_right c.ikeys 0 (c.kn - 1);
+          shift_right c.kids 0 c.kn;
+          c.ikeys.(0) <- nd.ikeys.(li);
+          c.kids.(0) <- left.kids.(left.kn - 1);
+          c.kn <- c.kn + 1;
+          nd.ikeys.(li) <- left.ikeys.(left.kn - 2);
+          left.kn <- left.kn - 1
+      | _ -> assert false
+    in
+    let borrow_from_right ri =
+      match (child, nd.kids.(ri)) with
+      | Leaf c, Leaf right ->
+          c.lkeys.(c.ln) <- right.lkeys.(0);
+          c.lvals.(c.ln) <- right.lvals.(0);
+          c.ln <- c.ln + 1;
+          shift_left right.lkeys 0 right.ln;
+          shift_left right.lvals 0 right.ln;
+          right.ln <- right.ln - 1;
+          nd.ikeys.(i) <- right.lkeys.(0)
+      | Internal c, Internal right ->
+          c.ikeys.(c.kn - 1) <- nd.ikeys.(i);
+          c.kids.(c.kn) <- right.kids.(0);
+          c.kn <- c.kn + 1;
+          nd.ikeys.(i) <- right.ikeys.(0);
+          shift_left right.ikeys 0 (right.kn - 1);
+          shift_left right.kids 0 right.kn;
+          right.kn <- right.kn - 1
+      | _ -> assert false
+    in
+    (* Merge children [li] and [li+1] into [li], dropping separator [li]. *)
+    let merge li =
+      (match (nd.kids.(li), nd.kids.(li + 1)) with
+      | Leaf left, Leaf right ->
+          Array.blit right.lkeys 0 left.lkeys left.ln right.ln;
+          Array.blit right.lvals 0 left.lvals left.ln right.ln;
+          left.ln <- left.ln + right.ln;
+          left.next <- right.next
+      | Internal left, Internal right ->
+          left.ikeys.(left.kn - 1) <- nd.ikeys.(li);
+          Array.blit right.ikeys 0 left.ikeys left.kn (right.kn - 1);
+          Array.blit right.kids 0 left.kids left.kn right.kn;
+          left.kn <- left.kn + right.kn
+      | _ -> assert false);
+      shift_left nd.ikeys li (nd.kn - 1);
+      shift_left nd.kids (li + 1) nd.kn;
+      nd.kn <- nd.kn - 1
+    in
+    let min_size =
+      match child with
+      | Leaf _ -> min_leaf_keys t
+      | Internal _ -> min_internal_keys t
+    in
+    if i > 0 && leaf_size nd.kids.(i - 1) > min_size then borrow_from_left (i - 1)
+    else if i < nd.kn - 1 && leaf_size nd.kids.(i + 1) > min_size then
+      borrow_from_right (i + 1)
+    else if i > 0 then merge (i - 1)
+    else merge i
+
+  let rec remove_node t node key =
+    match node with
+    | Leaf l ->
+        let i = lower_bound l.lkeys l.ln key in
+        if i < l.ln && K.compare l.lkeys.(i) key = 0 then begin
+          shift_left l.lkeys i l.ln;
+          shift_left l.lvals i l.ln;
+          l.ln <- l.ln - 1;
+          true
+        end
+        else false
+    | Internal nd ->
+        let i = upper_bound nd.ikeys (nd.kn - 1) key in
+        let removed = remove_node t nd.kids.(i) key in
+        if removed && underfull t nd.kids.(i) then fix_child t nd i;
+        removed
+
+  let remove t key =
+    match t.root with
+    | None -> false
+    | Some root ->
+        let removed = remove_node t root key in
+        if removed then begin
+          t.count <- t.count - 1;
+          (* Shrink the root when it degenerates. *)
+          match t.root with
+          | Some (Internal nd) when nd.kn = 1 -> t.root <- Some nd.kids.(0)
+          | Some (Leaf l) when l.ln = 0 -> t.root <- None
+          | _ -> ()
+        end;
+        removed
+
+  (* --- Traversal --- *)
+
+  let rec leftmost_leaf = function
+    | Leaf l -> l
+    | Internal nd -> leftmost_leaf nd.kids.(0)
+
+  let rec rightmost_leaf = function
+    | Leaf l -> l
+    | Internal nd -> rightmost_leaf nd.kids.(nd.kn - 1)
+
+  let iter f t =
+    match t.root with
+    | None -> ()
+    | Some root ->
+        let rec walk l =
+          for i = 0 to l.ln - 1 do
+            f l.lkeys.(i) l.lvals.(i)
+          done;
+          match l.next with None -> () | Some next -> walk next
+        in
+        walk (leftmost_leaf root)
+
+  let fold f t init =
+    let acc = ref init in
+    iter (fun k v -> acc := f k v !acc) t;
+    !acc
+
+  (* Leaf that may contain [key], by separator routing. *)
+  let rec seek_leaf node key =
+    match node with
+    | Leaf l -> l
+    | Internal nd ->
+        let i = upper_bound nd.ikeys (nd.kn - 1) key in
+        seek_leaf nd.kids.(i) key
+
+  exception Stop
+
+  let iter_range ?lo ?hi f t =
+    match t.root with
+    | None -> ()
+    | Some root -> (
+        let start =
+          match lo with None -> leftmost_leaf root | Some k -> seek_leaf root k
+        in
+        let above_lo k =
+          match lo with None -> true | Some b -> K.compare k b >= 0
+        in
+        let below_hi k =
+          match hi with None -> true | Some b -> K.compare k b <= 0
+        in
+        let rec walk l =
+          for i = 0 to l.ln - 1 do
+            let k = l.lkeys.(i) in
+            if above_lo k then
+              if below_hi k then f k l.lvals.(i) else raise Stop
+          done;
+          match l.next with None -> () | Some next -> walk next
+        in
+        try walk start with Stop -> ())
+
+  let range ?lo ?hi t =
+    let acc = ref [] in
+    iter_range ?lo ?hi (fun k v -> acc := (k, v) :: !acc) t;
+    List.rev !acc
+
+  let min_binding t =
+    match t.root with
+    | None -> None
+    | Some root ->
+        let l = leftmost_leaf root in
+        if l.ln = 0 then None else Some (l.lkeys.(0), l.lvals.(0))
+
+  let max_binding t =
+    match t.root with
+    | None -> None
+    | Some root ->
+        let l = rightmost_leaf root in
+        if l.ln = 0 then None else Some (l.lkeys.(l.ln - 1), l.lvals.(l.ln - 1))
+
+  let height t =
+    let rec depth = function
+      | Leaf _ -> 1
+      | Internal nd -> 1 + depth nd.kids.(0)
+    in
+    match t.root with None -> 0 | Some root -> depth root
+
+  let node_count t =
+    let rec count = function
+      | Leaf _ -> 1
+      | Internal nd ->
+          let total = ref 1 in
+          for i = 0 to nd.kn - 1 do
+            total := !total + count nd.kids.(i)
+          done;
+          !total
+    in
+    match t.root with None -> 0 | Some root -> count root
+
+  let memory_bytes ~value_bytes t =
+    let header = 40 in
+    let rec bytes = function
+      | Leaf l ->
+          header + ((Array.length l.lkeys) * (K.size_bytes + value_bytes))
+      | Internal nd ->
+          let total =
+            ref
+              (header
+              + (Array.length nd.ikeys * K.size_bytes)
+              + (Array.length nd.kids * 8))
+          in
+          for i = 0 to nd.kn - 1 do
+            total := !total + bytes nd.kids.(i)
+          done;
+          !total
+    in
+    match t.root with None -> header | Some root -> header + bytes root
+
+  (* --- Invariant checking --- *)
+
+  let check_invariants t =
+    let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+    let exception Bad of string in
+    let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+    let seen = ref 0 in
+    let leaves_in_order = ref [] in
+    (* Checks a subtree given exclusive parent bounds; returns depth. *)
+    let rec check node ~is_root ~lo ~hi =
+      let in_bounds k =
+        (match lo with None -> true | Some b -> K.compare b k <= 0)
+        && match hi with None -> true | Some b -> K.compare k b < 0
+      in
+      match node with
+      | Leaf l ->
+          if (not is_root) && l.ln < min_leaf_keys t then
+            bad "leaf underfull: %d < %d" l.ln (min_leaf_keys t);
+          if l.ln > t.order then bad "leaf overfull: %d" l.ln;
+          for i = 0 to l.ln - 1 do
+            if i > 0 && K.compare l.lkeys.(i - 1) l.lkeys.(i) >= 0 then
+              bad "leaf keys out of order at %d (%s >= %s)" i
+                (K.to_string l.lkeys.(i - 1))
+                (K.to_string l.lkeys.(i));
+            if not (in_bounds l.lkeys.(i)) then
+              bad "leaf key %s violates parent bounds" (K.to_string l.lkeys.(i))
+          done;
+          seen := !seen + l.ln;
+          leaves_in_order := l :: !leaves_in_order;
+          1
+      | Internal nd ->
+          if nd.kn < 2 && not is_root then bad "internal node with %d kids" nd.kn;
+          if is_root && nd.kn < 2 then bad "internal root with %d kids" nd.kn;
+          if (not is_root) && nd.kn - 1 < min_internal_keys t then
+            bad "internal underfull: %d keys" (nd.kn - 1);
+          if nd.kn > t.order + 1 then bad "internal overfull: %d kids" nd.kn;
+          for i = 0 to nd.kn - 2 do
+            if i > 0 && K.compare nd.ikeys.(i - 1) nd.ikeys.(i) >= 0 then
+              bad "separators out of order at %d" i;
+            if not (in_bounds nd.ikeys.(i)) then
+              bad "separator %s violates parent bounds"
+                (K.to_string nd.ikeys.(i))
+          done;
+          let depth = ref 0 in
+          for i = 0 to nd.kn - 1 do
+            let child_lo = if i = 0 then lo else Some nd.ikeys.(i - 1) in
+            let child_hi = if i = nd.kn - 1 then hi else Some nd.ikeys.(i) in
+            let d = check nd.kids.(i) ~is_root:false ~lo:child_lo ~hi:child_hi in
+            if i = 0 then depth := d
+            else if d <> !depth then bad "non-uniform leaf depth"
+          done;
+          1 + !depth
+    in
+    match t.root with
+    | None -> if t.count = 0 then Ok () else fail "empty tree with count %d" t.count
+    | Some root -> (
+        try
+          let _ = check root ~is_root:true ~lo:None ~hi:None in
+          if !seen <> t.count then bad "count mismatch: %d vs %d" !seen t.count;
+          (* The leaf chain must enumerate exactly the in-order leaves. *)
+          let in_order = List.rev !leaves_in_order in
+          let rec chain l acc =
+            match l.next with None -> List.rev (l :: acc) | Some n -> chain n (l :: acc)
+          in
+          let chained = chain (leftmost_leaf root) [] in
+          if List.length chained <> List.length in_order then
+            bad "leaf chain length %d <> leaf count %d" (List.length chained)
+              (List.length in_order);
+          List.iter2
+            (fun a b -> if a != b then bad "leaf chain order mismatch")
+            chained in_order;
+          Ok ()
+        with Bad msg -> Error msg)
+end
+
+module Int_key = struct
+  type t = int
+
+  let compare = Int.compare
+  let to_string = string_of_int
+  let size_bytes = 8
+end
+
+module Int_pair_key = struct
+  type t = int * int
+
+  let compare (a1, b1) (a2, b2) =
+    let c = Int.compare a1 a2 in
+    if c <> 0 then c else Int.compare b1 b2
+
+  let to_string (a, b) = Printf.sprintf "(%d,%d)" a b
+  let size_bytes = 16
+end
+
+module Float_pair_key = struct
+  type t = float * int
+
+  (* NaN sorts after every number so that range scans over real values
+     never trip over it. *)
+  let compare_float a b =
+    match (Float.is_nan a, Float.is_nan b) with
+    | true, true -> 0
+    | true, false -> 1
+    | false, true -> -1
+    | false, false -> Float.compare a b
+
+  let compare (a1, b1) (a2, b2) =
+    let c = compare_float a1 a2 in
+    if c <> 0 then c else Int.compare b1 b2
+
+  let to_string (a, b) = Printf.sprintf "(%g,%d)" a b
+  let size_bytes = 16
+end
+
+module String_key = struct
+  type t = string
+
+  let compare = String.compare
+  let to_string s = s
+  let size_bytes = 24 (* header + average short-string payload estimate *)
+end

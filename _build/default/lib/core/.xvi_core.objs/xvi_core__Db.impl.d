@@ -1,0 +1,1 @@
+lib/core/db.ml: Indexer Lexical_types List Name_index Printf Result String String_index Substring_index Typed_index Xvi_xml

@@ -1,0 +1,1 @@
+lib/core/db.mli: Lexical_types Name_index String_index Substring_index Typed_index Xvi_xml

@@ -1,0 +1,1 @@
+lib/core/dfa.ml: Array Char Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/hash.ml: Char Format Int String

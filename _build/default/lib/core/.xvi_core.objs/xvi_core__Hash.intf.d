@@ -1,0 +1,1 @@
+lib/core/hash.mli: Format

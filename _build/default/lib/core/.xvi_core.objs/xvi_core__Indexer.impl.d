@@ -1,0 +1,1 @@
+lib/core/indexer.ml: Array Bytes Dfa Hash Hashtbl Int List Printf Sct Stack Xvi_util Xvi_xml

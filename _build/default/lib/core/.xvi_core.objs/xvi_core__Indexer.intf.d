@@ -1,0 +1,1 @@
+lib/core/indexer.mli: Hash Sct Xvi_xml

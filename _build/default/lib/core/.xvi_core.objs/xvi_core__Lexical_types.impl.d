@@ -1,0 +1,1 @@
+lib/core/lexical_types.ml: Char Dfa Lazy Sct String

@@ -1,0 +1,1 @@
+lib/core/lexical_types.mli: Sct

@@ -1,0 +1,1 @@
+lib/core/name_index.ml: Hashtbl List Option Printf String Xvi_util Xvi_xml

@@ -1,0 +1,1 @@
+lib/core/name_index.mli: Xvi_xml

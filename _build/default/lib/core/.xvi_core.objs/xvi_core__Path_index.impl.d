@@ -1,0 +1,1 @@
+lib/core/path_index.ml: Hashtbl Lexical_types List Option Printf Sct String Xvi_btree Xvi_xml

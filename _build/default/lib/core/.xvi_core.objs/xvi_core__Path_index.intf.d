@@ -1,0 +1,1 @@
+lib/core/path_index.mli: Lexical_types Xvi_xml

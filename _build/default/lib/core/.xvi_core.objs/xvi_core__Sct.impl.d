@@ -1,0 +1,1 @@
+lib/core/sct.ml: Array Bytes Char Dfa Hashtbl List Printf Queue String

@@ -1,0 +1,1 @@
+lib/core/sct.mli: Dfa

@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Db Digest Fun Lazy Marshal String Sys

@@ -1,0 +1,1 @@
+lib/core/string_index.ml: Array Hash Hashtbl Indexer Int List Printf String Xvi_btree Xvi_util Xvi_xml

@@ -1,0 +1,1 @@
+lib/core/string_index.mli: Hash Indexer Xvi_xml

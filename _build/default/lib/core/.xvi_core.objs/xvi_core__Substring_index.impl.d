@@ -1,0 +1,1 @@
+lib/core/substring_index.ml: Array Buffer Char Hashtbl Int List Printf String Xvi_btree Xvi_util Xvi_xml

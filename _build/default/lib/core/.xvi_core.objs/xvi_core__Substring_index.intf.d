@@ -1,0 +1,1 @@
+lib/core/substring_index.mli: Xvi_xml

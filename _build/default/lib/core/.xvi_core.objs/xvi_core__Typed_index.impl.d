@@ -1,0 +1,1 @@
+lib/core/typed_index.ml: Array Buffer Hashtbl Indexer Lexical_types List Option Printf Sct String Xvi_btree Xvi_xml

@@ -1,0 +1,1 @@
+lib/core/typed_index.mli: Indexer Lexical_types Xvi_xml

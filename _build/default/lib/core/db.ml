@@ -1,0 +1,184 @@
+module Store = Xvi_xml.Store
+module Parser = Xvi_xml.Parser
+
+type node = Store.node
+
+type t = {
+  store : Store.t;
+  strings : String_index.t;
+  typed : Typed_index.t list;
+  substring : Substring_index.t option;
+  names : Name_index.t;
+  mutable plane : Xvi_xml.Pre_plane.t option;
+}
+
+let default_types () = Lexical_types.[ double (); datetime () ]
+
+let of_store ?types ?(substring = false) store =
+  let types = match types with Some ts -> ts | None -> default_types () in
+  (* one Figure 7 pass computes the fields of every index (paper §5:
+     "creating ... multiple defined indices can be done simultaneously
+     with only one pass") *)
+  let hash_fields = Indexer.empty_fields Indexer.hash_ops store in
+  let typed_fields =
+    List.map
+      (fun spec ->
+        (spec, Indexer.empty_fields (Indexer.sct_ops spec.Lexical_types.sct) store))
+      types
+  in
+  Indexer.create_multi store
+    (Indexer.Packed (Indexer.hash_ops, hash_fields)
+    :: List.map
+         (fun (spec, fields) ->
+           Indexer.Packed (Indexer.sct_ops spec.Lexical_types.sct, fields))
+         typed_fields);
+  {
+    store;
+    strings = String_index.of_fields store hash_fields;
+    typed =
+      List.map
+        (fun (spec, fields) -> Typed_index.of_fields spec store fields)
+        typed_fields;
+    substring = (if substring then Some (Substring_index.create store) else None);
+    names = Name_index.create store;
+    plane = None;
+  }
+
+let of_xml ?types ?substring src =
+  Result.map (fun store -> of_store ?types ?substring store) (Parser.parse src)
+
+let of_xml_exn ?types ?substring src =
+  of_store ?types ?substring (Parser.parse_exn src)
+let store t = t.store
+let string_index t = t.strings
+
+let typed_index t name =
+  List.find_opt (fun ti -> String.equal (Typed_index.type_name ti) name) t.typed
+
+let typed_indices t = t.typed
+let substring_index t = t.substring
+let name_index t = t.names
+
+let plane t =
+  match t.plane with
+  | Some p -> p
+  | None ->
+      let p = Xvi_xml.Pre_plane.build t.store in
+      t.plane <- Some p;
+      p
+
+let invalidate_plane t = t.plane <- None
+let elements_named t name = Name_index.nodes t.names t.store name
+let lookup_string t s = String_index.lookup t.strings t.store s
+
+let substring_exn t =
+  match t.substring with
+  | Some si -> si
+  | None -> invalid_arg "Db: the substring index was not built (~substring:true)"
+
+let lookup_contains t pattern =
+  Substring_index.contains (substring_exn t) t.store pattern
+
+let lookup_element_contains t pattern =
+  Substring_index.element_contains (substring_exn t) t.store pattern
+
+let typed_exn t name =
+  match typed_index t name with
+  | Some ti -> ti
+  | None -> invalid_arg (Printf.sprintf "Db: no %s index configured" name)
+
+let lookup_typed ?lo ?hi t name = Typed_index.range ?lo ?hi (typed_exn t name)
+let lookup_double ?lo ?hi t = lookup_typed ?lo ?hi t "xs:double"
+
+let within t ~scope hits =
+  let p = plane t in
+  let descendants = Xvi_xml.Pre_plane.join_descendant p ~context:[ scope ] hits in
+  if List.mem scope hits then
+    Xvi_xml.Pre_plane.sort_doc_order p (scope :: descendants)
+  else descendants
+
+let lookup_string_within t ~scope s = within t ~scope (lookup_string t s)
+
+let lookup_double_within ?lo ?hi t ~scope () =
+  within t ~scope (lookup_double ?lo ?hi t)
+
+let update_texts t updates =
+  (* the substring index needs the old values to drop their grams *)
+  let with_old =
+    match t.substring with
+    | None -> []
+    | Some _ -> List.map (fun (n, _) -> (n, Store.text t.store n)) updates
+  in
+  List.iter (fun (n, txt) -> Store.set_text t.store n txt) updates;
+  let nodes = List.map fst updates in
+  String_index.update_texts t.strings t.store nodes;
+  List.iter (fun ti -> Typed_index.update_texts ti t.store nodes) t.typed;
+  match t.substring with
+  | None -> ()
+  | Some si -> Substring_index.update_texts si t.store with_old
+
+let update_text t n txt = update_texts t [ (n, txt) ]
+
+let delete_subtree t n =
+  let parent =
+    match Store.parent t.store n with
+    | Some p -> p
+    | None -> invalid_arg "Db.delete_subtree: node has no parent"
+  in
+  let removed = ref [] in
+  let removed_values = ref [] in
+  Store.iter_pre ~root:n t.store (fun m ->
+      removed := m :: !removed;
+      match Store.kind t.store m with
+      | Store.Text | Store.Attribute ->
+          removed_values := (m, Store.text t.store m) :: !removed_values
+      | _ -> ());
+  Store.delete_subtree t.store n;
+  let removed = !removed in
+  String_index.on_delete t.strings t.store ~parent ~removed;
+  List.iter
+    (fun ti -> Typed_index.on_delete ti t.store ~parent ~removed)
+    t.typed;
+  (match t.substring with
+  | None -> ()
+  | Some si -> Substring_index.on_delete si ~removed:!removed_values);
+  invalidate_plane t
+
+let insert_xml t ~parent src =
+  match Parser.parse_fragment t.store ~parent src with
+  | Error _ as e -> e
+  | Ok roots ->
+      String_index.on_insert t.strings t.store ~roots;
+      List.iter (fun ti -> Typed_index.on_insert ti t.store ~roots) t.typed;
+      (match t.substring with
+      | None -> ()
+      | Some si -> Substring_index.on_insert si t.store ~roots);
+      Name_index.on_insert t.names t.store ~roots;
+      invalidate_plane t;
+      Ok roots
+
+let compact t =
+  let store', mapping = Store.compact t.store in
+  let types = List.map Typed_index.spec t.typed in
+  (of_store ~types ~substring:(t.substring <> None) store', mapping)
+
+let index_storage_bytes t =
+  String_index.storage_bytes t.strings
+  + List.fold_left (fun acc ti -> acc + Typed_index.storage_bytes ti) 0 t.typed
+  + (match t.substring with
+    | None -> 0
+    | Some si -> Substring_index.storage_bytes si)
+
+let validate t =
+  let results =
+    String_index.validate t.strings t.store
+    :: Name_index.validate t.names t.store
+    :: (match t.substring with
+       | None -> []
+       | Some si -> [ Substring_index.validate si t.store ])
+    @ List.map (fun ti -> Typed_index.validate ti t.store) t.typed
+  in
+  let errors =
+    List.filter_map (function Ok () -> None | Error e -> Some e) results
+  in
+  match errors with [] -> Ok () | es -> Error (String.concat "; " es)

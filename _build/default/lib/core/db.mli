@@ -1,0 +1,110 @@
+(** An indexed XML database: one document store plus the paper's full
+    family of value indices, kept consistent through updates.
+
+    This is the user-facing API of the library — shred a document, get
+    self-tuned whole-document value indices (no path or type
+    configuration, per the paper's introduction), run equality and
+    range lookups, and apply updates with low maintenance cost. *)
+
+type t
+
+type node = Xvi_xml.Store.node
+
+val of_store :
+  ?types:Lexical_types.spec list -> ?substring:bool -> Xvi_xml.Store.t -> t
+(** Index an existing store. [types] defaults to
+    [Lexical_types.[double (); datetime ()]] — the two types the paper
+    singles out. The string index is always built; the substring q-gram
+    index (the paper's future-work extension) is opt-in via
+    [~substring:true]. *)
+
+val of_xml :
+  ?types:Lexical_types.spec list ->
+  ?substring:bool ->
+  string ->
+  (t, Xvi_xml.Parser.error) result
+(** Shred an XML document and index it. *)
+
+val of_xml_exn : ?types:Lexical_types.spec list -> ?substring:bool -> string -> t
+
+val store : t -> Xvi_xml.Store.t
+val string_index : t -> String_index.t
+
+val typed_index : t -> string -> Typed_index.t option
+(** By type name, e.g. ["xs:double"]. *)
+
+val typed_indices : t -> Typed_index.t list
+val substring_index : t -> Substring_index.t option
+
+val name_index : t -> Name_index.t
+(** The structural element-name index; always built. *)
+
+val plane : t -> Xvi_xml.Pre_plane.t
+(** The pre/size/level snapshot of the current structure (MonetDB's
+    range encoding). Built lazily, cached, and invalidated by
+    structural updates; value updates keep it valid. *)
+
+val elements_named : t -> string -> node list
+(** Live elements with this tag, via {!Name_index}. *)
+
+(** {1 Lookups} *)
+
+val lookup_string : t -> string -> node list
+(** All nodes (element, attribute or text) whose XDM string value equals
+    the argument — e.g. the paper's
+    [//*\[fn:data(name) = "ArthurDent"\]] support. *)
+
+val lookup_double : ?lo:float -> ?hi:float -> t -> node list
+(** Range lookup on the [xs:double] index (inclusive bounds).
+    @raise Invalid_argument if the double index was not configured. *)
+
+val lookup_typed : ?lo:float -> ?hi:float -> t -> string -> node list
+(** Range lookup on a typed index by type name. *)
+
+val lookup_contains : t -> string -> node list
+(** Text/attribute nodes whose value contains the pattern.
+    @raise Invalid_argument if the substring index was not built. *)
+
+val lookup_element_contains : t -> string -> node list
+(** Elements/document nodes whose XDM string value contains the
+    pattern (boundary-spanning matches included).
+    @raise Invalid_argument if the substring index was not built. *)
+
+(** {2 Scoped lookups}
+
+    Value-index hits intersected with a subtree through a staircase
+    join on the pre/size/level plane — no tree walking, no scan. *)
+
+val lookup_string_within : t -> scope:node -> string -> node list
+(** Nodes in the subtree rooted at [scope] (inclusive) whose string
+    value equals the argument, in document order. *)
+
+val lookup_double_within :
+  ?lo:float -> ?hi:float -> t -> scope:node -> unit -> node list
+
+(** {1 Updates}
+
+    Each operation mutates the store {e and} maintains every index. *)
+
+val update_text : t -> node -> string -> unit
+val update_texts : t -> (node * string) list -> unit
+
+val delete_subtree : t -> node -> unit
+
+val insert_xml :
+  t -> parent:node -> string -> (node list, Xvi_xml.Parser.error) result
+(** Parse an XML fragment and insert it as the last children of
+    [parent]. *)
+
+val compact : t -> t * (node -> node option)
+(** Vacuum tombstones: a fresh database over a compacted store (dense
+    ids in document order), all indices rebuilt, plus the old-to-new id
+    mapping. The original database is unchanged. *)
+
+(** {1 Accounting and validation} *)
+
+val index_storage_bytes : t -> int
+(** All indices together. *)
+
+val validate : t -> (unit, string) result
+(** Every index equals a from-scratch rebuild. *)

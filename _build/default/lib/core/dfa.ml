@@ -1,0 +1,163 @@
+type t = {
+  name : string;
+  n_states : int;
+  start : int;
+  sink : int;
+  finals : bool array;
+  n_classes : int; (* declared classes + 1 for "other" *)
+  class_table : int array; (* 256 entries *)
+  class_reprs : char option array;
+  trans : int array; (* state * n_classes + class -> state *)
+}
+
+(* Expand a class description: "a-z" style ranges; a dash at the start or
+   end (or one not bracketed by an ascending pair) is literal. *)
+let expand_chars desc =
+  let n = String.length desc in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if
+      !i + 2 < n
+      && desc.[!i + 1] = '-'
+      && Char.code desc.[!i] < Char.code desc.[!i + 2]
+    then begin
+      for c = Char.code desc.[!i] to Char.code desc.[!i + 2] do
+        out := Char.chr c :: !out
+      done;
+      i := !i + 3
+    end
+    else begin
+      out := desc.[!i] :: !out;
+      incr i
+    end
+  done;
+  List.rev !out
+
+let build ~name ~n_states ~start ~sink ~finals ~classes ~transitions =
+  let bad fmt = Printf.ksprintf (fun s -> invalid_arg ("Dfa.build: " ^ s)) fmt in
+  let check_state s = if s < 0 || s >= n_states then bad "state %d out of range" s in
+  check_state start;
+  check_state sink;
+  List.iter check_state finals;
+  if List.mem sink finals then bad "sink cannot be final";
+  let n_declared = List.length classes in
+  let n_classes = n_declared + 1 in
+  let other = n_declared in
+  let class_table = Array.make 256 other in
+  let class_reprs = Array.make n_classes None in
+  let class_ids = Hashtbl.create 16 in
+  List.iteri
+    (fun id (cname, expected_id) ->
+      if expected_id <> id then
+        bad "class %s listed at position %d but labelled %d" cname id expected_id;
+      if Hashtbl.mem class_ids cname then bad "duplicate class %s" cname;
+      Hashtbl.add class_ids cname id)
+    classes;
+  List.iteri
+    (fun id (cname, _) ->
+      let chars = expand_chars cname in
+      ignore cname;
+      List.iter
+        (fun c ->
+          let code = Char.code c in
+          if class_table.(code) <> other then
+            bad "character %C belongs to two classes" c;
+          class_table.(code) <- id;
+          if class_reprs.(id) = None then class_reprs.(id) <- Some c)
+        chars)
+    classes;
+  (* A representative for "other": the first byte not claimed. *)
+  (try
+     for code = 0 to 255 do
+       if class_table.(code) = other then begin
+         class_reprs.(other) <- Some (Char.chr code);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let finals_arr = Array.make n_states false in
+  List.iter (fun s -> finals_arr.(s) <- true) finals;
+  let trans = Array.make (n_states * n_classes) sink in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (src, cname, dst) ->
+      check_state src;
+      check_state dst;
+      if src = sink && dst <> sink then bad "transition out of the sink";
+      let cls =
+        match Hashtbl.find_opt class_ids cname with
+        | Some id -> id
+        | None -> bad "unknown class %s in transition" cname
+      in
+      if Hashtbl.mem seen (src, cls) then
+        bad "duplicate transition from %d on %s" src cname;
+      Hashtbl.add seen (src, cls) ();
+      trans.((src * n_classes) + cls) <- dst)
+    transitions;
+  {
+    name;
+    n_states;
+    start;
+    sink;
+    finals = finals_arr;
+    n_classes;
+    class_table;
+    class_reprs;
+    trans;
+  }
+
+let name t = t.name
+let n_states t = t.n_states
+let start t = t.start
+let sink t = t.sink
+let is_final t s = t.finals.(s)
+let n_classes t = t.n_classes
+let class_of_char t c = t.class_table.(Char.code c)
+let class_repr t cls = t.class_reprs.(cls)
+
+let step t state c =
+  t.trans.((state * t.n_classes) + t.class_table.(Char.code c))
+
+let run t s =
+  let state = ref t.start in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n && !state <> t.sink do
+    state := step t !state s.[!i];
+    incr i
+  done;
+  !state
+
+let accepts t s = t.finals.(run t s)
+
+let reachable t =
+  let seen = Array.make t.n_states false in
+  let rec go s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      for cls = 0 to t.n_classes - 1 do
+        go t.trans.((s * t.n_classes) + cls)
+      done
+    end
+  in
+  go t.start;
+  seen
+
+let co_accessible t =
+  (* Backward closure from the finals over the transition relation. *)
+  let can = Array.copy t.finals in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for s = 0 to t.n_states - 1 do
+      if not can.(s) then
+        for cls = 0 to t.n_classes - 1 do
+          if can.(t.trans.((s * t.n_classes) + cls)) && not can.(s) then begin
+            can.(s) <- true;
+            changed := true
+          end
+        done
+    done
+  done;
+  can

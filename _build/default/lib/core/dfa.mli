@@ -1,0 +1,73 @@
+(** Deterministic finite automata over bytes, with character classes.
+
+    A type machine (paper Section 4) is described by the DFA of the
+    type's {e complete} lexical language — e.g. for [xs:double],
+    optionally space-padded [-1.5E-3]-style literals. Everything else
+    the paper needs (the factor/"potential valid" semantics of Figure 5
+    and the state combination table of Figure 6) is {e derived} from
+    this DFA by {!Sct.of_dfa}.
+
+    States are dense integers. Transitions are total: unlisted ones go
+    to the designated sink (reject) state. *)
+
+type t
+
+val build :
+  name:string ->
+  n_states:int ->
+  start:int ->
+  sink:int ->
+  finals:int list ->
+  classes:(string * int) list ->
+  transitions:(int * string * int) list ->
+  t
+(** [build ~name ~n_states ~start ~sink ~finals ~classes ~transitions]
+    constructs a DFA.
+
+    [classes] maps a class name to its member characters: the string
+    lists chars verbatim, except that a dash between two chars denotes
+    an inclusive range (["0-9"], [" \t\r\n"], ["+-"] — write a literal
+    dash first or last, e.g. ["+-" ] is the range from ['+'] to ['-'],
+    i.e. the two signs plus [','], so prefer ["-+"]... see [classes]
+    conventions in the callers). The [int] is ignored padding for
+    readability and must be the class's expected id, checked at build
+    time. Characters not in any class form the implicit "other" class,
+    which always transitions to the sink.
+
+    [transitions] lists [(from_state, class_name, to_state)]; duplicates
+    are rejected.
+
+    @raise Invalid_argument on malformed descriptions (overlapping
+    classes, duplicate transitions, out-of-range states, non-sink
+    transitions out of the sink). *)
+
+val name : t -> string
+val n_states : t -> int
+val start : t -> int
+val sink : t -> int
+val is_final : t -> int -> bool
+
+val n_classes : t -> int
+(** Number of declared classes plus one for the implicit "other". *)
+
+val class_of_char : t -> char -> int
+(** The "other" class is the last one. *)
+
+val class_repr : t -> int -> char option
+(** A representative character of a class; [None] for an empty class
+    (possible for "other"). *)
+
+val step : t -> int -> char -> int
+(** [step t state c] follows one transition. *)
+
+val run : t -> string -> int
+(** Final state after reading the whole string from {!start}; stays in
+    the sink once entered. *)
+
+val accepts : t -> string -> bool
+
+val reachable : t -> bool array
+(** States reachable from {!start} (including {!start}). *)
+
+val co_accessible : t -> bool array
+(** States from which a final state is reachable. *)

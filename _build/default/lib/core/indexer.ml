@@ -1,0 +1,295 @@
+module Store = Xvi_xml.Store
+module Vec = Xvi_util.Vec
+
+type 'f ops = {
+  field_name : string;
+  of_text : string -> 'f;
+  combine : 'f -> 'f -> 'f;
+  identity : 'f;
+  equal : 'f -> 'f -> bool;
+}
+
+let hash_ops =
+  {
+    field_name = "hash";
+    of_text = Hash.hash;
+    combine = Hash.combine;
+    identity = Hash.empty;
+    equal = Hash.equal;
+  }
+
+let sct_ops sct =
+  {
+    field_name = "state:" ^ Dfa.name (Sct.dfa sct);
+    of_text = Sct.of_string sct;
+    combine = Sct.compose sct;
+    identity = Sct.identity sct;
+    equal = Int.equal;
+  }
+
+type 'f fields = { vec : 'f Vec.Poly.t; default : 'f }
+
+let make_fields ops capacity =
+  {
+    vec = Vec.Poly.create ~capacity:(max capacity 16) ~dummy:ops.identity ();
+    default = ops.identity;
+  }
+
+let get f n = if n < Vec.Poly.length f.vec then Vec.Poly.get f.vec n else f.default
+
+let set f n v =
+  while Vec.Poly.length f.vec <= n do
+    Vec.Poly.push f.vec f.default
+  done;
+  Vec.Poly.set f.vec n v
+
+let fold_all fn f init =
+  let acc = ref init in
+  Vec.Poly.iteri (fun n v -> acc := fn n v !acc) f.vec;
+  !acc
+
+(* Combine the fields of [n]'s live children in document order, walking
+   sibling links directly (no list allocation — this is the inner loop
+   of update maintenance). *)
+let fold_children ops store fields n =
+  let rec go acc c =
+    match c with
+    | None -> acc
+    | Some c -> go (ops.combine acc (get fields c)) (Store.next_sibling store c)
+  in
+  go ops.identity (Store.first_child store n)
+
+(* Fields of attribute nodes are independent of the child recursion; both
+   the creation pass and the reference computation share this. *)
+let compute_attributes ops store fields n =
+  List.iter
+    (fun a -> set fields a (ops.of_text (Store.text store a)))
+    (Store.attributes store n)
+
+(* --- Figure 7: creation ---
+
+   The traversal is independent of the field machine, so it is written
+   once against two callbacks: [on_text node text] when the context
+   reaches a text node (also used for attributes, whose fields do not
+   participate in the recursion), and [on_combine ~parent ~child] when
+   the walk departs a node rightward or upward. *)
+
+let drive_create store ~on_text ~on_combine =
+  (* Ancestor-or-self chain of the current context text node, kept as a
+     mark bitmap (plus the marked list for O(depth) clearing); refreshed
+     whenever the context advances. *)
+  let marks = Bytes.make (Store.node_range store) '\000' in
+  let marked = ref [] in
+  let load_ancestors target =
+    List.iter (fun n -> Bytes.unsafe_set marks n '\000') !marked;
+    marked := [];
+    let rec up n =
+      Bytes.unsafe_set marks n '\001';
+      marked := n :: !marked;
+      match Store.parent store n with Some p -> up p | None -> ()
+    in
+    up target
+  in
+  let in_chain n = Bytes.unsafe_get marks n = '\001' in
+  let ctx = Store.text_nodes store in
+  let len = Array.length ctx in
+  let stack = Stack.create () in
+  let cur = ref Store.document in
+  let i = ref 0 in
+  if len > 0 then load_ancestors ctx.(0);
+  while !i < len do
+    let target = ctx.(!i) in
+    if target = !cur then begin
+      (* line 06-08: a context text node — apply H / the FSM *)
+      on_text !cur (Store.text store !cur);
+      incr i;
+      if !i < len then load_ancestors ctx.(!i)
+    end
+    else if in_chain !cur then begin
+      (* line 09-11: the target lies below — descend, stacking [cur] *)
+      Stack.push !cur stack;
+      match Store.first_child store !cur with
+      | Some c -> cur := c
+      | None -> assert false (* [target] is a strict descendant *)
+    end
+    else begin
+      match Store.parent store !cur with
+      | Some father when in_chain father ->
+          (* line 12-15: target is within a following sibling's subtree —
+             fold [cur] into its father and move right *)
+          on_combine ~parent:father ~child:!cur;
+          (match Store.next_sibling store !cur with
+          | Some s -> cur := s
+          | None -> assert false (* a following sibling must exist *))
+      | _ ->
+          (* line 16-19: done below this ancestor — pop and fold upward *)
+          let p = Stack.pop stack in
+          on_combine ~parent:p ~child:!cur;
+          cur := p
+    end
+  done;
+  (* line 20-24: drain the stack of open ancestors *)
+  while not (Stack.is_empty stack) do
+    let p = Stack.pop stack in
+    on_combine ~parent:p ~child:!cur;
+    cur := p
+  done;
+  (* Attributes, in the same conceptual pass: their fields are
+     independent of the child recursion, so a flat column scan does. *)
+  for n = 0 to Store.node_range store - 1 do
+    if Store.kind store n = Store.Attribute then
+      on_text n (Store.text store n)
+  done
+
+let create ops store =
+  let fields = make_fields ops (Store.node_range store) in
+  drive_create store
+    ~on_text:(fun n txt -> set fields n (ops.of_text txt))
+    ~on_combine:(fun ~parent ~child ->
+      set fields parent (ops.combine (get fields parent) (get fields child)));
+  fields
+
+type packed = Packed : 'f ops * 'f fields -> packed
+
+let empty_fields ops store = make_fields ops (Store.node_range store)
+
+let create_multi store packs =
+  let on_texts =
+    List.map
+      (fun (Packed (ops, fields)) ->
+        fun n txt -> set fields n (ops.of_text txt))
+      packs
+  in
+  let on_combines =
+    List.map
+      (fun (Packed (ops, fields)) ->
+        fun ~parent ~child ->
+          set fields parent (ops.combine (get fields parent) (get fields child)))
+      packs
+  in
+  drive_create store
+    ~on_text:(fun n txt -> List.iter (fun f -> f n txt) on_texts)
+    ~on_combine:(fun ~parent ~child ->
+      List.iter (fun f -> f ~parent ~child) on_combines)
+
+(* --- Reference computation (tests) --- *)
+
+let create_reference ops store =
+  let fields = make_fields ops (Store.node_range store) in
+  let rec go n =
+    match Store.kind store n with
+    | Store.Text ->
+        let f = ops.of_text (Store.text store n) in
+        set fields n f;
+        f
+    | Store.Comment | Store.Pi | Store.Deleted | Store.Attribute ->
+        ops.identity
+    | Store.Element | Store.Document ->
+        compute_attributes ops store fields n;
+        let f =
+          List.fold_left
+            (fun acc c -> ops.combine acc (go c))
+            ops.identity (Store.children store n)
+        in
+        set fields n f;
+        f
+  in
+  ignore (go Store.document);
+  fields
+
+(* --- Figure 8: updates --- *)
+
+type 'f change = {
+  node : Store.node;
+  old_field : 'f;
+  new_field : 'f;
+  level : int;
+}
+
+type 'f update_result = {
+  changes : 'f change list;
+  touched : (Store.node * int) list;
+}
+
+let update ops store fields ~texts ?(structural = []) () =
+  let changes = ref [] in
+  let assign n v =
+    let old = get fields n in
+    if not (ops.equal old v) then begin
+      set fields n v;
+      changes := { node = n; old_field = old; new_field = v; level = Store.level store n } :: !changes
+    end
+  in
+  (* 1. Recompute the updated leaves themselves. *)
+  List.iter
+    (fun n ->
+      match Store.kind store n with
+      | Store.Text | Store.Attribute -> assign n (ops.of_text (Store.text store n))
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "Indexer.update: node %d is not a text or attribute"
+               n))
+    texts;
+  (* 2. Collect dirty ancestors. Attribute values do not contribute to
+     their element's string value, so attribute updates stop there. *)
+  let dirty = Hashtbl.create 64 in
+  let rec mark_ancestors n =
+    match Store.parent store n with
+    | None -> ()
+    | Some p ->
+        if not (Hashtbl.mem dirty p) then begin
+          Hashtbl.replace dirty p ();
+          mark_ancestors p
+        end
+  in
+  List.iter
+    (fun n -> if Store.kind store n = Store.Text then mark_ancestors n)
+    texts;
+  List.iter
+    (fun n ->
+      if not (Hashtbl.mem dirty n) then begin
+        Hashtbl.replace dirty n ();
+        mark_ancestors n
+      end)
+    structural;
+  (* 3. Recombine dirty nodes bottom-up from their immediate children —
+     the paper's "visiting only the siblings and reading their hash
+     values" (Figure 8, lines 14-16 / 19-21). *)
+  let by_depth =
+    List.sort
+      (fun (_, la) (_, lb) -> compare lb la)
+      (Hashtbl.fold (fun n () acc -> (n, Store.level store n) :: acc) dirty [])
+  in
+  List.iter (fun (n, _) -> assign n (fold_children ops store fields n)) by_depth;
+  let touched =
+    List.sort
+      (fun (_, la) (_, lb) -> compare lb la)
+      (List.rev_append
+         (List.map (fun n -> (n, Store.level store n)) texts)
+         by_depth)
+  in
+  {
+    changes = List.sort (fun a b -> compare b.level a.level) !changes;
+    touched;
+  }
+
+let compute_subtree ops store fields root =
+  let rec go n =
+    match Store.kind store n with
+    | Store.Text ->
+        let f = ops.of_text (Store.text store n) in
+        set fields n f;
+        f
+    | Store.Comment | Store.Pi | Store.Deleted | Store.Attribute ->
+        ops.identity
+    | Store.Element | Store.Document ->
+        compute_attributes ops store fields n;
+        let f =
+          List.fold_left
+            (fun acc c -> ops.combine acc (go c))
+            ops.identity (Store.children store n)
+        in
+        set fields n f;
+        f
+  in
+  ignore (go root)

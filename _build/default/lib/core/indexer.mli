@@ -1,0 +1,105 @@
+(** The shared index creation and maintenance skeleton
+    (paper Section 5, Figures 7 and 8).
+
+    Both the string equality index and the typed range indices maintain
+    one {e field} per node — a 32-bit hash value or a one-byte SCT state
+    — with the same structure: a text node's field comes from its value
+    ([H] / the FSM), and an element node's field is the ordered
+    combination of its children's fields ([C] / the SCT probe). The
+    algorithms below are generic over that structure, so "creating and
+    updating multiple defined indices can be done simultaneously"
+    (paper Section 5).
+
+    The combination structure must be a monoid: [combine] associative
+    with [identity] as unit. The field of a node with no text
+    descendants (e.g. the paper's [<years/>]) is [identity] —
+    consistently, [identity = of_text ""]. *)
+
+type 'f ops = {
+  field_name : string;  (** for diagnostics, e.g. ["hash"] *)
+  of_text : string -> 'f;  (** [H] or the FSM run *)
+  combine : 'f -> 'f -> 'f;  (** [C] or the SCT probe *)
+  identity : 'f;
+  equal : 'f -> 'f -> bool;
+}
+
+val hash_ops : Hash.t ops
+(** The string-index instance. *)
+
+val sct_ops : Sct.t -> int ops
+(** The typed-index instance for a given state combination table. *)
+
+type 'f fields
+(** Per-node field storage, indexed by node id, growable. *)
+
+val get : 'f fields -> Xvi_xml.Store.node -> 'f
+(** Nodes never assigned (e.g. childless elements) read as the
+    identity, which is exactly their correct field. *)
+
+val fold_all : (Xvi_xml.Store.node -> 'f -> 'a -> 'a) -> 'f fields -> 'a -> 'a
+
+val create : 'f ops -> Xvi_xml.Store.t -> 'f fields
+(** Figure 7: a single depth-first pass driven by the sequence of text
+    nodes in document order, maintaining an explicit stack of open
+    ancestors; every departed node is combined into its parent exactly
+    once. Attribute fields (independent of the children recursion) are
+    computed in the same pass. *)
+
+type packed = Packed : 'f ops * 'f fields -> packed
+(** One index's field computation, with its type hidden, so machines of
+    different field types can share a pass. *)
+
+val empty_fields : 'f ops -> Xvi_xml.Store.t -> 'f fields
+(** Fresh storage for {!create_multi}. *)
+
+val create_multi : Xvi_xml.Store.t -> packed list -> unit
+(** The paper's Section 5 remark made concrete: "since all indices are
+    independent of each other, creating ... multiple defined indices can
+    be done simultaneously with only one pass". One Figure 7 traversal
+    fills every packed field store; each text node is read once and fed
+    to every machine. The [ablation] bench quantifies the saving. *)
+
+val create_reference : 'f ops -> Xvi_xml.Store.t -> 'f fields
+(** The obviously-correct recursive definition
+    ([field n = fold combine (children n)]), used by tests to validate
+    {!create} and {!update}. *)
+
+type 'f change = {
+  node : Xvi_xml.Store.node;
+  old_field : 'f;
+  new_field : 'f;
+  level : int;  (** depth of [node]; changes are reported deepest first *)
+}
+
+type 'f update_result = {
+  changes : 'f change list;
+      (** nodes whose field actually changed, deepest first — drives
+          posting-list repair *)
+  touched : (Xvi_xml.Store.node * int) list;
+      (** every recomputed node (the updated leaves plus all recombined
+          ancestors) with its level, deepest first — a field can be
+          unchanged while the underlying value changed (e.g. replacing
+          the digits ["78"] by ["80"] preserves the SCT state), so typed
+          indices must re-extract values across the whole touched set *)
+}
+
+val update :
+  'f ops ->
+  Xvi_xml.Store.t ->
+  'f fields ->
+  texts:Xvi_xml.Store.node list ->
+  ?structural:Xvi_xml.Store.node list ->
+  unit ->
+  'f update_result
+(** Figure 8: [texts] are text or attribute nodes whose value changed —
+    their fields are recomputed from their new content; [structural]
+    are elements whose child list changed (subtree deleted or inserted
+    beneath them). Every affected ancestor is then recombined {e from
+    its immediate children's fields}, bottom-up — the paper's key point:
+    no string data outside the updated nodes is ever re-read. *)
+
+val compute_subtree :
+  'f ops -> Xvi_xml.Store.t -> 'f fields -> Xvi_xml.Store.node -> unit
+(** Recursively (re)compute fields for a freshly inserted subtree
+    (its nodes have no valid fields yet); does not touch ancestors —
+    pass the subtree root's parent as [structural] to {!update}. *)

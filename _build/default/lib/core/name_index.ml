@@ -1,0 +1,85 @@
+module Store = Xvi_xml.Store
+module Vec = Xvi_util.Vec
+
+type node = Store.node
+
+type t = { by_name : (int, Vec.Int.t) Hashtbl.t }
+
+let bucket t name_id =
+  match Hashtbl.find_opt t.by_name name_id with
+  | Some vec -> vec
+  | None ->
+      let vec = Vec.Int.create ~capacity:4 () in
+      Hashtbl.add t.by_name name_id vec;
+      vec
+
+let add t store n = Vec.Int.push (bucket t (Store.name_id store n)) n
+
+let create store =
+  let t = { by_name = Hashtbl.create 64 } in
+  Store.iter_pre store (fun n ->
+      if Store.kind store n = Store.Element then add t store n);
+  t
+
+let nodes t store name =
+  match Xvi_xml.Name_pool.find (Store.names store) name with
+  | None -> []
+  | Some id -> (
+      match Hashtbl.find_opt t.by_name id with
+      | None -> []
+      | Some vec ->
+          let acc = ref [] in
+          Vec.Int.iter
+            (fun n ->
+              (* lazy deletion: skip tombstones; names are immutable, so
+                 a live entry is always still an element of this name *)
+              if Store.is_live store n then acc := n :: !acc)
+            vec;
+          List.sort compare !acc)
+
+let count t store name =
+  match Xvi_xml.Name_pool.find (Store.names store) name with
+  | None -> 0
+  | Some id -> (
+      match Hashtbl.find_opt t.by_name id with
+      | None -> 0
+      | Some vec ->
+          Vec.Int.fold_left
+            (fun acc n -> if Store.is_live store n then acc + 1 else acc)
+            0 vec)
+
+let on_insert t store ~roots =
+  List.iter
+    (fun root ->
+      Store.iter_pre ~root store (fun n ->
+          if Store.kind store n = Store.Element then add t store n))
+    roots
+
+let storage_bytes t =
+  Hashtbl.fold (fun _ vec acc -> acc + 32 + Vec.Int.memory_bytes vec) t.by_name 0
+
+let validate t store =
+  let expected = Hashtbl.create 64 in
+  Store.iter_pre store (fun n ->
+      if Store.kind store n = Store.Element then begin
+        let name = Store.name store n in
+        Hashtbl.replace expected name
+          (n :: Option.value ~default:[] (Hashtbl.find_opt expected name))
+      end);
+  let problems = ref [] in
+  Hashtbl.iter
+    (fun name nodes_expected ->
+      let got = nodes t store name in
+      if got <> List.sort compare nodes_expected then
+        problems := Printf.sprintf "mismatch for <%s>" name :: !problems)
+    expected;
+  (* and no phantom names *)
+  Hashtbl.iter
+    (fun id vec ->
+      let name = Xvi_xml.Name_pool.name (Store.names store) id in
+      let live = count t store name in
+      ignore vec;
+      if live > 0 && not (Hashtbl.mem expected name) then
+        problems := Printf.sprintf "phantom name <%s>" name :: !problems)
+    t.by_name;
+  match !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)

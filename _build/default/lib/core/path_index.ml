@@ -1,0 +1,245 @@
+module Store = Xvi_xml.Store
+module BT = Xvi_btree.Btree.Make (Xvi_btree.Btree.Float_pair_key)
+
+type node = Store.node
+
+type axis = Child | Descendant
+
+type step = { axis : axis; name : string; attribute : bool }
+
+type t = {
+  pattern : string;
+  steps : step list; (* outermost first *)
+  spec : Lexical_types.spec;
+  values : unit BT.t;
+  by_node : (node, float) Hashtbl.t;
+}
+
+(* --- pattern parsing: ("//" | "/") name, repeated; last may be @name --- *)
+
+let parse_pattern src =
+  let n = String.length src in
+  let rec steps pos acc =
+    if pos >= n then Ok (List.rev acc)
+    else begin
+      let axis, pos =
+        if pos + 1 < n && src.[pos] = '/' && src.[pos + 1] = '/' then
+          (Descendant, pos + 2)
+        else if src.[pos] = '/' then (Child, pos + 1)
+        else (Descendant, pos) (* a bare leading name acts like "//" *)
+      in
+      if pos >= n then Error "pattern ends with a separator"
+      else begin
+        let attribute = src.[pos] = '@' in
+        let pos = if attribute then pos + 1 else pos in
+        let start = pos in
+        let pos = ref pos in
+        while
+          !pos < n
+          &&
+          match src.[!pos] with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+          | _ -> false
+        do
+          incr pos
+        done;
+        if !pos = start then
+          Error (Printf.sprintf "expected a name at offset %d" start)
+        else begin
+          let name = String.sub src start (!pos - start) in
+          let step = { axis; name; attribute } in
+          if attribute && !pos <> n then
+            Error "an attribute step must be last"
+          else steps !pos (step :: acc)
+        end
+      end
+    end
+  in
+  match steps 0 [] with
+  | Ok [] -> Error "empty pattern"
+  | other -> other
+
+(* does [n]'s ancestor path match [steps] (reversed: innermost first)? *)
+let rec match_rev store n rev_steps =
+  match rev_steps with
+  | [] -> n = Store.document
+  | step :: rest -> (
+      let name_ok =
+        if step.attribute then
+          Store.kind store n = Store.Attribute
+          && String.equal (Store.name store n) step.name
+        else
+          Store.kind store n = Store.Element
+          && String.equal (Store.name store n) step.name
+      in
+      name_ok
+      &&
+      match step.axis with
+      | Child -> (
+          match Store.parent store n with
+          | Some p -> match_rev store p rest
+          | None -> false)
+      | Descendant ->
+          let rec anc p =
+            match_rev store p rest
+            || match Store.parent store p with Some pp -> anc pp | None -> false
+          in
+          (match Store.parent store n with Some p -> anc p | None -> false))
+
+let matches_path t store n = match_rev store n (List.rev t.steps)
+
+let extract t store n =
+  let sv = Store.string_value store n in
+  let sct = t.spec.Lexical_types.sct in
+  if Sct.is_accepting sct (Sct.of_string sct sv) then
+    t.spec.Lexical_types.parse sv
+  else None
+
+let set_value t n = function
+  | Some v ->
+      (match Hashtbl.find_opt t.by_node n with
+      | Some old -> ignore (BT.remove t.values (old, n))
+      | None -> ());
+      Hashtbl.replace t.by_node n v;
+      BT.insert t.values (v, n) ()
+  | None -> (
+      match Hashtbl.find_opt t.by_node n with
+      | Some old ->
+          Hashtbl.remove t.by_node n;
+          ignore (BT.remove t.values (old, n))
+      | None -> ())
+
+let create ~pattern spec store =
+  match parse_pattern pattern with
+  | Error _ as e -> e
+  | Ok steps ->
+      let t =
+        {
+          pattern;
+          steps;
+          spec;
+          values = BT.create ();
+          by_node = Hashtbl.create 256;
+        }
+      in
+      Store.iter_pre store (fun n ->
+          match Store.kind store n with
+          | Store.Element | Store.Attribute ->
+              if matches_path t store n then set_value t n (extract t store n)
+          | _ -> ());
+      Ok t
+
+let create_exn ~pattern spec store =
+  match create ~pattern spec store with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Path_index.create: " ^ e)
+
+let pattern t = t.pattern
+let type_name t = t.spec.Lexical_types.type_name
+
+let range ?lo ?hi t =
+  let lo = Option.map (fun v -> (v, min_int)) lo in
+  let hi = Option.map (fun v -> (v, max_int)) hi in
+  let acc = ref [] in
+  BT.iter_range ?lo ?hi (fun (_, n) () -> acc := n :: !acc) t.values;
+  List.rev !acc
+
+let entry_count t = BT.length t.values
+
+let update_texts t store nodes =
+  (* affected pattern nodes: the updated attributes themselves plus all
+     ancestors of updated text nodes — re-read their string values
+     (there is no combination algebra to lean on in this model) *)
+  let dirty = Hashtbl.create 16 in
+  let rec up n =
+    if not (Hashtbl.mem dirty n) then begin
+      Hashtbl.replace dirty n ();
+      match Store.parent store n with Some p -> up p | None -> ()
+    end
+  in
+  List.iter
+    (fun n ->
+      match Store.kind store n with
+      | Store.Attribute -> Hashtbl.replace dirty n ()
+      | _ -> up n)
+    nodes;
+  Hashtbl.iter
+    (fun n () ->
+      match Store.kind store n with
+      | Store.Element | Store.Attribute ->
+          if matches_path t store n then set_value t n (extract t store n)
+      | _ -> ())
+    dirty
+
+let on_delete t store ~removed =
+  List.iter (fun n -> set_value t n None) removed;
+  (* ancestors of the removal site were passed by the caller as part of
+     [removed]'s former parent chain? No: recompute any indexed node
+     that lost descendants by re-reading the surviving ancestors. *)
+  match removed with
+  | [] -> ()
+  | first :: _ ->
+      let rec up n =
+        (match Store.kind store n with
+        | Store.Element ->
+            if matches_path t store n then set_value t n (extract t store n)
+        | _ -> ());
+        match Store.parent store n with Some p -> up p | None -> ()
+      in
+      (* the first removed node is the subtree root; its (surviving)
+         parent chain is what needs refreshing *)
+      (match Store.parent store first with Some p -> up p | None -> ())
+
+let on_insert t store ~roots =
+  List.iter
+    (fun root ->
+      Store.iter_pre ~root store (fun n ->
+          match Store.kind store n with
+          | Store.Element | Store.Attribute ->
+              if matches_path t store n then set_value t n (extract t store n)
+          | _ -> ());
+      match Store.parent store root with
+      | Some p ->
+          let rec up n =
+            (match Store.kind store n with
+            | Store.Element | Store.Document ->
+                if
+                  Store.kind store n = Store.Element && matches_path t store n
+                then set_value t n (extract t store n)
+            | _ -> ());
+            match Store.parent store n with Some q -> up q | None -> ()
+          in
+          up p
+      | None -> ())
+    roots
+
+let storage_bytes t = BT.memory_bytes ~value_bytes:0 t.values
+
+let validate t store =
+  let expected = Hashtbl.create 256 in
+  Store.iter_pre store (fun n ->
+      match Store.kind store n with
+      | Store.Element | Store.Attribute ->
+          if matches_path t store n then (
+            match extract t store n with
+            | Some v -> Hashtbl.replace expected n v
+            | None -> ())
+      | _ -> ());
+  let problems = ref [] in
+  if Hashtbl.length expected <> Hashtbl.length t.by_node then
+    problems :=
+      Printf.sprintf "entry count %d <> expected %d" (Hashtbl.length t.by_node)
+        (Hashtbl.length expected)
+      :: !problems;
+  Hashtbl.iter
+    (fun n v ->
+      match Hashtbl.find_opt t.by_node n with
+      | Some v' when v' = v -> ()
+      | Some v' ->
+          problems := Printf.sprintf "node %d: %g <> %g" n v' v :: !problems
+      | None -> problems := Printf.sprintf "node %d missing" n :: !problems)
+    expected;
+  (match BT.check_invariants t.values with
+  | Ok () -> ()
+  | Error e -> problems := ("btree: " ^ e) :: !problems);
+  match !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)

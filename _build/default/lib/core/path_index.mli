@@ -1,0 +1,63 @@
+(** Path-specific typed index — the DBA-configured baseline the paper
+    argues against.
+
+    DB2 PureXML's
+
+    {v create index myindex on items(person)
+       generate key using xmlpattern "//person//age" as sql double v}
+
+    indexes exactly the nodes reached by one path, cast to one type.
+    This module reproduces that model so the benches can quantify the
+    paper's introduction: the path index is smaller and cheaper to
+    build, but (i) only queries using the listed path are accelerated,
+    (ii) a double index is useless for string lookups, and (iii) every
+    new path needs DBA action. The generic indices of {!String_index}
+    and {!Typed_index} trade a constant factor of space for covering
+    every path and every node at once.
+
+    Pattern grammar: name steps joined by [/] (child) or [//]
+    (descendant), starting with either; the final step may be an
+    attribute ([//person/@id]). Wildcards are deliberately absent —
+    that is the point of the baseline. *)
+
+type t
+
+type node = Xvi_xml.Store.node
+
+val create :
+  pattern:string -> Lexical_types.spec -> Xvi_xml.Store.t -> (t, string) result
+(** [create ~pattern spec store] builds the index over the nodes the
+    pattern selects whose string value is a complete lexical value of
+    [spec]'s type. [Error] on a malformed pattern. *)
+
+val create_exn :
+  pattern:string -> Lexical_types.spec -> Xvi_xml.Store.t -> t
+
+val pattern : t -> string
+val type_name : t -> string
+
+val matches_path : t -> Xvi_xml.Store.t -> node -> bool
+(** Whether a node is selected by the pattern (regardless of castability). *)
+
+val range : ?lo:float -> ?hi:float -> t -> node list
+(** Range lookup over the indexed nodes — answers {e only} queries on
+    this pattern and this type. *)
+
+val entry_count : t -> int
+
+(** {1 Maintenance} *)
+
+val update_texts : t -> Xvi_xml.Store.t -> node list -> unit
+(** Text/attribute nodes changed; re-extract the values of affected
+    pattern-selected nodes. Unlike the paper's indices there is no
+    hash/state algebra here: affected ancestors re-read their string
+    values, which is exactly the maintenance cost profile DB2-style
+    indices pay. *)
+
+val on_delete : t -> Xvi_xml.Store.t -> removed:node list -> unit
+val on_insert : t -> Xvi_xml.Store.t -> roots:node list -> unit
+
+(** {1 Accounting and validation} *)
+
+val storage_bytes : t -> int
+val validate : t -> Xvi_xml.Store.t -> (unit, string) result

@@ -1,0 +1,173 @@
+type t = {
+  dfa : Dfa.t;
+  domain : int array; (* reachable DFA states *)
+  didx_start : int; (* index of the DFA start state in [domain] *)
+  co : bool array; (* co-accessibility per domain index *)
+  gens : int array array; (* class -> domain idx -> domain idx *)
+  size : int; (* elements incl. reject *)
+  identity : int;
+  by_key : (bytes, int) Hashtbl.t; (* function encoding -> element id *)
+  funcs : int array array; (* element id (>=1) -> function; funcs.(0) unused *)
+  compose_tbl : int array; (* size * size, flattened *)
+  accepting : bool array;
+  dfa_state : int array;
+  witness : string array;
+}
+
+let reject_id = 0
+
+let encode fn =
+  let b = Bytes.create (Array.length fn) in
+  Array.iteri (fun i v -> Bytes.set b i (Char.chr v)) fn;
+  b
+
+let of_dfa ?(max_elements = 4096) dfa =
+  let n = Dfa.n_states dfa in
+  let reach = Dfa.reachable dfa in
+  let co_states = Dfa.co_accessible dfa in
+  let domain =
+    Array.of_list
+      (List.filter (fun s -> reach.(s)) (List.init n (fun i -> i)))
+  in
+  let dn = Array.length domain in
+  if dn > 255 then failwith "Sct.of_dfa: more than 255 reachable DFA states";
+  let didx = Array.make n (-1) in
+  Array.iteri (fun i s -> didx.(s) <- i) domain;
+  let didx_start = didx.(Dfa.start dfa) in
+  let co = Array.map (fun s -> co_states.(s)) domain in
+  let n_classes = Dfa.n_classes dfa in
+  let gens =
+    Array.init n_classes (fun cls ->
+        Array.map
+          (fun s ->
+            let repr = Dfa.class_repr dfa cls in
+            match repr with
+            | Some c -> didx.(Dfa.step dfa s c)
+            | None -> didx.(Dfa.sink dfa))
+          domain)
+  in
+  let viable fn = Array.exists (fun v -> co.(v)) fn in
+  let by_key = Hashtbl.create 256 in
+  let funcs = ref [] (* reversed; ids from 1 *) in
+  let witnesses = ref [ "<reject>" ] (* id 0 *) in
+  let count = ref 1 (* reject *) in
+  let queue = Queue.create () in
+  let idfn = Array.init dn (fun i -> i) in
+  if not (viable idfn) then
+    failwith (Printf.sprintf "Sct.of_dfa: %s accepts nothing" (Dfa.name dfa));
+  let add fn wit =
+    let key = encode fn in
+    match Hashtbl.find_opt by_key key with
+    | Some id -> id
+    | None ->
+        if not (viable fn) then begin
+          Hashtbl.add by_key key reject_id;
+          reject_id
+        end
+        else begin
+          let id = !count in
+          incr count;
+          if !count > max_elements then
+            failwith
+              (Printf.sprintf
+                 "Sct.of_dfa: transition monoid of %s exceeds %d elements"
+                 (Dfa.name dfa) max_elements);
+          Hashtbl.add by_key key id;
+          funcs := fn :: !funcs;
+          witnesses := wit :: !witnesses;
+          Queue.push (id, fn, wit) queue;
+          id
+        end
+  in
+  let identity = add idfn "" in
+  while not (Queue.is_empty queue) do
+    let _, fn, wit = Queue.pop queue in
+    for cls = 0 to n_classes - 1 do
+      match Dfa.class_repr dfa cls with
+      | None -> ()
+      | Some c ->
+          let fn' = Array.map (fun v -> gens.(cls).(v)) fn in
+          ignore (add fn' (wit ^ String.make 1 c))
+    done
+  done;
+  let size = !count in
+  let funcs_arr = Array.make size [||] in
+  List.iteri (fun i fn -> funcs_arr.(size - 1 - i) <- fn) !funcs;
+  (* !funcs is reversed: element 1 is last in the list *)
+  let witness = Array.make size "" in
+  List.iteri (fun i w -> witness.(size - 1 - i) <- w) !witnesses;
+  let lookup fn =
+    if not (viable fn) then reject_id
+    else
+      match Hashtbl.find_opt by_key (encode fn) with
+      | Some id -> id
+      | None -> assert false (* closure is complete *)
+  in
+  let compose_tbl = Array.make (size * size) reject_id in
+  for i = 1 to size - 1 do
+    for j = 1 to size - 1 do
+      let fi = funcs_arr.(i) and fj = funcs_arr.(j) in
+      (* (f_i ; f_j)(p) = f_j (f_i p) *)
+      let fn = Array.map (fun v -> fj.(v)) fi in
+      compose_tbl.((i * size) + j) <- lookup fn
+    done
+  done;
+  let accepting = Array.make size false in
+  let dfa_state = Array.make size (Dfa.sink dfa) in
+  for i = 1 to size - 1 do
+    let s = domain.(funcs_arr.(i).(didx_start)) in
+    dfa_state.(i) <- s;
+    accepting.(i) <- Dfa.is_final dfa s
+  done;
+  {
+    dfa;
+    domain;
+    didx_start;
+    co;
+    gens;
+    size;
+    identity;
+    by_key;
+    funcs = funcs_arr;
+    compose_tbl;
+    accepting;
+    dfa_state;
+    witness;
+  }
+
+let dfa t = t.dfa
+let size t = t.size
+let identity t = t.identity
+let reject _ = reject_id
+
+let of_string t s =
+  let dn = Array.length t.domain in
+  let cur = Array.init dn (fun i -> i) in
+  let len = String.length s in
+  let i = ref 0 in
+  let alive = ref true in
+  while !alive && !i < len do
+    let cls = Dfa.class_of_char t.dfa s.[!i] in
+    let gen = t.gens.(cls) in
+    let any = ref false in
+    for j = 0 to dn - 1 do
+      let v = gen.(cur.(j)) in
+      cur.(j) <- v;
+      if t.co.(v) then any := true
+    done;
+    if not !any then alive := false;
+    incr i
+  done;
+  if not !alive then reject_id
+  else
+    match Hashtbl.find_opt t.by_key (encode cur) with
+    | Some id -> id
+    | None -> assert false
+
+let compose t i j = t.compose_tbl.((i * t.size) + j)
+let is_viable _ id = id <> reject_id
+let is_accepting t id = t.accepting.(id)
+let dfa_state t id = t.dfa_state.(id)
+let witness t id = t.witness.(id)
+let state_bytes t = if t.size <= 256 then 1 else 2
+let table_bytes t = 8 * t.size * t.size

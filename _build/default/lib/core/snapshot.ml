@@ -1,0 +1,62 @@
+let magic = "XVI-SNAPSHOT-1\n"
+
+(* A fingerprint of the running binary: closure marshalling embeds code
+   pointers, so a snapshot is only valid for the exact executable that
+   wrote it. Digesting the executable file captures that precisely. *)
+let fingerprint =
+  lazy
+    (try Digest.to_hex (Digest.file Sys.executable_name)
+     with Sys_error _ -> "unknown")
+
+type error = Not_a_snapshot | Binary_mismatch | Io_error of string
+
+let error_to_string = function
+  | Not_a_snapshot -> "not an xvi snapshot"
+  | Binary_mismatch ->
+      "snapshot was written by a different build of this binary"
+  | Io_error msg -> msg
+
+let save db path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      output_string oc (Lazy.force fingerprint);
+      output_char oc '\n';
+      Marshal.to_channel oc db [ Marshal.Closures ]);
+  Sys.rename tmp path
+
+let load path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let buf = really_input_string ic (String.length magic) in
+        if not (String.equal buf magic) then Error Not_a_snapshot
+        else begin
+          let fp = input_line ic in
+          if not (String.equal fp (Lazy.force fingerprint)) then
+            Error Binary_mismatch
+          else Ok (Marshal.from_channel ic : Db.t)
+        end)
+  with
+  | Sys_error msg -> Error (Io_error msg)
+  | End_of_file -> Error Not_a_snapshot
+
+let load_exn path =
+  match load path with
+  | Ok db -> db
+  | Error e -> failwith ("Snapshot.load: " ^ error_to_string e)
+
+let is_snapshot path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = String.length magic in
+        in_channel_length ic >= n && String.equal (really_input_string ic n) magic)
+  with Sys_error _ -> false

@@ -1,0 +1,33 @@
+(** Binary snapshots of an indexed database.
+
+    Shredding and index creation dominate start-up time; a snapshot
+    saves the store and every index in one file so a later process can
+    reopen them directly — the role MonetDB's persistent BATs play for
+    the paper's indices.
+
+    Format: a magic string, a build fingerprint, then the [Marshal]ed
+    database (with closure marshalling, since type machines carry
+    parsing functions). Snapshots are therefore {e only readable by the
+    binary that wrote them} — the fingerprint enforces this, turning a
+    segfault into a clean error. This mirrors the usual trade-off of
+    engine-internal storage formats, and the XML itself remains the
+    portable representation. *)
+
+val save : Db.t -> string -> unit
+(** [save db path] writes a snapshot atomically (via a temp file and
+    rename). *)
+
+type error =
+  | Not_a_snapshot  (** bad magic — the file is something else *)
+  | Binary_mismatch  (** written by a different build of this library *)
+  | Io_error of string
+
+val error_to_string : error -> string
+
+val load : string -> (Db.t, error) result
+
+val load_exn : string -> Db.t
+(** @raise Failure on any {!error}. *)
+
+val is_snapshot : string -> bool
+(** Cheap magic check, for CLIs that accept either XML or snapshots. *)

@@ -1,0 +1,139 @@
+module Store = Xvi_xml.Store
+module BT = Xvi_btree.Btree.Make (Xvi_btree.Btree.Int_pair_key)
+
+type node = Store.node
+
+type t = {
+  fields : Hash.t Indexer.fields;
+  postings : unit BT.t;
+  mutable entries : int;
+}
+
+let indexable store n =
+  match Store.kind store n with
+  | Store.Element | Store.Text | Store.Attribute | Store.Document -> true
+  | Store.Comment | Store.Pi | Store.Deleted -> false
+
+let add_posting t h n =
+  BT.insert t.postings (Hash.to_int h, n) ();
+  t.entries <- t.entries + 1
+
+let remove_posting t h n =
+  if BT.remove t.postings (Hash.to_int h, n) then t.entries <- t.entries - 1
+
+let of_fields store fields =
+  (* Bulk-load the posting B+tree. (hash, node) fits one unboxed int
+     (32 + 30 bits), so collection and sorting run on an int vector —
+     the cheap creation path the paper's Figure 9 numbers rely on. *)
+  let packed = Xvi_util.Vec.Int.create ~capacity:(Store.node_range store) () in
+  Store.iter_pre store (fun n ->
+      if indexable store n then
+        Xvi_util.Vec.Int.push packed
+          ((Hash.to_int (Indexer.get fields n) lsl 30) lor n));
+  let keys = Xvi_util.Vec.Int.to_array packed in
+  Array.sort Int.compare keys;
+  let arr =
+    Array.map (fun k -> ((k lsr 30, k land 0x3FFF_FFFF), ())) keys
+  in
+  { fields; postings = BT.of_sorted_array arr; entries = Array.length arr }
+
+let create store = of_fields store (Indexer.create Indexer.hash_ops store)
+
+let hash_of t n = Indexer.get t.fields n
+
+let candidates_of_hash t h =
+  let lo = (Hash.to_int h, min_int) and hi = (Hash.to_int h, max_int) in
+  let acc = ref [] in
+  BT.iter_range ~lo ~hi (fun (_, n) () -> acc := n :: !acc) t.postings;
+  List.rev !acc
+
+let lookup_candidates t _store s = candidates_of_hash t (Hash.hash s)
+
+let lookup t store s =
+  List.filter (fun n -> String.equal (Store.string_value store n) s)
+    (lookup_candidates t store s)
+
+let apply_changes t changes =
+  List.iter
+    (fun { Indexer.node; old_field; new_field; _ } ->
+      remove_posting t old_field node;
+      add_posting t new_field node)
+    changes
+
+let update_texts t store nodes =
+  apply_changes t
+    (Indexer.update Indexer.hash_ops store t.fields ~texts:nodes ()).Indexer.changes
+
+let on_delete t store ~parent ~removed =
+  List.iter
+    (fun n ->
+      (* Tombstoned nodes keep their last field; drop their postings. *)
+      remove_posting t (Indexer.get t.fields n) n)
+    removed;
+  apply_changes t
+    (Indexer.update Indexer.hash_ops store t.fields ~texts:[]
+       ~structural:[ parent ] ())
+      .Indexer.changes
+
+let on_insert t store ~roots =
+  List.iter
+    (fun root ->
+      Indexer.compute_subtree Indexer.hash_ops store t.fields root;
+      Store.iter_pre ~root store (fun n ->
+          if indexable store n then add_posting t (Indexer.get t.fields n) n))
+    roots;
+  let parents =
+    List.sort_uniq compare
+      (List.filter_map (fun r -> Store.parent store r) roots)
+  in
+  apply_changes t
+    (Indexer.update Indexer.hash_ops store t.fields ~texts:[]
+       ~structural:parents ())
+      .Indexer.changes
+
+let entry_count t = t.entries
+
+let storage_bytes t =
+  (* 4 bytes per node for the hash column (32-bit values), plus the
+     posting B+tree. *)
+  let column = 4 * t.entries in
+  column + BT.memory_bytes ~value_bytes:0 t.postings
+
+let validate t store =
+  let problems = ref [] in
+  let expected = Hashtbl.create 1024 in
+  Store.iter_pre store (fun n ->
+      if indexable store n then begin
+        let h = Hash.hash (Store.string_value store n) in
+        Hashtbl.replace expected n h;
+        if not (Hash.equal (Indexer.get t.fields n) h) then
+          problems :=
+            Printf.sprintf "node %d: stored hash %d <> recomputed %d" n
+              (Hash.to_int (Indexer.get t.fields n))
+              (Hash.to_int h)
+            :: !problems
+      end);
+  let posting_count = ref 0 in
+  BT.iter
+    (fun (h, n) () ->
+      incr posting_count;
+      match Hashtbl.find_opt expected n with
+      | None -> problems := Printf.sprintf "stale posting for node %d" n :: !problems
+      | Some eh ->
+          if Hash.to_int eh <> h then
+            problems :=
+              Printf.sprintf "posting hash %d for node %d, expected %d" h n
+                (Hash.to_int eh)
+              :: !problems)
+    t.postings;
+  if !posting_count <> Hashtbl.length expected then
+    problems :=
+      Printf.sprintf "posting count %d <> indexable nodes %d" !posting_count
+        (Hashtbl.length expected)
+      :: !problems;
+  (match BT.check_invariants t.postings with
+  | Ok () -> ()
+  | Error e -> problems := ("btree: " ^ e) :: !problems);
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " ps)

@@ -1,0 +1,63 @@
+(** The string equality index (paper Section 3).
+
+    Every live element, attribute and text node is indexed under the
+    hash of its XDM string value — whole-document, path- and
+    type-agnostic. A B+tree on [(hash, node id)] provides the posting
+    lists; a per-node hash column supports update recombination without
+    re-reading any string data.
+
+    Lookups return {e candidates} (hash matches); {!lookup} filters them
+    against the actual string values, so false positives from hash
+    collisions (paper Figure 11) never reach the caller. *)
+
+type t
+
+type node = Xvi_xml.Store.node
+
+val create : Xvi_xml.Store.t -> t
+(** Build with the Figure 7 single-pass algorithm, then bulk-load the
+    B+tree. Comments and processing instructions are not indexed (the
+    paper covers "text, element, and attribute node values"). *)
+
+val of_fields : Xvi_xml.Store.t -> Hash.t Indexer.fields -> t
+(** Build from fields already computed — how {!Db} shares one document
+    pass across all its indices (paper §5). The fields become owned by
+    the index. *)
+
+val hash_of : t -> node -> Hash.t
+(** The indexed hash of a live node. *)
+
+val lookup : t -> Xvi_xml.Store.t -> string -> node list
+(** Nodes whose string value equals the argument, in node-id order.
+    Collision false-positives are filtered out. *)
+
+val lookup_candidates : t -> Xvi_xml.Store.t -> string -> node list
+(** Hash matches before verification — exposed for the collision
+    experiments and for callers that layer their own predicates. *)
+
+(** {1 Maintenance} *)
+
+val update_texts : t -> Xvi_xml.Store.t -> node list -> unit
+(** Figure 8: the given text/attribute nodes' values changed in the
+    store; recompute their hashes and recombine all affected ancestors
+    from sibling hashes. *)
+
+val on_delete : t -> Xvi_xml.Store.t -> parent:node -> removed:node list -> unit
+(** A subtree was deleted: [removed] are its (now tombstoned) nodes,
+    [parent] its former parent. Drops their postings and recombines
+    upward from [parent]. *)
+
+val on_insert : t -> Xvi_xml.Store.t -> roots:node list -> unit
+(** Freshly inserted subtrees (all under the same parent): computes
+    fields for the new nodes and recombines upward. *)
+
+(** {1 Accounting and validation} *)
+
+val entry_count : t -> int
+val storage_bytes : t -> int
+(** Per-node hash column + B+tree, as Figure 9 accounts it. *)
+
+val validate : t -> Xvi_xml.Store.t -> (unit, string) result
+(** Test hook: every live indexable node's stored hash equals the hash
+    of its recomputed string value, postings match exactly, and the
+    B+tree invariants hold. *)

@@ -1,0 +1,261 @@
+module Store = Xvi_xml.Store
+module BT = Xvi_btree.Btree.Make (Xvi_btree.Btree.Int_pair_key)
+
+type node = Store.node
+
+let q = 3
+
+type t = {
+  postings : unit BT.t; (* (packed 3-gram, node) *)
+  mutable entries : int;
+}
+
+let indexable store n =
+  match Store.kind store n with
+  | Store.Text | Store.Attribute -> true
+  | _ -> false
+
+(* 3 bytes pack into a collision-free 24-bit key *)
+let pack s i =
+  (Char.code s.[i] lsl 16) lor (Char.code s.[i + 1] lsl 8) lor Char.code s.[i + 2]
+
+let distinct_grams s =
+  let n = String.length s in
+  if n < q then []
+  else begin
+    let seen = Hashtbl.create (n - q + 1) in
+    for i = 0 to n - q do
+      Hashtbl.replace seen (pack s i) ()
+    done;
+    Hashtbl.fold (fun g () acc -> g :: acc) seen []
+  end
+
+let add_node t store n =
+  List.iter
+    (fun g ->
+      BT.insert t.postings (g, n) ();
+      t.entries <- t.entries + 1)
+    (distinct_grams (Store.text store n))
+
+let remove_node_value t n old_value =
+  List.iter
+    (fun g ->
+      if BT.remove t.postings (g, n) then t.entries <- t.entries - 1)
+    (distinct_grams old_value)
+
+let create store =
+  (* Bulk-load path: a (24-bit gram, 30-bit node) pair packs into one
+     unboxed int, so collection and sorting run on an int vector — the
+     posting count is an order of magnitude above the other indices'
+     (every node contributes one posting per distinct gram), which makes
+     this the difference between seconds and minutes on text-heavy
+     documents. *)
+  let packed = Xvi_util.Vec.Int.create ~capacity:4096 () in
+  Store.iter_pre store (fun n ->
+      if indexable store n then begin
+        (* push every positional gram; duplicates within a node collapse
+           after the global sort, which beats a per-node hash set *)
+        let s = Store.text store n in
+        for i = 0 to String.length s - q do
+          Xvi_util.Vec.Int.push packed ((pack s i lsl 30) lor n)
+        done
+      end);
+  let keys = Xvi_util.Vec.Int.to_array packed in
+  Array.sort Int.compare keys;
+  let distinct = ref 0 in
+  Array.iteri
+    (fun i k -> if i = 0 || keys.(i - 1) <> k then incr distinct)
+    keys;
+  let arr = Array.make !distinct ((0, 0), ()) in
+  let j = ref 0 in
+  Array.iteri
+    (fun i k ->
+      if i = 0 || keys.(i - 1) <> k then begin
+        arr.(!j) <- ((k lsr 30, k land 0x3FFF_FFFF), ());
+        incr j
+      end)
+    keys;
+  { postings = BT.of_sorted_array arr; entries = !distinct }
+
+let posting_list t g =
+  let acc = ref [] in
+  BT.iter_range ~lo:(g, min_int) ~hi:(g, max_int)
+    (fun (_, n) () -> acc := n :: !acc)
+    t.postings;
+  List.rev !acc
+
+(* naive substring check; patterns are short *)
+let string_contains ~pattern s =
+  let m = String.length pattern and n = String.length s in
+  if m = 0 then true
+  else begin
+    let rec at i j = j = m || (s.[i + j] = pattern.[j] && at i (j + 1)) in
+    let rec go i = i + m <= n && (at i 0 || go (i + 1)) in
+    go 0
+  end
+
+let scan_all store pattern =
+  let acc = ref [] in
+  Store.iter_pre store (fun n ->
+      if indexable store n && string_contains ~pattern (Store.text store n) then
+        acc := n :: !acc);
+  List.sort compare !acc
+
+let contains t store pattern =
+  let m = String.length pattern in
+  if m < q then scan_all store pattern
+  else begin
+    (* posting lists of the pattern's grams, rarest first; intersect *)
+    let grams =
+      List.sort_uniq compare (List.init (m - q + 1) (fun i -> pack pattern i))
+    in
+    let lists = List.map (posting_list t) grams in
+    let lists =
+      List.sort (fun a b -> compare (List.length a) (List.length b)) lists
+    in
+    match lists with
+    | [] -> []
+    | smallest :: rest ->
+        let sets =
+          List.map
+            (fun l ->
+              let h = Hashtbl.create (max 16 (List.length l)) in
+              List.iter (fun n -> Hashtbl.replace h n ()) l;
+              h)
+            rest
+        in
+        let candidates =
+          List.filter
+            (fun n -> List.for_all (fun h -> Hashtbl.mem h n) sets)
+            smallest
+        in
+        List.sort compare
+          (List.filter
+             (fun n -> string_contains ~pattern (Store.text store n))
+             candidates)
+  end
+
+let element_contains t store pattern =
+  let result = Hashtbl.create 64 in
+  (* 1. within-node matches lift to every ancestor *)
+  let seeds = contains t store pattern in
+  List.iter
+    (fun n ->
+      let rec up c =
+        match Store.parent store c with
+        | Some p ->
+            if not (Hashtbl.mem result p) then begin
+              Hashtbl.replace result p ();
+              up p
+            end
+        | None -> ()
+      in
+      up n)
+    seeds;
+  (* 2. boundary-spanning matches: slide a carry of the last m-1
+     concatenated characters (with a parallel per-character owner map)
+     across the document's text sequence; any pattern occurrence that
+     starts inside the carry spans at least one text-node junction, and
+     the elements containing it are exactly the common ancestors of its
+     first and last contributing nodes *)
+  let m = String.length pattern in
+  if m >= 2 then begin
+    let mark_common_ancestors first last =
+      let rec ancestors acc c =
+        match Store.parent store c with
+        | Some p -> ancestors (p :: acc) p
+        | None -> acc
+      in
+      let a2 = ancestors [] last in
+      List.iter
+        (fun a -> if List.mem a a2 then Hashtbl.replace result a ())
+        (ancestors [] first)
+    in
+    (* A spanning match starts inside the (m-1)-char carry and extends at
+       most m-1 characters into the next text, so only a small window —
+       never the full text — is materialised per junction. *)
+    let carry = ref "" and owners = ref [||] in
+    Array.iter
+      (fun tn ->
+        let tv = Store.text store tn in
+        let clen = String.length !carry in
+        if clen > 0 then begin
+          let head = min (String.length tv) (m - 1) in
+          let s = !carry ^ String.sub tv 0 head in
+          let rec at i j = j = m || (s.[i + j] = pattern.[j] && at i (j + 1)) in
+          for p = 0 to min (clen - 1) (String.length s - m) do
+            if p + m > clen && at p 0 then
+              mark_common_ancestors !owners.(p) tn
+          done
+        end;
+        (* slide: the new carry is the last m-1 chars of carry ^ tv *)
+        let tvlen = String.length tv in
+        if tvlen >= m - 1 then begin
+          carry := String.sub tv (tvlen - (m - 1)) (m - 1);
+          owners := Array.make (m - 1) tn
+        end
+        else begin
+          let keep = min (m - 1) (clen + tvlen) in
+          let from_carry = keep - tvlen in
+          let b = Buffer.create keep in
+          Buffer.add_string b (String.sub !carry (clen - from_carry) from_carry);
+          Buffer.add_string b tv;
+          let new_owners = Array.make keep tn in
+          Array.blit !owners (clen - from_carry) new_owners 0 from_carry;
+          carry := Buffer.contents b;
+          owners := new_owners
+        end)
+      (Store.text_nodes store)
+  end;
+  List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) result [])
+
+let update_texts t store updates =
+  List.iter
+    (fun (n, old_value) ->
+      remove_node_value t n old_value;
+      if indexable store n then add_node t store n)
+    updates
+
+let on_delete t ~removed =
+  List.iter (fun (n, old_value) -> remove_node_value t n old_value) removed
+
+let on_insert t store ~roots =
+  List.iter
+    (fun root ->
+      Store.iter_pre ~root store (fun n ->
+          if indexable store n then add_node t store n))
+    roots
+
+let entry_count t = t.entries
+
+let storage_bytes t = BT.memory_bytes ~value_bytes:0 t.postings
+
+let validate t store =
+  let expected = Hashtbl.create 1024 in
+  Store.iter_pre store (fun n ->
+      if indexable store n then
+        List.iter
+          (fun g -> Hashtbl.replace expected (g, n) ())
+          (distinct_grams (Store.text store n)));
+  let problems = ref [] in
+  let count = ref 0 in
+  BT.iter
+    (fun key () ->
+      incr count;
+      if not (Hashtbl.mem expected key) then
+        problems :=
+          Printf.sprintf "stale posting (%d, %d)" (fst key) (snd key)
+          :: !problems)
+    t.postings;
+  if !count <> Hashtbl.length expected then
+    problems :=
+      Printf.sprintf "posting count %d <> expected %d" !count
+        (Hashtbl.length expected)
+      :: !problems;
+  if !count <> t.entries then
+    problems :=
+      Printf.sprintf "entry counter %d <> tree %d" t.entries !count :: !problems;
+  (match BT.check_invariants t.postings with
+  | Ok () -> ()
+  | Error e -> problems := ("btree: " ^ e) :: !problems);
+  match !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)

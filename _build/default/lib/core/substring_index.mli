@@ -1,0 +1,62 @@
+(** Substring (containment) index — the paper's stated future work
+    ("indices capable of answering queries that involve substring
+    matching", §7), built in the same self-tuned, updatable style.
+
+    Every text and attribute node's value is indexed under its distinct
+    character 3-grams (packed into 24-bit integer keys — no hash
+    collisions at all); a containment query intersects the posting lists
+    of the pattern's 3-grams, starting from the rarest, and verifies the
+    few surviving candidates with a direct substring scan. Patterns
+    shorter than 3 characters cannot use the gram index and fall back to
+    a document scan.
+
+    Scope note: the index covers the {e own} values of text and
+    attribute nodes. A substring of an {e element's} concatenated string
+    value can span text-node boundaries; answering those from per-node
+    grams is not possible without positional information, so element
+    containment is served by checking the element's descendants'
+    matches plus a verification step — see {!element_contains}. *)
+
+type t
+
+type node = Xvi_xml.Store.node
+
+val q : int
+(** The gram width (3). *)
+
+val create : Xvi_xml.Store.t -> t
+
+val contains : t -> Xvi_xml.Store.t -> string -> node list
+(** Text/attribute nodes whose value contains the pattern, in node-id
+    order. Exact (candidates are verified). Patterns shorter than
+    {!q} are answered by a scan over the indexed nodes. *)
+
+val element_contains : t -> Xvi_xml.Store.t -> string -> node list
+(** Elements (and the document node) whose XDM string value contains
+    the pattern. Uses {!contains} hits as seeds — any within-node match
+    lifts to every ancestor — and additionally verifies boundary-
+    spanning matches on the seed nodes' ancestors. Exact but slower
+    than {!contains}; degenerates to an ancestor sweep when the pattern
+    is shorter than {!q}. *)
+
+(** {1 Maintenance}
+
+    Gram postings depend on the {e old} value (to know which postings to
+    drop), so update and delete take [(node, old value)] pairs; {!Db}
+    captures them before mutating the store. *)
+
+val update_texts : t -> Xvi_xml.Store.t -> (node * string) list -> unit
+(** The store already holds the new values. *)
+
+val on_delete : t -> removed:(node * string) list -> unit
+val on_insert : t -> Xvi_xml.Store.t -> roots:node list -> unit
+
+(** {1 Accounting and validation} *)
+
+val entry_count : t -> int
+(** Total (gram, node) postings. *)
+
+val storage_bytes : t -> int
+
+val validate : t -> Xvi_xml.Store.t -> (unit, string) result
+(** Postings equal a from-scratch recomputation. *)

@@ -1,0 +1,296 @@
+module Store = Xvi_xml.Store
+module BT = Xvi_btree.Btree.Make (Xvi_btree.Btree.Float_pair_key)
+
+type node = Store.node
+type reconstruct = [ `Document | `Fragment ]
+
+type t = {
+  spec : Lexical_types.spec;
+  ops : int Indexer.ops;
+  fields : int Indexer.fields;
+  values : unit BT.t;
+  by_node : (node, float) Hashtbl.t; (* complete nodes -> typed key *)
+  frags : (node, string) Hashtbl.t; (* viable nodes -> lexical, `Fragment only *)
+  reconstruct : reconstruct;
+  mutable viable_count : int;
+}
+
+let indexable store n =
+  match Store.kind store n with
+  | Store.Element | Store.Text | Store.Attribute | Store.Document -> true
+  | Store.Comment | Store.Pi | Store.Deleted -> false
+
+let spec t = t.spec
+let type_name t = t.spec.Lexical_types.type_name
+let sct t = t.spec.Lexical_types.sct
+let state_of t n = Indexer.get t.fields n
+let is_viable t n = Sct.is_viable (sct t) (state_of t n)
+let is_complete t n = Hashtbl.mem t.by_node n
+let value_of t n = Hashtbl.find_opt t.by_node n
+
+(* The lexical value of a viable node, for typed-key extraction. *)
+let lexical_of t store n =
+  match t.reconstruct with
+  | `Document -> Store.string_value store n
+  | `Fragment -> ( match Hashtbl.find_opt t.frags n with Some f -> f | None -> "")
+
+(* An accepting state guarantees the lexical *shape*, not semantic
+   validity — "0000-13-45T99:99:99" is shaped like a dateTime but is no
+   value of the type. Such nodes keep their (viable) state but get no
+   entry in the value B+tree. *)
+
+let add_complete t n value =
+  Hashtbl.replace t.by_node n value;
+  BT.insert t.values (value, n) ()
+
+let remove_complete t n =
+  match Hashtbl.find_opt t.by_node n with
+  | None -> ()
+  | Some v ->
+      Hashtbl.remove t.by_node n;
+      ignore (BT.remove t.values (v, n))
+
+(* Maintain the fragment table for a node whose state just changed.
+   Children of a viable element are viable themselves, so their
+   fragments are present — provided changes are applied deepest first. *)
+let refresh_frag t store n new_state =
+  if t.reconstruct = `Fragment then
+    if not (Sct.is_viable (sct t) new_state) then Hashtbl.remove t.frags n
+    else
+      match Store.kind store n with
+      | Store.Text | Store.Attribute ->
+          Hashtbl.replace t.frags n (Store.text store n)
+      | Store.Element | Store.Document ->
+          let buf = Buffer.create 16 in
+          List.iter
+            (fun c ->
+              match Hashtbl.find_opt t.frags c with
+              | Some f -> Buffer.add_string buf f
+              | None -> ())
+            (Store.children store n);
+          Hashtbl.replace t.frags n (Buffer.contents buf)
+      | Store.Comment | Store.Pi | Store.Deleted -> ()
+
+let register t store n state =
+  if Sct.is_viable (sct t) state then begin
+    t.viable_count <- t.viable_count + 1;
+    if t.reconstruct = `Fragment then
+      Hashtbl.replace t.frags n (Store.string_value store n);
+    if Sct.is_accepting (sct t) state then
+      match t.spec.Lexical_types.parse (Store.string_value store n) with
+      | Some v -> add_complete t n v
+      | None -> ()
+  end
+
+let of_fields ?(reconstruct = `Document) spec store fields =
+  let ops = Indexer.sct_ops spec.Lexical_types.sct in
+  let sct_ = spec.Lexical_types.sct in
+  let t =
+    {
+      spec;
+      ops;
+      fields;
+      values = BT.create ();
+      by_node = Hashtbl.create 1024;
+      frags = Hashtbl.create 64;
+      reconstruct;
+      viable_count = 0;
+    }
+  in
+  (* One collection pass; the value B+tree is bulk-loaded. *)
+  let pairs = ref [] in
+  Store.iter_pre store (fun n ->
+      if indexable store n then begin
+        let state = Indexer.get fields n in
+        if Sct.is_viable sct_ state then begin
+          t.viable_count <- t.viable_count + 1;
+          if t.reconstruct = `Fragment then
+            Hashtbl.replace t.frags n (Store.string_value store n);
+          if Sct.is_accepting sct_ state then
+            match t.spec.Lexical_types.parse (Store.string_value store n) with
+            | Some v ->
+                Hashtbl.replace t.by_node n v;
+                pairs := ((v, n), ()) :: !pairs
+            | None -> ()
+        end
+      end);
+  let arr = Array.of_list !pairs in
+  Array.sort
+    (fun (k1, ()) (k2, ()) -> Xvi_btree.Btree.Float_pair_key.compare k1 k2)
+    arr;
+  { t with values = BT.of_sorted_array arr }
+
+let create ?reconstruct spec store =
+  let ops = Indexer.sct_ops spec.Lexical_types.sct in
+  of_fields ?reconstruct spec store (Indexer.create ops store)
+
+let range ?lo ?hi t =
+  let lo = Option.map (fun v -> (v, min_int)) lo in
+  let hi = Option.map (fun v -> (v, max_int)) hi in
+  let acc = ref [] in
+  BT.iter_range ?lo ?hi (fun (_, n) () -> acc := n :: !acc) t.values;
+  List.rev !acc
+
+let equals t v = range ~lo:v ~hi:v t
+
+(* Apply an update: fix the viability counter from state changes, then
+   re-extract fragments and typed values across the whole touched set —
+   a state can survive a value change (replacing digits by digits), so
+   the changed-state list alone is not enough. Touched nodes arrive
+   deepest first, which [refresh_frag] relies on. *)
+let apply t store (res : int Indexer.update_result) =
+  List.iter
+    (fun { Indexer.old_field; new_field; _ } ->
+      let was = Sct.is_viable (sct t) old_field
+      and now = Sct.is_viable (sct t) new_field in
+      if was && not now then t.viable_count <- t.viable_count - 1;
+      if now && not was then t.viable_count <- t.viable_count + 1)
+    res.Indexer.changes;
+  List.iter
+    (fun (n, _level) ->
+      let st = Indexer.get t.fields n in
+      refresh_frag t store n st;
+      remove_complete t n;
+      if Sct.is_accepting (sct t) st then
+        match t.spec.Lexical_types.parse (lexical_of t store n) with
+        | Some v -> add_complete t n v
+        | None -> ())
+    res.Indexer.touched
+
+let update_texts t store nodes =
+  apply t store (Indexer.update t.ops store t.fields ~texts:nodes ())
+
+let on_delete t store ~parent ~removed =
+  List.iter
+    (fun n ->
+      if Sct.is_viable (sct t) (Indexer.get t.fields n) then
+        t.viable_count <- t.viable_count - 1;
+      Hashtbl.remove t.frags n;
+      remove_complete t n)
+    removed;
+  apply t store
+    (Indexer.update t.ops store t.fields ~texts:[] ~structural:[ parent ] ())
+
+let on_insert t store ~roots =
+  List.iter
+    (fun root ->
+      Indexer.compute_subtree t.ops store t.fields root;
+      (* Register deepest-first so fragments of children exist. *)
+      let nodes = ref [] in
+      Store.iter_pre ~root store (fun n ->
+          if indexable store n then nodes := n :: !nodes);
+      List.iter
+        (fun n -> register t store n (Indexer.get t.fields n))
+        !nodes)
+    roots;
+  let parents =
+    List.sort_uniq compare (List.filter_map (Store.parent store) roots)
+  in
+  apply t store
+    (Indexer.update t.ops store t.fields ~texts:[] ~structural:parents ())
+
+type stats = {
+  viable_nodes : int;
+  complete_nodes : int;
+  complete_text_nodes : int;
+  complete_non_leaves : int;
+}
+
+let stats t store =
+  let complete_texts = ref 0 and complete_non_leaves = ref 0 in
+  Store.iter_pre store (fun n ->
+      match Store.kind store n with
+      | Store.Text -> if is_complete t n then incr complete_texts
+      | Store.Element | Store.Document ->
+          let has_element_child =
+            List.exists
+              (fun c -> Store.kind store c = Store.Element)
+              (Store.children store n)
+          in
+          if has_element_child && is_complete t n then incr complete_non_leaves
+      | _ -> ());
+  {
+    viable_nodes = t.viable_count;
+    complete_nodes = Hashtbl.length t.by_node;
+    complete_text_nodes = !complete_texts;
+    complete_non_leaves = !complete_non_leaves;
+  }
+
+let entry_count t = BT.length t.values
+
+let storage_bytes t =
+  let state_column = t.viable_count * Sct.state_bytes (sct t) in
+  let frag_bytes =
+    Hashtbl.fold (fun _ f acc -> acc + 24 + String.length f) t.frags 0
+  in
+  state_column + frag_bytes + BT.memory_bytes ~value_bytes:0 t.values
+
+let validate t store =
+  let problems = ref [] in
+  let reference = Indexer.create_reference t.ops store in
+  let viable = ref 0 in
+  let expected_complete = Hashtbl.create 256 in
+  Store.iter_pre store (fun n ->
+      if indexable store n then begin
+        let expect = Indexer.get reference n and got = Indexer.get t.fields n in
+        if expect <> got then
+          problems :=
+            Printf.sprintf "node %d: state %d <> expected %d" n got expect
+            :: !problems;
+        if Sct.is_viable (sct t) expect then begin
+          incr viable;
+          if t.reconstruct = `Fragment then begin
+            let sv = Store.string_value store n in
+            match Hashtbl.find_opt t.frags n with
+            | Some f when String.equal f sv -> ()
+            | Some f ->
+                problems :=
+                  Printf.sprintf "node %d: fragment %S <> string value %S" n f sv
+                  :: !problems
+            | None ->
+                problems :=
+                  Printf.sprintf "node %d: viable but no fragment" n :: !problems
+          end
+        end;
+        if Sct.is_accepting (sct t) expect then
+          match t.spec.Lexical_types.parse (Store.string_value store n) with
+          | Some v -> Hashtbl.replace expected_complete n v
+          | None -> ()
+      end);
+  if !viable <> t.viable_count then
+    problems :=
+      Printf.sprintf "viable count %d <> expected %d" t.viable_count !viable
+      :: !problems;
+  if Hashtbl.length expected_complete <> Hashtbl.length t.by_node then
+    problems :=
+      Printf.sprintf "complete count %d <> expected %d"
+        (Hashtbl.length t.by_node)
+        (Hashtbl.length expected_complete)
+      :: !problems;
+  Hashtbl.iter
+    (fun n v ->
+      match value_of t n with
+      | Some v' when v' = v -> ()
+      | Some v' ->
+          problems :=
+            Printf.sprintf "node %d: value %g <> expected %g" n v' v :: !problems
+      | None ->
+          problems := Printf.sprintf "node %d: missing value" n :: !problems)
+    expected_complete;
+  let tree_count = ref 0 in
+  BT.iter
+    (fun (v, n) () ->
+      incr tree_count;
+      match Hashtbl.find_opt expected_complete n with
+      | Some v' when v' = v -> ()
+      | _ -> problems := Printf.sprintf "stale tree entry (%g, %d)" v n :: !problems)
+    t.values;
+  if !tree_count <> Hashtbl.length expected_complete then
+    problems :=
+      Printf.sprintf "tree entries %d <> expected %d" !tree_count
+        (Hashtbl.length expected_complete)
+      :: !problems;
+  (match BT.check_invariants t.values with
+  | Ok () -> ()
+  | Error e -> problems := ("btree: " ^ e) :: !problems);
+  match !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)

@@ -1,0 +1,92 @@
+(** The typed range-lookup index (paper Section 4).
+
+    For a given type machine (see {!Lexical_types}), every node whose
+    string value is a {e viable} fragment of the type's lexical language
+    carries a one/two-byte SCT state; nodes whose value is a {e complete}
+    lexical form additionally appear in a B+tree on [(typed value,
+    node id)], which serves range and equality lookups with no false
+    positives. Rejected nodes — the vast majority, in typical data —
+    store nothing.
+
+    Lexical reconstruction: when an update makes an intermediate node's
+    combined value complete, its typed key must be recovered. Mode
+    [`Document] (default) re-reads the node's string value from the
+    store; mode [`Fragment] keeps the lexical fragment of every viable
+    node in the index, so the document is never touched (the paper's
+    stated goal, at the price of replicating the — short — viable
+    fragments). DESIGN.md explains why the paper's [value ++ state]
+    reconstruction is unsound in corner cases; the ablation bench
+    compares the two modes. *)
+
+type t
+
+type node = Xvi_xml.Store.node
+
+type reconstruct = [ `Document | `Fragment ]
+
+val create :
+  ?reconstruct:reconstruct -> Lexical_types.spec -> Xvi_xml.Store.t -> t
+
+val of_fields :
+  ?reconstruct:reconstruct ->
+  Lexical_types.spec ->
+  Xvi_xml.Store.t ->
+  int Indexer.fields ->
+  t
+(** Build from SCT states already computed — how {!Db} shares one
+    document pass across all its indices (paper §5). *)
+
+val spec : t -> Lexical_types.spec
+val type_name : t -> string
+
+val state_of : t -> node -> int
+(** The SCT state of a node; {!Sct.reject} for rejected ones. *)
+
+val is_viable : t -> node -> bool
+val is_complete : t -> node -> bool
+
+val value_of : t -> node -> float option
+(** The typed key of a node whose value is complete. *)
+
+(** {1 Lookups} *)
+
+val range : ?lo:float -> ?hi:float -> t -> node list
+(** Nodes with a complete typed value in [\[lo, hi\]] (inclusive,
+    missing bound = unbounded), ordered by value. Exact — no
+    verification pass is needed. *)
+
+val equals : t -> float -> node list
+
+(** {1 Maintenance} *)
+
+val update_texts : t -> Xvi_xml.Store.t -> node list -> unit
+val on_delete : t -> Xvi_xml.Store.t -> parent:node -> removed:node list -> unit
+val on_insert : t -> Xvi_xml.Store.t -> roots:node list -> unit
+
+(** {1 Statistics, accounting, validation} *)
+
+type stats = {
+  viable_nodes : int;  (** nodes carrying a state *)
+  complete_nodes : int;  (** nodes in the value B+tree *)
+  complete_text_nodes : int;
+      (** the paper's Table 1 "Double Values" column: text nodes with a
+          (potential) valid lexical value — counted here as complete *)
+  complete_non_leaves : int;
+      (** the paper's Table 1 "non-leaf" column: elements with element
+          children whose concatenated string value is a complete typed
+          value (the empty string is viable, so viability alone would
+          count every element with only empty children) *)
+}
+
+val stats : t -> Xvi_xml.Store.t -> stats
+
+val entry_count : t -> int
+(** Bindings in the value B+tree. *)
+
+val storage_bytes : t -> int
+(** State bytes for viable nodes + value B+tree (+ fragments in
+    [`Fragment] mode), as Figure 9 accounts it. *)
+
+val validate : t -> Xvi_xml.Store.t -> (unit, string) result
+(** Test hook: states and B+tree contents equal a from-scratch
+    recomputation. *)

@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Hashtbl List Printf Xvi_core Xvi_xml

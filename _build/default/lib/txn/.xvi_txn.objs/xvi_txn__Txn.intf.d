@@ -1,0 +1,1 @@
+lib/txn/txn.mli: Xvi_core Xvi_xml

@@ -1,0 +1,91 @@
+module Store = Xvi_xml.Store
+module Db = Xvi_core.Db
+
+type manager = {
+  db : Db.t;
+  versions : (Store.node, int) Hashtbl.t; (* node -> commit stamp *)
+  mutable clock : int;
+  mutable committed : int;
+  mutable aborted : int;
+}
+
+type status = Active | Committed | Aborted
+
+type t = {
+  mgr : manager;
+  start : int;
+  writes : (Store.node, string) Hashtbl.t;
+  mutable status : status;
+}
+
+type conflict = { node : Store.node; reason : string }
+
+let manager db =
+  { db; versions = Hashtbl.create 256; clock = 0; committed = 0; aborted = 0 }
+
+let db mgr = mgr.db
+
+let begin_ mgr =
+  { mgr; start = mgr.clock; writes = Hashtbl.create 8; status = Active }
+
+let check_active t op =
+  match t.status with
+  | Active -> ()
+  | Committed | Aborted ->
+      invalid_arg (Printf.sprintf "Txn.%s: transaction is finished" op)
+
+let update_text t node value =
+  check_active t "update_text";
+  (match Store.kind (Db.store t.mgr.db) node with
+  | Store.Text | Store.Attribute -> ()
+  | _ -> invalid_arg "Txn.update_text: not a text or attribute node");
+  Hashtbl.replace t.writes node value
+
+let write_set t = Hashtbl.fold (fun n _ acc -> n :: acc) t.writes []
+
+let commit t =
+  check_active t "commit";
+  (* First-committer-wins, checked only on the written leaves — the
+     paper's point is precisely that ancestors need no locks and no
+     conflict check, because recombination commutes. *)
+  let conflict =
+    Hashtbl.fold
+      (fun node _ acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+            match Hashtbl.find_opt t.mgr.versions node with
+            | Some stamp when stamp > t.start ->
+                Some
+                  {
+                    node;
+                    reason =
+                      Printf.sprintf
+                        "node %d committed at stamp %d after txn start %d" node
+                        stamp t.start;
+                  }
+            | _ -> None))
+      t.writes None
+  in
+  match conflict with
+  | Some c ->
+      t.status <- Aborted;
+      t.mgr.aborted <- t.mgr.aborted + 1;
+      Error c
+  | None ->
+      t.mgr.clock <- t.mgr.clock + 1;
+      let stamp = t.mgr.clock in
+      let updates = Hashtbl.fold (fun n v acc -> (n, v) :: acc) t.writes [] in
+      Db.update_texts t.mgr.db updates;
+      List.iter (fun (n, _) -> Hashtbl.replace t.mgr.versions n stamp) updates;
+      t.status <- Committed;
+      t.mgr.committed <- t.mgr.committed + 1;
+      Ok ()
+
+let abort t =
+  check_active t "abort";
+  t.status <- Aborted;
+  t.mgr.aborted <- t.mgr.aborted + 1
+
+let committed_count mgr = mgr.committed
+let aborted_count mgr = mgr.aborted

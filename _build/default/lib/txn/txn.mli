@@ -1,0 +1,50 @@
+(** Transactional value updates without ancestor locks (paper §5.1).
+
+    The challenge the paper raises: every text update changes the hash
+    of {e all} its ancestors, so naive value-index locking would
+    serialise every transaction on the document root. Its answer: the
+    combination function [C] is written so that ancestor recombination
+    commutes — a committing transaction re-reads the {e latest} fields
+    of the updated node's siblings and recombines bottom-up, and even if
+    concurrent commits changed those siblings in the meantime, the
+    result is the same as any serial order.
+
+    This module simulates that protocol with optimistic concurrency:
+
+    - a transaction buffers text writes; no locks are taken;
+    - at commit, write-write conflicts on the {e updated nodes
+      themselves} (never on ancestors) abort the transaction;
+    - the commit then runs the Figure 8 maintenance, which re-reads
+      current sibling fields — the paper's "re-read the latest value of
+      all ancestor nodes ... and their direct children".
+
+    The test suite checks the headline property: disjoint transactions
+    committed in any interleaving leave byte-identical indices. *)
+
+type manager
+type t
+
+type conflict = { node : Xvi_xml.Store.node; reason : string }
+
+val manager : Xvi_core.Db.t -> manager
+val db : manager -> Xvi_core.Db.t
+
+val begin_ : manager -> t
+
+val update_text : t -> Xvi_xml.Store.node -> string -> unit
+(** Buffer a text-node write. Later writes to the same node within the
+    transaction overwrite earlier ones.
+    @raise Invalid_argument if the node is not a text or attribute node,
+    or the transaction already committed or aborted. *)
+
+val write_set : t -> Xvi_xml.Store.node list
+
+val commit : t -> (unit, conflict) result
+(** First-committer-wins on each written node; ancestors are never part
+    of the conflict check. On success the store and all value indices
+    are updated atomically (single-threaded simulation). *)
+
+val abort : t -> unit
+
+val committed_count : manager -> int
+val aborted_count : manager -> int

@@ -1,0 +1,81 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Mask to OCaml's non-negative int range; modulo bias is negligible
+     for bounds << 2^62. *)
+  let raw = Int64.to_int (int64 t) land max_int in
+  raw mod bound
+
+let in_range t lo hi =
+  if hi < lo then invalid_arg "Prng.in_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t x =
+  let raw = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  x *. (raw /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let choose_weighted t arr =
+  let total = Array.fold_left (fun acc (w, _) -> acc + w) 0 arr in
+  if total <= 0 then invalid_arg "Prng.choose_weighted: non-positive total";
+  let pick = int t total in
+  let rec go i acc =
+    let w, v = arr.(i) in
+    if pick < acc + w then v else go (i + 1) (acc + w)
+  in
+  go 0 0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_distinct t k n =
+  if k > n then invalid_arg "Prng.sample_distinct: k > n";
+  if k * 3 >= n then begin
+    (* Dense case: shuffle a full permutation prefix. *)
+    let arr = Array.init n (fun i -> i) in
+    shuffle t arr;
+    Array.sub arr 0 k
+  end
+  else begin
+    (* Sparse case: rejection sampling into a hash set. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let cand = int t n in
+      if not (Hashtbl.mem seen cand) then begin
+        Hashtbl.add seen cand ();
+        out.(!filled) <- cand;
+        incr filled
+      end
+    done;
+    out
+  end

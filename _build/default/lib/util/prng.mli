@@ -1,0 +1,49 @@
+(** Deterministic pseudo-random number generator.
+
+    A small, fast, splittable PRNG (SplitMix64 core) used by every workload
+    generator in this repository. All experiments are seeded, so data sets
+    and update workloads are reproducible across runs and machines. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from a 63-bit seed. Equal seeds
+    yield equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that will replay [t]'s future. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator and advances
+    [t]. Used to give each document section its own stream so that adding
+    nodes to one section does not perturb another. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val in_range : t -> int -> int -> int
+(** [in_range t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choose_weighted : t -> (int * 'a) array -> 'a
+(** [choose_weighted t arr] picks an element with probability proportional
+    to its integer weight. Requires a positive total weight. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_distinct : t -> int -> int -> int array
+(** [sample_distinct t k n] is [k] distinct integers drawn uniformly from
+    [\[0, n)], in random order. Requires [k <= n]. *)

@@ -1,0 +1,65 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | _ -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths = Array.make ncols 0 in
+  let scan row =
+    List.iteri (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  scan header;
+  List.iter scan rows;
+  let buf = Buffer.create 1024 in
+  let emit row =
+    List.iteri (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad aligns.(i) widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  emit (List.mapi (fun i _ -> String.make widths.(i) '-') header);
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print ?align ~header rows = print_string (render ?align ~header rows)
+
+let fmt_bytes n =
+  let f = float_of_int n in
+  if f >= 1e9 then Printf.sprintf "%.2f GB" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.1f MB" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.1f KB" (f /. 1e3)
+  else Printf.sprintf "%d B" n
+
+let fmt_ms ms =
+  if ms >= 1000.0 then Printf.sprintf "%.2f s" (ms /. 1000.0)
+  else if ms >= 10.0 then Printf.sprintf "%.0f ms" ms
+  else if ms >= 1.0 then Printf.sprintf "%.1f ms" ms
+  else Printf.sprintf "%.3f ms" ms
+
+let fmt_pct p = Printf.sprintf "%.1f%%" p
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + len / 3 + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** Plain-text table rendering for the experiment harness, so bench output
+    reads like the paper's tables. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out [rows] under [header] with column
+    widths fitted to the contents. [align] defaults to left for the first
+    column and right for the rest. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val fmt_bytes : int -> string
+(** Human-readable byte count ("12.3 MB"). *)
+
+val fmt_ms : float -> string
+(** Milliseconds with a sensible precision. *)
+
+val fmt_pct : float -> string
+(** Percentage with one decimal ("7.4%"). *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer ("4,690,640"). *)

@@ -1,0 +1,27 @@
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let time_ms f =
+  let t0 = now_ms () in
+  let result = f () in
+  let t1 = now_ms () in
+  (result, t1 -. t0)
+
+let repeat_ms ?(warmup = 0) n f =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  let t0 = now_ms () in
+  for _ = 1 to n do
+    f ()
+  done;
+  let t1 = now_ms () in
+  (t1 -. t0) /. float_of_int n
+
+let median_ms n f =
+  let samples =
+    Array.init n (fun _ ->
+        let _, ms = time_ms f in
+        ms)
+  in
+  Array.sort compare samples;
+  samples.(n / 2)

@@ -1,0 +1,12 @@
+(** Wall-clock measurement helpers for the experiment harness. *)
+
+val time_ms : (unit -> 'a) -> 'a * float
+(** [time_ms f] runs [f ()] and returns its result with the elapsed wall
+    time in milliseconds. *)
+
+val repeat_ms : ?warmup:int -> int -> (unit -> unit) -> float
+(** [repeat_ms ~warmup n f] runs [f] [warmup] times unmeasured, then [n]
+    times measured, and returns the mean elapsed milliseconds per run. *)
+
+val median_ms : int -> (unit -> unit) -> float
+(** [median_ms n f] is the median of [n] measured runs, in milliseconds. *)

@@ -1,0 +1,100 @@
+module Int = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create ?(capacity = 16) () =
+    { data = Array.make (max capacity 1) 0; len = 0 }
+
+  let length t = t.len
+
+  let check t i op =
+    if i < 0 || i >= t.len then
+      invalid_arg (Printf.sprintf "Vec.Int.%s: index %d out of [0,%d)" op i t.len)
+
+  let get t i =
+    check t i "get";
+    Array.unsafe_get t.data i
+
+  let set t i x =
+    check t i "set";
+    Array.unsafe_set t.data i x
+
+  let grow t =
+    let cap = Array.length t.data in
+    let data = Array.make (2 * cap) 0 in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+
+  let push t x =
+    if t.len = Array.length t.data then grow t;
+    Array.unsafe_set t.data t.len x;
+    t.len <- t.len + 1
+
+  let pop t =
+    if t.len = 0 then invalid_arg "Vec.Int.pop: empty";
+    t.len <- t.len - 1;
+    Array.unsafe_get t.data t.len
+
+  let clear t = t.len <- 0
+
+  let make n x = { data = Array.make (max n 1) x; len = n }
+
+  let iter f t =
+    for i = 0 to t.len - 1 do
+      f (Array.unsafe_get t.data i)
+    done
+
+  let iteri f t =
+    for i = 0 to t.len - 1 do
+      f i (Array.unsafe_get t.data i)
+    done
+
+  let fold_left f acc t =
+    let acc = ref acc in
+    for i = 0 to t.len - 1 do
+      acc := f !acc (Array.unsafe_get t.data i)
+    done;
+    !acc
+
+  let to_array t = Array.sub t.data 0 t.len
+  let of_array arr = { data = Array.copy arr; len = Array.length arr }
+  let memory_bytes t = 8 * Array.length t.data
+end
+
+module Poly = struct
+  type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+  let create ?(capacity = 16) ~dummy () =
+    { data = Array.make (max capacity 1) dummy; len = 0; dummy }
+
+  let length t = t.len
+
+  let check t i op =
+    if i < 0 || i >= t.len then
+      invalid_arg (Printf.sprintf "Vec.Poly.%s: index %d out of [0,%d)" op i t.len)
+
+  let get t i =
+    check t i "get";
+    Array.unsafe_get t.data i
+
+  let set t i x =
+    check t i "set";
+    Array.unsafe_set t.data i x
+
+  let grow t =
+    let cap = Array.length t.data in
+    let data = Array.make (2 * cap) t.dummy in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+
+  let push t x =
+    if t.len = Array.length t.data then grow t;
+    Array.unsafe_set t.data t.len x;
+    t.len <- t.len + 1
+
+  let iteri f t =
+    for i = 0 to t.len - 1 do
+      f i (Array.unsafe_get t.data i)
+    done
+
+  let to_array t = Array.sub t.data 0 t.len
+end

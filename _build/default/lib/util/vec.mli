@@ -1,0 +1,44 @@
+(** Growable arrays.
+
+    The columnar XML store is built from parallel growable columns; these
+    are the two flavours it needs: a monomorphic int vector (unboxed,
+    cache-friendly — the MonetDB BAT analogue) and a polymorphic vector. *)
+
+module Int : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val get : t -> int -> int
+  val set : t -> int -> int -> unit
+  val push : t -> int -> unit
+
+  val pop : t -> int
+  (** Remove and return the last element. @raise Invalid_argument if empty. *)
+
+  val clear : t -> unit
+  val make : int -> int -> t
+  (** [make n x] is a vector of [n] copies of [x]. *)
+
+  val iter : (int -> unit) -> t -> unit
+  val iteri : (int -> int -> unit) -> t -> unit
+  val fold_left : ('a -> int -> 'a) -> 'a -> t -> 'a
+  val to_array : t -> int array
+  val of_array : int array -> t
+  val memory_bytes : t -> int
+  (** Heap bytes of the backing store (capacity, not length). *)
+end
+
+module Poly : sig
+  type 'a t
+
+  val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+  (** [dummy] fills unused capacity; it is never returned. *)
+
+  val length : 'a t -> int
+  val get : 'a t -> int -> 'a
+  val set : 'a t -> int -> 'a -> unit
+  val push : 'a t -> 'a -> unit
+  val iteri : (int -> 'a -> unit) -> 'a t -> unit
+  val to_array : 'a t -> 'a array
+end

@@ -1,0 +1,1 @@
+lib/workload/datasets.ml: Buffer List Printf String Text_gen Xmark Xvi_util Xvi_xml

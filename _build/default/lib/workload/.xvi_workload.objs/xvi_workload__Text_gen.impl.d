@@ -1,0 +1,1 @@
+lib/workload/text_gen.ml: Buffer Bytes Char List Printf String Xvi_util

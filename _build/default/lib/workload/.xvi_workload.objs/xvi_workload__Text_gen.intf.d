@@ -1,0 +1,1 @@
+lib/workload/text_gen.mli: Xvi_util

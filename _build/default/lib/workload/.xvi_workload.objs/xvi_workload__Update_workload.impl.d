@@ -1,0 +1,1 @@
+lib/workload/update_workload.ml: Array String Text_gen Xvi_util Xvi_xml

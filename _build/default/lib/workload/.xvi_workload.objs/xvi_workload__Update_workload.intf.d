@@ -1,0 +1,1 @@
+lib/workload/update_workload.mli: Xvi_xml

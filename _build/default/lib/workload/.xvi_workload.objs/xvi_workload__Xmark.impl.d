@@ -1,0 +1,1 @@
+lib/workload/xmark.ml: Array Buffer List Printf Text_gen Xvi_util Xvi_xml

@@ -1,0 +1,290 @@
+module Prng = Xvi_util.Prng
+
+type entry = { name : string; paper_mb : float; xml : string }
+
+(* Small emitter DSL shared by the generators. *)
+type ctx = { rng : Prng.t; tg : Text_gen.t; buf : Buffer.t }
+
+let make_ctx seed =
+  let rng = Prng.create seed in
+  { rng; tg = Text_gen.create (Prng.split rng); buf = Buffer.create (1 lsl 20) }
+
+let tag ctx name body =
+  Buffer.add_char ctx.buf '<';
+  Buffer.add_string ctx.buf name;
+  Buffer.add_char ctx.buf '>';
+  body ();
+  Buffer.add_string ctx.buf "</";
+  Buffer.add_string ctx.buf name;
+  Buffer.add_char ctx.buf '>'
+
+let text ctx name s =
+  tag ctx name (fun () ->
+      Buffer.add_string ctx.buf (Xvi_xml.Serializer.escape_text s))
+
+let raw ctx s = Buffer.add_string ctx.buf s
+
+(* Mixed-content prose: text runs interleaved with short inline
+   elements. With [pieces] units the local text:element ratio tends to
+   2:1, which is what pushes the generated documents toward the paper's
+   56-66% text-node share. *)
+let mixed_prose ?(numeric_pct = 0) ctx ~pieces ~inline =
+  for i = 1 to pieces do
+    if i > 1 then raw ctx " ";
+    raw ctx (Xvi_xml.Serializer.escape_text
+               (Text_gen.words ctx.tg (Prng.in_range ctx.rng 3 9)));
+    raw ctx " ";
+    (* a slice of the inline elements carry numeric measurements, which
+       keeps each document's double-castable node density at its Table 1
+       level *)
+    if Prng.int ctx.rng 100 < numeric_pct then
+      text ctx inline (Text_gen.int_string ctx.tg 1 99999)
+    else text ctx inline (Text_gen.word ctx.tg)
+  done;
+  raw ctx " ";
+  raw ctx (Xvi_xml.Serializer.escape_text
+             (Text_gen.words ctx.tg (Prng.in_range ctx.rng 2 6)))
+
+(* --- EPA geospatial --- *)
+
+let epa_states =
+  [| "AL"; "AK"; "AZ"; "CA"; "CO"; "FL"; "GA"; "NY"; "TX"; "WA" |]
+
+let epageo ~seed ~factor () =
+  let ctx = make_ctx seed in
+  let n = max 2 (int_of_float (2420.0 *. factor)) in
+  tag ctx "EnvirofactsGeospatial" (fun () ->
+      for i = 0 to n - 1 do
+        tag ctx "GeospatialRecord" (fun () ->
+            text ctx "RegistryId" (Printf.sprintf "REG-110-%09d" i);
+            text ctx "FacilityName"
+              (String.uppercase_ascii (Text_gen.words ctx.tg 3));
+            tag ctx "LocationAddress" (fun () ->
+                text ctx "LocationAddressText"
+                  (Text_gen.int_string ctx.tg 1 9999 ^ " "
+                  ^ String.uppercase_ascii (Text_gen.word ctx.tg)
+                  ^ " RD");
+                text ctx "LocationCityName"
+                  (String.uppercase_ascii (Text_gen.word ctx.tg));
+                text ctx "LocationStateCode" (Prng.choose ctx.rng epa_states);
+                text ctx "LocationZipCode"
+                  (Text_gen.int_string ctx.tg 10000 99999 ^ "-"
+                  ^ Text_gen.int_string ctx.tg 1000 9999));
+            tag ctx "GeospatialData" (fun () ->
+                text ctx "LatitudeMeasure"
+                  (Printf.sprintf "%d.%06d" (Prng.in_range ctx.rng 24 49)
+                     (Prng.int ctx.rng 1000000));
+                text ctx "LongitudeMeasure"
+                  (Printf.sprintf "-%d.%06d" (Prng.in_range ctx.rng 66 125)
+                     (Prng.int ctx.rng 1000000));
+                (if Prng.int ctx.rng 3 = 0 then
+                   text ctx "AccuracyValueMeasure" (Text_gen.int_string ctx.tg 1 300));
+                text ctx "HorizontalCollectionMethod"
+                  "ADDRESS MATCHING-HOUSE NUMBER";
+                text ctx "HorizontalReferenceDatum" "NORTH AMERICAN DATUM 1983";
+                text ctx "SourceMapScale"
+                  ("1:" ^ Text_gen.int_string ctx.tg 10000 100000));
+            tag ctx "ProgramInformation" (fun () ->
+                text ctx "ProgramSystemAcronym"
+                  (Prng.choose ctx.rng [| "RCRAINFO"; "AIRS/AFS"; "PCS"; "TRIS" |]);
+                text ctx "ProgramSystemId" (Printf.sprintf "%s%08d"
+                  (Prng.choose ctx.rng epa_states) (Prng.int ctx.rng 100000000));
+                text ctx "SupplementalLocation"
+                  (String.uppercase_ascii (Text_gen.words ctx.tg (Prng.in_range ctx.rng 2 6))));
+            tag ctx "CollectionNotes" (fun () ->
+                mixed_prose ~numeric_pct:27 ctx ~pieces:(Prng.in_range ctx.rng 10 18) ~inline:"code"))
+      done);
+  Buffer.contents ctx.buf
+
+(* --- DBLP --- *)
+
+let journals =
+  [|
+    "VLDB J."; "SIGMOD Record"; "TODS"; "Inf. Syst."; "IEEE Data Eng. Bull.";
+    "CACM"; "TKDE"; "Acta Inf.";
+  |]
+
+let dblp ~seed ~factor () =
+  let ctx = make_ctx seed in
+  let n = max 2 (int_of_float (23300.0 *. factor)) in
+  (* Counter for mixed-content numeric volumes — the paper's Table 1
+     finds 21 such "non-leaf" doubles in all of DBLP. *)
+  let mixed_budget = ref (max 1 (int_of_float (21.0 *. factor))) in
+  tag ctx "dblp" (fun () ->
+      for i = 0 to n - 1 do
+        let kind = if Prng.int ctx.rng 3 = 0 then "inproceedings" else "article" in
+        raw ctx
+          (Printf.sprintf "<%s key=\"%s/%s/%s%d\" mdate=\"%s\">" kind
+             (if kind = "article" then "journals" else "conf")
+             (String.lowercase_ascii (Text_gen.word ctx.tg))
+             (Text_gen.last_name ctx.tg) i
+             (Printf.sprintf "%04d-%02d-%02d" (Prng.in_range ctx.rng 2002 2008)
+                (Prng.in_range ctx.rng 1 12) (Prng.in_range ctx.rng 1 28)));
+        for _ = 1 to Prng.in_range ctx.rng 1 4 do
+          text ctx "author" (Text_gen.full_name ctx.tg)
+        done;
+        tag ctx "title" (fun () ->
+            mixed_prose ~numeric_pct:45 ctx ~pieces:(Prng.in_range ctx.rng 2 5) ~inline:"i";
+            raw ctx ".");
+        let lo = Prng.in_range ctx.rng 1 800 in
+        text ctx "pages" (Printf.sprintf "%d-%d" lo (lo + Prng.in_range ctx.rng 5 30));
+        text ctx "year" (Text_gen.int_string ctx.tg 1970 2008);
+        if !mixed_budget > 0 && Prng.int ctx.rng (max 1 (n / 21)) = 0 then begin
+          (* volume with markup: <volume>1<sub>2</sub></volume> — string
+             value "12", a complete double on a non-leaf node *)
+          decr mixed_budget;
+          tag ctx "volume" (fun () ->
+              raw ctx (Text_gen.int_string ctx.tg 1 9);
+              text ctx "sub" (Text_gen.int_string ctx.tg 0 9))
+        end
+        else if kind = "article" then
+          text ctx "volume" (Text_gen.int_string ctx.tg 1 60);
+        if kind = "article" then text ctx "journal" (Prng.choose ctx.rng journals)
+        else text ctx "booktitle" ("Proc. " ^ String.uppercase_ascii (Text_gen.word ctx.tg));
+        if Prng.int ctx.rng 2 = 0 then
+          text ctx "ee" ("http://dx.doi.org/10.1000/" ^ Text_gen.int_string ctx.tg 1000 99999);
+        text ctx "url" ("db/" ^ Text_gen.word ctx.tg ^ "/" ^ Text_gen.word ctx.tg ^ ".html");
+        raw ctx (Printf.sprintf "</%s>" kind)
+      done);
+  Buffer.contents ctx.buf
+
+(* --- PSD (protein sequence database) --- *)
+
+let psd ~seed ~factor () =
+  let ctx = make_ctx seed in
+  let n = max 2 (int_of_float (8950.0 *. factor)) in
+  let mixed_budget = ref (max 1 (int_of_float (902.0 *. factor))) in
+  tag ctx "ProteinDatabase" (fun () ->
+      for i = 0 to n - 1 do
+        tag ctx "ProteinEntry" (fun () ->
+            tag ctx "header" (fun () ->
+                text ctx "uid" (Printf.sprintf "PIR%07d" i);
+                text ctx "accession" (Printf.sprintf "A%05d" (Prng.int ctx.rng 100000)));
+            text ctx "protein"
+              (String.capitalize_ascii (Text_gen.words ctx.tg 3));
+            tag ctx "organism" (fun () ->
+                text ctx "source" (Text_gen.word ctx.tg ^ " " ^ Text_gen.word ctx.tg);
+                text ctx "common" (Text_gen.word ctx.tg));
+            for _ = 1 to Prng.in_range ctx.rng 1 3 do
+              tag ctx "reference" (fun () ->
+                  tag ctx "refinfo" (fun () ->
+                      for _ = 1 to Prng.in_range ctx.rng 1 5 do
+                        text ctx "author" (Text_gen.full_name ctx.tg)
+                      done;
+                      text ctx "year" (Text_gen.int_string ctx.tg 1975 2005);
+                      text ctx "citation"
+                        (Text_gen.words ctx.tg 4 ^ " "
+                        ^ Text_gen.int_string ctx.tg 1 300 ^ ":"
+                        ^ Text_gen.int_string ctx.tg 1 2000)))
+            done;
+            if !mixed_budget > 0 && Prng.int ctx.rng (max 1 (n / 902)) = 0 then begin
+              (* residue count split over markup: string value is a
+                 complete double on a non-leaf node *)
+              decr mixed_budget;
+              tag ctx "length" (fun () ->
+                  raw ctx (Text_gen.int_string ctx.tg 1 9);
+                  text ctx "exp" (Text_gen.int_string ctx.tg 10 99))
+            end
+            else text ctx "length" (Text_gen.int_string ctx.tg 50 2000);
+            tag ctx "summary" (fun () ->
+                mixed_prose ~numeric_pct:6 ctx ~pieces:(Prng.in_range ctx.rng 9 16) ~inline:"gene");
+            tag ctx "feature" (fun () ->
+                text ctx "feature-type" "domain";
+                text ctx "description" (Text_gen.words ctx.tg 3);
+                text ctx "seq-spec" (Printf.sprintf "%d-%d"
+                  (Prng.in_range ctx.rng 1 100) (Prng.in_range ctx.rng 101 500)));
+            text ctx "sequence"
+              (Text_gen.amino_sequence ctx.tg (Prng.in_range ctx.rng 120 600)))
+      done);
+  Buffer.contents ctx.buf
+
+(* --- Wiki abstracts --- *)
+
+let wiki ~seed ~factor () =
+  let ctx = make_ctx seed in
+  let n = max 2 (int_of_float (39250.0 *. factor)) in
+  (* Pre-draw colliding URL clusters (2–9 distinct strings per hash). *)
+  tag ctx "mediawiki" (fun () ->
+      for i = 0 to n - 1 do
+        ignore i;
+        tag ctx "doc" (fun () ->
+            text ctx "title"
+              (String.capitalize_ascii (Text_gen.words ctx.tg (Prng.in_range ctx.rng 1 4)));
+            text ctx "url" (Text_gen.url ctx.tg);
+            text ctx "timestamp" (Text_gen.datetime_iso ctx.tg);
+            tag ctx "contributor" (fun () ->
+                text ctx "username" (Text_gen.first_name ctx.tg));
+            text ctx "comment" (Text_gen.words ctx.tg (Prng.in_range ctx.rng 2 8));
+            tag ctx "abstract" (fun () ->
+                let sentences = Prng.in_range ctx.rng 4 14 in
+                for j = 1 to sentences do
+                  if j > 1 then raw ctx " ";
+                  raw ctx
+                    (Xvi_xml.Serializer.escape_text
+                       (Text_gen.paragraph ctx.tg 1));
+                  if Prng.int ctx.rng 4 <> 0 then begin
+                    raw ctx " ";
+                    text ctx "a"
+                      (String.capitalize_ascii (Text_gen.words ctx.tg
+                         (Prng.in_range ctx.rng 1 2)))
+                  end
+                done);
+            (* occasional numeric leaf keeps the double density at the
+               paper's ~0.1% *)
+            if Prng.int ctx.rng 20 = 0 then
+              text ctx "population" (Text_gen.int_string ctx.tg 100 5000000);
+            tag ctx "links" (fun () ->
+                let urls =
+                  if Prng.int ctx.rng 8 = 0 then
+                    Text_gen.colliding_urls ctx.tg (Prng.in_range ctx.rng 2 9)
+                  else
+                    List.init (Prng.in_range ctx.rng 1 4) (fun _ -> Text_gen.url ctx.tg)
+                in
+                List.iter
+                  (fun u ->
+                    tag ctx "sublink" (fun () ->
+                        text ctx "anchor"
+                          (String.capitalize_ascii (Text_gen.words ctx.tg 2));
+                        text ctx "link" u))
+                  urls))
+      done);
+  Buffer.contents ctx.buf
+
+(* --- The eight-entry suite --- *)
+
+let suite ?(seed = 42) ~scale () =
+  (* Per-generator size calibration: [factor = 1.0] targets 1/40 of the
+     paper's size, so a generator's factor is (paper_mb/40th) scaled. *)
+  let xmark n paper_mb =
+    {
+      name = Printf.sprintf "XMark%d" n;
+      paper_mb;
+      xml = Xmark.generate ~seed:(seed + n) ~factor:(float_of_int n *. scale *. 40.0) ();
+    }
+  in
+  [
+    xmark 1 112.0;
+    xmark 2 224.0;
+    xmark 4 448.0;
+    xmark 8 896.0;
+    {
+      name = "EPAGeo";
+      paper_mb = 170.0;
+      xml = epageo ~seed:(seed + 100) ~factor:(scale *. 40.0) ();
+    };
+    {
+      name = "DBLP";
+      paper_mb = 474.0;
+      xml = dblp ~seed:(seed + 200) ~factor:(scale *. 40.0) ();
+    };
+    {
+      name = "PSD";
+      paper_mb = 685.0;
+      xml = psd ~seed:(seed + 300) ~factor:(scale *. 40.0) ();
+    };
+    {
+      name = "Wiki";
+      paper_mb = 2024.0;
+      xml = wiki ~seed:(seed + 400) ~factor:(scale *. 40.0) ();
+    };
+  ]

@@ -1,0 +1,41 @@
+(** The paper's eight-document evaluation suite, regenerated.
+
+    The originals (XMark scale 1–8, EPA geospatial data, DBLP, the PIR
+    protein sequence database, and a Wikipedia abstract dump) are
+    multi-gigabyte downloads; these generators reproduce each document's
+    {e shape} — element vocabulary, node-kind mix, double-castable node
+    density, and (for Wiki) the URL families behind the paper's
+    Figure 11 collision anomaly — at a configurable fraction of the
+    paper's sizes. See DESIGN.md, "Substitutions".
+
+    All generators are deterministic in [seed]. *)
+
+type entry = {
+  name : string;  (** paper name, e.g. ["XMark1"] *)
+  paper_mb : float;  (** the original's size in Table 1 *)
+  xml : string;  (** the generated document *)
+}
+
+val epageo : seed:int -> factor:float -> unit -> string
+(** EPA geospatial: facility sites with latitude/longitude/accuracy
+    measurements — numeric-heavy leaves ([factor] × ~4.2 MB). *)
+
+val dblp : seed:int -> factor:float -> unit -> string
+(** Bibliography records: articles/inproceedings with authors, titles,
+    page ranges, years and volumes; includes a sprinkling of
+    mixed-content numeric nodes (the paper's 21 "non-leaf" doubles). *)
+
+val psd : seed:int -> factor:float -> unit -> string
+(** Protein sequence entries: references, features and amino-acid
+    sequence strings; a larger sprinkling of mixed-content numeric
+    nodes (the paper counts 902). *)
+
+val wiki : seed:int -> factor:float -> unit -> string
+(** Article abstracts: long prose text nodes, ISO timestamps, sparse
+    numerics, and clusters of colliding URLs. *)
+
+val suite : ?seed:int -> scale:float -> unit -> entry list
+(** The full eight-entry suite. [scale] is the fraction of the paper's
+    document sizes to generate ([scale = 1.0] would regenerate the full
+    ~5 GB; the benches default to a laptop-friendly fraction). Entries
+    come in the paper's Table 1 order. *)

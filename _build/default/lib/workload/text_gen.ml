@@ -1,0 +1,152 @@
+module Prng = Xvi_util.Prng
+
+type t = { rng : Prng.t }
+
+let create rng = { rng }
+
+let word_pool =
+  [|
+    "time"; "year"; "people"; "way"; "day"; "man"; "thing"; "woman"; "life";
+    "child"; "world"; "school"; "state"; "family"; "student"; "group";
+    "country"; "problem"; "hand"; "part"; "place"; "case"; "week"; "company";
+    "system"; "program"; "question"; "work"; "government"; "number"; "night";
+    "point"; "home"; "water"; "room"; "mother"; "area"; "money"; "story";
+    "fact"; "month"; "lot"; "right"; "study"; "book"; "eye"; "job"; "word";
+    "business"; "issue"; "side"; "kind"; "head"; "house"; "service"; "friend";
+    "father"; "power"; "hour"; "game"; "line"; "end"; "member"; "law"; "car";
+    "city"; "community"; "name"; "president"; "team"; "minute"; "idea"; "kid";
+    "body"; "information"; "back"; "parent"; "face"; "others"; "level";
+    "office"; "door"; "health"; "person"; "art"; "war"; "history"; "party";
+    "result"; "change"; "morning"; "reason"; "research"; "girl"; "guy";
+    "moment"; "air"; "teacher"; "force"; "education"; "foot"; "boy"; "age";
+    "policy"; "process"; "music"; "market"; "sense"; "nation"; "plan";
+    "college"; "interest"; "death"; "experience"; "effect"; "use"; "class";
+    "control"; "care"; "field"; "development"; "role"; "effort"; "rate";
+    "heart"; "drug"; "show"; "leader"; "light"; "voice"; "wife"; "whole";
+    "police"; "mind"; "finally"; "pull"; "return"; "free"; "military";
+    "price"; "report"; "less"; "according"; "decision"; "explain"; "son";
+    "hope"; "view"; "relationship"; "town"; "road"; "arm"; "difference";
+    "value"; "building"; "action"; "model"; "season"; "society"; "tax";
+    "director"; "position"; "player"; "record"; "paper"; "space"; "ground";
+  |]
+
+let first_names =
+  [|
+    "Arthur"; "Ford"; "Zaphod"; "Trillian"; "Marvin"; "Fenchurch"; "Random";
+    "Tricia"; "Deep"; "Slartibartfast"; "Agrajag"; "Wowbagger"; "Eddie";
+    "Benjy"; "Frankie"; "Garkbit"; "Hotblack"; "Lunkwill"; "Fook"; "Majikthise";
+    "Vroomfondel"; "Prak"; "Roosta"; "Zarniwoop"; "Gail"; "Lig"; "Max"; "Hig";
+    "Anja"; "Pieter"; "Lefteris"; "Peter";
+  |]
+
+let last_names =
+  [|
+    "Dent"; "Prefect"; "Beeblebrox"; "McMillan"; "Android"; "Thought";
+    "Desiato"; "Hurtenflurst"; "Jeltz"; "Kwaltz"; "Colluphid"; "Halfrunt";
+    "Quordlepleen"; "Stavromula"; "Vogon"; "Magrathea"; "Sidirourgos";
+    "Boncz"; "Manegold"; "Rittinger"; "Grust"; "Teubner"; "Keulen"; "Kersten";
+  |]
+
+let hosts =
+  [| "example"; "auctions"; "research"; "archive"; "wikipedia"; "dblp"; "epa"; "pir" |]
+
+let word t = Prng.choose t.rng word_pool
+
+let words t n =
+  let buf = Buffer.create (n * 7) in
+  for i = 1 to n do
+    if i > 1 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (word t)
+  done;
+  Buffer.contents buf
+
+let sentence t =
+  let n = Prng.in_range t.rng 6 14 in
+  let body = words t n in
+  String.capitalize_ascii body ^ "."
+
+let paragraph t n =
+  let buf = Buffer.create (n * 60) in
+  for i = 1 to n do
+    if i > 1 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (sentence t)
+  done;
+  Buffer.contents buf
+
+let first_name t = Prng.choose t.rng first_names
+let last_name t = Prng.choose t.rng last_names
+let full_name t = first_name t ^ " " ^ last_name t
+
+let email t =
+  Printf.sprintf "mailto:%s.%s@%s.com"
+    (String.lowercase_ascii (first_name t))
+    (String.lowercase_ascii (last_name t))
+    (Prng.choose t.rng hosts)
+
+let phone t =
+  Printf.sprintf "+%d (%d) %d"
+    (Prng.in_range t.rng 1 99)
+    (Prng.in_range t.rng 10 999)
+    (Prng.in_range t.rng 1000000 9999999)
+
+let money t ?(max = 1000.0) () =
+  let cents = Prng.int t.rng (int_of_float (max *. 100.0)) + 1 in
+  Printf.sprintf "%d.%02d" (cents / 100) (cents mod 100)
+
+let int_string t lo hi = string_of_int (Prng.in_range t.rng lo hi)
+
+let date_slash t =
+  Printf.sprintf "%02d/%02d/%04d"
+    (Prng.in_range t.rng 1 12)
+    (Prng.in_range t.rng 1 28)
+    (Prng.in_range t.rng 1998 2008)
+
+let datetime_iso t =
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ"
+    (Prng.in_range t.rng 2001 2008)
+    (Prng.in_range t.rng 1 12)
+    (Prng.in_range t.rng 1 28)
+    (Prng.in_range t.rng 0 23)
+    (Prng.in_range t.rng 0 59)
+    (Prng.in_range t.rng 0 59)
+
+let amino_letters = "ACDEFGHIKLMNPQRSTVWY"
+
+let amino_sequence t len =
+  String.init len (fun _ -> amino_letters.[Prng.int t.rng (String.length amino_letters)])
+
+let url t =
+  Printf.sprintf "http://www.%s.org/%s/%s_%s"
+    (Prng.choose t.rng hosts) (word t) (word t) (word t)
+
+(* Distinct strings whose pairwise differences sit exactly 27 characters
+   apart: character [i] is XOR-ed at c-array offset [5 * i mod 27], so
+   positions congruent mod 27 share an offset, and swapping two distinct
+   characters that far apart leaves the hash unchanged. *)
+let colliding_urls t k =
+  let prefix = "http://www." ^ Prng.choose t.rng hosts ^ ".org/wiki/" in
+  let tail_len = 54 in
+  let letters = "abcdefghijklmnopqrstuvwxyz" in
+  let tail =
+    Bytes.init tail_len (fun _ -> letters.[Prng.int t.rng 26])
+  in
+  (* Ensure every stride-27 pair differs so swaps produce new strings. *)
+  for i = 0 to tail_len - 28 do
+    if Bytes.get tail i = Bytes.get tail (i + 27) then
+      Bytes.set tail (i + 27)
+        (let c = Bytes.get tail i in
+         if c = 'z' then 'a' else Char.chr (Char.code c + 1))
+  done;
+  (* Variant [j] swaps the stride-27 pairs selected by [j]'s bits. *)
+  let variant j =
+    let b = Bytes.copy tail in
+    for bit = 0 to 26 do
+      if (j lsr bit) land 1 = 1 && bit + 27 < tail_len then begin
+        let x = Bytes.get b bit and y = Bytes.get b (bit + 27) in
+        Bytes.set b bit y;
+        Bytes.set b (bit + 27) x
+      end
+    done;
+    prefix ^ Bytes.to_string b
+  in
+  List.init k variant

@@ -1,0 +1,48 @@
+(** Deterministic natural-ish text generation for the data-set
+    generators: words, sentences, person names, protein-style sequences,
+    and the URL families that reproduce the paper's Figure 11 hash
+    anomaly. *)
+
+type t
+
+val create : Xvi_util.Prng.t -> t
+
+val word : t -> string
+val words : t -> int -> string
+(** [words t n] — [n] space-separated words. *)
+
+val sentence : t -> string
+(** A capitalised sentence of 6–14 words ending in a period. *)
+
+val paragraph : t -> int -> string
+(** [paragraph t n] — [n] sentences. *)
+
+val first_name : t -> string
+val last_name : t -> string
+val full_name : t -> string
+
+val email : t -> string
+val phone : t -> string
+
+val money : t -> ?max:float -> unit -> string
+(** A price like ["49.95"]. *)
+
+val int_string : t -> int -> int -> string
+val date_slash : t -> string
+(** XMark-style ["MM/DD/YYYY"] (not castable to a double). *)
+
+val datetime_iso : t -> string
+(** A valid [xs:dateTime] like ["2004-07-15T08:30:00Z"]. *)
+
+val amino_sequence : t -> int -> string
+(** PSD-style amino-acid letter run of the given length. *)
+
+val url : t -> string
+(** A pseudo wiki/web URL. *)
+
+val colliding_urls : t -> int -> string list
+(** [colliding_urls t k] — [k] {e distinct} URLs engineered to collide
+    under the paper's hash function: the positions where they differ are
+    27 characters apart, so the differing characters land on the same
+    c-array offset and XOR to the same contribution (the Figure 11
+    "http://www." observation). *)

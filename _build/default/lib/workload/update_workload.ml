@@ -1,0 +1,31 @@
+module Prng = Xvi_util.Prng
+module Store = Xvi_xml.Store
+
+let random_victims ~seed store ~count =
+  let rng = Prng.create seed in
+  let texts = Store.text_nodes store in
+  let n = Array.length texts in
+  let count = min count n in
+  let picks = Prng.sample_distinct rng count n in
+  Array.map (fun i -> texts.(i)) picks
+
+let is_numeric s =
+  s <> ""
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-') s
+
+let random_text_updates ~seed store ~count =
+  let rng = Prng.create (seed + 7919) in
+  let tg = Text_gen.create (Prng.split rng) in
+  let victims = random_victims ~seed store ~count in
+  Array.to_list
+    (Array.map
+       (fun n ->
+         let old = Store.text store n in
+         let fresh =
+           if is_numeric old then
+             if String.contains old '.' then Text_gen.money tg ~max:999.0 ()
+             else Text_gen.int_string tg 1 99999
+           else Text_gen.words tg (max 1 (min 12 (String.length old / 6)))
+         in
+         (n, fresh))
+       victims)

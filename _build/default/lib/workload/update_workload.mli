@@ -1,0 +1,21 @@
+(** Update workloads for the Figure 10 experiments.
+
+    The paper: "update queries were created by first defining the number
+    of text nodes whose values should be updated, and then randomly
+    picking the specified number of text nodes". Replacement values keep
+    the flavour of the old ones (numeric stays numeric, prose stays
+    prose), so the typed indices see realistic state transitions. *)
+
+val random_text_updates :
+  seed:int ->
+  Xvi_xml.Store.t ->
+  count:int ->
+  (Xvi_xml.Store.node * string) list
+(** [count] distinct live text nodes with fresh values; [count] is
+    clamped to the number of text nodes in the store. Deterministic in
+    [seed]. *)
+
+val random_victims :
+  seed:int -> Xvi_xml.Store.t -> count:int -> Xvi_xml.Store.node array
+(** Just the distinct victim text nodes, for callers that generate
+    their own values. *)

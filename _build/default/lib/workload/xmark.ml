@@ -1,0 +1,244 @@
+module Prng = Xvi_util.Prng
+
+let escape = Xvi_xml.Serializer.escape_text
+
+type ctx = {
+  rng : Prng.t;
+  tg : Text_gen.t;
+  buf : Buffer.t;
+  n_items : int;
+  n_people : int;
+  n_categories : int;
+  n_open : int;
+  n_closed : int;
+}
+
+let tag ctx name body =
+  Buffer.add_char ctx.buf '<';
+  Buffer.add_string ctx.buf name;
+  Buffer.add_char ctx.buf '>';
+  body ();
+  Buffer.add_string ctx.buf "</";
+  Buffer.add_string ctx.buf name;
+  Buffer.add_char ctx.buf '>'
+
+let tag_attrs ctx name attrs body =
+  Buffer.add_char ctx.buf '<';
+  Buffer.add_string ctx.buf name;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char ctx.buf ' ';
+      Buffer.add_string ctx.buf k;
+      Buffer.add_string ctx.buf "=\"";
+      Buffer.add_string ctx.buf (Xvi_xml.Serializer.escape_attr v);
+      Buffer.add_char ctx.buf '"')
+    attrs;
+  Buffer.add_char ctx.buf '>';
+  body ();
+  Buffer.add_string ctx.buf "</";
+  Buffer.add_string ctx.buf name;
+  Buffer.add_char ctx.buf '>'
+
+let empty_tag ctx name attrs =
+  Buffer.add_char ctx.buf '<';
+  Buffer.add_string ctx.buf name;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char ctx.buf ' ';
+      Buffer.add_string ctx.buf k;
+      Buffer.add_string ctx.buf "=\"";
+      Buffer.add_string ctx.buf (Xvi_xml.Serializer.escape_attr v);
+      Buffer.add_char ctx.buf '"')
+    attrs;
+  Buffer.add_string ctx.buf "/>"
+
+let text ctx name s = tag ctx name (fun () -> Buffer.add_string ctx.buf (escape s))
+
+let inline_tags = [| "keyword"; "bold"; "emph" |]
+
+let rich_text ctx =
+  (* XMark-style mixed content: text runs interleaved with inline
+     keyword/bold/emph elements, so text nodes outnumber elements as in
+     the original generator. *)
+  tag ctx "text" (fun () ->
+      let pieces = Prng.in_range ctx.rng 10 18 in
+      for i = 1 to pieces do
+        if i > 1 then Buffer.add_char ctx.buf ' ';
+        Buffer.add_string ctx.buf
+          (escape (Text_gen.words ctx.tg (Prng.in_range ctx.rng 4 14)));
+        Buffer.add_char ctx.buf ' ';
+        (if Prng.int ctx.rng 100 < 22 then
+           text ctx (Prng.choose ctx.rng inline_tags)
+             (Text_gen.money ctx.tg ~max:9999.0 ())
+         else
+           text ctx (Prng.choose ctx.rng inline_tags)
+             (Text_gen.words ctx.tg (Prng.in_range ctx.rng 1 3)));
+      done;
+      Buffer.add_char ctx.buf ' ';
+      Buffer.add_string ctx.buf
+        (escape (Text_gen.words ctx.tg (Prng.in_range ctx.rng 3 10))))
+
+let description ctx =
+  tag ctx "description" (fun () ->
+      if Prng.int ctx.rng 2 = 0 then
+        tag ctx "parlist" (fun () ->
+            for _ = 1 to Prng.in_range ctx.rng 2 5 do
+              tag ctx "listitem" (fun () -> rich_text ctx)
+            done)
+      else rich_text ctx)
+
+let item ctx region i =
+  tag_attrs ctx "item" [ ("id", Printf.sprintf "item%s%d" region i) ] (fun () ->
+      text ctx "location" (Text_gen.word ctx.tg);
+      text ctx "quantity" (Text_gen.int_string ctx.tg 1 5);
+      text ctx "name" (Text_gen.words ctx.tg 2);
+      text ctx "payment" "Creditcard";
+      description ctx;
+      text ctx "shipping" "Will ship internationally";
+      for _ = 1 to Prng.in_range ctx.rng 1 2 do
+        empty_tag ctx "incategory"
+          [ ("category", Printf.sprintf "category%d" (Prng.int ctx.rng ctx.n_categories)) ]
+      done;
+      if Prng.int ctx.rng 4 = 0 then
+        tag ctx "mailbox" (fun () ->
+            tag ctx "mail" (fun () ->
+                text ctx "from" (Text_gen.full_name ctx.tg);
+                text ctx "to" (Text_gen.full_name ctx.tg);
+                text ctx "date" (Text_gen.date_slash ctx.tg);
+                rich_text ctx)))
+
+let person ctx i =
+  tag_attrs ctx "person" [ ("id", Printf.sprintf "person%d" i) ] (fun () ->
+      text ctx "name" (Text_gen.full_name ctx.tg);
+      text ctx "emailaddress" (Text_gen.email ctx.tg);
+      if Prng.bool ctx.rng then text ctx "phone" (Text_gen.phone ctx.tg);
+      if Prng.int ctx.rng 3 = 0 then
+        tag ctx "address" (fun () ->
+            text ctx "street"
+              (Text_gen.int_string ctx.tg 1 99 ^ " " ^ Text_gen.word ctx.tg ^ " St");
+            text ctx "city" (Text_gen.word ctx.tg);
+            text ctx "country" "United States";
+            text ctx "zipcode" (Text_gen.int_string ctx.tg 10000 99999));
+      if Prng.int ctx.rng 2 = 0 then
+        text ctx "homepage" (Text_gen.url ctx.tg);
+      if Prng.int ctx.rng 2 = 0 then
+        text ctx "creditcard"
+          (Printf.sprintf "%04d %04d %04d %04d"
+             (Prng.int ctx.rng 10000) (Prng.int ctx.rng 10000)
+             (Prng.int ctx.rng 10000) (Prng.int ctx.rng 10000));
+      if Prng.int ctx.rng 2 = 0 then
+        tag_attrs ctx "profile"
+          [ ("income", Text_gen.money ctx.tg ~max:99999.0 ()) ]
+          (fun () ->
+            empty_tag ctx "interest"
+              [ ("category", Printf.sprintf "category%d" (Prng.int ctx.rng ctx.n_categories)) ];
+            text ctx "education" "Graduate School";
+            text ctx "gender" (if Prng.bool ctx.rng then "male" else "female");
+            text ctx "business" (if Prng.bool ctx.rng then "Yes" else "No");
+            text ctx "age" (Text_gen.int_string ctx.tg 18 80));
+      if Prng.int ctx.rng 3 = 0 then
+        tag ctx "watches" (fun () ->
+            for _ = 1 to Prng.in_range ctx.rng 1 3 do
+              empty_tag ctx "watch"
+                [ ("open_auction", Printf.sprintf "open_auction%d" (Prng.int ctx.rng ctx.n_open)) ]
+            done))
+
+let bidder ctx =
+  tag ctx "bidder" (fun () ->
+      text ctx "date" (Text_gen.date_slash ctx.tg);
+      text ctx "time" (Printf.sprintf "%02d:%02d:%02d"
+        (Prng.in_range ctx.rng 0 23) (Prng.in_range ctx.rng 0 59) (Prng.in_range ctx.rng 0 59));
+      empty_tag ctx "personref"
+        [ ("person", Printf.sprintf "person%d" (Prng.int ctx.rng ctx.n_people)) ];
+      text ctx "increase" (Text_gen.money ctx.tg ~max:30.0 ()))
+
+let annotation ctx =
+  tag ctx "annotation" (fun () ->
+      empty_tag ctx "author"
+        [ ("person", Printf.sprintf "person%d" (Prng.int ctx.rng ctx.n_people)) ];
+      description ctx;
+      text ctx "happiness" (Text_gen.int_string ctx.tg 1 10))
+
+let open_auction ctx i =
+  tag_attrs ctx "open_auction" [ ("id", Printf.sprintf "open_auction%d" i) ]
+    (fun () ->
+      text ctx "initial" (Text_gen.money ctx.tg ~max:300.0 ());
+      if Prng.bool ctx.rng then text ctx "reserve" (Text_gen.money ctx.tg ~max:500.0 ());
+      for _ = 1 to Prng.in_range ctx.rng 0 4 do
+        bidder ctx
+      done;
+      text ctx "current" (Text_gen.money ctx.tg ~max:800.0 ());
+      text ctx "privacy" (if Prng.bool ctx.rng then "Yes" else "No");
+      empty_tag ctx "itemref"
+        [ ("item", Printf.sprintf "itemafrica%d" (Prng.int ctx.rng (max 1 (ctx.n_items / 6)))) ];
+      empty_tag ctx "seller"
+        [ ("person", Printf.sprintf "person%d" (Prng.int ctx.rng ctx.n_people)) ];
+      annotation ctx;
+      text ctx "quantity" (Text_gen.int_string ctx.tg 1 5);
+      text ctx "type" (if Prng.bool ctx.rng then "Regular" else "Featured");
+      tag ctx "interval" (fun () ->
+          text ctx "start" (Text_gen.date_slash ctx.tg);
+          text ctx "end" (Text_gen.date_slash ctx.tg)))
+
+let closed_auction ctx =
+  tag ctx "closed_auction" (fun () ->
+      empty_tag ctx "seller"
+        [ ("person", Printf.sprintf "person%d" (Prng.int ctx.rng ctx.n_people)) ];
+      empty_tag ctx "buyer"
+        [ ("person", Printf.sprintf "person%d" (Prng.int ctx.rng ctx.n_people)) ];
+      empty_tag ctx "itemref"
+        [ ("item", Printf.sprintf "itemasia%d" (Prng.int ctx.rng (max 1 (ctx.n_items / 6)))) ];
+      text ctx "price" (Text_gen.money ctx.tg ~max:800.0 ());
+      text ctx "date" (Text_gen.date_slash ctx.tg);
+      text ctx "quantity" (Text_gen.int_string ctx.tg 1 5);
+      text ctx "type" (if Prng.bool ctx.rng then "Regular" else "Featured");
+      annotation ctx)
+
+let category ctx i =
+  tag_attrs ctx "category" [ ("id", Printf.sprintf "category%d" i) ] (fun () ->
+      text ctx "name" (Text_gen.word ctx.tg);
+      description ctx)
+
+let regions = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+let generate ~seed ~factor () =
+  let rng = Prng.create seed in
+  let scale n = max 2 (int_of_float (float_of_int n *. factor)) in
+  let ctx =
+    {
+      rng;
+      tg = Text_gen.create (Prng.split rng);
+      buf = Buffer.create (1 lsl 20);
+      n_items = scale 390;
+      n_people = scale 460;
+      n_categories = scale 18;
+      n_open = scale 217;
+      n_closed = scale 175;
+    }
+  in
+  tag ctx "site" (fun () ->
+      tag ctx "regions" (fun () ->
+          Array.iter
+            (fun region ->
+              tag ctx region (fun () ->
+                  for i = 0 to (ctx.n_items / Array.length regions) - 1 do
+                    item ctx region i
+                  done))
+            regions);
+      tag ctx "categories" (fun () ->
+          for i = 0 to ctx.n_categories - 1 do
+            category ctx i
+          done);
+      tag ctx "people" (fun () ->
+          for i = 0 to ctx.n_people - 1 do
+            person ctx i
+          done);
+      tag ctx "open_auctions" (fun () ->
+          for i = 0 to ctx.n_open - 1 do
+            open_auction ctx i
+          done);
+      tag ctx "closed_auctions" (fun () ->
+          for _ = 0 to ctx.n_closed - 1 do
+            closed_auction ctx
+          done));
+  Buffer.contents ctx.buf

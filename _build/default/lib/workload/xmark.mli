@@ -1,0 +1,14 @@
+(** XMark-style auction document generator.
+
+    A self-contained stand-in for the XMark benchmark generator (the
+    container is sealed; see DESIGN.md): the same document shape —
+    [site] with regions/items, categories, people, open and closed
+    auctions — with entity counts proportional to the scale factor and
+    the node mix tuned to the paper's Table 1 (≈64% text nodes, ≈8% of
+    all nodes castable to doubles, no non-leaf doubles).
+
+    [generate ~seed ~factor ()] yields roughly [factor] × 2.8 MB of XML
+    (the paper's 112 MB XMark1 scaled by 1/40). Deterministic in
+    [seed]. *)
+
+val generate : seed:int -> factor:float -> unit -> string

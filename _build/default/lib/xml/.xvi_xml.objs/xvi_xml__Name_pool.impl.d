@@ -1,0 +1,1 @@
+lib/xml/name_pool.ml: Array Hashtbl Printf String

@@ -1,0 +1,1 @@
+lib/xml/name_pool.mli:

@@ -1,0 +1,1 @@
+lib/xml/pre_plane.ml: Array List Printf Store

@@ -1,0 +1,1 @@
+lib/xml/pre_plane.mli: Store

@@ -1,0 +1,1 @@
+lib/xml/serializer.mli: Buffer Store

@@ -1,0 +1,1 @@
+lib/xml/store.ml: Array Buffer Hashtbl List Name_pool Printf String Xvi_util

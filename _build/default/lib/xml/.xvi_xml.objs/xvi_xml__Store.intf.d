@@ -1,0 +1,1 @@
+lib/xml/store.mli: Name_pool

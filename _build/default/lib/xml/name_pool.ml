@@ -1,0 +1,36 @@
+type t = {
+  by_name : (string, int) Hashtbl.t;
+  mutable by_id : string array;
+  mutable n : int;
+}
+
+let create () = { by_name = Hashtbl.create 64; by_id = Array.make 64 ""; n = 0 }
+
+let intern t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None ->
+      let id = t.n in
+      if id = Array.length t.by_id then begin
+        let bigger = Array.make (2 * id) "" in
+        Array.blit t.by_id 0 bigger 0 id;
+        t.by_id <- bigger
+      end;
+      t.by_id.(id) <- name;
+      Hashtbl.add t.by_name name id;
+      t.n <- id + 1;
+      id
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let name t id =
+  if id < 0 || id >= t.n then invalid_arg (Printf.sprintf "Name_pool.name: %d" id);
+  t.by_id.(id)
+
+let count t = t.n
+
+let memory_bytes t =
+  let strings =
+    Hashtbl.fold (fun s _ acc -> acc + 24 + String.length s) t.by_name 0
+  in
+  strings + (8 * Array.length t.by_id) + (16 * t.n)

@@ -1,0 +1,21 @@
+(** Interned element/attribute names.
+
+    The columnar store keeps one integer per node for its tag name; this
+    pool provides the bidirectional mapping. Interning also makes name
+    tests in the query layer integer comparisons, as in MonetDB/XQuery. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** [intern t name] returns the id for [name], allocating one if new. *)
+
+val find : t -> string -> int option
+(** Id for [name] if already interned. *)
+
+val name : t -> int -> string
+(** Inverse of {!intern}. @raise Invalid_argument on unknown id. *)
+
+val count : t -> int
+val memory_bytes : t -> int

@@ -1,0 +1,32 @@
+(** Non-validating XML 1.0 parser / shredder.
+
+    Parses XML text directly into a {!Store.t} (one pass, no intermediate
+    tree) — the analogue of MonetDB/XQuery's document shredder, and the
+    "shred time" baseline of the Figure 9 experiments.
+
+    Supported: elements, attributes (single- or double-quoted), character data,
+    the five predefined entities, decimal and hexadecimal character
+    references, CDATA sections, comments, processing instructions, an XML
+    declaration, and a DOCTYPE declaration (skipped, including an internal
+    subset). Namespaces are not resolved; qualified names are kept as
+    opaque strings, as MonetDB/XQuery's storage does. *)
+
+type error = { line : int; col : int; message : string }
+
+val error_to_string : error -> string
+
+val parse : ?strip_ws:bool -> string -> (Store.t, error) result
+(** [parse s] shreds document [s] into a fresh store. [strip_ws]
+    (default [true]) drops whitespace-only text nodes — boundary
+    whitespace stripping, the common XML-database shredding default; set
+    it to [false] to keep mixed-content whitespace exactly. *)
+
+val parse_exn : ?strip_ws:bool -> string -> Store.t
+(** @raise Failure on ill-formed input. *)
+
+val parse_fragment :
+  ?strip_ws:bool -> Store.t -> parent:Store.node -> string ->
+  (Store.node list, error) result
+(** [parse_fragment store ~parent s] parses a sequence of nodes (no
+    single-root requirement) and appends them as children of [parent];
+    returns the new top-level node ids. Used for subtree insertion. *)

@@ -1,0 +1,64 @@
+(** The pre/size/level plane.
+
+    MonetDB/XQuery stores XML as a relation over a range encoding: each
+    node's {e pre} rank (document order), subtree {e size}, and {e level}
+    (paper reference [1]; the paper's Section 5 notes the algorithms only
+    assume the DFS interface this encoding provides). The plane makes
+    structural relationships arithmetic:
+
+    - document order: [pre a < pre b];
+    - [d] is a descendant of [a] iff [pre a < pre d <= pre a + size a];
+    - the descendants of [a] are the contiguous pre range
+      [(pre a, pre a + size a]].
+
+    A plane is a {e snapshot} of the live tree: value updates keep it
+    valid, structural updates (insert/delete) invalidate it — callers
+    rebuild, as MonetDB's pos-page maintenance amortises. {!Xvi_core.Db}
+    manages that lifecycle.
+
+    Staircase joins (Grust et al.) answer ancestor/descendant joins
+    between whole node {e sets} in one merge pass over pre ranks — this
+    is how a context set from a value index combines with a structural
+    step without per-node tree walks. *)
+
+type t
+
+type node = Store.node
+
+val build : Store.t -> t
+(** One document pass. *)
+
+val live_nodes : t -> int
+
+val pre : t -> node -> int
+(** Document-order rank; [-1] for nodes unknown to this snapshot
+    (tombstoned before the build, or created after). *)
+
+val node_at : t -> int -> node
+(** Inverse of {!pre}. @raise Invalid_argument out of range. *)
+
+val size : t -> node -> int
+(** Live descendants (attributes included), excluding the node. *)
+
+val level : t -> node -> int
+
+val compare_order : t -> node -> node -> int
+(** O(1), vs the store's O(depth + siblings) link-walking comparison. *)
+
+val is_descendant : t -> ancestor:node -> node -> bool
+(** O(1); strict. *)
+
+val descendants : t -> node -> node list
+(** The pre range, in document order. *)
+
+val sort_doc_order : t -> node list -> node list
+
+(** {1 Staircase joins} *)
+
+val join_descendant : t -> context:node list -> node list -> node list
+(** Nodes (from the second set) that are strict descendants of {e some}
+    context node; one merge pass over pre ranks after sorting, no tree
+    walks. Result in document order, duplicates removed. *)
+
+val join_ancestor : t -> context:node list -> node list -> node list
+(** Nodes that are strict ancestors of some context node. *)

@@ -1,0 +1,72 @@
+let escape buf ~attr s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' when not attr -> Buffer.add_string buf "&gt;"
+      | '"' when attr -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape buf ~attr:false s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape buf ~attr:true s;
+  Buffer.contents buf
+
+let rec emit buf store n =
+  match Store.kind store n with
+  | Store.Deleted -> ()
+  | Store.Document -> List.iter (emit buf store) (Store.children store n)
+  | Store.Text -> escape buf ~attr:false (Store.text store n)
+  | Store.Comment ->
+      Buffer.add_string buf "<!--";
+      Buffer.add_string buf (Store.text store n);
+      Buffer.add_string buf "-->"
+  | Store.Pi ->
+      Buffer.add_string buf "<?";
+      Buffer.add_string buf (Store.name store n);
+      let body = Store.text store n in
+      if String.length body > 0 then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf body
+      end;
+      Buffer.add_string buf "?>"
+  | Store.Attribute ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Store.name store n);
+      Buffer.add_string buf "=\"";
+      escape buf ~attr:true (Store.text store n);
+      Buffer.add_char buf '"'
+  | Store.Element ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf (Store.name store n);
+      List.iter (emit buf store) (Store.attributes store n);
+      let kids = Store.children store n in
+      if kids = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter (emit buf store) kids;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf (Store.name store n);
+        Buffer.add_char buf '>'
+      end
+
+let to_buffer buf store n = emit buf store n
+
+let to_string store n =
+  let buf = Buffer.create 1024 in
+  emit buf store n;
+  Buffer.contents buf
+
+let document_to_string ?(decl = true) store =
+  let buf = Buffer.create 4096 in
+  if decl then Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+  emit buf store Store.document;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** XML serialisation — the inverse of {!Parser}.
+
+    Used by round-trip tests, the CLI, and the workload generators'
+    on-disk output. *)
+
+val escape_text : string -> string
+(** Escape [&], [<], [>] for character data. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, less-than and double-quote for double-quoted
+    attribute values. *)
+
+val to_buffer : Buffer.t -> Store.t -> Store.node -> unit
+(** Serialise the subtree rooted at a node. Serialising the document node
+    emits all its children (comments and PIs included). *)
+
+val to_string : Store.t -> Store.node -> string
+
+val document_to_string : ?decl:bool -> Store.t -> string
+(** Whole document; [decl] (default [true]) prefixes an XML declaration. *)

@@ -1,0 +1,491 @@
+module Vec = Xvi_util.Vec
+
+type node = int
+
+type kind =
+  | Document
+  | Element
+  | Text
+  | Attribute
+  | Comment
+  | Pi
+  | Deleted
+
+let kind_to_int = function
+  | Document -> 0
+  | Element -> 1
+  | Text -> 2
+  | Attribute -> 3
+  | Comment -> 4
+  | Pi -> 5
+  | Deleted -> 6
+
+let kind_of_int = function
+  | 0 -> Document
+  | 1 -> Element
+  | 2 -> Text
+  | 3 -> Attribute
+  | 4 -> Comment
+  | 5 -> Pi
+  | 6 -> Deleted
+  | k -> invalid_arg (Printf.sprintf "Store.kind_of_int: %d" k)
+
+let nil = -1
+
+type t = {
+  kinds : Vec.Int.t;
+  names : Vec.Int.t; (* name-pool id; nil when unnamed *)
+  parents : Vec.Int.t;
+  first_childs : Vec.Int.t;
+  last_childs : Vec.Int.t;
+  next_sibs : Vec.Int.t;
+  prev_sibs : Vec.Int.t;
+  first_attrs : Vec.Int.t;
+  texts : string Vec.Poly.t;
+  pool : Name_pool.t;
+  mutable live : int;
+  counts : int array; (* per kind_to_int, live nodes *)
+  mutable live_text_bytes : int;
+}
+
+let document = 0
+
+let append_row t ~kind ~name ~parent ~text =
+  let id = Vec.Int.length t.kinds in
+  Vec.Int.push t.kinds (kind_to_int kind);
+  Vec.Int.push t.names name;
+  Vec.Int.push t.parents parent;
+  Vec.Int.push t.first_childs nil;
+  Vec.Int.push t.last_childs nil;
+  Vec.Int.push t.next_sibs nil;
+  Vec.Int.push t.prev_sibs nil;
+  Vec.Int.push t.first_attrs nil;
+  Vec.Poly.push t.texts text;
+  t.live <- t.live + 1;
+  t.counts.(kind_to_int kind) <- t.counts.(kind_to_int kind) + 1;
+  t.live_text_bytes <- t.live_text_bytes + String.length text;
+  id
+
+let create () =
+  let t =
+    {
+      kinds = Vec.Int.create ~capacity:256 ();
+      names = Vec.Int.create ~capacity:256 ();
+      parents = Vec.Int.create ~capacity:256 ();
+      first_childs = Vec.Int.create ~capacity:256 ();
+      last_childs = Vec.Int.create ~capacity:256 ();
+      next_sibs = Vec.Int.create ~capacity:256 ();
+      prev_sibs = Vec.Int.create ~capacity:256 ();
+      first_attrs = Vec.Int.create ~capacity:256 ();
+      texts = Vec.Poly.create ~capacity:256 ~dummy:"" ();
+      pool = Name_pool.create ();
+      live = 0;
+      counts = Array.make 7 0;
+      live_text_bytes = 0;
+    }
+  in
+  let id = append_row t ~kind:Document ~name:nil ~parent:nil ~text:"" in
+  assert (id = document);
+  t
+
+let kind t n = kind_of_int (Vec.Int.get t.kinds n)
+let is_live t n = kind t n <> Deleted
+
+let check_kind t n expected what =
+  let k = kind t n in
+  if not (List.mem k expected) then
+    invalid_arg (Printf.sprintf "Store.%s: node %d has the wrong kind" what n)
+
+let name_id t n = Vec.Int.get t.names n
+
+let name t n =
+  check_kind t n [ Element; Attribute; Pi ] "name";
+  Name_pool.name t.pool (Vec.Int.get t.names n)
+
+let names t = t.pool
+
+let text t n =
+  check_kind t n [ Text; Attribute; Comment; Pi ] "text";
+  Vec.Poly.get t.texts n
+
+let opt v = if v = nil then None else Some v
+let parent t n = opt (Vec.Int.get t.parents n)
+let first_child t n = opt (Vec.Int.get t.first_childs n)
+let next_sibling t n = opt (Vec.Int.get t.next_sibs n)
+let prev_sibling t n = opt (Vec.Int.get t.prev_sibs n)
+let last_child t n = opt (Vec.Int.get t.last_childs n)
+let first_attribute t n = opt (Vec.Int.get t.first_attrs n)
+
+let next_attribute t n =
+  check_kind t n [ Attribute ] "next_attribute";
+  opt (Vec.Int.get t.next_sibs n)
+
+(* Link [child] as the last child of [parent]. Attributes use a separate
+   chain headed by [first_attrs] but reuse next/prev columns. *)
+let link_last_child t ~parent ~child =
+  let last = Vec.Int.get t.last_childs parent in
+  if last = nil then Vec.Int.set t.first_childs parent child
+  else begin
+    Vec.Int.set t.next_sibs last child;
+    Vec.Int.set t.prev_sibs child last
+  end;
+  Vec.Int.set t.last_childs parent child
+
+let link_attr t ~element ~attr =
+  let rec last_in_chain n =
+    match opt (Vec.Int.get t.next_sibs n) with
+    | None -> n
+    | Some next -> last_in_chain next
+  in
+  match opt (Vec.Int.get t.first_attrs element) with
+  | None -> Vec.Int.set t.first_attrs element attr
+  | Some first ->
+      let last = last_in_chain first in
+      Vec.Int.set t.next_sibs last attr;
+      Vec.Int.set t.prev_sibs attr last
+
+let append_element t ~parent name =
+  check_kind t parent [ Document; Element ] "append_element";
+  let id =
+    append_row t ~kind:Element ~name:(Name_pool.intern t.pool name) ~parent
+      ~text:""
+  in
+  link_last_child t ~parent ~child:id;
+  id
+
+let append_text t ~parent txt =
+  check_kind t parent [ Document; Element ] "append_text";
+  let id = append_row t ~kind:Text ~name:nil ~parent ~text:txt in
+  link_last_child t ~parent ~child:id;
+  id
+
+let append_attribute t ~element ~name ~value =
+  check_kind t element [ Element ] "append_attribute";
+  let id =
+    append_row t ~kind:Attribute
+      ~name:(Name_pool.intern t.pool name)
+      ~parent:element ~text:value
+  in
+  link_attr t ~element ~attr:id;
+  id
+
+let append_comment t ~parent txt =
+  check_kind t parent [ Document; Element ] "append_comment";
+  let id = append_row t ~kind:Comment ~name:nil ~parent ~text:txt in
+  link_last_child t ~parent ~child:id;
+  id
+
+let append_pi t ~parent ~target txt =
+  check_kind t parent [ Document; Element ] "append_pi";
+  let id =
+    append_row t ~kind:Pi ~name:(Name_pool.intern t.pool target) ~parent
+      ~text:txt
+  in
+  link_last_child t ~parent ~child:id;
+  id
+
+let children t n =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some c -> go (c :: acc) (next_sibling t c)
+  in
+  go [] (first_child t n)
+
+let attributes t n =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some a -> go (a :: acc) (opt (Vec.Int.get t.next_sibs a))
+  in
+  go [] (first_attribute t n)
+
+let is_ancestor t ~ancestor n =
+  let rec up cur =
+    match parent t cur with
+    | None -> false
+    | Some p -> p = ancestor || up p
+  in
+  up n
+
+let compare_order t a b =
+  if a = b then 0
+  else begin
+    let rec path acc n =
+      match parent t n with None -> n :: acc | Some p -> path (n :: acc) p
+    in
+    let pa = path [] a and pb = path [] b in
+    (* walk the two root-paths together to the first divergence *)
+    let rec walk pa pb =
+      match (pa, pb) with
+      | [], [] -> 0
+      | [], _ -> -1 (* a is an ancestor of b *)
+      | _, [] -> 1
+      | x :: ra, y :: rb ->
+          if x = y then walk ra rb
+          else begin
+            (* x and y are distinct attributes/children of one parent:
+               scan attributes first (document order), then children *)
+            let p = Vec.Int.get t.parents x in
+            let rec scan cur =
+              if cur = x then -1
+              else if cur = y then 1
+              else
+                match opt (Vec.Int.get t.next_sibs cur) with
+                | Some next -> scan next
+                | None -> (
+                    (* end of the attribute chain: continue with children *)
+                    match
+                      (kind t x = Attribute, opt (Vec.Int.get t.first_childs p))
+                    with
+                    | _, Some c when kind t cur = Attribute -> scan c
+                    | _ -> invalid_arg "Store.compare_order: unlinked nodes")
+            in
+            let start =
+              match opt (Vec.Int.get t.first_attrs p) with
+              | Some a0 when kind t x = Attribute || kind t y = Attribute ->
+                  a0
+              | _ -> (
+                  match opt (Vec.Int.get t.first_childs p) with
+                  | Some c -> c
+                  | None -> invalid_arg "Store.compare_order: unlinked nodes")
+            in
+            scan start
+          end
+    in
+    walk pa pb
+  end
+
+let level t n =
+  let rec up acc cur =
+    match parent t cur with None -> acc | Some p -> up (acc + 1) p
+  in
+  up 0 n
+
+let iter_pre ?(root = document) t f =
+  let rec walk n =
+    if is_live t n then begin
+      f n;
+      let rec attrs = function
+        | None -> ()
+        | Some a ->
+            if is_live t a then f a;
+            attrs (opt (Vec.Int.get t.next_sibs a))
+      in
+      attrs (first_attribute t n);
+      let rec kids = function
+        | None -> ()
+        | Some c ->
+            walk c;
+            kids (next_sibling t c)
+      in
+      kids (first_child t n)
+    end
+  in
+  walk root
+
+let subtree_size t n =
+  let count = ref 0 in
+  iter_pre ~root:n t (fun _ -> incr count);
+  !count
+
+let text_nodes ?root t =
+  let acc = ref [] in
+  iter_pre ?root t (fun n -> if kind t n = Text then acc := n :: !acc);
+  Array.of_list (List.rev !acc)
+
+let node_range t = Vec.Int.length t.kinds
+let live_count t = t.live
+let count_of_kind t k = t.counts.(kind_to_int k)
+
+let string_value t n =
+  match kind t n with
+  | Text | Attribute | Comment | Pi -> Vec.Poly.get t.texts n
+  | Deleted -> ""
+  | Document | Element ->
+      let buf = Buffer.create 64 in
+      let rec walk c =
+        match kind t c with
+        | Text -> Buffer.add_string buf (Vec.Poly.get t.texts c)
+        | Element | Document ->
+            let rec kids = function
+              | None -> ()
+              | Some k ->
+                  walk k;
+                  kids (next_sibling t k)
+            in
+            kids (first_child t c)
+        | Attribute | Comment | Pi | Deleted -> ()
+      in
+      walk n;
+      Buffer.contents buf
+
+let set_text t n txt =
+  check_kind t n [ Text; Attribute ] "set_text";
+  t.live_text_bytes <-
+    t.live_text_bytes - String.length (Vec.Poly.get t.texts n) + String.length txt;
+  Vec.Poly.set t.texts n txt
+
+let unlink t n =
+  let p = Vec.Int.get t.parents n in
+  let prev = Vec.Int.get t.prev_sibs n in
+  let next = Vec.Int.get t.next_sibs n in
+  if prev <> nil then Vec.Int.set t.next_sibs prev next
+  else if p <> nil then
+    if kind t n = Attribute then Vec.Int.set t.first_attrs p next
+    else Vec.Int.set t.first_childs p next;
+  if next <> nil then Vec.Int.set t.prev_sibs next prev
+  else if p <> nil && kind t n <> Attribute then Vec.Int.set t.last_childs p prev;
+  Vec.Int.set t.prev_sibs n nil;
+  Vec.Int.set t.next_sibs n nil
+
+let tombstone t n =
+  let k = kind t n in
+  if k <> Deleted then begin
+    t.counts.(kind_to_int k) <- t.counts.(kind_to_int k) - 1;
+    t.counts.(kind_to_int Deleted) <- t.counts.(kind_to_int Deleted) + 1;
+    t.live <- t.live - 1;
+    t.live_text_bytes <-
+      t.live_text_bytes - String.length (Vec.Poly.get t.texts n);
+    Vec.Int.set t.kinds n (kind_to_int Deleted)
+  end
+
+let delete_subtree t n =
+  if n = document then invalid_arg "Store.delete_subtree: document node";
+  if is_live t n then begin
+    (* Tombstone everything below (attributes included), then unlink the
+       root of the deleted region. *)
+    let rec walk c =
+      let rec attrs = function
+        | None -> ()
+        | Some a ->
+            tombstone t a;
+            attrs (opt (Vec.Int.get t.next_sibs a))
+      in
+      attrs (first_attribute t c);
+      let rec kids = function
+        | None -> ()
+        | Some k ->
+            let next = next_sibling t k in
+            walk k;
+            kids next
+      in
+      kids (first_child t c);
+      tombstone t c
+    in
+    unlink t n;
+    walk n
+  end
+
+let link_before t ~parent ~child ~before =
+  match before with
+  | None -> link_last_child t ~parent ~child
+  | Some sib ->
+      if Vec.Int.get t.parents sib <> parent then
+        invalid_arg "Store.insert: before-node is not a child of parent";
+      let prev = Vec.Int.get t.prev_sibs sib in
+      Vec.Int.set t.next_sibs child sib;
+      Vec.Int.set t.prev_sibs sib child;
+      if prev = nil then Vec.Int.set t.first_childs parent child
+      else begin
+        Vec.Int.set t.next_sibs prev child;
+        Vec.Int.set t.prev_sibs child prev
+      end
+
+let insert_element t ~parent ?before name =
+  check_kind t parent [ Document; Element ] "insert_element";
+  let id =
+    append_row t ~kind:Element ~name:(Name_pool.intern t.pool name) ~parent
+      ~text:""
+  in
+  link_before t ~parent ~child:id ~before;
+  id
+
+let insert_text t ~parent ?before txt =
+  check_kind t parent [ Document; Element ] "insert_text";
+  let id = append_row t ~kind:Text ~name:nil ~parent ~text:txt in
+  link_before t ~parent ~child:id ~before;
+  id
+
+let text_bytes t = t.live_text_bytes
+
+let storage_bytes t =
+  let columns =
+    Vec.Int.memory_bytes t.kinds + Vec.Int.memory_bytes t.names
+    + Vec.Int.memory_bytes t.parents
+    + Vec.Int.memory_bytes t.first_childs
+    + Vec.Int.memory_bytes t.last_childs
+    + Vec.Int.memory_bytes t.next_sibs
+    + Vec.Int.memory_bytes t.prev_sibs
+    + Vec.Int.memory_bytes t.first_attrs
+  in
+  let text_payload = ref 0 in
+  Vec.Poly.iteri
+    (fun _ s -> if String.length s > 0 then text_payload := !text_payload + 24 + String.length s)
+    t.texts;
+  columns + (8 * node_range t) (* texts column pointers *) + !text_payload
+  + Name_pool.memory_bytes t.pool
+
+let compact t =
+  let fresh = create () in
+  let mapping = Array.make (node_range t) (-1) in
+  mapping.(document) <- document;
+  let rec walk old_n new_parent =
+    List.iter
+      (fun a ->
+        let id =
+          append_attribute fresh ~element:new_parent ~name:(name t a)
+            ~value:(text t a)
+        in
+        mapping.(a) <- id)
+      (attributes t old_n);
+    List.iter
+      (fun c ->
+        if is_live t c then begin
+          let id =
+            match kind t c with
+            | Element -> append_element fresh ~parent:new_parent (name t c)
+            | Text -> append_text fresh ~parent:new_parent (text t c)
+            | Comment -> append_comment fresh ~parent:new_parent (text t c)
+            | Pi -> append_pi fresh ~parent:new_parent ~target:(name t c) (text t c)
+            | Document | Attribute | Deleted -> assert false
+          in
+          mapping.(c) <- id;
+          if kind t c = Element then walk c id
+        end)
+      (children t old_n)
+  in
+  walk document document;
+  let map n =
+    if n < 0 || n >= Array.length mapping || mapping.(n) < 0 then None
+    else Some mapping.(n)
+  in
+  (fresh, map)
+
+let pre_size_level t =
+  let info = Hashtbl.create (max 16 (live_count t)) in
+  (* [compute n lvl] records (size, level) for [n]'s whole subtree and
+     returns [n]'s size = number of live descendants (attributes count). *)
+  let rec compute n lvl =
+    let total = ref 0 in
+    List.iter
+      (fun a ->
+        if is_live t a then begin
+          Hashtbl.replace info a (0, lvl + 1);
+          incr total
+        end)
+      (attributes t n);
+    let rec kids = function
+      | None -> ()
+      | Some c ->
+          if is_live t c then total := !total + 1 + compute c (lvl + 1);
+          kids (next_sibling t c)
+    in
+    kids (first_child t n);
+    Hashtbl.replace info n (!total, lvl);
+    !total
+  in
+  ignore (compute document 0);
+  let out = ref [] in
+  iter_pre t (fun n ->
+      let size, lvl = Hashtbl.find info n in
+      out := (n, size, lvl) :: !out);
+  Array.of_list (List.rev !out)

@@ -1,0 +1,1 @@
+lib/xpath/xpath.ml: Buffer Hashtbl Lazy List Printf String Xvi_core Xvi_xml

@@ -1,0 +1,1 @@
+lib/xpath/xpath.mli: Xvi_core Xvi_xml

@@ -1,0 +1,62 @@
+(** A small XPath subset with index-accelerated evaluation.
+
+    Covers the query shapes the paper uses to motivate its indices:
+
+    {[
+      //person[.//age = 42]
+      //person[first/text() = "Arthur"]
+      //*[fn:data(name) = "ArthurDent"]
+      //item[price >= 40 and price < 60]
+      /site/people/person/@id
+    ]}
+
+    Grammar (abbreviated syntax only):
+
+    - paths: [/step/step…], [//step…], steps separated by [/] or [//]
+    - steps: name test ([person]), wildcard ([*]), [text()], [node()],
+      attribute ([@id], [@*]), self ([.]), descendant-or-self via [//]
+    - predicates: [\[path\]] (existence), [\[path op literal\]] with
+      [op] one of [= != < <= > >=]; string literals in single or double
+      quotes, numeric literals as doubles; [fn:data(path)] is the XDM
+      string value of the path's nodes (general comparison: the
+      predicate holds if {e some} node matches, per XQuery semantics);
+      [contains(path, "lit")] substring containment (answered by the
+      q-gram index when the {!Xvi_core.Db} was built with
+      [~substring:true]); [and] / [or] combinations.
+
+    Two evaluators are provided: a naive tree-walking one (the
+    correctness baseline) and one that consults a {!Xvi_core.Db}'s value
+    indices for comparison predicates — string equality via the hash
+    index, numeric comparisons via the double index — mirroring how
+    MonetDB/XQuery would use the paper's indices. Both return the same
+    node sets; tests enforce it. *)
+
+type t
+(** A parsed expression. *)
+
+type error = { pos : int; message : string }
+
+val parse : string -> (t, error) result
+val parse_exn : string -> t
+val to_string : t -> string
+(** Round-trippable rendering of the parsed expression. *)
+
+val eval : Xvi_xml.Store.t -> t -> Xvi_xml.Store.node list
+(** Naive evaluation against the whole document, in document order. *)
+
+val eval_indexed : Xvi_core.Db.t -> t -> Xvi_xml.Store.node list
+(** Index-accelerated evaluation; same result, in document order.
+    Comparison predicates are answered by the value indices and then
+    mapped back through ancestor checks instead of walking every
+    subtree. *)
+
+type plan = {
+  used_string_index : int;
+  used_double_index : int;
+  used_name_index : int;
+}
+(** How many predicates the indexed evaluator answered from each index
+    in the last {!eval_indexed} call — exposed for the examples and for
+    tests that assert acceleration actually happened. *)
+
+val last_plan : unit -> plan

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Float Int List Map Printf Xvi_btree Xvi_util

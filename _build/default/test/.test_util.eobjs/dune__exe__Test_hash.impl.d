@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Bytes Char List Printf QCheck2 QCheck_alcotest String Xvi_core

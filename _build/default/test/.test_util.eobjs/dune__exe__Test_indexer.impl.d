@@ -1,0 +1,1 @@
+test/test_indexer.ml: Alcotest Array Buffer List Option Printf Xvi_core Xvi_util Xvi_xml

@@ -1,0 +1,1 @@
+test/test_indices.ml: Alcotest Array List Option Printf String Xvi_core Xvi_util Xvi_workload Xvi_xml Xvi_xpath

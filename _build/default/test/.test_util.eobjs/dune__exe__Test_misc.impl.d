@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Format List Option Printf String Sys Xvi_core Xvi_util Xvi_xml

@@ -1,0 +1,1 @@
+test/test_path_index.ml: Alcotest Array List Xvi_core Xvi_workload Xvi_xml

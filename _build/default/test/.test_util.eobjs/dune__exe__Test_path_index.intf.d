@@ -1,0 +1,1 @@
+test/test_path_index.mli:

@@ -1,0 +1,1 @@
+test/test_plane.ml: Alcotest Array List Option Printf Xvi_core Xvi_util Xvi_workload Xvi_xml

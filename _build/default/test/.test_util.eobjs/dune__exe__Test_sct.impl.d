@@ -1,0 +1,1 @@
+test/test_sct.ml: Alcotest List Option Printf QCheck2 QCheck_alcotest String Xvi_core

@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Array Bytes Filename Fun List Printf String Sys Xvi_core Xvi_workload Xvi_xml

@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Buffer Bytes Char List Printexc Printf String Xvi_core Xvi_util Xvi_workload Xvi_xml Xvi_xpath

@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Array Buffer Digest List Option Printf Xvi_core Xvi_txn Xvi_util Xvi_workload Xvi_xml

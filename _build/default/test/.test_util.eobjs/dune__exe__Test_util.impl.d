@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Hashtbl List Option String Xvi_util

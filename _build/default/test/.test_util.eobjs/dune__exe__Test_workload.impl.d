@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Hashtbl List Printf String Xvi_core Xvi_util Xvi_workload Xvi_xml

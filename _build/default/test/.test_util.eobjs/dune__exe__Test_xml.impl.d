@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Array List Option Printf String Xvi_core Xvi_util Xvi_xml

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Lazy List Printf Xvi_core Xvi_workload Xvi_xml Xvi_xpath

@@ -1,0 +1,268 @@
+(* B+tree tests: unit cases plus model checking against Stdlib.Map under
+   random insert/remove/lookup workloads, at several node orders. *)
+
+module BT = Xvi_btree.Btree.Make (Xvi_btree.Btree.Int_key)
+module IM = Map.Make (Int)
+
+let check_inv t =
+  match BT.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariant violated: %s" e
+
+let test_empty () =
+  let t : int BT.t = BT.create () in
+  Alcotest.(check int) "length" 0 (BT.length t);
+  Alcotest.(check bool) "is_empty" true (BT.is_empty t);
+  Alcotest.(check (option int)) "find" None (BT.find t 1);
+  Alcotest.(check bool) "remove" false (BT.remove t 1);
+  Alcotest.(check (option (pair int int))) "min" None (BT.min_binding t);
+  Alcotest.(check int) "height" 0 (BT.height t);
+  check_inv t
+
+let test_insert_find () =
+  let t = BT.create ~order:4 () in
+  for i = 0 to 499 do
+    BT.insert t ((i * 37) mod 501) i
+  done;
+  check_inv t;
+  for i = 0 to 499 do
+    let k = (i * 37) mod 501 in
+    Alcotest.(check (option int)) "find" (Some i) (BT.find t k)
+  done;
+  Alcotest.(check int) "length" 500 (BT.length t)
+
+let test_replace () =
+  let t = BT.create () in
+  BT.insert t 1 "a";
+  BT.insert t 1 "b";
+  Alcotest.(check int) "length" 1 (BT.length t);
+  Alcotest.(check (option string)) "value" (Some "b") (BT.find t 1)
+
+let test_iteration_sorted () =
+  let t = BT.create ~order:6 () in
+  let keys = List.init 300 (fun i -> (i * 7919) mod 1000) in
+  List.iter (fun k -> BT.insert t k k) keys;
+  let collected = BT.fold (fun k _ acc -> k :: acc) t [] in
+  let sorted = List.sort_uniq compare keys in
+  Alcotest.(check (list int)) "ascending" sorted (List.rev collected)
+
+let test_range () =
+  let t = BT.create ~order:4 () in
+  for i = 0 to 99 do
+    BT.insert t (i * 2) i (* even keys 0..198 *)
+  done;
+  let keys lo hi = List.map fst (BT.range ?lo ?hi t) in
+  Alcotest.(check (list int)) "mid" [ 10; 12; 14 ] (keys (Some 10) (Some 14));
+  Alcotest.(check (list int)) "between keys" [ 10; 12; 14 ]
+    (keys (Some 9) (Some 15));
+  Alcotest.(check (list int)) "open lo" [ 0; 2; 4 ] (keys None (Some 4));
+  Alcotest.(check (list int)) "open hi" [ 196; 198 ] (keys (Some 195) None);
+  Alcotest.(check int) "full" 100 (List.length (keys None None));
+  Alcotest.(check (list int)) "empty range" [] (keys (Some 15) (Some 15));
+  Alcotest.(check (list int)) "singleton" [ 16 ] (keys (Some 16) (Some 16))
+
+let test_min_max () =
+  let t = BT.create ~order:4 () in
+  List.iter (fun k -> BT.insert t k (string_of_int k)) [ 42; 7; 99; 13 ];
+  Alcotest.(check (option (pair int string))) "min" (Some (7, "7")) (BT.min_binding t);
+  Alcotest.(check (option (pair int string))) "max" (Some (99, "99")) (BT.max_binding t)
+
+let test_delete_all () =
+  let t = BT.create ~order:4 () in
+  let n = 1000 in
+  for i = 0 to n - 1 do
+    BT.insert t i i
+  done;
+  (* delete in a scrambled order, checking invariants as we go *)
+  for i = 0 to n - 1 do
+    let k = (i * 271) mod n in
+    Alcotest.(check bool) "removed" true (BT.remove t k);
+    if i mod 97 = 0 then check_inv t
+  done;
+  check_inv t;
+  Alcotest.(check int) "empty" 0 (BT.length t);
+  Alcotest.(check int) "height" 0 (BT.height t)
+
+let test_duplicate_logical_keys () =
+  (* posting-list style: composite (hash, node) keys *)
+  let module PT = Xvi_btree.Btree.Make (Xvi_btree.Btree.Int_pair_key) in
+  let t = PT.create ~order:8 () in
+  for node = 0 to 199 do
+    PT.insert t (node mod 5, node) ()
+  done;
+  let posting h =
+    List.map
+      (fun ((_, n), ()) -> n)
+      (PT.range ~lo:(h, min_int) ~hi:(h, max_int) t)
+  in
+  Alcotest.(check int) "posting size" 40 (List.length (posting 3));
+  List.iter
+    (fun n -> Alcotest.(check int) "right bucket" 3 (n mod 5))
+    (posting 3);
+  (match PT.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "pair tree: %s" e)
+
+let test_float_key_nan () =
+  let module FT = Xvi_btree.Btree.Make (Xvi_btree.Btree.Float_pair_key) in
+  let t = FT.create () in
+  FT.insert t (Float.nan, 1) "nan";
+  FT.insert t (1.0, 2) "one";
+  FT.insert t (Float.neg_infinity, 3) "ninf";
+  Alcotest.(check int) "all inserted" 3 (FT.length t);
+  (* NaN sorts last; a real-valued range must not see it *)
+  let reals = FT.range ~lo:(Float.neg_infinity, min_int) ~hi:(Float.infinity, max_int) t in
+  Alcotest.(check int) "range excludes NaN" 2 (List.length reals)
+
+(* Model check vs Map: random ops, seeded, several orders. *)
+let model_check ~order ~ops ~key_space seed =
+  let rng = Xvi_util.Prng.create seed in
+  let t = BT.create ~order () in
+  let model = ref IM.empty in
+  for step = 1 to ops do
+    let k = Xvi_util.Prng.int rng key_space in
+    (match Xvi_util.Prng.int rng 100 with
+    | r when r < 55 ->
+        BT.insert t k step;
+        model := IM.add k step !model
+    | r when r < 85 ->
+        let removed = BT.remove t k in
+        Alcotest.(check bool)
+          (Printf.sprintf "remove agrees at step %d" step)
+          (IM.mem k !model) removed;
+        model := IM.remove k !model
+    | _ ->
+        Alcotest.(check (option int))
+          (Printf.sprintf "find agrees at step %d" step)
+          (IM.find_opt k !model) (BT.find t k));
+    if step mod 500 = 0 then begin
+      (match BT.check_invariants t with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "invariant after %d ops (order %d): %s" step order e);
+      Alcotest.(check int) "length agrees" (IM.cardinal !model) (BT.length t)
+    end
+  done;
+  (* final: full contents agree, in order *)
+  let tree_list = List.rev (BT.fold (fun k v acc -> (k, v) :: acc) t []) in
+  let model_list = IM.bindings !model in
+  Alcotest.(check (list (pair int int))) "final contents" model_list tree_list
+
+let test_model_small_order () = model_check ~order:4 ~ops:5_000 ~key_space:300 1
+let test_model_default_order () = model_check ~order:32 ~ops:8_000 ~key_space:2_000 2
+let test_model_dense_keys () = model_check ~order:8 ~ops:6_000 ~key_space:50 3
+
+let test_model_range_consistency () =
+  let rng = Xvi_util.Prng.create 17 in
+  let t = BT.create ~order:4 () in
+  let model = ref IM.empty in
+  for step = 1 to 2_000 do
+    let k = Xvi_util.Prng.int rng 500 in
+    if Xvi_util.Prng.bool rng then begin
+      BT.insert t k step;
+      model := IM.add k step !model
+    end
+    else begin
+      ignore (BT.remove t k);
+      model := IM.remove k !model
+    end;
+    if step mod 100 = 0 then begin
+      let lo = Xvi_util.Prng.int rng 500 in
+      let hi = lo + Xvi_util.Prng.int rng 100 in
+      let tree = List.map fst (BT.range ~lo ~hi t) in
+      let expected =
+        IM.bindings !model
+        |> List.filter (fun (k, _) -> k >= lo && k <= hi)
+        |> List.map fst
+      in
+      Alcotest.(check (list int)) "range agrees" expected tree
+    end
+  done
+
+let test_bulk_load () =
+  (* of_sorted_array must produce valid trees at many sizes and orders *)
+  List.iter
+    (fun order ->
+      List.iter
+        (fun n ->
+          let arr = Array.init n (fun i -> (i * 3, i)) in
+          let t = BT.of_sorted_array ~order arr in
+          (match BT.check_invariants t with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "bulk n=%d order=%d: %s" n order e);
+          Alcotest.(check int) "length" n (BT.length t);
+          (* contents and iteration order *)
+          let listed = List.rev (BT.fold (fun k v acc -> (k, v) :: acc) t []) in
+          Alcotest.(check bool) "contents" true (listed = Array.to_list arr);
+          (* random point lookups *)
+          if n > 0 then begin
+            Alcotest.(check (option int)) "first" (Some 0) (BT.find t 0);
+            Alcotest.(check (option int)) "last" (Some (n - 1)) (BT.find t ((n - 1) * 3));
+            Alcotest.(check (option int)) "miss" None (BT.find t 1)
+          end)
+        [ 0; 1; 2; 5; 31; 32; 33; 63; 100; 1000; 4097 ])
+    [ 4; 8; 32 ];
+  (* a bulk-loaded tree keeps working under mutation *)
+  let arr = Array.init 500 (fun i -> (i * 2, i)) in
+  let t = BT.of_sorted_array ~order:8 arr in
+  for i = 0 to 499 do
+    BT.insert t ((i * 2) + 1) (-i)
+  done;
+  (match BT.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "after inserts: %s" e);
+  Alcotest.(check int) "grown" 1000 (BT.length t);
+  for i = 0 to 499 do
+    ignore (BT.remove t (i * 2))
+  done;
+  (match BT.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "after removes: %s" e);
+  Alcotest.(check int) "shrunk" 500 (BT.length t)
+
+let test_bulk_load_rejects_unsorted () =
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Btree.of_sorted_array: keys not strictly ascending")
+    (fun () -> ignore (BT.of_sorted_array [| (2, 0); (1, 0) |]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Btree.of_sorted_array: keys not strictly ascending")
+    (fun () -> ignore (BT.of_sorted_array [| (1, 0); (1, 1) |]))
+
+let test_memory_accounting () =
+  let t = BT.create () in
+  let empty = BT.memory_bytes ~value_bytes:8 t in
+  for i = 0 to 9_999 do
+    BT.insert t i i
+  done;
+  let full = BT.memory_bytes ~value_bytes:8 t in
+  Alcotest.(check bool) "grows" true (full > empty);
+  (* at least 16 bytes per binding must be accounted *)
+  Alcotest.(check bool) "plausible lower bound" true (full > 10_000 * 16);
+  Alcotest.(check bool) "node count sane" true (BT.node_count t > 10_000 / 33)
+
+let () =
+  Alcotest.run "btree"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert/find" `Quick test_insert_find;
+          Alcotest.test_case "replace" `Quick test_replace;
+          Alcotest.test_case "sorted iteration" `Quick test_iteration_sorted;
+          Alcotest.test_case "range" `Quick test_range;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "delete all" `Quick test_delete_all;
+          Alcotest.test_case "duplicates via pairs" `Quick test_duplicate_logical_keys;
+          Alcotest.test_case "bulk load" `Quick test_bulk_load;
+          Alcotest.test_case "bulk load rejects unsorted" `Quick
+            test_bulk_load_rejects_unsorted;
+          Alcotest.test_case "float keys and NaN" `Quick test_float_key_nan;
+          Alcotest.test_case "memory accounting" `Quick test_memory_accounting;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "order 4" `Quick test_model_small_order;
+          Alcotest.test_case "order 32" `Quick test_model_default_order;
+          Alcotest.test_case "dense keys" `Quick test_model_dense_keys;
+          Alcotest.test_case "ranges" `Quick test_model_range_consistency;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Tests for the paper's hash function H and combination function C
+   (Section 3, Figures 2-4), including the worked "Arthur" example of
+   Figure 3 and QCheck properties for the algebraic laws. *)
+
+module Hash = Xvi_core.Hash
+
+let int_of_hash h = Hash.to_int h
+let hash_eq = Alcotest.testable Hash.pp Hash.equal
+
+(* Figure 3 derivation: XOR-ing the 7-bit codes of A r t h u r at
+   offsets 0 5 10 15 20 25 (with wrap-around for the final r) sets
+   c-array bits {0,2,3,4,9,10,11,12,14,15,16,18,21,22,24,25} — the bit
+   row printed in the paper — and leaves offset 3. *)
+let arthur_bits =
+  [ 0; 2; 3; 4; 9; 10; 11; 12; 14; 15; 16; 18; 21; 22; 24; 25 ]
+
+let test_figure3_example () =
+  let carr = List.fold_left (fun acc b -> acc lor (1 lsl b)) 0 arthur_bits in
+  let expected = (carr lsl 5) lor 3 in
+  Alcotest.(check int) "H(Arthur)" expected (int_of_hash (Hash.hash "Arthur"))
+
+let test_empty_string () =
+  Alcotest.check hash_eq "H(\"\") = empty" Hash.empty (Hash.hash "")
+
+let test_offset_is_length_times5_mod27 () =
+  for len = 0 to 120 do
+    let s = String.make len 'q' in
+    Alcotest.(check int)
+      (Printf.sprintf "offset of length %d" len)
+      (5 * len mod 27)
+      (Hash.offset (Hash.hash s))
+  done
+
+let test_seven_bit_masking () =
+  (* the paper hashes the 7 least significant bits of each character *)
+  let low = String.make 1 (Char.chr 0x41) in
+  let high = String.make 1 (Char.chr 0xC1) in
+  Alcotest.check hash_eq "bit 7 ignored" (Hash.hash low) (Hash.hash high)
+
+let test_known_combinations () =
+  List.iter
+    (fun (a, b) ->
+      Alcotest.check hash_eq
+        (Printf.sprintf "H(%S ^ %S)" a b)
+        (Hash.hash (a ^ b))
+        (Hash.combine (Hash.hash a) (Hash.hash b)))
+    [
+      ("Arthur", "Dent");
+      ("", "Dent");
+      ("Arthur", "");
+      ("", "");
+      ("a", "bcdefghijklmnopqrstuvwxyz0123456789");
+      ("ArthurDent1966-09-26", "4278.230");
+      (String.make 100 'x', String.make 53 'y');
+    ]
+
+let test_person_example () =
+  (* h<name> = C(h<first>, h<family>), and the element hash equals the
+     hash of the concatenated string value (paper Section 3). *)
+  let h_first = Hash.hash "Arthur" and h_family = Hash.hash "Prefect" in
+  Alcotest.check hash_eq "name" (Hash.hash "ArthurPrefect")
+    (Hash.combine h_first h_family);
+  let h_person =
+    Hash.combine
+      (Hash.combine h_first h_family)
+      (Hash.combine (Hash.hash "1966-09-26")
+         (Hash.combine (Hash.hash "42") (Hash.hash "78.230")))
+  in
+  Alcotest.check hash_eq "person"
+    (Hash.hash "ArthurPrefect1966-09-264278.230")
+    h_person
+
+let test_inverse () =
+  List.iter
+    (fun s ->
+      let h = Hash.hash s in
+      Alcotest.check hash_eq "right inverse" Hash.empty
+        (Hash.combine h (Hash.inverse h));
+      Alcotest.check hash_eq "left inverse" Hash.empty
+        (Hash.combine (Hash.inverse h) h))
+    [ ""; "a"; "Arthur"; "some much longer string with spaces" ]
+
+let test_replace () =
+  (* parent = prefix . child . suffix; replacing the child's hash without
+     re-reading the suffix *)
+  let prefix = "AB" and old_child = "42" and suffix = "xyz" in
+  let new_child = "99999" in
+  let h_parent = Hash.hash (prefix ^ old_child ^ suffix) in
+  let updated =
+    Hash.replace ~old_child:(Hash.hash old_child)
+      ~new_child:(Hash.hash new_child) ~prefix:(Hash.hash prefix) h_parent
+  in
+  Alcotest.check hash_eq "delta update" (Hash.hash (prefix ^ new_child ^ suffix)) updated
+
+let test_pack_unpack () =
+  let h = Hash.hash "roundtrip" in
+  Alcotest.check hash_eq "pack/unpack" h
+    (Hash.pack ~c_array:(Hash.c_array h) ~offset:(Hash.offset h));
+  Alcotest.(check bool) "32-bit range" true
+    (int_of_hash h >= 0 && int_of_hash h < 1 lsl 32)
+
+let test_engineered_collisions () =
+  (* Characters 27 positions apart share a c-array offset: swapping two
+     distinct characters at stride 27 must collide (the Figure 11 URL
+     anomaly). *)
+  let base = Bytes.of_string (String.init 54 (fun i -> Char.chr (97 + (i * 7 mod 26)))) in
+  let swapped = Bytes.copy base in
+  let a = Bytes.get swapped 3 and b = Bytes.get swapped 30 in
+  Alcotest.(check bool) "chars differ" true (a <> b);
+  Bytes.set swapped 3 b;
+  Bytes.set swapped 30 a;
+  Alcotest.(check bool) "strings differ" true (Bytes.to_string base <> Bytes.to_string swapped);
+  Alcotest.check hash_eq "hashes collide"
+    (Hash.hash (Bytes.to_string base))
+    (Hash.hash (Bytes.to_string swapped))
+
+(* --- QCheck properties --- *)
+
+let gen_string = QCheck2.Gen.(string_size ~gen:printable (int_bound 60))
+
+let prop_homomorphism =
+  QCheck2.Test.make ~name:"H(a^b) = C(H a, H b)" ~count:2000
+    QCheck2.Gen.(pair gen_string gen_string)
+    (fun (a, b) ->
+      Hash.equal (Hash.hash (a ^ b)) (Hash.combine (Hash.hash a) (Hash.hash b)))
+
+let prop_associative =
+  QCheck2.Test.make ~name:"C associative" ~count:2000
+    QCheck2.Gen.(triple gen_string gen_string gen_string)
+    (fun (a, b, c) ->
+      let ha = Hash.hash a and hb = Hash.hash b and hc = Hash.hash c in
+      Hash.equal
+        (Hash.combine (Hash.combine ha hb) hc)
+        (Hash.combine ha (Hash.combine hb hc)))
+
+let prop_identity =
+  QCheck2.Test.make ~name:"empty is the unit" ~count:500 gen_string (fun s ->
+      let h = Hash.hash s in
+      Hash.equal (Hash.combine h Hash.empty) h
+      && Hash.equal (Hash.combine Hash.empty h) h)
+
+let prop_inverse =
+  QCheck2.Test.make ~name:"group inverse" ~count:500 gen_string (fun s ->
+      let h = Hash.hash s in
+      Hash.equal (Hash.combine h (Hash.inverse h)) Hash.empty)
+
+let prop_replace =
+  QCheck2.Test.make ~name:"delta replace" ~count:500
+    QCheck2.Gen.(quad gen_string gen_string gen_string gen_string)
+    (fun (prefix, old_c, suffix, new_c) ->
+      let h = Hash.hash (prefix ^ old_c ^ suffix) in
+      Hash.equal
+        (Hash.replace ~old_child:(Hash.hash old_c) ~new_child:(Hash.hash new_c)
+           ~prefix:(Hash.hash prefix) h)
+        (Hash.hash (prefix ^ new_c ^ suffix)))
+
+let prop_fold_any_grouping =
+  (* combining a list of pieces with any parenthesisation equals hashing
+     the concatenation — the induction of Section 3 *)
+  QCheck2.Test.make ~name:"any grouping" ~count:500
+    QCheck2.Gen.(list_size (int_range 0 8) gen_string)
+    (fun pieces ->
+      let whole = Hash.hash (String.concat "" pieces) in
+      let left =
+        List.fold_left
+          (fun acc p -> Hash.combine acc (Hash.hash p))
+          Hash.empty pieces
+      in
+      let right =
+        List.fold_right
+          (fun p acc -> Hash.combine (Hash.hash p) acc)
+          pieces Hash.empty
+      in
+      Hash.equal whole left && Hash.equal whole right)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "hash"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "Figure 3 example" `Quick test_figure3_example;
+          Alcotest.test_case "empty string" `Quick test_empty_string;
+          Alcotest.test_case "offset arithmetic" `Quick test_offset_is_length_times5_mod27;
+          Alcotest.test_case "7-bit masking" `Quick test_seven_bit_masking;
+          Alcotest.test_case "known combinations" `Quick test_known_combinations;
+          Alcotest.test_case "person example" `Quick test_person_example;
+          Alcotest.test_case "inverse" `Quick test_inverse;
+          Alcotest.test_case "replace" `Quick test_replace;
+          Alcotest.test_case "pack/unpack" `Quick test_pack_unpack;
+          Alcotest.test_case "engineered collisions" `Quick test_engineered_collisions;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_homomorphism;
+            prop_associative;
+            prop_identity;
+            prop_inverse;
+            prop_replace;
+            prop_fold_any_grouping;
+          ] );
+    ]

@@ -1,0 +1,144 @@
+(* Coverage for corners the main suites pass over: the DFA builder's
+   error checking, the name pool, timing helpers, serializer output for
+   comments/PIs, and hash pretty-printing. *)
+
+module Dfa = Xvi_core.Dfa
+module Store = Xvi_xml.Store
+module Parser = Xvi_xml.Parser
+
+let expect_invalid what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+  | exception Invalid_argument _ -> ()
+
+let test_dfa_builder_errors () =
+  let ok_classes = [ ("ab", 0); ("0-9", 1) ] in
+  let base ?(n_states = 3) ?(start = 1) ?(sink = 0) ?(finals = [ 2 ])
+      ?(classes = ok_classes) ?(transitions = [ (1, "ab", 2) ]) () =
+    Dfa.build ~name:"t" ~n_states ~start ~sink ~finals ~classes ~transitions
+  in
+  ignore (base ());
+  expect_invalid "state out of range" (fun () -> base ~finals:[ 9 ] ());
+  expect_invalid "final sink" (fun () -> base ~finals:[ 0 ] ());
+  expect_invalid "overlapping classes" (fun () ->
+      base ~classes:[ ("ab", 0); ("bc", 1) ] ());
+  expect_invalid "mislabelled class" (fun () ->
+      base ~classes:[ ("ab", 1); ("0-9", 0) ] ());
+  expect_invalid "duplicate class" (fun () ->
+      base ~classes:[ ("ab", 0); ("ab", 1) ] ());
+  expect_invalid "unknown class in transition" (fun () ->
+      base ~transitions:[ (1, "zz", 2) ] ());
+  expect_invalid "duplicate transition" (fun () ->
+      base ~transitions:[ (1, "ab", 2); (1, "ab", 1) ] ());
+  expect_invalid "escape from sink" (fun () ->
+      base ~transitions:[ (0, "ab", 1) ] ())
+
+let test_dfa_running () =
+  let dfa =
+    Dfa.build ~name:"ab*" ~n_states:3 ~start:1 ~sink:0 ~finals:[ 2 ]
+      ~classes:[ ("a", 0); ("b", 1) ]
+      ~transitions:[ (1, "a", 2); (2, "b", 2) ]
+  in
+  Alcotest.(check bool) "a" true (Dfa.accepts dfa "a");
+  Alcotest.(check bool) "abbb" true (Dfa.accepts dfa "abbb");
+  Alcotest.(check bool) "b" false (Dfa.accepts dfa "b");
+  Alcotest.(check bool) "ax sticks in sink" false (Dfa.accepts dfa "axa");
+  Alcotest.(check int) "classes incl other" 3 (Dfa.n_classes dfa);
+  Alcotest.(check (option char)) "repr a" (Some 'a') (Dfa.class_repr dfa 0);
+  let reach = Dfa.reachable dfa in
+  Alcotest.(check bool) "start reachable" true reach.(1);
+  let co = Dfa.co_accessible dfa in
+  Alcotest.(check bool) "sink not co-accessible" false co.(0)
+
+let test_name_pool () =
+  let pool = Xvi_xml.Name_pool.create () in
+  let a = Xvi_xml.Name_pool.intern pool "alpha" in
+  let b = Xvi_xml.Name_pool.intern pool "beta" in
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check int) "idempotent" a (Xvi_xml.Name_pool.intern pool "alpha");
+  Alcotest.(check string) "inverse" "beta" (Xvi_xml.Name_pool.name pool b);
+  Alcotest.(check (option int)) "find" (Some a) (Xvi_xml.Name_pool.find pool "alpha");
+  Alcotest.(check (option int)) "miss" None (Xvi_xml.Name_pool.find pool "gamma");
+  Alcotest.(check int) "count" 2 (Xvi_xml.Name_pool.count pool);
+  (* growth beyond the initial capacity *)
+  for i = 0 to 199 do
+    ignore (Xvi_xml.Name_pool.intern pool (Printf.sprintf "n%d" i))
+  done;
+  Alcotest.(check int) "count after growth" 202 (Xvi_xml.Name_pool.count pool);
+  Alcotest.(check string) "old names survive" "alpha"
+    (Xvi_xml.Name_pool.name pool a);
+  expect_invalid "unknown id" (fun () -> Xvi_xml.Name_pool.name pool 999)
+
+let test_timing () =
+  let x, ms = Xvi_util.Timing.time_ms (fun () -> 41 + 1) in
+  Alcotest.(check int) "result" 42 x;
+  Alcotest.(check bool) "non-negative" true (ms >= 0.0);
+  let mean = Xvi_util.Timing.repeat_ms ~warmup:2 5 (fun () -> ignore (Sys.opaque_identity 1)) in
+  Alcotest.(check bool) "mean sane" true (mean >= 0.0 && mean < 1000.0);
+  let med = Xvi_util.Timing.median_ms 5 (fun () -> ignore (Sys.opaque_identity 1)) in
+  Alcotest.(check bool) "median sane" true (med >= 0.0 && med < 1000.0)
+
+let test_serializer_misc () =
+  let doc =
+    "<?xml version=\"1.0\"?><!--top--><root a=\"1\"><?pi data?><!--in-->x<e/></root>"
+  in
+  let store = Parser.parse_exn doc in
+  let out = Xvi_xml.Serializer.document_to_string store in
+  List.iter
+    (fun fragment ->
+      if
+        not
+          (let n = String.length fragment and h = String.length out in
+           let rec go i =
+             i + n <= h && (String.sub out i n = fragment || go (i + 1))
+           in
+           go 0)
+      then Alcotest.failf "output %S lacks %S" out fragment)
+    [ "<?xml"; "<!--top-->"; "<?pi data?>"; "<!--in-->"; "<e/>"; "a=\"1\"" ];
+  (* reparse gives the same store shape *)
+  let again = Parser.parse_exn out in
+  Alcotest.(check int) "comment kept" (Store.count_of_kind store Store.Comment)
+    (Store.count_of_kind again Store.Comment);
+  Alcotest.(check int) "pi kept" (Store.count_of_kind store Store.Pi)
+    (Store.count_of_kind again Store.Pi)
+
+let test_hash_pp () =
+  let h = Xvi_core.Hash.hash "Arthur" in
+  let rendered = Format.asprintf "%a" Xvi_core.Hash.pp h in
+  Alcotest.(check string) "figure 3 rendering" "365de1d|03" rendered;
+  Alcotest.(check int) "compare consistent" 0
+    (Xvi_core.Hash.compare h (Xvi_core.Hash.hash "Arthur"))
+
+let test_store_arg_errors () =
+  let store = Parser.parse_exn "<a>x</a>" in
+  let root = Option.get (Store.first_child store Store.document) in
+  let text = (Store.text_nodes store).(0) in
+  expect_invalid "append under text" (fun () ->
+      Store.append_element store ~parent:text "b");
+  expect_invalid "attribute on text" (fun () ->
+      Store.append_attribute store ~element:text ~name:"x" ~value:"1");
+  expect_invalid "delete document" (fun () ->
+      Store.delete_subtree store Store.document);
+  expect_invalid "text of element" (fun () -> ignore (Store.text store root));
+  expect_invalid "name of text" (fun () -> ignore (Store.name store text));
+  expect_invalid "insert before foreign sibling" (fun () ->
+      let other = Store.append_element store ~parent:root "c" in
+      ignore (Store.insert_element store ~parent:Store.document ~before:other "d"))
+
+let () =
+  Alcotest.run "misc"
+    [
+      ( "dfa",
+        [
+          Alcotest.test_case "builder errors" `Quick test_dfa_builder_errors;
+          Alcotest.test_case "running" `Quick test_dfa_running;
+        ] );
+      ( "support",
+        [
+          Alcotest.test_case "name pool" `Quick test_name_pool;
+          Alcotest.test_case "timing" `Quick test_timing;
+          Alcotest.test_case "serializer misc" `Quick test_serializer_misc;
+          Alcotest.test_case "hash pp" `Quick test_hash_pp;
+          Alcotest.test_case "store argument errors" `Quick test_store_arg_errors;
+        ] );
+    ]

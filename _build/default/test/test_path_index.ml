@@ -1,0 +1,140 @@
+(* Tests for the DB2-style path-specific baseline index: pattern
+   parsing, selection semantics, maintenance, and the coverage contrast
+   with the paper's generic indices. *)
+
+module Store = Xvi_xml.Store
+module Parser = Xvi_xml.Parser
+module PI = Xvi_core.Path_index
+module TI = Xvi_core.Typed_index
+module LT = Xvi_core.Lexical_types
+
+let site_doc =
+  "<site><people>\
+   <person id=\"1\"><age>42</age><income>1000</income></person>\
+   <person id=\"2\"><details><age>41</age></details></person>\
+   </people>\
+   <animals><animal><age>7</age></animal></animals></site>"
+
+let ok_or_fail what = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+let test_pattern_errors () =
+  let store = Parser.parse_exn "<a/>" in
+  List.iter
+    (fun pattern ->
+      match PI.create ~pattern (LT.double ()) store with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "pattern %S should be rejected" pattern)
+    [ ""; "//"; "//person/"; "//@id/person"; "//per son"; "//person//" ]
+
+let test_selection () =
+  let store = Parser.parse_exn site_doc in
+  (* descendant step: both nested ages under person, not the animal's *)
+  let pi = PI.create_exn ~pattern:"//person//age" (LT.double ()) store in
+  ok_or_fail "validate" (PI.validate pi store);
+  Alcotest.(check int) "two person ages" 2 (PI.entry_count pi);
+  Alcotest.(check int) "42 found" 1 (List.length (PI.range ~lo:42.0 ~hi:42.0 pi));
+  Alcotest.(check int) "7 not covered" 0 (List.length (PI.range ~lo:7.0 ~hi:7.0 pi));
+  (* child step: only the direct age *)
+  let direct = PI.create_exn ~pattern:"//person/age" (LT.double ()) store in
+  Alcotest.(check int) "one direct age" 1 (PI.entry_count direct);
+  (* rooted pattern *)
+  let rooted = PI.create_exn ~pattern:"/site/animals/animal/age" (LT.double ()) store in
+  Alcotest.(check int) "animal age" 1 (PI.entry_count rooted);
+  (* attribute pattern *)
+  let attr = PI.create_exn ~pattern:"//person/@id" (LT.integer ()) store in
+  Alcotest.(check int) "ids indexed" 2 (PI.entry_count attr);
+  Alcotest.(check int) "id = 2" 1 (List.length (PI.range ~lo:2.0 ~hi:2.0 attr))
+
+let test_type_specificity () =
+  (* the paper's point (ii): a double path index cannot answer string
+     lookups — non-castable values are simply absent *)
+  let store =
+    Parser.parse_exn "<r><x>42</x><x>not a number</x><x>13</x></r>"
+  in
+  let pi = PI.create_exn ~pattern:"//x" (LT.double ()) store in
+  Alcotest.(check int) "only castable nodes" 2 (PI.entry_count pi)
+
+let test_maintenance () =
+  let store = Parser.parse_exn site_doc in
+  let pi = PI.create_exn ~pattern:"//person//age" (LT.double ()) store in
+  let texts = Store.text_nodes store in
+  (* "42" -> "43" *)
+  Store.set_text store texts.(0) "43";
+  PI.update_texts pi store [ texts.(0) ];
+  ok_or_fail "validate after update" (PI.validate pi store);
+  Alcotest.(check int) "43 present" 1 (List.length (PI.range ~lo:43.0 ~hi:43.0 pi));
+  Alcotest.(check int) "42 gone" 0 (List.length (PI.range ~lo:42.0 ~hi:42.0 pi));
+  (* make it non-numeric: drops out *)
+  Store.set_text store texts.(0) "unknown";
+  PI.update_texts pi store [ texts.(0) ];
+  ok_or_fail "validate after breakage" (PI.validate pi store);
+  Alcotest.(check int) "one left" 1 (PI.entry_count pi)
+
+let test_delete_insert () =
+  let store = Parser.parse_exn site_doc in
+  let pi = PI.create_exn ~pattern:"//person//age" (LT.double ()) store in
+  (* delete person 2's details subtree *)
+  let details =
+    let acc = ref [] in
+    Store.iter_pre store (fun n ->
+        if Store.kind store n = Store.Element && Store.name store n = "details"
+        then acc := n :: !acc);
+    List.hd !acc
+  in
+  let removed = ref [] in
+  Store.iter_pre ~root:details store (fun m -> removed := m :: !removed);
+  Store.delete_subtree store details;
+  PI.on_delete pi store ~removed:!removed;
+  ok_or_fail "validate after delete" (PI.validate pi store);
+  Alcotest.(check int) "one age left" 1 (PI.entry_count pi);
+  (* insert a new matching subtree *)
+  let person1 =
+    List.hd
+      (List.filter
+         (fun n ->
+           Store.kind store n = Store.Element && Store.name store n = "person")
+         (let acc = ref [] in
+          Store.iter_pre store (fun n -> acc := n :: !acc);
+          List.rev !acc))
+  in
+  (match Parser.parse_fragment store ~parent:person1 "<age>39</age>" with
+  | Ok roots -> PI.on_insert pi store ~roots
+  | Error e -> Alcotest.failf "fragment: %s" (Parser.error_to_string e));
+  ok_or_fail "validate after insert" (PI.validate pi store);
+  Alcotest.(check int) "back to two" 2 (PI.entry_count pi)
+
+let test_coverage_contrast () =
+  (* the generic index answers every path; the path index only its own *)
+  let xml = Xvi_workload.Xmark.generate ~seed:77 ~factor:0.02 () in
+  let store = Parser.parse_exn xml in
+  let generic = TI.create (LT.double ()) store in
+  let pi = PI.create_exn ~pattern:"//open_auction/initial" (LT.double ()) store in
+  ok_or_fail "path validate" (PI.validate pi store);
+  (* every path-index entry is also in the generic index *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) "generic covers path entries" true
+        (TI.is_complete generic n))
+    (PI.range pi);
+  (* but the generic index also knows about prices, which the path
+     index cannot see *)
+  let st = TI.stats generic store in
+  Alcotest.(check bool) "generic strictly larger" true
+    (st.TI.complete_nodes > PI.entry_count pi);
+  Alcotest.(check bool) "path index non-trivial" true (PI.entry_count pi > 0)
+
+let () =
+  Alcotest.run "path_index"
+    [
+      ( "path-index",
+        [
+          Alcotest.test_case "pattern errors" `Quick test_pattern_errors;
+          Alcotest.test_case "selection" `Quick test_selection;
+          Alcotest.test_case "type specificity" `Quick test_type_specificity;
+          Alcotest.test_case "maintenance" `Quick test_maintenance;
+          Alcotest.test_case "delete/insert" `Quick test_delete_insert;
+          Alcotest.test_case "coverage contrast" `Quick test_coverage_contrast;
+        ] );
+    ]

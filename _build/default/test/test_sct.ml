@@ -1,0 +1,381 @@
+(* Tests for the type machines: DFA construction, the derived transition
+   monoid / state combination table (paper Section 4), and the typed-key
+   parsers. Acceptance is cross-checked against independent reference
+   recognisers, and the SCT law against direct FSM runs. *)
+
+module Dfa = Xvi_core.Dfa
+module Sct = Xvi_core.Sct
+module LT = Xvi_core.Lexical_types
+
+let double = LT.double ()
+let integer = LT.integer ()
+let boolean = LT.boolean ()
+let datetime = LT.datetime ()
+
+(* --- reference recognisers (hand-rolled, no FSM machinery) --- *)
+
+let ref_double s =
+  let s = String.trim s in
+  let n = String.length s in
+  let i = ref 0 in
+  let digits () =
+    let start = !i in
+    while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+      incr i
+    done;
+    !i > start
+  in
+  if n = 0 then false
+  else begin
+    if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
+    let mantissa =
+      if digits () then begin
+        if !i < n && s.[!i] = '.' then begin
+          incr i;
+          ignore (digits ())
+        end;
+        true
+      end
+      else if !i < n && s.[!i] = '.' then begin
+        incr i;
+        digits ()
+      end
+      else false
+    in
+    mantissa
+    && (if !i < n && (s.[!i] = 'e' || s.[!i] = 'E') then begin
+          incr i;
+          if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
+          digits ()
+        end
+        else true)
+    && !i = n
+    (* inner whitespace was already excluded by trim + this check *)
+  end
+
+let accepting spec s =
+  Sct.is_accepting spec.LT.sct (Sct.of_string spec.LT.sct s)
+
+let viable spec s = Sct.is_viable spec.LT.sct (Sct.of_string spec.LT.sct s)
+
+let test_double_examples () =
+  let yes =
+    [ "42"; "42.0"; " +4.2E1"; "78.230"; "-0.5"; ".5"; "5."; "1e9"; "1E+9";
+      "  7  "; "+.25"; "-1.5E-3" ]
+  in
+  let no =
+    [ ""; "."; "E"; "e-"; "42 text"; "4 2"; "--1"; "1.2.3"; "1e"; "1e+";
+      "abc"; "NaN"; "INF"; "0x1A"; "1,000"; "42text" ]
+  in
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "accept %S" s) true (accepting double s))
+    yes;
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "reject %S" s) false (accepting double s))
+    no
+
+let test_double_potential () =
+  (* paper: "." and "E+93 " are potential; "42 text" is not *)
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "viable %S" s) true (viable double s))
+    [ "."; "E+93 "; "e-"; "-"; "+"; ""; "42"; " +3" ];
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "not viable %S" s) false (viable double s))
+    [ "42 text"; "x"; "1.2.3"; "4 2"; ". ." ]
+
+let test_paper_weight_example () =
+  (* "78" + "." + "230" combine to the complete double 78.230 *)
+  let sct = double.LT.sct in
+  let s78 = Sct.of_string sct "78"
+  and sdot = Sct.of_string sct "."
+  and s230 = Sct.of_string sct "230" in
+  let combined = Sct.compose sct (Sct.compose sct s78 sdot) s230 in
+  Alcotest.(check bool) "accepting" true (Sct.is_accepting sct combined);
+  Alcotest.(check int) "same as direct" (Sct.of_string sct "78.230") combined
+
+let test_monoid_sizes () =
+  (* the paper's hand-normalised double FSM has 60 states; the derived
+     monoid is the same order of magnitude and fits a byte *)
+  let size = Sct.size double.LT.sct in
+  Alcotest.(check bool) "double monoid small" true (size > 10 && size <= 256);
+  Alcotest.(check int) "double state bytes" 1 (Sct.state_bytes double.LT.sct);
+  Alcotest.(check bool) "integer smaller than double" true
+    (Sct.size integer.LT.sct < size);
+  Alcotest.(check bool) "datetime monoid bounded" true
+    (Sct.size datetime.LT.sct <= 4096)
+
+let test_identity_element () =
+  let sct = double.LT.sct in
+  Alcotest.(check int) "of_string \"\"" (Sct.identity sct) (Sct.of_string sct "");
+  Alcotest.(check bool) "identity viable" true (Sct.is_viable sct (Sct.identity sct));
+  Alcotest.(check bool) "identity not accepting" false
+    (Sct.is_accepting sct (Sct.identity sct));
+  let s42 = Sct.of_string sct "42" in
+  Alcotest.(check int) "left unit" s42 (Sct.compose sct (Sct.identity sct) s42);
+  Alcotest.(check int) "right unit" s42 (Sct.compose sct s42 (Sct.identity sct))
+
+let test_reject_absorbing () =
+  let sct = double.LT.sct in
+  let rej = Sct.of_string sct "xyz" in
+  Alcotest.(check int) "reject id" (Sct.reject sct) rej;
+  let s42 = Sct.of_string sct "42" in
+  Alcotest.(check int) "left absorb" (Sct.reject sct) (Sct.compose sct rej s42);
+  Alcotest.(check int) "right absorb" (Sct.reject sct) (Sct.compose sct s42 rej)
+
+let test_witnesses () =
+  let sct = double.LT.sct in
+  (* every element's witness must map back to that element *)
+  for id = 1 to Sct.size sct - 1 do
+    let w = Sct.witness sct id in
+    Alcotest.(check int) (Printf.sprintf "witness of %d (%S)" id w) id
+      (Sct.of_string sct w)
+  done
+
+let test_dfa_state_view () =
+  let sct = double.LT.sct in
+  let dfa = Sct.dfa sct in
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        (Printf.sprintf "dfa state of %S" s)
+        (Dfa.run dfa s)
+        (Sct.dfa_state sct (Sct.of_string sct s)))
+    [ "42"; "4.2"; "+"; " 1e5 "; "" ]
+
+let test_integer_examples () =
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "accept %S" s) true (accepting integer s))
+    [ "0"; "42"; "-7"; "+100"; " 12 " ];
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "reject %S" s) false (accepting integer s))
+    [ "1.5"; ""; "-"; "1e3"; "abc"; "1 2" ]
+
+let test_boolean_examples () =
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "accept %S" s) true (accepting boolean s))
+    [ "true"; "false"; "1"; "0"; " true " ];
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "reject %S" s) false (accepting boolean s))
+    [ "TRUE"; "yes"; "10"; "tru"; ""; "truefalse" ];
+  (* mixed-content assembly: "tr" + "ue" is a complete boolean *)
+  let sct = boolean.LT.sct in
+  Alcotest.(check bool) "tr+ue" true
+    (Sct.is_accepting sct
+       (Sct.compose sct (Sct.of_string sct "tr") (Sct.of_string sct "ue")))
+
+let test_datetime_examples () =
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "accept %S" s) true (accepting datetime s))
+    [
+      "1966-09-26T00:00:00";
+      "2004-07-15T08:30:00Z";
+      "2004-07-15T08:30:00.123Z";
+      "2004-07-15T08:30:00+02:00";
+      " 2004-07-15T08:30:00-05:30 ";
+    ];
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "reject %S" s) false (accepting datetime s))
+    [
+      "2004-07-15"; "08:30:00"; "2004-07-15 08:30:00"; "2004-7-15T08:30:00";
+      "not a date"; "2004-07-15T08:30"; "2004-07-15T08:30:00X";
+    ]
+
+let test_datetime_keys_ordered () =
+  let parse s =
+    match datetime.LT.parse s with
+    | Some v -> v
+    | None -> Alcotest.failf "unparseable %S" s
+  in
+  let ordered =
+    [
+      "1966-09-26T00:00:00Z";
+      "1999-12-31T23:59:59Z";
+      "2004-07-15T08:30:00+02:00";
+      "2004-07-15T08:30:00Z";
+      "2004-07-15T10:30:00Z";
+      "2004-07-15T08:30:00-05:30";
+    ]
+  in
+  let keys = List.map parse ordered in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "strictly increasing" true (a < b);
+        check rest
+    | _ -> ()
+  in
+  check keys;
+  (* timezone application: 08:30+02:00 = 06:30Z *)
+  Alcotest.(check (float 0.001)) "tz offset"
+    (parse "2004-07-15T06:30:00Z")
+    (parse "2004-07-15T08:30:00+02:00")
+
+let decimal = LT.decimal ()
+let date = LT.date ()
+let time = LT.time ()
+
+let test_decimal_examples () =
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "accept %S" s) true (accepting decimal s))
+    [ "0"; "42"; "-7.25"; "+100."; ".5"; " 3.14 " ];
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "reject %S" s) false (accepting decimal s))
+    [ "1e3"; "1E-2"; ""; "-"; "."; "abc"; "1.2.3" ]
+
+let test_date_examples () =
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "accept %S" s) true (accepting date s))
+    [ "1966-09-26"; "2004-07-15Z"; "2004-07-15+02:00"; " 2004-07-15-05:00 " ];
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "reject %S" s) false (accepting date s))
+    [ "2004-7-15"; "2004-07-15T00:00:00"; "20040715"; "2004-07"; "x" ];
+  (* keys ordered; tz applied *)
+  let k s = Option.get (date.LT.parse s) in
+  Alcotest.(check bool) "ordered" true (k "1966-09-26" < k "1966-09-27");
+  Alcotest.(check bool) "tz shifts start instant" true
+    (k "2004-07-15+02:00" < k "2004-07-15Z" && k "2004-07-15Z" < k "2004-07-15-05:00")
+
+let test_time_examples () =
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "accept %S" s) true (accepting time s))
+    [ "08:30:00"; "23:59:59.999"; "08:30:00Z"; "08:30:00+02:00"; " 00:00:00 " ];
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "reject %S" s) false (accepting time s))
+    [ "8:30:00"; "08:30"; "08-30-00"; ""; "08:30:00X" ];
+  let k s = Option.get (time.LT.parse s) in
+  Alcotest.(check (float 0.001)) "tz" (k "06:30:00Z") (k "08:30:00+02:00");
+  Alcotest.(check bool) "frac ordered" true (k "08:30:00.1" < k "08:30:00.2")
+
+let test_all_specs_well_formed () =
+  (* every registered machine derives an SCT whose identity is viable
+     and whose accepting strings parse *)
+  List.iter
+    (fun spec ->
+      let sct = spec.LT.sct in
+      Alcotest.(check bool)
+        (spec.LT.type_name ^ " identity viable")
+        true
+        (Sct.is_viable sct (Sct.identity sct));
+      for id = 1 to Sct.size sct - 1 do
+        if Sct.is_accepting sct id then begin
+          let w = Sct.witness sct id in
+          (* must never raise; None is allowed only for calendar types,
+             whose DFA checks shape but not component ranges *)
+          match spec.LT.parse w with
+          | Some _ -> ()
+          | None ->
+              let calendar =
+                List.mem spec.LT.type_name [ "xs:date"; "xs:time"; "xs:dateTime" ]
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s witness %S may only fail semantically"
+                   spec.LT.type_name w)
+                true calendar
+        end
+      done)
+    (LT.all ())
+
+let test_days_from_civil () =
+  Alcotest.(check int) "epoch" 0 (LT.days_from_civil ~year:1970 ~month:1 ~day:1);
+  Alcotest.(check int) "next day" 1 (LT.days_from_civil ~year:1970 ~month:1 ~day:2);
+  Alcotest.(check int) "2000-03-01" 11017 (LT.days_from_civil ~year:2000 ~month:3 ~day:1);
+  Alcotest.(check int) "leap day" 11016 (LT.days_from_civil ~year:2000 ~month:2 ~day:29);
+  Alcotest.(check int) "before epoch" (-1) (LT.days_from_civil ~year:1969 ~month:12 ~day:31)
+
+let test_parse_agrees_with_float () =
+  List.iter
+    (fun s ->
+      match double.LT.parse s with
+      | Some v ->
+          Alcotest.(check (float 1e-9)) (Printf.sprintf "parse %S" s)
+            (float_of_string (String.trim s)) v
+      | None -> Alcotest.failf "parse of accepted %S failed" s)
+    [ "42"; "-1.5E-3"; ".5"; " 78.230 " ]
+
+(* --- QCheck properties --- *)
+
+(* Strings over the double alphabet so acceptance is non-trivially hit *)
+let gen_double_ish =
+  QCheck2.Gen.(
+    string_size ~gen:(oneofl [ '0'; '1'; '9'; '.'; '+'; '-'; 'e'; 'E'; ' '; 'x' ])
+      (int_bound 12))
+
+let prop_acceptance_matches_reference =
+  QCheck2.Test.make ~name:"double acceptance = reference" ~count:5000
+    gen_double_ish (fun s -> accepting double s = ref_double s)
+
+let prop_sct_law =
+  QCheck2.Test.make ~name:"SCT law: compose = of_string of concat" ~count:5000
+    QCheck2.Gen.(pair gen_double_ish gen_double_ish)
+    (fun (u, v) ->
+      let sct = double.LT.sct in
+      Sct.compose sct (Sct.of_string sct u) (Sct.of_string sct v)
+      = Sct.of_string sct (u ^ v))
+
+let prop_sct_law_datetime =
+  let gen =
+    QCheck2.Gen.(
+      string_size ~gen:(oneofl [ '0'; '2'; '9'; '-'; ':'; 'T'; 'Z'; '.'; '+'; ' ' ])
+        (int_bound 12))
+  in
+  QCheck2.Test.make ~name:"SCT law (dateTime)" ~count:3000
+    QCheck2.Gen.(pair gen gen)
+    (fun (u, v) ->
+      let sct = datetime.LT.sct in
+      Sct.compose sct (Sct.of_string sct u) (Sct.of_string sct v)
+      = Sct.of_string sct (u ^ v))
+
+let prop_accepting_parses =
+  QCheck2.Test.make ~name:"accepting implies parseable" ~count:5000
+    gen_double_ish (fun s ->
+      if accepting double s then double.LT.parse s <> None else true)
+
+let prop_compose_associative =
+  QCheck2.Test.make ~name:"SCT compose associative" ~count:3000
+    QCheck2.Gen.(triple gen_double_ish gen_double_ish gen_double_ish)
+    (fun (a, b, c) ->
+      let sct = double.LT.sct in
+      let ea = Sct.of_string sct a
+      and eb = Sct.of_string sct b
+      and ec = Sct.of_string sct c in
+      Sct.compose sct (Sct.compose sct ea eb) ec
+      = Sct.compose sct ea (Sct.compose sct eb ec))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "sct"
+    [
+      ( "double",
+        [
+          Alcotest.test_case "examples" `Quick test_double_examples;
+          Alcotest.test_case "potential values" `Quick test_double_potential;
+          Alcotest.test_case "paper weight example" `Quick test_paper_weight_example;
+          Alcotest.test_case "monoid sizes" `Quick test_monoid_sizes;
+          Alcotest.test_case "identity" `Quick test_identity_element;
+          Alcotest.test_case "reject absorbing" `Quick test_reject_absorbing;
+          Alcotest.test_case "witnesses" `Quick test_witnesses;
+          Alcotest.test_case "dfa state view" `Quick test_dfa_state_view;
+          Alcotest.test_case "parse agrees with float" `Quick test_parse_agrees_with_float;
+        ] );
+      ( "other types",
+        [
+          Alcotest.test_case "integer" `Quick test_integer_examples;
+          Alcotest.test_case "boolean" `Quick test_boolean_examples;
+          Alcotest.test_case "datetime" `Quick test_datetime_examples;
+          Alcotest.test_case "datetime keys ordered" `Quick test_datetime_keys_ordered;
+          Alcotest.test_case "decimal" `Quick test_decimal_examples;
+          Alcotest.test_case "date" `Quick test_date_examples;
+          Alcotest.test_case "time" `Quick test_time_examples;
+          Alcotest.test_case "all specs well-formed" `Quick test_all_specs_well_formed;
+          Alcotest.test_case "days_from_civil" `Quick test_days_from_civil;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_acceptance_matches_reference;
+            prop_sct_law;
+            prop_sct_law_datetime;
+            prop_accepting_parses;
+            prop_compose_associative;
+          ] );
+    ]

@@ -1,0 +1,147 @@
+(* Unit and property tests for the xvi_util substrate. *)
+
+module Prng = Xvi_util.Prng
+module Vec = Xvi_util.Vec
+module Table = Xvi_util.Table
+
+let test_prng_deterministic () =
+  let a = Prng.create 123 and b = Prng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.int64 a) (Prng.int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.int64 a = Prng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_prng_bounds () =
+  let rng = Prng.create 99 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7)
+  done;
+  for _ = 1 to 1_000 do
+    let v = Prng.in_range rng (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_prng_uniformish () =
+  let rng = Prng.create 7 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Prng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket %d has %d, expected about %d" i c expected)
+    counts
+
+let test_sample_distinct () =
+  let rng = Prng.create 3 in
+  (* sparse and dense paths *)
+  List.iter
+    (fun (k, n) ->
+      let s = Prng.sample_distinct rng k n in
+      Alcotest.(check int) "length" k (Array.length s);
+      let set = Hashtbl.create k in
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) "in range" true (v >= 0 && v < n);
+          Alcotest.(check bool) "distinct" false (Hashtbl.mem set v);
+          Hashtbl.replace set v ())
+        s)
+    [ (10, 1000); (900, 1000); (0, 5); (5, 5) ]
+
+let test_choose_weighted () =
+  let rng = Prng.create 11 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 30_000 do
+    let v = Prng.choose_weighted rng [| (1, "a"); (2, "b"); (7, "c") |] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  Alcotest.(check bool) "c most frequent" true (get "c" > get "b" && get "b" > get "a");
+  Alcotest.(check bool) "roughly 70%" true (abs (get "c" - 21_000) < 2_000)
+
+let test_vec_int_basics () =
+  let v = Vec.Int.create () in
+  for i = 0 to 999 do
+    Vec.Int.push v (i * 2)
+  done;
+  Alcotest.(check int) "length" 1000 (Vec.Int.length v);
+  Alcotest.(check int) "get" 500 (Vec.Int.get v 250);
+  Vec.Int.set v 250 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.Int.get v 250);
+  Alcotest.(check int) "pop" 1998 (Vec.Int.pop v);
+  Alcotest.(check int) "popped length" 999 (Vec.Int.length v);
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec.Int.get: index 999 out of [0,999)") (fun () ->
+      ignore (Vec.Int.get v 999))
+
+let test_vec_int_fold_iter () =
+  let v = Vec.Int.of_array [| 1; 2; 3; 4 |] in
+  Alcotest.(check int) "fold" 10 (Vec.Int.fold_left ( + ) 0 v);
+  let acc = ref [] in
+  Vec.Int.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check (list (pair int int)))
+    "iteri" [ (0, 1); (1, 2); (2, 3); (3, 4) ] (List.rev !acc);
+  Alcotest.(check bool) "to_array" true (Vec.Int.to_array v = [| 1; 2; 3; 4 |])
+
+let test_vec_poly () =
+  let v = Vec.Poly.create ~dummy:"" () in
+  for i = 0 to 99 do
+    Vec.Poly.push v (string_of_int i)
+  done;
+  Alcotest.(check string) "get" "42" (Vec.Poly.get v 42);
+  Vec.Poly.set v 42 "changed";
+  Alcotest.(check string) "set" "changed" (Vec.Poly.get v 42);
+  Alcotest.(check int) "length" 100 (Vec.Poly.length v)
+
+let test_table_formats () =
+  Alcotest.(check string) "int" "4,690,640" (Table.fmt_int 4690640);
+  Alcotest.(check string) "small int" "42" (Table.fmt_int 42);
+  Alcotest.(check string) "neg int" "-1,234" (Table.fmt_int (-1234));
+  Alcotest.(check string) "bytes mb" "12.3 MB" (Table.fmt_bytes 12_300_000);
+  Alcotest.(check string) "pct" "7.4%" (Table.fmt_pct 7.4)
+
+let test_table_render () =
+  let s =
+    Table.render ~header:[ "a"; "b" ] [ [ "x"; "1" ]; [ "yy"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "line count" 5 (List.length lines);
+  Alcotest.(check bool) "separator" true
+    (String.length (List.nth lines 1) > 0 && (List.nth lines 1).[0] = '-')
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "uniform-ish" `Quick test_prng_uniformish;
+          Alcotest.test_case "sample_distinct" `Quick test_sample_distinct;
+          Alcotest.test_case "choose_weighted" `Quick test_choose_weighted;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "int basics" `Quick test_vec_int_basics;
+          Alcotest.test_case "int fold/iter" `Quick test_vec_int_fold_iter;
+          Alcotest.test_case "poly" `Quick test_vec_poly;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "formats" `Quick test_table_formats;
+          Alcotest.test_case "render" `Quick test_table_render;
+        ] );
+    ]

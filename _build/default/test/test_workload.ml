@@ -1,0 +1,234 @@
+(* Workload generator tests: determinism, well-formedness, Table 1 shape
+   bands, the engineered Figure 11 collision clusters, and update
+   workload properties. *)
+
+module Store = Xvi_xml.Store
+module Parser = Xvi_xml.Parser
+module TG = Xvi_workload.Text_gen
+module Prng = Xvi_util.Prng
+
+let test_determinism () =
+  let a = Xvi_workload.Xmark.generate ~seed:9 ~factor:0.02 () in
+  let b = Xvi_workload.Xmark.generate ~seed:9 ~factor:0.02 () in
+  Alcotest.(check bool) "same seed, same doc" true (String.equal a b);
+  let c = Xvi_workload.Xmark.generate ~seed:10 ~factor:0.02 () in
+  Alcotest.(check bool) "different seed differs" false (String.equal a c)
+
+let generators =
+  [
+    ("xmark", fun ~factor -> Xvi_workload.Xmark.generate ~seed:3 ~factor ());
+    ("epageo", fun ~factor -> Xvi_workload.Datasets.epageo ~seed:3 ~factor ());
+    ("dblp", fun ~factor -> Xvi_workload.Datasets.dblp ~seed:3 ~factor ());
+    ("psd", fun ~factor -> Xvi_workload.Datasets.psd ~seed:3 ~factor ());
+    ("wiki", fun ~factor -> Xvi_workload.Datasets.wiki ~seed:3 ~factor ());
+  ]
+
+let test_well_formed () =
+  List.iter
+    (fun (name, gen) ->
+      match Parser.parse (gen ~factor:0.02) with
+      | Ok store ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s non-trivial" name)
+            true
+            (Store.live_count store > 100)
+      | Error e ->
+          Alcotest.failf "%s ill-formed: %s" name (Parser.error_to_string e))
+    generators
+
+let test_size_scales () =
+  List.iter
+    (fun (name, gen) ->
+      let small = String.length (gen ~factor:0.01) in
+      let large = String.length (gen ~factor:0.04) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s scales (%d -> %d)" name small large)
+        true
+        (float_of_int large > 2.5 *. float_of_int small))
+    generators
+
+(* Table 1 shape bands: text-node share and double density, per data set. *)
+let shape name gen ~factor =
+  let store = Parser.parse_exn (gen ~factor) in
+  let ti = Xvi_core.Typed_index.create (Xvi_core.Lexical_types.double ()) store in
+  let st = Xvi_core.Typed_index.stats ti store in
+  let total = Store.live_count store - 1 in
+  let texts = Store.count_of_kind store Store.Text in
+  ignore name;
+  ( 100 * texts / total,
+    100 * st.Xvi_core.Typed_index.complete_text_nodes / total,
+    st.Xvi_core.Typed_index.complete_non_leaves )
+
+let check_band name lo hi v =
+  if v < lo || v > hi then
+    Alcotest.failf "%s: %d outside [%d, %d]" name v lo hi
+
+let test_table1_bands () =
+  let t, d, nl =
+    shape "xmark" (fun ~factor -> Xvi_workload.Xmark.generate ~seed:4 ~factor ())
+      ~factor:0.05
+  in
+  check_band "xmark text%" 45 70 t;
+  check_band "xmark dbl%" 4 12 d;
+  Alcotest.(check int) "xmark non-leaf doubles" 0 nl;
+  let t, d, nl =
+    shape "wiki" (fun ~factor -> Xvi_workload.Datasets.wiki ~seed:4 ~factor ())
+      ~factor:0.01
+  in
+  check_band "wiki text%" 40 65 t;
+  check_band "wiki dbl%" 0 1 d;
+  Alcotest.(check int) "wiki non-leaf doubles" 0 nl;
+  let _, d, nl =
+    shape "dblp" (fun ~factor -> Xvi_workload.Datasets.dblp ~seed:4 ~factor ())
+      ~factor:0.02
+  in
+  check_band "dblp dbl%" 6 14 d;
+  Alcotest.(check bool) "dblp has a few non-leaf doubles" true (nl >= 1);
+  let _, d, nl =
+    shape "psd" (fun ~factor -> Xvi_workload.Datasets.psd ~seed:4 ~factor ())
+      ~factor:0.02
+  in
+  check_band "psd dbl%" 2 8 d;
+  Alcotest.(check bool) "psd has non-leaf doubles" true (nl >= 5)
+
+let test_suite_composition () =
+  let suite = Xvi_workload.Datasets.suite ~scale:0.002 () in
+  Alcotest.(check int) "eight entries" 8 (List.length suite);
+  Alcotest.(check (list string)) "paper order"
+    [ "XMark1"; "XMark2"; "XMark4"; "XMark8"; "EPAGeo"; "DBLP"; "PSD"; "Wiki" ]
+    (List.map (fun e -> e.Xvi_workload.Datasets.name) suite);
+  (* XMark sizes roughly double along the series *)
+  let sizes =
+    List.filter_map
+      (fun e ->
+        if String.length e.Xvi_workload.Datasets.name >= 5 then
+          Some (String.length e.Xvi_workload.Datasets.xml)
+        else None)
+      suite
+  in
+  match sizes with
+  | x1 :: x2 :: _ ->
+      Alcotest.(check bool) "XMark2 about twice XMark1" true
+        (float_of_int x2 > 1.5 *. float_of_int x1)
+  | _ -> Alcotest.fail "missing sizes"
+
+let test_colliding_urls () =
+  let tg = TG.create (Prng.create 6) in
+  let urls = TG.colliding_urls tg 9 in
+  Alcotest.(check int) "nine urls" 9 (List.length urls);
+  Alcotest.(check int) "all distinct" 9
+    (List.length (List.sort_uniq compare urls));
+  let h = Xvi_core.Hash.hash (List.hd urls) in
+  List.iter
+    (fun u ->
+      Alcotest.(check bool) "all collide" true
+        (Xvi_core.Hash.equal h (Xvi_core.Hash.hash u)))
+    urls;
+  List.iter
+    (fun u ->
+      Alcotest.(check bool) "looks like a url" true
+        (String.length u > 30 && String.sub u 0 11 = "http://www."))
+    urls
+
+let test_wiki_contains_collisions () =
+  let xml = Xvi_workload.Datasets.wiki ~seed:5 ~factor:0.01 () in
+  let store = Parser.parse_exn xml in
+  let by_hash = Hashtbl.create 1024 in
+  Store.iter_pre store (fun n ->
+      if Store.kind store n = Store.Text then begin
+        let s = Store.text store n in
+        let h = Xvi_core.Hash.to_int (Xvi_core.Hash.hash s) in
+        let set =
+          match Hashtbl.find_opt by_hash h with
+          | Some set -> set
+          | None ->
+              let set = Hashtbl.create 4 in
+              Hashtbl.add by_hash h set;
+              set
+        in
+        Hashtbl.replace set s ()
+      end);
+  let max_cluster =
+    Hashtbl.fold (fun _ set acc -> max acc (Hashtbl.length set)) by_hash 0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "collision clusters present (max %d)" max_cluster)
+    true (max_cluster >= 4)
+
+let test_update_workload () =
+  let xml = Xvi_workload.Xmark.generate ~seed:8 ~factor:0.02 () in
+  let store = Parser.parse_exn xml in
+  let updates =
+    Xvi_workload.Update_workload.random_text_updates ~seed:1 store ~count:200
+  in
+  Alcotest.(check int) "count honoured" 200 (List.length updates);
+  let nodes = List.map fst updates in
+  Alcotest.(check int) "distinct victims" 200
+    (List.length (List.sort_uniq compare nodes));
+  List.iter
+    (fun (n, v) ->
+      Alcotest.(check bool) "victims are text nodes" true
+        (Store.kind store n = Store.Text);
+      Alcotest.(check bool) "fresh value nonempty" true (String.length v > 0))
+    updates;
+  (* clamped when count exceeds available texts *)
+  let small = Parser.parse_exn "<a><b>x</b><c>y</c></a>" in
+  let u = Xvi_workload.Update_workload.random_text_updates ~seed:1 small ~count:50 in
+  Alcotest.(check int) "clamped" 2 (List.length u);
+  (* deterministic *)
+  let u1 = Xvi_workload.Update_workload.random_text_updates ~seed:2 store ~count:10 in
+  let u2 = Xvi_workload.Update_workload.random_text_updates ~seed:2 store ~count:10 in
+  Alcotest.(check bool) "deterministic" true (u1 = u2)
+
+let test_text_gen_values () =
+  let tg = TG.create (Prng.create 1) in
+  (* money parses as a double *)
+  let spec = Xvi_core.Lexical_types.double () in
+  for _ = 1 to 50 do
+    let m = TG.money tg () in
+    Alcotest.(check bool) (Printf.sprintf "money %s" m) true (spec.Xvi_core.Lexical_types.parse m <> None)
+  done;
+  (* iso datetimes accepted by the dateTime machine *)
+  let dt = Xvi_core.Lexical_types.datetime () in
+  for _ = 1 to 50 do
+    let s = TG.datetime_iso tg in
+    let sct = dt.Xvi_core.Lexical_types.sct in
+    Alcotest.(check bool) (Printf.sprintf "datetime %s" s) true
+      (Xvi_core.Sct.is_accepting sct (Xvi_core.Sct.of_string sct s))
+  done;
+  (* slash dates are NOT doubles *)
+  for _ = 1 to 20 do
+    let d = TG.date_slash tg in
+    let sct = spec.Xvi_core.Lexical_types.sct in
+    Alcotest.(check bool) (Printf.sprintf "slash date %s rejected" d) true
+      (not (Xvi_core.Sct.is_viable sct (Xvi_core.Sct.of_string sct d)))
+  done;
+  (* amino sequences have the right alphabet and length *)
+  let seq = TG.amino_sequence tg 200 in
+  Alcotest.(check int) "length" 200 (String.length seq);
+  String.iter
+    (fun c -> Alcotest.(check bool) "amino letter" true (String.contains "ACDEFGHIKLMNPQRSTVWY" c))
+    seq
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "well-formed" `Quick test_well_formed;
+          Alcotest.test_case "size scales" `Quick test_size_scales;
+          Alcotest.test_case "Table 1 bands" `Slow test_table1_bands;
+          Alcotest.test_case "suite composition" `Quick test_suite_composition;
+        ] );
+      ( "collisions",
+        [
+          Alcotest.test_case "engineered urls" `Quick test_colliding_urls;
+          Alcotest.test_case "wiki clusters" `Quick test_wiki_contains_collisions;
+        ] );
+      ( "updates",
+        [
+          Alcotest.test_case "random text updates" `Quick test_update_workload;
+          Alcotest.test_case "text_gen values" `Quick test_text_gen_values;
+        ] );
+    ]
