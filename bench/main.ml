@@ -778,7 +778,13 @@ let queries () =
       let store = store_of e in
       let db, build_ms =
         Timing.time_ms (fun () ->
-            Xvi_core.Db.of_store ~substring:(name = "Wiki") store)
+            Xvi_core.Db.of_store
+              ~config:
+                {
+                  Xvi_core.Db.Config.default with
+                  Xvi_core.Db.Config.substring = name = "Wiki";
+                }
+              store)
       in
       Printf.printf "%s (%s nodes; indices built in %s):\n" name
         (Table.fmt_int (Store.live_count store))
@@ -807,6 +813,65 @@ let queries () =
       print_newline ())
     cases
 
+(* ====================================================== parallel ===== *)
+
+(* Extension experiment: domain-parallel index construction. Builds the
+   full Db over an XMark document with 1, 2, 4 and 8 domains, reports
+   the wall-clock speedup over the serial build, and checks that the
+   parallel field columns are bit-identical to the serial ones (the
+   monoid-reduction argument behind Indexer.create_multi). Speedup
+   saturates at the host's core count. *)
+let parallel () =
+  print_endline "== Parallel index construction (jobs = 1/2/4/8) ==";
+  Printf.printf "host recommends %d domain(s)\n"
+    (Xvi_util.Pool.recommended_jobs ());
+  let xml = Xvi_workload.Xmark.generate ~seed:42 ~factor:(!scale *. 40.0) () in
+  let store = Parser.parse_exn xml in
+  Printf.printf "XMark at scale %.3f: %s nodes\n%!" !scale
+    (Table.fmt_int (Store.live_count store));
+  let module Db = Xvi_core.Db in
+  let build jobs =
+    Db.of_store ~config:{ Db.Config.default with Db.Config.jobs } store
+  in
+  (* every per-node field of every index, digested *)
+  let fingerprint db =
+    let si = Db.string_index db in
+    let buf = Buffer.create 65536 in
+    Store.iter_pre store (fun n ->
+        Buffer.add_string buf (string_of_int (Hash.to_int (SI.hash_of si n))));
+    List.iter
+      (fun ti ->
+        Store.iter_pre store (fun n ->
+            Buffer.add_string buf (string_of_int (TI.state_of ti n))))
+      (Db.typed_indices db);
+    Digest.string (Buffer.contents buf)
+  in
+  let serial_fp = ref "" and serial_ms = ref 0.0 in
+  let rows =
+    List.map
+      (fun jobs ->
+        let ms =
+          Timing.repeat_ms ~warmup:1 !reps (fun () -> ignore (build jobs))
+        in
+        let fp = fingerprint (build jobs) in
+        if jobs = 1 then begin
+          serial_fp := fp;
+          serial_ms := ms
+        end;
+        [
+          string_of_int jobs;
+          Table.fmt_ms ms;
+          Printf.sprintf "%.2fx" (!serial_ms /. ms);
+          (if fp = !serial_fp then "bit-identical" else "MISMATCH");
+        ])
+      [ 1; 2; 4; 8 ]
+  in
+  Table.print ~header:[ "jobs"; "build"; "speedup"; "vs serial" ] rows;
+  (match Db.validate (build 4) with
+  | Ok () -> print_endline "jobs=4 database validates clean against a rebuild"
+  | Error e -> Printf.printf "VALIDATION FAILED: %s\n" e);
+  print_newline ()
+
 (* ====================================================== main ===== *)
 
 (* [micro] runs first: its OLS estimates are cleanest before the data
@@ -816,7 +881,7 @@ let queries () =
 let all_experiments =
   [ ("micro", micro); ("table1", table1); ("fig9", fig9); ("fig11", fig11);
     ("fig10", fig10); ("ablation", ablation); ("substr", substr);
-    ("baseline", baseline); ("queries", queries) ]
+    ("baseline", baseline); ("queries", queries); ("parallel", parallel) ]
 
 let () =
   let selected = ref [] in
@@ -832,7 +897,7 @@ let () =
         else begin
           Printf.eprintf
             "unknown argument %s (expected: table1 fig9 fig10 fig11 micro \
-             ablation substr baseline queries, --scale=F, --reps=N)\n"
+             ablation substr baseline queries parallel, --scale=F, --reps=N)\n"
             arg;
           exit 2
         end)

@@ -35,15 +35,27 @@ let shred_exn path =
       Printf.eprintf "%s: parse error: %s\n" path (Parser.error_to_string e);
       exit 1
 
-(* Accept either XML or a saved snapshot wherever a database is needed. *)
-let open_db ?types ?substring path =
+(* Accept either XML or a saved snapshot wherever a database is needed.
+   A non-default config forces a re-index even when loading a snapshot. *)
+let open_db ?config path =
   if Xvi_core.Snapshot.is_snapshot path then
-    match Xvi_core.Snapshot.load path with
+    match Xvi_core.Snapshot.load ?config path with
     | Ok db -> db
     | Error e ->
         Printf.eprintf "%s: %s\n" path (Xvi_core.Snapshot.error_to_string e);
         exit 1
-  else Db.of_store ?types ?substring (shred_exn path)
+  else Db.of_store ?config (shred_exn path)
+
+(* -j/--jobs: 0 means "one per core", the make convention. *)
+let jobs_arg =
+  Cmdliner.Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Build indices on $(docv) domains in parallel; 0 picks the host's \
+           recommended domain count.")
+
+let resolve_jobs j = if j = 0 then Xvi_util.Pool.recommended_jobs () else max j 1
 
 (* --- generate --- *)
 
@@ -98,32 +110,41 @@ let shred_cmd =
     Arg.(value & flag
          & info [ "substring" ] ~doc:"Also build the substring (3-gram) index.")
   in
-  let run file output substring =
+  let run file output substring jobs =
+    let config =
+      { Db.Config.default with substring; jobs = resolve_jobs jobs }
+    in
     let db, ms =
       Xvi_util.Timing.time_ms (fun () ->
-          Db.of_store ~substring (shred_exn file))
+          Db.of_store ~config (shred_exn file))
     in
-    Printf.printf "shredded and indexed %s in %s\n" file (Table.fmt_ms ms);
+    Printf.printf "shredded and indexed %s in %s (%d jobs)\n" file
+      (Table.fmt_ms ms) config.Db.Config.jobs;
     let (), ms = Xvi_util.Timing.time_ms (fun () -> Xvi_core.Snapshot.save db output) in
     Printf.printf "snapshot %s written in %s\n" output (Table.fmt_ms ms)
   in
   Cmd.v
     (Cmd.info "shred" ~doc:"Shred a document, build all indices, save a snapshot")
-    Term.(const run $ file $ output $ substring)
+    Term.(const run $ file $ output $ substring $ jobs_arg)
 
 (* --- stats --- *)
 
 let stats_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let run file =
+  let run file jobs =
     let src = read_file file in
     let store, shred_ms =
       Xvi_util.Timing.time_ms (fun () -> Parser.parse_exn src)
     in
     let double = Xvi_core.Lexical_types.double () in
-    let ti, index_ms =
-      Xvi_util.Timing.time_ms (fun () -> Xvi_core.Typed_index.create double store)
+    let jobs = resolve_jobs jobs in
+    let build () =
+      if jobs > 1 then
+        Xvi_util.Pool.with_pool ~jobs (fun pool ->
+            Xvi_core.Typed_index.create ~pool double store)
+      else Xvi_core.Typed_index.create double store
     in
+    let ti, index_ms = Xvi_util.Timing.time_ms build in
     let st = Xvi_core.Typed_index.stats ti store in
     let total = Store.live_count store - 1 in
     Table.print
@@ -143,7 +164,7 @@ let stats_cmd =
       ]
   in
   Cmd.v (Cmd.info "stats" ~doc:"Shred a document and print statistics")
-    Term.(const run $ file)
+    Term.(const run $ file $ jobs_arg)
 
 (* --- query --- *)
 
@@ -215,8 +236,12 @@ let update_cmd =
          ~doc:"Number of text nodes to update.")
   in
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N") in
-  let run file count seed =
-    let db, build_ms = Xvi_util.Timing.time_ms (fun () -> open_db file) in
+  let run file count seed jobs =
+    let jobs = resolve_jobs jobs in
+    let config =
+      if jobs > 1 then Some { Db.Config.default with jobs } else None
+    in
+    let db, build_ms = Xvi_util.Timing.time_ms (fun () -> open_db ?config file) in
     let store = Db.store db in
     Printf.printf "index open/build: %s\n" (Table.fmt_ms build_ms);
     let updates =
@@ -232,7 +257,7 @@ let update_cmd =
         exit 1
   in
   Cmd.v (Cmd.info "update" ~doc:"Random text updates with index maintenance")
-    Term.(const run $ file $ count $ seed)
+    Term.(const run $ file $ count $ seed $ jobs_arg)
 
 (* --- collisions --- *)
 

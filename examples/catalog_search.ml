@@ -17,10 +17,14 @@ module Table = Xvi_util.Table
 
 let () =
   let xml = Xvi_workload.Datasets.dblp ~seed:3 ~factor:0.15 () in
-  let db, build_ms =
-    Timing.time_ms (fun () ->
-        Db.of_xml_exn ~substring:true ~types:[ LT.double (); LT.integer () ] xml)
+  let config =
+    {
+      Db.Config.default with
+      Db.Config.types = [ LT.double (); LT.integer () ];
+      substring = true;
+    }
   in
+  let db, build_ms = Timing.time_ms (fun () -> Db.of_xml_exn ~config xml) in
   let store = Db.store db in
   Printf.printf "catalog: %s nodes, indexed in %s\n\n"
     (Table.fmt_int (Store.live_count store))
@@ -40,7 +44,7 @@ let () =
          elems)
   in
   Printf.printf "articles+inproceedings from 2000 (generic): %d year elements\n"
-    (y2000 (Db.lookup_double ~lo:2000.0 ~hi:2000.0 db));
+    (y2000 (Db.lookup_double db (Db.Range.between 2000.0 2000.0)));
   Printf.printf "…the path index only sees the declared path: %d\n\n"
     (List.length (PI.range ~lo:2000.0 ~hi:2000.0 path_idx));
 

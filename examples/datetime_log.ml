@@ -19,7 +19,10 @@ let () =
   let xml = Xvi_workload.Datasets.wiki ~seed:11 ~factor:0.05 () in
   (* index only what this workload needs: dateTime (and double to show
      they coexist) *)
-  let db = Db.of_xml_exn ~types:[ LT.datetime (); LT.double () ] xml in
+  let config =
+    { Db.Config.default with Db.Config.types = [ LT.datetime (); LT.double () ] }
+  in
+  let db = Db.of_xml_exn ~config xml in
   let store = Db.store db in
   let ti = Option.get (Db.typed_index db "xs:dateTime") in
   let spec = LT.datetime () in

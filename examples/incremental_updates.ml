@@ -57,23 +57,34 @@ let () =
      recombines ancestor hashes with the commutative-enough C instead of
      locking the root. *)
   let alice = Txn.begin_ mgr and bob = Txn.begin_ mgr in
-  Txn.update_text alice texts.(100) "alice was here";
-  Txn.update_text bob texts.(101) "bob was here";
+  let write t n v =
+    match Txn.update_text t n v with
+    | Ok () -> ()
+    | Error `Finished -> failwith "transaction already finished"
+    | Error `Not_text -> failwith "not a text node"
+  in
+  write alice texts.(100) "alice was here";
+  write bob texts.(101) "bob was here";
   (match (Txn.commit bob, Txn.commit alice) with
   | Ok (), Ok () -> print_endline "alice and bob both committed (no ancestor locks)"
   | _ -> failwith "unexpected conflict");
 
   (* Carol and Dave race on the same leaf: first committer wins. *)
   let carol = Txn.begin_ mgr and dave = Txn.begin_ mgr in
-  Txn.update_text carol texts.(200) "carol's value";
-  Txn.update_text dave texts.(200) "dave's value";
+  write carol texts.(200) "carol's value";
+  write dave texts.(200) "dave's value";
   (match Txn.commit carol with Ok () -> () | Error _ -> failwith "carol?");
   (match Txn.commit dave with
   | Error c ->
       Printf.printf "dave aborted as expected: %s\n" c.Txn.reason
   | Ok () -> failwith "dave should have conflicted");
-  Printf.printf "stats: %d committed, %d aborted\n" (Txn.committed_count mgr)
-    (Txn.aborted_count mgr);
+  (* a finished transaction rejects further writes instead of raising *)
+  (match Txn.update_text dave texts.(200) "too late" with
+  | Error `Finished -> ()
+  | _ -> failwith "finished transaction accepted a write");
+  let st = Txn.stats mgr in
+  Printf.printf "stats: %d committed, %d aborted (%d conflicts)\n"
+    st.Txn.committed st.Txn.aborted st.Txn.conflicts;
   match Db.validate db with
   | Ok () -> print_endline "indices validate clean after the transactions"
   | Error e -> failwith e

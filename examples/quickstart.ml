@@ -52,9 +52,9 @@ let () =
   print_endline "\n-- range lookups on typed values (FSM/SCT index) --";
   (* the mixed-content <age> casts to 42 even though it is spread over
      <decades>4</decades>, the text "2" and an empty <years/> *)
-  show store "doubles equal to 42" (Db.lookup_double ~lo:42.0 ~hi:42.0 db);
+  show store "doubles equal to 42" (Db.lookup_double db (Db.Range.between 42.0 42.0));
   (* <weight> = "78" ^ "." ^ "230" = 78.230 *)
-  show store "doubles in [70, 80]" (Db.lookup_double ~lo:70.0 ~hi:80.0 db);
+  show store "doubles in [70, 80]" (Db.lookup_double db (Db.Range.between 70.0 80.0));
 
   print_endline "\n-- the same through the XPath front end --";
   let q = "//person[.//age = 42]" in

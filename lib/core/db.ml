@@ -1,10 +1,38 @@
 module Store = Xvi_xml.Store
 module Parser = Xvi_xml.Parser
+module Pool = Xvi_util.Pool
 
 type node = Store.node
 
+module Config = struct
+  type t = {
+    types : Lexical_types.spec list;
+    substring : bool;
+    jobs : int;
+  }
+
+  let default =
+    {
+      types = Lexical_types.[ double (); datetime () ];
+      substring = false;
+      jobs = 1;
+    }
+end
+
+module Range = struct
+  type t = { lo : float option; hi : float option }
+
+  let between lo hi = { lo = Some lo; hi = Some hi }
+  let at_least lo = { lo = Some lo; hi = None }
+  let at_most hi = { lo = None; hi = Some hi }
+  let any = { lo = None; hi = None }
+  let lo t = t.lo
+  let hi t = t.hi
+end
+
 type t = {
   store : Store.t;
+  config : Config.t;
   strings : String_index.t;
   typed : Typed_index.t list;
   substring : Substring_index.t option;
@@ -12,10 +40,7 @@ type t = {
   mutable plane : Xvi_xml.Pre_plane.t option;
 }
 
-let default_types () = Lexical_types.[ double (); datetime () ]
-
-let of_store ?types ?(substring = false) store =
-  let types = match types with Some ts -> ts | None -> default_types () in
+let build ~config ?pool store =
   (* one Figure 7 pass computes the fields of every index (paper §5:
      "creating ... multiple defined indices can be done simultaneously
      with only one pass") *)
@@ -24,9 +49,9 @@ let of_store ?types ?(substring = false) store =
     List.map
       (fun spec ->
         (spec, Indexer.empty_fields (Indexer.sct_ops spec.Lexical_types.sct) store))
-      types
+      config.Config.types
   in
-  Indexer.create_multi store
+  Indexer.create_multi ?pool store
     (Indexer.Packed (Indexer.hash_ops, hash_fields)
     :: List.map
          (fun (spec, fields) ->
@@ -34,22 +59,31 @@ let of_store ?types ?(substring = false) store =
          typed_fields);
   {
     store;
-    strings = String_index.of_fields store hash_fields;
+    config;
+    strings = String_index.of_fields ?pool store hash_fields;
     typed =
       List.map
-        (fun (spec, fields) -> Typed_index.of_fields spec store fields)
+        (fun (spec, fields) -> Typed_index.of_fields ?pool spec store fields)
         typed_fields;
-    substring = (if substring then Some (Substring_index.create store) else None);
+    substring =
+      (if config.Config.substring then Some (Substring_index.create store)
+       else None);
     names = Name_index.create store;
     plane = None;
   }
 
-let of_xml ?types ?substring src =
-  Result.map (fun store -> of_store ?types ?substring store) (Parser.parse src)
+let of_store ?(config = Config.default) store =
+  if config.Config.jobs > 1 then
+    Pool.with_pool ~jobs:config.Config.jobs (fun pool ->
+        build ~config ~pool store)
+  else build ~config store
 
-let of_xml_exn ?types ?substring src =
-  of_store ?types ?substring (Parser.parse_exn src)
+let of_xml ?config src =
+  Result.map (fun store -> of_store ?config store) (Parser.parse src)
+
+let of_xml_exn ?config src = of_store ?config (Parser.parse_exn src)
 let store t = t.store
+let config t = t.config
 let string_index t = t.strings
 
 let typed_index t name =
@@ -74,7 +108,8 @@ let lookup_string t s = String_index.lookup t.strings t.store s
 let substring_exn t =
   match t.substring with
   | Some si -> si
-  | None -> invalid_arg "Db: the substring index was not built (~substring:true)"
+  | None ->
+      invalid_arg "Db: the substring index was not built (Config.substring)"
 
 let lookup_contains t pattern =
   Substring_index.contains (substring_exn t) t.store pattern
@@ -87,8 +122,10 @@ let typed_exn t name =
   | Some ti -> ti
   | None -> invalid_arg (Printf.sprintf "Db: no %s index configured" name)
 
-let lookup_typed ?lo ?hi t name = Typed_index.range ?lo ?hi (typed_exn t name)
-let lookup_double ?lo ?hi t = lookup_typed ?lo ?hi t "xs:double"
+let lookup_typed t name range =
+  Typed_index.range ?lo:(Range.lo range) ?hi:(Range.hi range) (typed_exn t name)
+
+let lookup_double t range = lookup_typed t "xs:double" range
 
 let within t ~scope hits =
   let p = plane t in
@@ -99,8 +136,8 @@ let within t ~scope hits =
 
 let lookup_string_within t ~scope s = within t ~scope (lookup_string t s)
 
-let lookup_double_within ?lo ?hi t ~scope () =
-  within t ~scope (lookup_double ?lo ?hi t)
+let lookup_double_within t ~scope range =
+  within t ~scope (lookup_double t range)
 
 let update_texts t updates =
   (* the substring index needs the old values to drop their grams *)
@@ -159,8 +196,7 @@ let insert_xml t ~parent src =
 
 let compact t =
   let store', mapping = Store.compact t.store in
-  let types = List.map Typed_index.spec t.typed in
-  (of_store ~types ~substring:(t.substring <> None) store', mapping)
+  (of_store ~config:t.config store', mapping)
 
 let index_storage_bytes t =
   String_index.storage_bytes t.strings
@@ -182,3 +218,30 @@ let validate t =
     List.filter_map (function Ok () -> None | Error e -> Some e) results
   in
   match errors with [] -> Ok () | es -> Error (String.concat "; " es)
+
+module Legacy = struct
+  let make_config ?types ?(substring = false) () =
+    {
+      Config.default with
+      Config.types =
+        (match types with Some ts -> ts | None -> Config.default.Config.types);
+      substring;
+    }
+
+  let of_store ?types ?substring s =
+    of_store ~config:(make_config ?types ?substring ()) s
+
+  let of_xml ?types ?substring src =
+    of_xml ~config:(make_config ?types ?substring ()) src
+
+  let of_xml_exn ?types ?substring src =
+    of_xml_exn ~config:(make_config ?types ?substring ()) src
+
+  let lookup_typed ?lo ?hi t name =
+    Typed_index.range ?lo ?hi (typed_exn t name)
+
+  let lookup_double ?lo ?hi t = lookup_typed ?lo ?hi t "xs:double"
+
+  let lookup_double_within ?lo ?hi t ~scope () =
+    within t ~scope (lookup_double ?lo ?hi t)
+end

@@ -4,30 +4,76 @@
     This is the user-facing API of the library — shred a document, get
     self-tuned whole-document value indices (no path or type
     configuration, per the paper's introduction), run equality and
-    range lookups, and apply updates with low maintenance cost. *)
+    range lookups, and apply updates with low maintenance cost.
+
+    Construction is driven by a {!Config.t} record (which types, the
+    opt-in substring index, and how many domains build in parallel);
+    range lookups take a first-class {!Range.t} bound pair. The former
+    optional-argument API survives as deprecated wrappers in
+    {!Legacy}. *)
 
 type t
 
 type node = Xvi_xml.Store.node
 
-val of_store :
-  ?types:Lexical_types.spec list -> ?substring:bool -> Xvi_xml.Store.t -> t
-(** Index an existing store. [types] defaults to
-    [Lexical_types.[double (); datetime ()]] — the two types the paper
-    singles out. The string index is always built; the substring q-gram
-    index (the paper's future-work extension) is opt-in via
-    [~substring:true]. *)
+(** Construction configuration. Build one with a record update of
+    {!Config.default}:
+    [{ Db.Config.default with jobs = 4; substring = true }]. *)
+module Config : sig
+  type t = {
+    types : Lexical_types.spec list;
+        (** typed indices to build; default
+            [Lexical_types.[double (); datetime ()]] — the two types the
+            paper singles out *)
+    substring : bool;
+        (** build the substring q-gram index (the paper's future-work
+            extension); default [false] *)
+    jobs : int;
+        (** domains used for index construction; [<= 1] builds serially
+            on the calling domain, [j > 1] spawns [j - 1] worker domains
+            for the build and joins them before returning. The result is
+            bit-identical either way. Default [1]. *)
+  }
 
-val of_xml :
-  ?types:Lexical_types.spec list ->
-  ?substring:bool ->
-  string ->
-  (t, Xvi_xml.Parser.error) result
+  val default : t
+end
+
+(** Inclusive range bounds for typed lookups. *)
+module Range : sig
+  type t
+
+  val between : float -> float -> t
+  (** [between lo hi] — both bounds inclusive. *)
+
+  val at_least : float -> t
+
+  val at_most : float -> t
+
+  val any : t
+  (** Unbounded: every complete value, in value order. *)
+
+  val lo : t -> float option
+  val hi : t -> float option
+end
+
+val of_store : ?config:Config.t -> Xvi_xml.Store.t -> t
+(** Index an existing store. The string index is always built; typed
+    and substring indices follow [config] (default {!Config.default}).
+    With [config.jobs > 1] the construction runs on a domain pool; see
+    {!Indexer.create_multi} for why the parallel build is bit-identical
+    to the serial one. *)
+
+val of_xml : ?config:Config.t -> string -> (t, Xvi_xml.Parser.error) result
 (** Shred an XML document and index it. *)
 
-val of_xml_exn : ?types:Lexical_types.spec list -> ?substring:bool -> string -> t
+val of_xml_exn : ?config:Config.t -> string -> t
 
 val store : t -> Xvi_xml.Store.t
+
+val config : t -> Config.t
+(** The configuration the database was built with; {!compact} reuses
+    it. *)
+
 val string_index : t -> String_index.t
 
 val typed_index : t -> string -> Typed_index.t option
@@ -54,11 +100,12 @@ val lookup_string : t -> string -> node list
     the argument — e.g. the paper's
     [//*\[fn:data(name) = "ArthurDent"\]] support. *)
 
-val lookup_double : ?lo:float -> ?hi:float -> t -> node list
-(** Range lookup on the [xs:double] index (inclusive bounds).
+val lookup_double : t -> Range.t -> node list
+(** Range lookup on the [xs:double] index, e.g.
+    [lookup_double db (Range.between 10. 20.)].
     @raise Invalid_argument if the double index was not configured. *)
 
-val lookup_typed : ?lo:float -> ?hi:float -> t -> string -> node list
+val lookup_typed : t -> string -> Range.t -> node list
 (** Range lookup on a typed index by type name. *)
 
 val lookup_contains : t -> string -> node list
@@ -79,8 +126,7 @@ val lookup_string_within : t -> scope:node -> string -> node list
 (** Nodes in the subtree rooted at [scope] (inclusive) whose string
     value equals the argument, in document order. *)
 
-val lookup_double_within :
-  ?lo:float -> ?hi:float -> t -> scope:node -> unit -> node list
+val lookup_double_within : t -> scope:node -> Range.t -> node list
 
 (** {1 Updates}
 
@@ -98,8 +144,9 @@ val insert_xml :
 
 val compact : t -> t * (node -> node option)
 (** Vacuum tombstones: a fresh database over a compacted store (dense
-    ids in document order), all indices rebuilt, plus the old-to-new id
-    mapping. The original database is unchanged. *)
+    ids in document order), all indices rebuilt with the original
+    {!config}, plus the old-to-new id mapping. The original database is
+    unchanged. *)
 
 (** {1 Accounting and validation} *)
 
@@ -108,3 +155,36 @@ val index_storage_bytes : t -> int
 
 val validate : t -> (unit, string) result
 (** Every index equals a from-scratch rebuild. *)
+
+(** {1 Deprecated}
+
+    The pre-{!Config}/{!Range} optional-argument API, kept so existing
+    callers keep compiling. Each wrapper forwards to the primary
+    entry points above. *)
+
+module Legacy : sig
+  val of_store :
+    ?types:Lexical_types.spec list -> ?substring:bool -> Xvi_xml.Store.t -> t
+  [@@ocaml.deprecated "use Db.of_store ?config"]
+
+  val of_xml :
+    ?types:Lexical_types.spec list ->
+    ?substring:bool ->
+    string ->
+    (t, Xvi_xml.Parser.error) result
+  [@@ocaml.deprecated "use Db.of_xml ?config"]
+
+  val of_xml_exn :
+    ?types:Lexical_types.spec list -> ?substring:bool -> string -> t
+  [@@ocaml.deprecated "use Db.of_xml_exn ?config"]
+
+  val lookup_double : ?lo:float -> ?hi:float -> t -> node list
+  [@@ocaml.deprecated "use Db.lookup_double with Db.Range"]
+
+  val lookup_typed : ?lo:float -> ?hi:float -> t -> string -> node list
+  [@@ocaml.deprecated "use Db.lookup_typed with Db.Range"]
+
+  val lookup_double_within :
+    ?lo:float -> ?hi:float -> t -> scope:node -> unit -> node list
+  [@@ocaml.deprecated "use Db.lookup_double_within with Db.Range"]
+end

@@ -52,12 +52,23 @@ type packed = Packed : 'f ops * 'f fields -> packed
 val empty_fields : 'f ops -> Xvi_xml.Store.t -> 'f fields
 (** Fresh storage for {!create_multi}. *)
 
-val create_multi : Xvi_xml.Store.t -> packed list -> unit
+val create_multi : ?pool:Xvi_util.Pool.t -> Xvi_xml.Store.t -> packed list -> unit
 (** The paper's Section 5 remark made concrete: "since all indices are
     independent of each other, creating ... multiple defined indices can
     be done simultaneously with only one pass". One Figure 7 traversal
     fills every packed field store; each text node is read once and fed
-    to every machine. The [ablation] bench quantifies the saving. *)
+    to every machine. The [ablation] bench quantifies the saving.
+
+    With [?pool] of parallelism [j > 1], the document-order context
+    sequence is cut into [j] contiguous chunks; each domain runs the
+    Figure 7 walk over its chunk into chunk-local partial fields, and
+    the partials are merged per node with the associative [combine] in
+    chunk order. Because every field is a monoid reduction over the
+    text sequence (and [combine] is exact integer arithmetic / an exact
+    SCT table lookup), the merged fields are {e bit-identical} to the
+    serial pass — the [test_parallel] qcheck property pins this down.
+    Without a pool (or with parallelism 1) the serial pass runs and no
+    domain is ever involved. *)
 
 val create_reference : 'f ops -> Xvi_xml.Store.t -> 'f fields
 (** The obviously-correct recursive definition

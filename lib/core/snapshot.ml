@@ -28,7 +28,7 @@ let save db path =
       Marshal.to_channel oc db [ Marshal.Closures ]);
   Sys.rename tmp path
 
-let load path =
+let load ?config path =
   try
     let ic = open_in_bin path in
     Fun.protect
@@ -40,14 +40,22 @@ let load path =
           let fp = input_line ic in
           if not (String.equal fp (Lazy.force fingerprint)) then
             Error Binary_mismatch
-          else Ok (Marshal.from_channel ic : Db.t)
+          else
+            let db = (Marshal.from_channel ic : Db.t) in
+            match config with
+            | None -> Ok db
+            | Some config ->
+                (* Re-index the loaded store under the new configuration
+                   (different types, substring index, or a parallel
+                   rebuild). *)
+                Ok (Db.of_store ~config (Db.store db))
         end)
   with
   | Sys_error msg -> Error (Io_error msg)
   | End_of_file -> Error Not_a_snapshot
 
-let load_exn path =
-  match load path with
+let load_exn ?config path =
+  match load ?config path with
   | Ok db -> db
   | Error e -> failwith ("Snapshot.load: " ^ error_to_string e)
 

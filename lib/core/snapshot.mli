@@ -24,9 +24,14 @@ type error =
 
 val error_to_string : error -> string
 
-val load : string -> (Db.t, error) result
+val load : ?config:Db.Config.t -> string -> (Db.t, error) result
+(** Read a snapshot back. Without [config] the marshalled database is
+    returned as written. With [config] the loaded {e store} is kept but
+    every index is rebuilt under the new configuration — the way to
+    reopen a snapshot with different types, with the substring index,
+    or with a parallel ([jobs > 1]) rebuild. *)
 
-val load_exn : string -> Db.t
+val load_exn : ?config:Db.Config.t -> string -> Db.t
 (** @raise Failure on any {!error}. *)
 
 val is_snapshot : string -> bool

@@ -21,21 +21,74 @@ let add_posting t h n =
 let remove_posting t h n =
   if BT.remove t.postings (Hash.to_int h, n) then t.entries <- t.entries - 1
 
-let of_fields store fields =
+(* Merge [k] individually-sorted int arrays into one sorted array; the
+   per-domain posting accumulators overlap in (hash, node) key space, so
+   a real k-way merge is needed (k is the domain count — tiny). *)
+let merge_sorted parts =
+  let k = Array.length parts in
+  let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 parts in
+  let out = Array.make (max total 1) 0 in
+  let idx = Array.make k 0 in
+  for o = 0 to total - 1 do
+    let best = ref (-1) and best_v = ref max_int in
+    for p = 0 to k - 1 do
+      if idx.(p) < Array.length parts.(p) then begin
+        let v = parts.(p).(idx.(p)) in
+        if !best < 0 || v < !best_v then begin
+          best := p;
+          best_v := v
+        end
+      end
+    done;
+    out.(o) <- !best_v;
+    idx.(!best) <- idx.(!best) + 1
+  done;
+  if total = 0 then [||] else Array.sub out 0 total
+
+let of_sorted_keys fields keys =
+  let arr = Array.map (fun k -> ((k lsr 30, k land 0x3FFF_FFFF), ())) keys in
+  { fields; postings = BT.of_sorted_array arr; entries = Array.length arr }
+
+let of_fields ?pool store fields =
   (* Bulk-load the posting B+tree. (hash, node) fits one unboxed int
      (32 + 30 bits), so collection and sorting run on an int vector —
      the cheap creation path the paper's Figure 9 numbers rely on. *)
-  let packed = Xvi_util.Vec.Int.create ~capacity:(Store.node_range store) () in
-  Store.iter_pre store (fun n ->
-      if indexable store n then
-        Xvi_util.Vec.Int.push packed
-          ((Hash.to_int (Indexer.get fields n) lsl 30) lor n));
-  let keys = Xvi_util.Vec.Int.to_array packed in
-  Array.sort Int.compare keys;
-  let arr =
-    Array.map (fun k -> ((k lsr 30, k land 0x3FFF_FFFF), ())) keys
-  in
-  { fields; postings = BT.of_sorted_array arr; entries = Array.length arr }
+  match pool with
+  | Some pool when Xvi_util.Pool.parallelism pool > 1 ->
+      (* Per-domain local accumulators over node-id slices, each sorted
+         in its domain; the merge into one sorted key array and the
+         B+tree bulk load stay single-threaded. *)
+      let slices =
+        Xvi_util.Pool.slices (Store.node_range store)
+          (Xvi_util.Pool.parallelism pool)
+      in
+      let parts =
+        Xvi_util.Pool.map pool
+          (fun k ->
+            let lo, hi = slices.(k) in
+            let packed =
+              Xvi_util.Vec.Int.create ~capacity:(max 16 (hi - lo)) ()
+            in
+            for n = lo to hi - 1 do
+              if indexable store n then
+                Xvi_util.Vec.Int.push packed
+                  ((Hash.to_int (Indexer.get fields n) lsl 30) lor n)
+            done;
+            let keys = Xvi_util.Vec.Int.to_array packed in
+            Array.sort Int.compare keys;
+            keys)
+          (Array.length slices)
+      in
+      of_sorted_keys fields (merge_sorted parts)
+  | _ ->
+      let packed = Xvi_util.Vec.Int.create ~capacity:(Store.node_range store) () in
+      Store.iter_pre store (fun n ->
+          if indexable store n then
+            Xvi_util.Vec.Int.push packed
+              ((Hash.to_int (Indexer.get fields n) lsl 30) lor n));
+      let keys = Xvi_util.Vec.Int.to_array packed in
+      Array.sort Int.compare keys;
+      of_sorted_keys fields keys
 
 let create store = of_fields store (Indexer.create Indexer.hash_ops store)
 

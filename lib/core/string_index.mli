@@ -19,10 +19,16 @@ val create : Xvi_xml.Store.t -> t
     B+tree. Comments and processing instructions are not indexed (the
     paper covers "text, element, and attribute node values"). *)
 
-val of_fields : Xvi_xml.Store.t -> Hash.t Indexer.fields -> t
+val of_fields : ?pool:Xvi_util.Pool.t -> Xvi_xml.Store.t -> Hash.t Indexer.fields -> t
 (** Build from fields already computed — how {!Db} shares one document
     pass across all its indices (paper §5). The fields become owned by
-    the index. *)
+    the index.
+
+    With [?pool] of parallelism [> 1], posting collection runs on
+    per-domain accumulators over node-id slices (each sorted in its
+    domain); the k-way merge and the B+tree bulk load stay
+    single-threaded. The resulting tree is identical to the serial
+    build. *)
 
 val hash_of : t -> node -> Hash.t
 (** The indexed hash of a live node. *)

@@ -82,7 +82,7 @@ let register t store n state =
       | None -> ()
   end
 
-let of_fields ?(reconstruct = `Document) spec store fields =
+let of_fields ?(reconstruct = `Document) ?pool spec store fields =
   let ops = Indexer.sct_ops spec.Lexical_types.sct in
   let sct_ = spec.Lexical_types.sct in
   let t =
@@ -97,32 +97,81 @@ let of_fields ?(reconstruct = `Document) spec store fields =
       viable_count = 0;
     }
   in
-  (* One collection pass; the value B+tree is bulk-loaded. *)
   let pairs = ref [] in
-  Store.iter_pre store (fun n ->
-      if indexable store n then begin
-        let state = Indexer.get fields n in
-        if Sct.is_viable sct_ state then begin
-          t.viable_count <- t.viable_count + 1;
-          if t.reconstruct = `Fragment then
-            Hashtbl.replace t.frags n (Store.string_value store n);
-          if Sct.is_accepting sct_ state then
-            match t.spec.Lexical_types.parse (Store.string_value store n) with
-            | Some v ->
-                Hashtbl.replace t.by_node n v;
-                pairs := ((v, n), ()) :: !pairs
-            | None -> ()
-        end
-      end);
+  (match pool with
+  | Some pool
+    when Xvi_util.Pool.parallelism pool > 1 && reconstruct = `Document ->
+      (* Per-domain collection over node-id slices: each domain counts
+         its viable nodes and parses its complete values (the expensive
+         part — lexical re-reads and float parsing). The [by_node] table
+         fill, the sort and the bulk load stay single-threaded.
+         [`Fragment] mode stays serial: it populates the shared [frags]
+         hashtable during collection. *)
+      let slices =
+        Xvi_util.Pool.slices (Store.node_range store)
+          (Xvi_util.Pool.parallelism pool)
+      in
+      let parts =
+        Xvi_util.Pool.map pool
+          (fun k ->
+            let lo, hi = slices.(k) in
+            let viable = ref 0 and local = ref [] in
+            for n = lo to hi - 1 do
+              if indexable store n then begin
+                let state = Indexer.get fields n in
+                if Sct.is_viable sct_ state then begin
+                  incr viable;
+                  if Sct.is_accepting sct_ state then
+                    match
+                      t.spec.Lexical_types.parse (Store.string_value store n)
+                    with
+                    | Some v -> local := (v, n) :: !local
+                    | None -> ()
+                end
+              end
+            done;
+            (!viable, !local))
+          (Array.length slices)
+      in
+      Array.iter
+        (fun (viable, local) ->
+          t.viable_count <- t.viable_count + viable;
+          List.iter
+            (fun (v, n) ->
+              Hashtbl.replace t.by_node n v;
+              pairs := ((v, n), ()) :: !pairs)
+            local)
+        parts
+  | _ ->
+      (* One collection pass; the value B+tree is bulk-loaded. *)
+      Store.iter_pre store (fun n ->
+          if indexable store n then begin
+            let state = Indexer.get fields n in
+            if Sct.is_viable sct_ state then begin
+              t.viable_count <- t.viable_count + 1;
+              if t.reconstruct = `Fragment then
+                Hashtbl.replace t.frags n (Store.string_value store n);
+              if Sct.is_accepting sct_ state then
+                match
+                  t.spec.Lexical_types.parse (Store.string_value store n)
+                with
+                | Some v ->
+                    Hashtbl.replace t.by_node n v;
+                    pairs := ((v, n), ()) :: !pairs
+                | None -> ()
+            end
+          end));
   let arr = Array.of_list !pairs in
   Array.sort
     (fun (k1, ()) (k2, ()) -> Xvi_btree.Btree.Float_pair_key.compare k1 k2)
     arr;
   { t with values = BT.of_sorted_array arr }
 
-let create ?reconstruct spec store =
+let create ?reconstruct ?pool spec store =
   let ops = Indexer.sct_ops spec.Lexical_types.sct in
-  of_fields ?reconstruct spec store (Indexer.create ops store)
+  let fields = Indexer.empty_fields ops store in
+  Indexer.create_multi ?pool store [ Indexer.Packed (ops, fields) ];
+  of_fields ?reconstruct ?pool spec store fields
 
 let range ?lo ?hi t =
   let lo = Option.map (fun v -> (v, min_int)) lo in

@@ -25,16 +25,27 @@ type node = Xvi_xml.Store.node
 type reconstruct = [ `Document | `Fragment ]
 
 val create :
-  ?reconstruct:reconstruct -> Lexical_types.spec -> Xvi_xml.Store.t -> t
+  ?reconstruct:reconstruct ->
+  ?pool:Xvi_util.Pool.t ->
+  Lexical_types.spec ->
+  Xvi_xml.Store.t ->
+  t
 
 val of_fields :
   ?reconstruct:reconstruct ->
+  ?pool:Xvi_util.Pool.t ->
   Lexical_types.spec ->
   Xvi_xml.Store.t ->
   int Indexer.fields ->
   t
 (** Build from SCT states already computed — how {!Db} shares one
-    document pass across all its indices (paper §5). *)
+    document pass across all its indices (paper §5).
+
+    With [?pool] of parallelism [> 1] in [`Document] mode, value
+    collection (viability counting, lexical re-reads, float parsing)
+    runs per-domain over node-id slices; the sort and B+tree bulk load
+    stay single-threaded. [`Fragment] mode always collects serially —
+    it fills the shared fragment table during the pass. *)
 
 val spec : t -> Lexical_types.spec
 val type_name : t -> string

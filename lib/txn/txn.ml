@@ -7,7 +7,10 @@ type manager = {
   mutable clock : int;
   mutable committed : int;
   mutable aborted : int;
+  mutable conflicts : int;
 }
+
+type stats = { committed : int; aborted : int; conflicts : int }
 
 type status = Active | Committed | Aborted
 
@@ -21,7 +24,14 @@ type t = {
 type conflict = { node : Store.node; reason : string }
 
 let manager db =
-  { db; versions = Hashtbl.create 256; clock = 0; committed = 0; aborted = 0 }
+  {
+    db;
+    versions = Hashtbl.create 256;
+    clock = 0;
+    committed = 0;
+    aborted = 0;
+    conflicts = 0;
+  }
 
 let db mgr = mgr.db
 
@@ -35,11 +45,14 @@ let check_active t op =
       invalid_arg (Printf.sprintf "Txn.%s: transaction is finished" op)
 
 let update_text t node value =
-  check_active t "update_text";
-  (match Store.kind (Db.store t.mgr.db) node with
-  | Store.Text | Store.Attribute -> ()
-  | _ -> invalid_arg "Txn.update_text: not a text or attribute node");
-  Hashtbl.replace t.writes node value
+  match t.status with
+  | Committed | Aborted -> Error `Finished
+  | Active -> (
+      match Store.kind (Db.store t.mgr.db) node with
+      | Store.Text | Store.Attribute ->
+          Hashtbl.replace t.writes node value;
+          Ok ()
+      | _ -> Error `Not_text)
 
 let write_set t = Hashtbl.fold (fun n _ acc -> n :: acc) t.writes []
 
@@ -71,6 +84,7 @@ let commit t =
   | Some c ->
       t.status <- Aborted;
       t.mgr.aborted <- t.mgr.aborted + 1;
+      t.mgr.conflicts <- t.mgr.conflicts + 1;
       Error c
   | None ->
       t.mgr.clock <- t.mgr.clock + 1;
@@ -87,5 +101,9 @@ let abort t =
   t.status <- Aborted;
   t.mgr.aborted <- t.mgr.aborted + 1
 
-let committed_count mgr = mgr.committed
-let aborted_count mgr = mgr.aborted
+let stats (mgr : manager) =
+  {
+    committed = mgr.committed;
+    aborted = mgr.aborted;
+    conflicts = mgr.conflicts;
+  }

@@ -31,11 +31,15 @@ val db : manager -> Xvi_core.Db.t
 
 val begin_ : manager -> t
 
-val update_text : t -> Xvi_xml.Store.node -> string -> unit
+val update_text :
+  t ->
+  Xvi_xml.Store.node ->
+  string ->
+  (unit, [ `Finished | `Not_text ]) result
 (** Buffer a text-node write. Later writes to the same node within the
-    transaction overwrite earlier ones.
-    @raise Invalid_argument if the node is not a text or attribute node,
-    or the transaction already committed or aborted. *)
+    transaction overwrite earlier ones. [Error `Finished] if the
+    transaction already committed or aborted; [Error `Not_text] if the
+    node is not a text or attribute node. *)
 
 val write_set : t -> Xvi_xml.Store.node list
 
@@ -46,5 +50,10 @@ val commit : t -> (unit, conflict) result
 
 val abort : t -> unit
 
-val committed_count : manager -> int
-val aborted_count : manager -> int
+type stats = {
+  committed : int;
+  aborted : int;  (** conflict aborts and explicit {!abort}s together *)
+  conflicts : int;  (** commit attempts lost to first-committer-wins *)
+}
+
+val stats : manager -> stats

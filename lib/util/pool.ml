@@ -1,0 +1,131 @@
+type t = {
+  parallelism : int;
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  all_done : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable pending : int; (* submitted, not yet finished *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Execute one task outside the lock, then account for its completion.
+   The last finisher wakes the joiner. *)
+let exec t task =
+  (try task ()
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     Mutex.lock t.mutex;
+     if t.failure = None then t.failure <- Some (e, bt);
+     Mutex.unlock t.mutex);
+  Mutex.lock t.mutex;
+  t.pending <- t.pending - 1;
+  if t.pending = 0 then Condition.broadcast t.all_done;
+  Mutex.unlock t.mutex
+
+let worker t =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stop do
+      Condition.wait t.has_work t.mutex
+    done;
+    match Queue.take_opt t.queue with
+    | None ->
+        (* stopped with an empty queue *)
+        Mutex.unlock t.mutex;
+        running := false
+    | Some task ->
+        Mutex.unlock t.mutex;
+        exec t task
+  done
+
+let create ~jobs =
+  let jobs = max jobs 1 in
+  let t =
+    {
+      parallelism = jobs;
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      all_done = Condition.create ();
+      queue = Queue.create ();
+      pending = 0;
+      failure = None;
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let parallelism t = t.parallelism
+
+let run t tasks =
+  match tasks with
+  | [] -> ()
+  | _ ->
+      Mutex.lock t.mutex;
+      if t.stop then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool.run: pool is shut down"
+      end;
+      t.failure <- None;
+      t.pending <- t.pending + List.length tasks;
+      List.iter (fun task -> Queue.add task t.queue) tasks;
+      Condition.broadcast t.has_work;
+      (* the caller is a worker too: drain the queue before joining *)
+      let rec drain () =
+        match Queue.take_opt t.queue with
+        | Some task ->
+            Mutex.unlock t.mutex;
+            exec t task;
+            Mutex.lock t.mutex;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      while t.pending > 0 do
+        Condition.wait t.all_done t.mutex
+      done;
+      let failure = t.failure in
+      t.failure <- None;
+      Mutex.unlock t.mutex;
+      (match failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+
+let map t f n =
+  if n <= 0 then [||]
+  else begin
+    let slots = Array.make n None in
+    run t (List.init n (fun i () -> slots.(i) <- Some (f i)));
+    Array.map
+      (function Some v -> v | None -> assert false (* run raised *))
+      slots
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let slices n k =
+  let k = max k 1 in
+  let base = n / k and extra = n mod k in
+  let lo = ref 0 in
+  Array.init k (fun i ->
+      let len = base + if i < extra then 1 else 0 in
+      let pair = (!lo, !lo + len) in
+      lo := !lo + len;
+      pair)

@@ -1,0 +1,53 @@
+(** A fixed-size pool of OCaml 5 domains with a shared work queue and a
+    deterministic join.
+
+    The index-construction engine chunks a document into per-domain work
+    items; each item writes only into its own slot, so although the
+    {e execution} order is nondeterministic, the {e result} (an array
+    indexed by work-item id) is deterministic — the property the
+    bit-identical-to-serial guarantee of parallel index builds rests on.
+
+    A pool of parallelism [j] owns [j - 1] worker domains; the caller of
+    {!run}/{!map} is the [j]-th worker, so [jobs = 1] degenerates to
+    fully inline serial execution with no domain ever spawned.
+
+    {!run} and {!map} are {b not reentrant}: never submit work to a pool
+    from inside one of its own tasks, and never share one pool between
+    concurrently-running callers. Create a pool per construction site
+    (spawning a domain costs microseconds, not milliseconds). *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [max jobs 1 - 1] worker domains that block on
+    the pool's queue. *)
+
+val parallelism : t -> int
+(** The [jobs] the pool was created with (callers included), >= 1. *)
+
+val run : t -> (unit -> unit) list -> unit
+(** Submit the tasks and block until {e all} of them have finished; the
+    calling domain works through the queue alongside the workers. If any
+    task raised, the first exception observed is re-raised here (after
+    all tasks have still run to completion or failure). *)
+
+val map : t -> (int -> 'a) -> int -> 'a array
+(** [map pool f n] computes [[| f 0; ...; f (n-1) |]] with the tasks
+    distributed over the pool; slot [i] always holds [f i] (the
+    deterministic join). *)
+
+val shutdown : t -> unit
+(** Stop the workers and join their domains. Idempotent. Tasks still
+    queued are completed first. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run the callback, then {!shutdown} (also on exceptions). *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [-j 0] means in the
+    CLI. *)
+
+val slices : int -> int -> (int * int) array
+(** [slices n k] splits the interval [\[0, n)] into exactly [max k 1]
+    contiguous [(lo, hi)] half-open chunks of near-equal size, in
+    ascending order; trailing chunks are empty when [n < k]. *)

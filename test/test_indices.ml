@@ -269,7 +269,7 @@ let test_db_delete_insert_cycle () =
   | Error e -> Alcotest.failf "insert: %s" (Parser.error_to_string e));
   ok_or_fail "validate after insert" (Db.validate db);
   Alcotest.(check bool) "price findable" true
-    (List.length (Db.lookup_double ~lo:123.45 ~hi:123.45 db) >= 1);
+    (List.length (Db.lookup_double db (Db.Range.between 123.45 123.45)) >= 1);
   Alcotest.(check bool) "note findable" true
     (List.length (Db.lookup_string db "hello world") >= 1)
 
@@ -312,7 +312,7 @@ let test_db_range_equals_scan () =
                 | Some v when v >= lo && v <= hi -> expected := n :: !expected
                 | _ -> ())
           | _ -> ());
-      let got = Db.lookup_double ~lo ~hi db in
+      let got = Db.lookup_double db (Db.Range.between lo hi) in
       Alcotest.(check (list int))
         (Printf.sprintf "range [%g,%g] = scan" lo hi)
         (List.sort compare !expected) (List.sort compare got))
@@ -320,14 +320,17 @@ let test_db_range_equals_scan () =
 
 let test_db_boolean_integer_indices () =
   let xml = "<flags><f>true</f><f>false</f><f>1</f><f>maybe</f><n>42</n><n>1.5</n></flags>" in
-  let db = Db.of_xml_exn ~types:[ LT.boolean (); LT.integer () ] xml in
+  let config =
+    { Db.Config.default with Db.Config.types = [ LT.boolean (); LT.integer () ] }
+  in
+  let db = Db.of_xml_exn ~config xml in
   Alcotest.(check int) "true nodes" 4
-    (List.length (Db.lookup_typed ~lo:1.0 ~hi:1.0 db "xs:boolean"))
+    (List.length (Db.lookup_typed db "xs:boolean" (Db.Range.between 1.0 1.0)))
   (* "true" text + element, "1" text + element *);
   Alcotest.(check int) "integers" 2
-    (List.length (Db.lookup_typed ~lo:42.0 ~hi:42.0 db "xs:integer"));
+    (List.length (Db.lookup_typed db "xs:integer" (Db.Range.between 42.0 42.0)));
   Alcotest.(check int) "1.5 not an integer" 0
-    (List.length (Db.lookup_typed ~lo:1.5 ~hi:1.5 db "xs:integer"));
+    (List.length (Db.lookup_typed db "xs:integer" (Db.Range.between 1.5 1.5)));
   Alcotest.(check bool) "no double index" true (Db.typed_index db "xs:double" = None)
 
 let base_suites =
@@ -442,7 +445,7 @@ let test_substring_random_docs () =
 
 let test_substring_maintenance () =
   let db =
-    Db.of_xml_exn ~substring:true
+    Db.of_xml_exn ~config:{ Db.Config.default with Db.Config.substring = true }
       "<a><b>hello world</b><c>numbers 123</c><d att=\"needle here\"/></a>"
   in
   let store = Db.store db in
@@ -483,7 +486,9 @@ let test_xpath_contains () =
      <book><title>Mostly Harmless</title></book>\
      <book><title>Dirk Gently</title></book></lib>"
   in
-  let db = Db.of_xml_exn ~substring:true xml in
+  let db =
+    Db.of_xml_exn ~config:{ Db.Config.default with Db.Config.substring = true } xml
+  in
   let store = Db.store db in
   let q = Xvi_xpath.Xpath.parse_exn "//book[contains(title, \"Harm\")]" in
   let naive = Xvi_xpath.Xpath.eval store q in

@@ -129,13 +129,13 @@ let test_scoped_lookups () =
   Alcotest.(check int) "scoped hello" 2
     (List.length (Db.lookup_string_within db ~scope:b "hello"));
   Alcotest.(check int) "scoped 42" 2
-    (List.length (Db.lookup_double_within ~lo:42.0 ~hi:42.0 db ~scope:b ()));
+    (List.length (Db.lookup_double_within db ~scope:b (Db.Range.between 42.0 42.0)));
   Alcotest.(check int) "scoped 7 in b" 2
-    (List.length (Db.lookup_double_within ~lo:7.0 ~hi:7.0 db ~scope:b ()));
+    (List.length (Db.lookup_double_within db ~scope:b (Db.Range.between 7.0 7.0)));
   (* scope itself can match: <z>'s own string value is 7 *)
   let z = List.hd (Db.elements_named db "z") in
   Alcotest.(check bool) "scope included" true
-    (List.mem z (Db.lookup_double_within ~lo:7.0 ~hi:7.0 db ~scope:z ()))
+    (List.mem z (Db.lookup_double_within db ~scope:z (Db.Range.between 7.0 7.0)))
 
 let test_plane_invalidation () =
   let db = Db.of_xml_exn "<a><b>one</b><c>two</c></a>" in

@@ -13,7 +13,11 @@ let with_temp f =
 let test_roundtrip () =
   with_temp (fun path ->
       let xml = Xvi_workload.Xmark.generate ~seed:31 ~factor:0.01 () in
-      let db = Db.of_xml_exn ~substring:true xml in
+      let db =
+        Db.of_xml_exn
+          ~config:{ Db.Config.default with Db.Config.substring = true }
+          xml
+      in
       Snapshot.save db path;
       Alcotest.(check bool) "is_snapshot" true (Snapshot.is_snapshot path);
       let db2 = Snapshot.load_exn path in
@@ -28,8 +32,8 @@ let test_roundtrip () =
             (Db.lookup_string db probe) (Db.lookup_string db2 probe))
         [ "Creditcard"; "male"; "Arthur Dent" ];
       Alcotest.(check (list int)) "range agrees"
-        (Db.lookup_double ~lo:10.0 ~hi:20.0 db)
-        (Db.lookup_double ~lo:10.0 ~hi:20.0 db2);
+        (Db.lookup_double db (Db.Range.between 10.0 20.0))
+        (Db.lookup_double db2 (Db.Range.between 10.0 20.0));
       Alcotest.(check (list int)) "contains agrees"
         (Db.lookup_contains db "ship")
         (Db.lookup_contains db2 "ship"))
@@ -49,7 +53,7 @@ let test_reloaded_updates () =
       Alcotest.(check int) "string moved" 2
         (List.length (Db.lookup_string db2 "new value"));
       Alcotest.(check int) "double moved" 2
-        (List.length (Db.lookup_double ~lo:8.5 ~hi:8.5 db2)))
+        (List.length (Db.lookup_double db2 (Db.Range.between 8.5 8.5))))
 
 let test_rejects_garbage () =
   with_temp (fun path ->

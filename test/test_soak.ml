@@ -73,7 +73,9 @@ let test_fuzz_xpath () =
 
 let soak ~seed ~rounds ~substring =
   let xml = Xvi_workload.Xmark.generate ~seed ~factor:0.008 () in
-  let db = Db.of_xml_exn ~substring xml in
+  let db =
+    Db.of_xml_exn ~config:{ Db.Config.default with Db.Config.substring } xml
+  in
   let store = Db.store db in
   let rng = Prng.create (seed * 31) in
   let tg = Xvi_workload.Text_gen.create (Prng.split rng) in
@@ -116,7 +118,7 @@ let soak ~seed ~rounds ~substring =
     | _ ->
         (* query probes; they should never raise *)
         ignore (Db.lookup_string db (Xvi_workload.Text_gen.word tg));
-        ignore (Db.lookup_double ~lo:0.0 ~hi:50.0 db);
+        ignore (Db.lookup_double db (Db.Range.between 0.0 50.0));
         if substring then ignore (Db.lookup_contains db "soak"));
     if round mod 10 = 0 then
       match Db.validate db with
@@ -155,7 +157,9 @@ let test_soak_fragment_mode () =
 
 let test_random_queries () =
   let xml = Xvi_workload.Xmark.generate ~seed:51 ~factor:0.01 () in
-  let db = Db.of_xml_exn ~substring:true xml in
+  let db =
+    Db.of_xml_exn ~config:{ Db.Config.default with Db.Config.substring = true } xml
+  in
   let store = Db.store db in
   let rng = Prng.create 5151 in
   let names =

@@ -14,6 +14,13 @@ let ok = function
   | Ok () -> ()
   | Error (c : Txn.conflict) -> Alcotest.failf "unexpected conflict: %s" c.Txn.reason
 
+(* update_text returns a result since the stats/lifecycle redesign *)
+let write t n v =
+  match Txn.update_text t n v with
+  | Ok () -> ()
+  | Error `Finished -> Alcotest.fail "write: transaction already finished"
+  | Error `Not_text -> Alcotest.fail "write: not a text or attribute node"
+
 (* A canonical fingerprint of index contents: every node's string-index
    hash and double-index state/value. *)
 let fingerprint db =
@@ -40,27 +47,31 @@ let test_basic_commit () =
   let store = Db.store db in
   let texts = Store.text_nodes store in
   let t = Txn.begin_ mgr in
-  Txn.update_text t texts.(0) "updated value";
+  write t texts.(0) "updated value";
   Alcotest.(check int) "write set" 1 (List.length (Txn.write_set t));
   ok (Txn.commit t);
   Alcotest.(check string) "applied" "updated value" (Store.text store texts.(0));
   (match Db.validate db with
   | Ok () -> ()
   | Error e -> Alcotest.failf "validate: %s" e);
-  Alcotest.(check int) "committed" 1 (Txn.committed_count mgr)
+  let st = Txn.stats mgr in
+  Alcotest.(check int) "committed" 1 st.Txn.committed;
+  Alcotest.(check int) "no conflicts" 0 st.Txn.conflicts
 
 let test_write_write_conflict () =
   let db = fresh_db 22 in
   let mgr = Txn.manager db in
   let texts = Store.text_nodes (Db.store db) in
   let t1 = Txn.begin_ mgr and t2 = Txn.begin_ mgr in
-  Txn.update_text t1 texts.(5) "one";
-  Txn.update_text t2 texts.(5) "two";
+  write t1 texts.(5) "one";
+  write t2 texts.(5) "two";
   ok (Txn.commit t1);
   (match Txn.commit t2 with
   | Ok () -> Alcotest.fail "expected a conflict"
   | Error c -> Alcotest.(check int) "conflicting node" texts.(5) c.Txn.node);
-  Alcotest.(check int) "aborted" 1 (Txn.aborted_count mgr);
+  let st = Txn.stats mgr in
+  Alcotest.(check int) "aborted" 1 st.Txn.aborted;
+  Alcotest.(check int) "conflicts" 1 st.Txn.conflicts;
   Alcotest.(check string) "first committer wins" "one"
     (Store.text (Db.store db) texts.(5))
 
@@ -72,8 +83,8 @@ let test_no_conflict_on_shared_ancestors () =
   let mgr = Txn.manager db in
   let texts = Store.text_nodes (Db.store db) in
   let t1 = Txn.begin_ mgr and t2 = Txn.begin_ mgr in
-  Txn.update_text t1 texts.(0) "X";
-  Txn.update_text t2 texts.(1) "Y";
+  write t1 texts.(0) "X";
+  write t2 texts.(1) "Y";
   ok (Txn.commit t1);
   ok (Txn.commit t2);
   Alcotest.(check string) "root value" "XY"
@@ -94,7 +105,7 @@ let test_commutativity () =
         let mk lo =
           let t = Txn.begin_ mgr in
           for i = lo to lo + 9 do
-            Txn.update_text t texts.(i * 3) (Printf.sprintf "v%d" i)
+            write t texts.(i * 3) (Printf.sprintf "v%d" i)
           done;
           t
         in
@@ -131,7 +142,7 @@ let test_random_interleavings () =
       Array.init n_txns (fun t ->
           let txn = Txn.begin_ mgr in
           for i = 0 to 4 do
-            Txn.update_text txn
+            write txn
               texts.(victims.((t * 5) + i))
               (Printf.sprintf "s%d-t%d-%d" seed t i)
           done;
@@ -151,20 +162,23 @@ let test_abort_and_finished_txns () =
   let texts = Store.text_nodes (Db.store db) in
   let t = Txn.begin_ mgr in
   let old = Store.text (Db.store db) texts.(0) in
-  Txn.update_text t texts.(0) "never applied";
+  write t texts.(0) "never applied";
   Txn.abort t;
   Alcotest.(check string) "abort leaves store untouched" old
     (Store.text (Db.store db) texts.(0));
   Alcotest.check_raises "commit after abort"
     (Invalid_argument "Txn.commit: transaction is finished") (fun () ->
       ignore (Txn.commit t));
-  Alcotest.check_raises "write after abort"
-    (Invalid_argument "Txn.update_text: transaction is finished") (fun () ->
-      Txn.update_text t texts.(0) "x");
+  (match Txn.update_text t texts.(0) "x" with
+  | Error `Finished -> ()
+  | _ -> Alcotest.fail "write after abort should report `Finished");
   let t2 = Txn.begin_ mgr in
-  Alcotest.check_raises "element write rejected"
-    (Invalid_argument "Txn.update_text: not a text or attribute node")
-    (fun () -> Txn.update_text t2 Store.document "x")
+  (match Txn.update_text t2 Store.document "x" with
+  | Error `Not_text -> ()
+  | _ -> Alcotest.fail "element write should report `Not_text");
+  let st = Txn.stats mgr in
+  Alcotest.(check int) "explicit abort counted" 1 st.Txn.aborted;
+  Alcotest.(check int) "explicit abort is not a conflict" 0 st.Txn.conflicts
 
 let () =
   Alcotest.run "txn"
