@@ -7,6 +7,7 @@
      query      evaluate an XPath expression, naive vs. index-accelerated
                 (accepts XML or a snapshot)
      update     apply random text updates and report maintenance time
+     fuzz       differential-check random traces against the oracle
      collisions hash-stability histogram of a document (Figure 11)  *)
 
 open Cmdliner
@@ -259,6 +260,60 @@ let update_cmd =
   Cmd.v (Cmd.info "update" ~doc:"Random text updates with index maintenance")
     Term.(const run $ file $ count $ seed $ jobs_arg)
 
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.") in
+  let ops =
+    Arg.(
+      value & opt int 200
+      & info [ "ops" ] ~docv:"M" ~doc:"Operations per document.")
+  in
+  let docs =
+    Arg.(
+      value & opt int 50
+      & info [ "docs" ] ~docv:"K" ~doc:"Random documents to exercise.")
+  in
+  let fault =
+    Arg.(
+      value & flag
+      & info [ "fault" ]
+          ~doc:"Also run the snapshot fault-injection sweep afterwards.")
+  in
+  let run seed docs ops fault =
+    if docs < 0 || ops < 0 then begin
+      Printf.eprintf "xvi fuzz: --docs and --ops must be non-negative\n";
+      exit 2
+    end;
+    Printf.printf "seed %d, %d docs x %d ops\n%!" seed docs ops;
+    (match
+       Xvi_check.Runner.run ~log:print_endline ~seed ~docs ~ops_per_doc:ops ()
+     with
+    | Ok o ->
+        Printf.printf "differential ok: %d docs, %d ops, %d checks\n"
+          o.Xvi_check.Runner.docs o.ops o.checks
+    | Error f ->
+        prerr_endline (Xvi_check.Runner.render_trace f);
+        exit 1);
+    if fault then begin
+      let rng = Xvi_util.Prng.create seed in
+      let db = Db.of_xml_exn (Xvi_check.Gen.document rng) in
+      match Xvi_check.Fault.sweep db with
+      | Ok r ->
+          Printf.printf "fault sweep ok: %d truncations, %d flips\n"
+            r.Xvi_check.Fault.truncations r.flips
+      | Error m ->
+          prerr_endline ("fault sweep: " ^ m);
+          exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random operation traces cross-checked \
+          against an index-free oracle after every step")
+    Term.(const run $ seed $ docs $ ops $ fault)
+
 (* --- collisions --- *)
 
 let collisions_cmd =
@@ -306,5 +361,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; shred_cmd; stats_cmd; query_cmd; update_cmd;
-            collisions_cmd;
+            fuzz_cmd; collisions_cmd;
           ]))

@@ -1,0 +1,57 @@
+(* Long-running differential fuzz target behind `dune build @fuzz`.
+
+   Defaults exercise 50 random documents x 200 operations (10k ops,
+   ~300k oracle cross-checks) plus an exhaustive fault-injection sweep
+   of the default-config snapshot. Override via the environment:
+
+     XVI_FUZZ_SEED=N   master seed            (default 1)
+     XVI_FUZZ_DOCS=N   documents              (default 50)
+     XVI_FUZZ_OPS=N    operations per doc     (default 200)
+
+   CI's smoke run sets small XVI_FUZZ_DOCS / XVI_FUZZ_OPS; a nightly or
+   a manual soak raises them arbitrarily. Exits non-zero and prints a
+   replayable minimal trace on any divergence. *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ ->
+          Printf.eprintf "%s: expected a positive integer, got %S\n" name s;
+          exit 2)
+
+let () =
+  let seed = env_int "XVI_FUZZ_SEED" 1 in
+  let docs = env_int "XVI_FUZZ_DOCS" 50 in
+  let ops = env_int "XVI_FUZZ_OPS" 200 in
+  Printf.printf "xvi fuzz: seed %d, %d docs x %d ops\n%!" seed docs ops;
+  let t0 = Unix.gettimeofday () in
+  (match
+     Xvi_check.Runner.run ~log:print_endline ~seed ~docs ~ops_per_doc:ops ()
+   with
+  | Ok o ->
+      Printf.printf "differential ok: %d docs, %d ops, %d checks in %.1fs\n%!"
+        o.Xvi_check.Runner.docs o.ops o.checks
+        (Unix.gettimeofday () -. t0)
+  | Error f ->
+      prerr_endline (Xvi_check.Runner.render_trace f);
+      exit 1);
+  (* exhaustive fault sweep on a realistic (default-config) snapshot:
+     every truncation length, plus sampled byte flips over the whole
+     file and the full header region *)
+  let db =
+    Xvi_core.Db.of_xml_exn
+      "<doc><person age=\"42\">Arthur<weight>73.5</weight></person><entry \
+       ts=\"2009-03-24T12:00:00Z\">measure</entry></doc>"
+  in
+  let t1 = Unix.gettimeofday () in
+  match Xvi_check.Fault.sweep ~flips:2048 db with
+  | Ok r ->
+      Printf.printf "fault sweep ok: %d truncations, %d flips in %.1fs\n"
+        r.Xvi_check.Fault.truncations r.flips
+        (Unix.gettimeofday () -. t1)
+  | Error m ->
+      prerr_endline ("fault sweep: " ^ m);
+      exit 1

@@ -1,0 +1,114 @@
+module Snapshot = Xvi_core.Snapshot
+
+type report = { truncations : int; flips : int }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* One damaged variant: load must return Error — an exception or an Ok
+   means the snapshot layer trusted corrupt bytes. *)
+let expect_rejection ~what path =
+  (match Snapshot.is_snapshot path with
+  | (true | false) -> ()
+  | exception e ->
+      failwith
+        (Printf.sprintf "is_snapshot raised %s on %s" (Printexc.to_string e)
+           what));
+  match Snapshot.load path with
+  | Error _ -> Ok ()
+  | Ok _ -> Error (Printf.sprintf "load returned Ok on %s" what)
+  | exception e ->
+      Error
+        (Printf.sprintf "load raised %s on %s" (Printexc.to_string e) what)
+
+let sweep ?(flips = 128) ?all_offsets ?truncations:trunc_cap db =
+  let path = Filename.temp_file "xvi_fault" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Snapshot.save db path;
+      let pristine = read_file path in
+      let size = String.length pristine in
+      (match Snapshot.load path with
+      | Ok _ -> ()
+      | Error e ->
+          failwith ("pristine snapshot did not load: " ^ Snapshot.error_to_string e));
+      let all_offsets =
+        match all_offsets with Some b -> b | None -> size <= 8192
+      in
+      let failure = ref None in
+      let fail m = if !failure = None then failure := Some m in
+      (* truncations: descending, so each step is one metadata-only
+         syscall and the file never has to be rewritten *)
+      let lengths =
+        match trunc_cap with
+        | None -> List.init size (fun i -> size - 1 - i)
+        | Some cap when cap >= size -> List.init size (fun i -> size - 1 - i)
+        | Some cap ->
+            (* evenly spaced, still descending so truncate alone suffices *)
+            List.init cap (fun i -> (cap - 1 - i) * size / cap)
+      in
+      let truncations = ref 0 in
+      List.iter
+        (fun len ->
+          if !failure = None then begin
+            Unix.truncate path len;
+            incr truncations;
+            match
+              expect_rejection
+                ~what:(Printf.sprintf "truncation to %d bytes" len)
+                path
+            with
+            | Ok () -> ()
+            | Error m -> fail m
+          end)
+        lengths;
+      write_file path pristine;
+      (* byte flips: every offset when small, else evenly spaced plus
+         the whole header region (magic, fingerprint, length, digest) *)
+      let offsets =
+        if all_offsets then List.init size (fun i -> i)
+        else begin
+          let header = min size 128 in
+          let spaced =
+            List.init flips (fun i -> i * size / flips)
+          in
+          List.sort_uniq compare (List.init header (fun i -> i) @ spaced)
+        end
+      in
+      let flipped = ref 0 in
+      List.iter
+        (fun pos ->
+          if !failure = None then begin
+            let damaged = Bytes.of_string pristine in
+            Bytes.set damaged pos
+              (Char.chr (Char.code pristine.[pos] lxor (1 lsl (pos mod 8))));
+            write_file path (Bytes.to_string damaged);
+            incr flipped;
+            match
+              expect_rejection
+                ~what:(Printf.sprintf "byte flip at offset %d" pos)
+                path
+            with
+            | Ok () -> ()
+            | Error m -> fail m
+          end)
+        offsets;
+      (* and the original must still load after a restore *)
+      write_file path pristine;
+      (match Snapshot.load path with
+      | Ok _ -> ()
+      | Error e ->
+          fail ("restored pristine snapshot rejected: " ^ Snapshot.error_to_string e));
+      match !failure with
+      | Some m -> Error m
+      | None -> Ok { truncations = !truncations; flips = !flipped })

@@ -1,0 +1,33 @@
+(** Fault injection for the snapshot layer.
+
+    {!sweep} saves a snapshot of the given database, then damages the
+    file in two systematic ways and asserts that {!Xvi_core.Snapshot}
+    stays total on every variant:
+
+    - {e truncation}: the file cut to every shorter length (descending,
+      via [Unix.truncate], so the sweep is metadata-only and covers all
+      offsets even for large snapshots);
+    - {e byte flips}: single-byte corruptions — every offset when the
+      file is small enough, otherwise [flips] offsets evenly spaced
+      across the file plus the entire header region.
+
+    For each damaged variant, [Snapshot.load] must return [Error _]:
+    raising any exception or returning [Ok] on damaged bytes is a
+    failure. [Snapshot.is_snapshot] is also exercised and must never
+    raise. *)
+
+type report = { truncations : int; flips : int }
+(** How many damaged variants were exercised. *)
+
+val sweep :
+  ?flips:int ->
+  ?all_offsets:bool ->
+  ?truncations:int ->
+  Xvi_core.Db.t ->
+  (report, string) result
+(** [sweep db] runs the full sweep against a fresh snapshot of [db] in a
+    temp file (removed afterwards). [flips] (default [128]) is the
+    minimum number of byte-flip offsets; [all_offsets] (default: only
+    when the file is ≤ 8 KiB) forces one flip per byte of the file;
+    [truncations] caps the truncation sweep to that many evenly spaced
+    lengths (default: every length shorter than the file). *)

@@ -1,0 +1,170 @@
+module Store = Xvi_xml.Store
+module Db = Xvi_core.Db
+module Lexical_types = Xvi_core.Lexical_types
+
+type node = Store.node
+
+(* Everything below walks the tree through the navigation links only.
+   [Store.iter_pre], [Store.string_value], [Store.compare_order] and the
+   pre plane are deliberately not used: they are the machinery under
+   test (directly or via the indices), and the oracle must not inherit
+   their bugs. *)
+
+let string_value store n =
+  match Store.kind store n with
+  | Store.Text | Store.Attribute | Store.Comment | Store.Pi ->
+      Store.text store n
+  | Store.Element | Store.Document ->
+      let buf = Buffer.create 16 in
+      let rec collect c =
+        match Store.kind store c with
+        | Store.Text -> Buffer.add_string buf (Store.text store c)
+        | Store.Element ->
+            Option.iter collect_siblings (Store.first_child store c)
+        | _ -> ()
+      and collect_siblings c =
+        collect c;
+        Option.iter collect_siblings (Store.next_sibling store c)
+      in
+      Option.iter collect_siblings (Store.first_child store n);
+      Buffer.contents buf
+  | Store.Deleted -> invalid_arg "Oracle.string_value: deleted node"
+
+(* Pre-order walk: a node, then its attributes, then its children — the
+   document order the plane and [iter_pre] promise. *)
+let walk store f =
+  let rec node n =
+    f n;
+    let rec attrs = function
+      | None -> ()
+      | Some a ->
+          f a;
+          attrs (Store.next_attribute store a)
+    in
+    attrs (Store.first_attribute store n);
+    let rec kids = function
+      | None -> ()
+      | Some k ->
+          node k;
+          kids (Store.next_sibling store k)
+    in
+    kids (Store.first_child store n)
+  in
+  node Store.document
+
+let collect store pred =
+  let acc = ref [] in
+  walk store (fun n -> if pred n then acc := n :: !acc);
+  List.sort compare !acc
+
+let has_string_value store n =
+  match Store.kind store n with
+  | Store.Element | Store.Text | Store.Attribute | Store.Document -> true
+  | Store.Comment | Store.Pi | Store.Deleted -> false
+
+let lookup_string store s =
+  collect store (fun n ->
+      has_string_value store n && String.equal (string_value store n) s)
+
+(* Membership in a typed index is acceptance by the type's DFA — the
+   lexical specification itself, interpreted character by character via
+   [Dfa.run]'s plain table walk — and only then does [parse] supply the
+   key. [parse] alone is no membership test: it assumes a DFA-vetted
+   shape and happily parses positionally through garbage. *)
+let typed_value (spec : Lexical_types.spec) store n =
+  if has_string_value store n then begin
+    let sv = string_value store n in
+    if Xvi_core.Dfa.accepts (Xvi_core.Sct.dfa spec.Lexical_types.sct) sv then
+      spec.Lexical_types.parse sv
+    else None
+  end
+  else None
+
+(* The B+tree key order: NaN sorts after every number (and -0. equals
+   0., as in [Float.compare] via [compare_float]'s IEEE fast path). *)
+let compare_value a b =
+  match (Float.is_nan a, Float.is_nan b) with
+  | true, true -> 0
+  | true, false -> 1
+  | false, true -> -1
+  | false, false -> if a < b then -1 else if a > b then 1 else 0
+
+let in_range range v =
+  let lo_ok =
+    match Db.Range.lo range with
+    | None -> true
+    | Some lo -> (not (Float.is_nan lo)) && compare_value lo v <= 0
+  in
+  let hi_ok =
+    match Db.Range.hi range with
+    | None -> true
+    | Some hi -> (not (Float.is_nan hi)) && compare_value v hi <= 0
+  in
+  lo_ok && hi_ok
+
+let lookup_typed store spec range =
+  let hits = ref [] in
+  walk store (fun n ->
+      match typed_value spec store n with
+      | Some v when in_range range v -> hits := (v, n) :: !hits
+      | _ -> ());
+  List.map snd
+    (List.sort
+       (fun (v1, n1) (v2, n2) ->
+         match compare_value v1 v2 with 0 -> compare n1 n2 | c -> c)
+       !hits)
+
+let string_contains ~pattern s =
+  let m = String.length pattern and n = String.length s in
+  if m = 0 then true
+  else begin
+    let rec at i j = j = m || (s.[i + j] = pattern.[j] && at i (j + 1)) in
+    let rec go i = i + m <= n && (at i 0 || go (i + 1)) in
+    go 0
+  end
+
+let lookup_contains store pattern =
+  collect store (fun n ->
+      match Store.kind store n with
+      | Store.Text | Store.Attribute ->
+          string_contains ~pattern (Store.text store n)
+      | _ -> false)
+
+let lookup_element_contains store pattern =
+  collect store (fun n ->
+      match Store.kind store n with
+      | Store.Element | Store.Document ->
+          string_contains ~pattern (string_value store n)
+      | _ -> false)
+
+let elements_named store name =
+  collect store (fun n ->
+      Store.kind store n = Store.Element
+      && String.equal (Store.name store n) name)
+
+let in_subtree store ~scope n =
+  let rec up c =
+    c = scope || match Store.parent store c with Some p -> up p | None -> false
+  in
+  up n
+
+(* Document order, computed from this module's own walk so that the
+   attribute placement matches the plane without depending on it. *)
+let sort_doc_order store nodes =
+  let rank = Hashtbl.create 256 in
+  let next = ref 0 in
+  walk store (fun n ->
+      Hashtbl.replace rank n !next;
+      incr next);
+  List.sort
+    (fun a b -> compare (Hashtbl.find rank a) (Hashtbl.find rank b))
+    nodes
+
+let within store ~scope hits =
+  sort_doc_order store (List.filter (in_subtree store ~scope) hits)
+
+let lookup_string_within store ~scope s =
+  within store ~scope (lookup_string store s)
+
+let lookup_typed_within store spec ~scope range =
+  within store ~scope (lookup_typed store spec range)

@@ -1,0 +1,75 @@
+(** The differential-testing oracle: every {!Xvi_core.Db} query answered
+    by direct recursive traversal of the store, with no index structure
+    involved anywhere.
+
+    This module is the standing definition of {e correct} for the whole
+    index family. It re-implements the XDM string value, typed-value
+    extraction and document order from the {!Xvi_xml.Store} navigation
+    primitives alone ([kind] / [first_child] / [next_sibling] /
+    [first_attribute] / [text]); it shares no code with the indices, the
+    [Indexer] recombination pass, or the pre/size/level plane, so a bug
+    in any of those shows up as a divergence rather than being mirrored
+    here.
+
+    Reference semantics implemented here (and documented in DESIGN.md):
+
+    - {e string value}: for text, attribute, comment and PI nodes, their
+      own content; for elements and the document node, the concatenation
+      of all {e descendant text nodes} in document order — attributes,
+      comments and PIs do not contribute.
+    - {e typed value}: a node has a typed value iff the type's DFA
+      accepts its full string value (run directly, character by
+      character); [spec.parse] then supplies the key. Range bounds are
+      inclusive, an empty ([lo > hi]) or NaN bound matches nothing, and
+      results are ordered by (value, node id).
+    - {e document order}: pre-order; the attributes of an element come
+      right after the element and before its children.
+
+    All results are lists of live nodes; equality lookups and
+    containment are in node-id order, matching the index contracts. *)
+
+type node = Xvi_xml.Store.node
+
+val string_value : Xvi_xml.Store.t -> node -> string
+(** Independent recomputation of {!Xvi_xml.Store.string_value}. *)
+
+val typed_value :
+  Xvi_core.Lexical_types.spec -> Xvi_xml.Store.t -> node -> float option
+(** The typed key of a node whose string value is a complete lexical
+    form of the spec's type; [None] otherwise. *)
+
+val lookup_string : Xvi_xml.Store.t -> string -> node list
+(** Oracle for {!Xvi_core.Db.lookup_string}: live element, attribute,
+    text and document nodes whose string value equals the argument. *)
+
+val lookup_typed :
+  Xvi_xml.Store.t ->
+  Xvi_core.Lexical_types.spec ->
+  Xvi_core.Db.Range.t ->
+  node list
+(** Oracle for {!Xvi_core.Db.lookup_typed} / [lookup_double]. *)
+
+val lookup_contains : Xvi_xml.Store.t -> string -> node list
+(** Oracle for {!Xvi_core.Db.lookup_contains}: text and attribute nodes
+    whose own content contains the pattern. *)
+
+val lookup_element_contains : Xvi_xml.Store.t -> string -> node list
+(** Oracle for {!Xvi_core.Db.lookup_element_contains}: elements and the
+    document node whose string value contains the pattern. *)
+
+val elements_named : Xvi_xml.Store.t -> string -> node list
+(** Oracle for {!Xvi_core.Db.elements_named}. *)
+
+val lookup_string_within :
+  Xvi_xml.Store.t -> scope:node -> string -> node list
+(** Oracle for {!Xvi_core.Db.lookup_string_within}: string matches that
+    are [scope] itself or lie in its subtree, in document order. *)
+
+val lookup_typed_within :
+  Xvi_xml.Store.t ->
+  Xvi_core.Lexical_types.spec ->
+  scope:node ->
+  Xvi_core.Db.Range.t ->
+  node list
+(** Oracle for {!Xvi_core.Db.lookup_double_within}, generalised over the
+    spec. *)

@@ -1,0 +1,445 @@
+module Store = Xvi_xml.Store
+module Db = Xvi_core.Db
+module Snapshot = Xvi_core.Snapshot
+module Lexical_types = Xvi_core.Lexical_types
+module Txn = Xvi_txn.Txn
+module Prng = Xvi_util.Prng
+
+type outcome = { docs : int; ops : int; checks : int }
+
+type failure = {
+  seed : int;
+  doc_index : int;
+  doc : string;
+  ops : Gen.op list;
+  message : string;
+}
+
+let default_config =
+  { Db.Config.default with Db.Config.substring = true }
+
+(* --- selector resolution (documented in Gen: node-id order, mod) --- *)
+
+let eligible store pred =
+  let acc = ref [] in
+  Store.iter_pre store (fun n -> if pred n then acc := n :: !acc);
+  Array.of_list (List.rev !acc)
+
+let leaves store =
+  eligible store (fun n ->
+      match Store.kind store n with
+      | Store.Text | Store.Attribute -> true
+      | _ -> false)
+
+let deletable store = eligible store (fun n -> n <> Store.document)
+
+let insert_parents store =
+  eligible store (fun n ->
+      n = Store.document || Store.kind store n = Store.Element)
+
+let resolve arr k = if Array.length arr = 0 then None else Some arr.(k mod Array.length arr)
+
+let resolve_writes store ws =
+  let ls = leaves store in
+  if Array.length ls = 0 then []
+  else List.map (fun (k, v) -> (ls.(k mod Array.length ls), v)) ws
+
+module Iset = Set.Make (Int)
+
+(* --- one operation, through the public APIs only --- *)
+
+exception Check_failed of string
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Check_failed m)) fmt
+
+let apply_txn db (s : Gen.txn_script) =
+  let store = Db.store db in
+  let wa = resolve_writes store s.Gen.writes_a
+  and wb = resolve_writes store s.Gen.writes_b in
+  if wa = [] && wb = [] then ()
+  else begin
+    let mgr = Txn.manager db in
+    let a = Txn.begin_ mgr and b = Txn.begin_ mgr in
+    let write t (n, v) =
+      match Txn.update_text t n v with
+      | Ok () -> ()
+      | Error `Finished -> failf "txn write refused: `Finished on live txn"
+      | Error `Not_text -> failf "txn write refused: `Not_text on node %d" n
+    in
+    (* interleave the two write streams a, b, a, b, ... *)
+    let rec zip t t' xs ys =
+      match xs with
+      | [] -> List.iter (write t') ys
+      | x :: xs ->
+          write t x;
+          zip t' t ys xs
+    in
+    zip a b wa wb;
+    let set_of ws = Iset.of_list (List.map fst ws) in
+    let overlap = not (Iset.disjoint (set_of wa) (set_of wb)) in
+    let a_committed =
+      if s.Gen.abort_a || wa = [] then begin
+        Txn.abort a;
+        false
+      end
+      else
+        match Txn.commit a with
+        | Ok () -> true
+        | Error c ->
+            failf "txn a conflicted on a fresh manager: %s" c.Txn.reason
+    in
+    (* a is finished either way: further writes must say so *)
+    (match Txn.update_text a (fst (List.hd (if wa = [] then wb else wa))) "x" with
+    | Error `Finished -> ()
+    | Ok () -> failf "write accepted after txn a finished"
+    | Error `Not_text -> failf "`Not_text instead of `Finished after txn a finished");
+    let expect_conflict = a_committed && overlap && wb <> [] in
+    let b_committed =
+      if s.Gen.abort_b || wb = [] then begin
+        Txn.abort b;
+        false
+      end
+      else
+        match (Txn.commit b, expect_conflict) with
+        | Ok (), false -> true
+        | Ok (), true -> failf "txn b committed but overlapped txn a's writes"
+        | Error _, true -> false
+        | Error c, false ->
+            failf "txn b conflicted without overlap: %s" c.Txn.reason
+    in
+    (* first-committer-wins bookkeeping must reconcile exactly *)
+    let st = Txn.stats mgr in
+    let committed = (if a_committed then 1 else 0) + if b_committed then 1 else 0
+    and conflicts = if expect_conflict && not (s.Gen.abort_b || wb = []) then 1 else 0 in
+    let aborted = 2 - committed in
+    if st.Txn.committed <> committed || st.Txn.aborted <> aborted
+       || st.Txn.conflicts <> conflicts
+    then
+      failf "txn stats {c=%d;a=%d;x=%d} do not reconcile with {c=%d;a=%d;x=%d}"
+        st.Txn.committed st.Txn.aborted st.Txn.conflicts committed aborted
+        conflicts
+  end
+
+let apply_op db op =
+  let store = Db.store db in
+  match (op : Gen.op) with
+  | Gen.Update_text (k, v) ->
+      (match resolve (leaves store) k with
+      | None -> db
+      | Some n ->
+          Db.update_text db n v;
+          db)
+  | Gen.Update_texts ws ->
+      Db.update_texts db (resolve_writes store ws);
+      db
+  | Gen.Delete_subtree k ->
+      (match resolve (deletable store) k with
+      | None -> db
+      | Some n ->
+          Db.delete_subtree db n;
+          db)
+  | Gen.Insert_xml (k, frag) ->
+      (match resolve (insert_parents store) k with
+      | None -> db
+      | Some parent ->
+          (match Db.insert_xml db ~parent frag with
+          | Ok _ -> ()
+          | Error e ->
+              failf "generated fragment %S rejected: %s" frag
+                (Xvi_xml.Parser.error_to_string e));
+          db)
+  | Gen.Compact -> fst (Db.compact db)
+  | Gen.Snapshot_roundtrip ->
+      let path = Filename.temp_file "xvi_diff" ".snap" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Snapshot.save db path;
+          match Snapshot.load path with
+          | Ok db' -> db'
+          | Error e ->
+              failf "snapshot roundtrip failed: %s" (Snapshot.error_to_string e))
+  | Gen.Txn s ->
+      apply_txn db s;
+      db
+
+(* --- cross-checking every query family against the oracle --- *)
+
+let show_nodes ns =
+  let shown = List.filteri (fun i _ -> i < 20) ns in
+  Printf.sprintf "[%s]%s"
+    (String.concat ";" (List.map string_of_int shown))
+    (if List.length ns > 20 then Printf.sprintf "…(%d)" (List.length ns) else "")
+
+let compare_lists ~what expected actual =
+  if expected <> actual then
+    failf "%s diverged: oracle %s vs index %s" what (show_nodes expected)
+      (show_nodes actual)
+
+let show_range r =
+  let s = function None -> "_" | Some v -> Printf.sprintf "%h" v in
+  Printf.sprintf "[%s,%s]" (s (Db.Range.lo r)) (s (Db.Range.hi r))
+
+let sample_values rng store =
+  (* string values of a few random live nodes, as equality probes *)
+  let pool = eligible store (fun n ->
+      match Store.kind store n with
+      | Store.Element | Store.Text | Store.Attribute -> true
+      | _ -> false)
+  in
+  if Array.length pool = 0 then []
+  else
+    List.init 3 (fun _ ->
+        Oracle.string_value store (Prng.choose rng pool))
+
+let sample_doubles rng store =
+  let double = Lexical_types.double () in
+  let ls = leaves store in
+  let vals = ref [] in
+  for _ = 1 to 8 do
+    if Array.length ls > 0 then
+      match double.Lexical_types.parse (Store.text store (Prng.choose rng ls)) with
+      | Some v -> vals := v :: !vals
+      | None -> ()
+  done;
+  !vals
+
+let sample_pattern rng store =
+  let ls = leaves store in
+  if Array.length ls = 0 then "x"
+  else
+    let s = Store.text store (Prng.choose rng ls) in
+    if String.length s = 0 then "x"
+    else
+      let start = Prng.int rng (String.length s) in
+      let len = min (1 + Prng.int rng 5) (String.length s - start) in
+      String.sub s start len
+
+let check ~config ~step db counter =
+  let store = Db.store db in
+  let rng = Prng.create (0x5EED + (7919 * step)) in
+  let tick () = incr counter in
+  (* string equality *)
+  let probes =
+    ("" :: "\xe2\x89\x8b absent \xe2\x89\x8b" :: sample_values rng store)
+  in
+  List.iter
+    (fun s ->
+      tick ();
+      compare_lists
+        ~what:(Printf.sprintf "lookup_string %S" s)
+        (Oracle.lookup_string store s)
+        (Db.lookup_string db s))
+    probes;
+  (* double ranges *)
+  let double = Lexical_types.double () in
+  let ranges =
+    Db.Range.
+      [
+        any; between 0. 100.; between 43. 42.; between nan 1.;
+        at_most infinity; at_least (-0.);
+      ]
+    @ List.concat_map
+        (fun v ->
+          Db.Range.
+            [ between v v; at_least v; between (v -. 1.5) (v +. 0.5) ])
+        (sample_doubles rng store)
+  in
+  List.iter
+    (fun r ->
+      tick ();
+      compare_lists
+        ~what:(Printf.sprintf "lookup_double %s" (show_range r))
+        (Oracle.lookup_typed store double r)
+        (Db.lookup_double db r))
+    ranges;
+  (* datetime, through the by-name entry point *)
+  let datetime = Lexical_types.datetime () in
+  tick ();
+  compare_lists ~what:"lookup_typed xs:dateTime any"
+    (Oracle.lookup_typed store datetime Db.Range.any)
+    (Db.lookup_typed db "xs:dateTime" Db.Range.any);
+  (* containment *)
+  if config.Db.Config.substring then begin
+    List.iter
+      (fun pat ->
+        tick ();
+        compare_lists
+          ~what:(Printf.sprintf "lookup_contains %S" pat)
+          (Oracle.lookup_contains store pat)
+          (Db.lookup_contains db pat);
+        tick ();
+        compare_lists
+          ~what:(Printf.sprintf "lookup_element_contains %S" pat)
+          (Oracle.lookup_element_contains store pat)
+          (Db.lookup_element_contains db pat))
+      [ sample_pattern rng store; ""; "zz\xc2\xac" ]
+  end;
+  (* element names *)
+  let name_probes =
+    let named = eligible store (fun n -> Store.kind store n = Store.Element) in
+    Prng.choose rng Gen.names
+    :: "nonexistent"
+    :: (if Array.length named = 0 then []
+        else [ Store.name store (Prng.choose rng named) ])
+  in
+  List.iter
+    (fun nm ->
+      tick ();
+      compare_lists
+        ~what:(Printf.sprintf "elements_named %S" nm)
+        (Oracle.elements_named store nm)
+        (Db.elements_named db nm))
+    name_probes;
+  (* scoped lookups *)
+  let scopes = insert_parents store in
+  if Array.length scopes > 0 then begin
+    let scope = Prng.choose rng scopes in
+    let s = List.nth probes (2 mod List.length probes) in
+    tick ();
+    compare_lists
+      ~what:(Printf.sprintf "lookup_string_within scope=%d %S" scope s)
+      (Oracle.lookup_string_within store ~scope s)
+      (Db.lookup_string_within db ~scope s);
+    let r = List.hd ranges in
+    tick ();
+    compare_lists
+      ~what:(Printf.sprintf "lookup_double_within scope=%d %s" scope (show_range r))
+      (Oracle.lookup_typed_within store double ~scope r)
+      (Db.lookup_double_within db ~scope r)
+  end;
+  (* periodically, the heavyweight check: every index vs a rebuild *)
+  if step mod 7 = 0 then begin
+    tick ();
+    match Db.validate db with
+    | Ok () -> ()
+    | Error e -> failf "Db.validate: %s" e
+  end
+
+let run_doc ?(config = default_config) ~doc ~ops () =
+  let counter = ref 0 in
+  try
+    let db =
+      match Db.of_xml ~config doc with
+      | Ok db -> db
+      | Error e ->
+          failf "document rejected by parser: %s"
+            (Xvi_xml.Parser.error_to_string e)
+    in
+    check ~config ~step:0 db counter;
+    let _db =
+      List.fold_left
+        (fun (db, i) op ->
+          let db =
+            try apply_op db op
+            with Check_failed m -> failf "step %d (%s): %s" i (Gen.op_to_ocaml op) m
+          in
+          (try check ~config ~step:i db counter
+           with Check_failed m -> failf "after step %d (%s): %s" i (Gen.op_to_ocaml op) m);
+          (db, i + 1))
+        (db, 1) ops
+    in
+    Ok !counter
+  with
+  | Check_failed m -> Error m
+  | e ->
+      Error
+        (Printf.sprintf "escaped exception: %s" (Printexc.to_string e))
+
+(* --- shrinking: ddmin-lite over the op list --- *)
+
+let remove_slice i size ops =
+  List.filteri (fun j _ -> j < i || j >= i + size) ops
+
+let shrink ~config ~doc ops =
+  let budget = ref 300 in
+  let fails ops =
+    if !budget <= 0 then false
+    else begin
+      decr budget;
+      Result.is_error (run_doc ~config ~doc ~ops ())
+    end
+  in
+  let rec pass size ops =
+    if size < 1 then ops
+    else begin
+      let rec try_at i ops =
+        if i >= List.length ops then ops
+        else begin
+          let cand = remove_slice i size ops in
+          if List.length cand < List.length ops && fails cand then try_at i cand
+          else try_at (i + size) ops
+        end
+      in
+      pass (size / 2) (try_at 0 ops)
+    end
+  in
+  pass (max 1 (List.length ops / 2)) ops
+
+(* --- the fleet loop --- *)
+
+let run ?(config = default_config) ?(log = fun _ -> ()) ~seed ~docs ~ops_per_doc
+    () =
+  let master = Prng.create seed in
+  let total_ops = ref 0 and total_checks = ref 0 in
+  let rec loop i =
+    if i >= docs then Ok { docs; ops = !total_ops; checks = !total_checks }
+    else begin
+      let rng = Prng.split master in
+      let doc = Gen.document rng in
+      let ops = List.init ops_per_doc (fun _ -> Gen.op rng) in
+      match run_doc ~config ~doc ~ops () with
+      | Ok checks ->
+          total_ops := !total_ops + ops_per_doc;
+          total_checks := !total_checks + checks;
+          log
+            (Printf.sprintf "doc %d/%d ok: %d ops, %d checks" (i + 1) docs
+               ops_per_doc checks);
+          loop (i + 1)
+      | Error _ ->
+          log (Printf.sprintf "doc %d/%d FAILED, shrinking..." (i + 1) docs);
+          let ops = shrink ~config ~doc ops in
+          let message =
+            match run_doc ~config ~doc ~ops () with
+            | Error m -> m
+            | Ok _ -> "(divergence vanished during shrinking — flaky trace)"
+          in
+          Error { seed; doc_index = i; doc; ops; message }
+    end
+  in
+  loop 0
+
+(* --- replayable trace rendering --- *)
+
+let doc_literal doc =
+  (* a quoted-string literal keeps the XML readable; fall back to %S if
+     the closing delimiter happens to occur in the text *)
+  let closer = "|xvi}" in
+  let contains_closer =
+    let m = String.length closer and n = String.length doc in
+    let rec at i j = j = m || (doc.[i + j] = closer.[j] && at i (j + 1)) in
+    let rec go i = i + m <= n && (at i 0 || go (i + 1)) in
+    go 0
+  in
+  if contains_closer then Printf.sprintf "%S" doc
+  else Printf.sprintf "{xvi|%s|xvi}" doc
+
+let render_trace f =
+  let ops =
+    String.concat ";\n    " (List.map Gen.op_to_ocaml f.ops)
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf
+        "(* xvi differential harness: minimal failing trace (seed %d, doc %d).\n\
+        \   Divergence: %s *)"
+        f.seed f.doc_index f.message;
+      Printf.sprintf "let doc = %s" (doc_literal f.doc);
+      "let ops =";
+      Printf.sprintf "  Xvi_check.Gen.[\n    %s;\n  ]" ops;
+      "let () =";
+      "  match Xvi_check.Runner.run_doc ~doc ~ops () with";
+      "  | Ok n -> Printf.printf \"trace no longer fails (%d checks)\\n\" n";
+      "  | Error m -> prerr_endline m; exit 1";
+      "";
+    ]

@@ -1,0 +1,50 @@
+(** The differential runner: apply a random operation trace to an
+    indexed {!Xvi_core.Db} and, after {e every} step, compare every
+    query family against {!Oracle}'s index-free answers.
+
+    On a divergence the runner shrinks the trace (delta debugging over
+    the op list) to a minimal failing sequence and renders it as a
+    self-contained, replayable OCaml program. *)
+
+type outcome = {
+  docs : int;  (** documents generated and exercised *)
+  ops : int;  (** operations applied *)
+  checks : int;  (** individual oracle-vs-index comparisons *)
+}
+
+type failure = {
+  seed : int;
+  doc_index : int;  (** which generated document failed *)
+  doc : string;  (** its XML, verbatim *)
+  ops : Gen.op list;  (** shrunk to a minimal failing trace *)
+  message : string;  (** what diverged, at which step *)
+}
+
+val run_doc :
+  ?config:Xvi_core.Db.Config.t ->
+  doc:string ->
+  ops:Gen.op list ->
+  unit ->
+  (int, string) result
+(** Replay one trace: build the database over [doc] (default config:
+    doubles + datetimes + the substring index, serial build), apply each
+    op, cross-check after every step. [Ok checks] on success, [Error
+    message] on the first divergence, validation failure, or escaped
+    exception. This is the entry point a printed trace calls. *)
+
+val run :
+  ?config:Xvi_core.Db.Config.t ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  docs:int ->
+  ops_per_doc:int ->
+  unit ->
+  (outcome, failure) result
+(** Generate [docs] random documents from [seed], each with
+    [ops_per_doc] operations, and differential-check them all. The
+    first divergence is shrunk before being returned. [log] receives
+    one progress line per document. *)
+
+val render_trace : failure -> string
+(** The failure as a replayable OCaml program ([run_doc] invocation),
+    plus the divergence message in a comment. *)

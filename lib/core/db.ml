@@ -122,8 +122,18 @@ let typed_exn t name =
   | Some ti -> ti
   | None -> invalid_arg (Printf.sprintf "Db: no %s index configured" name)
 
+(* A NaN bound satisfies no inclusive comparison, so it matches nothing —
+   checked here because the B+tree's key order deliberately sorts NaN
+   last, which would turn [at_most nan] into "everything". *)
+let nan_bound range =
+  let is_nan = function Some v -> Float.is_nan v | None -> false in
+  is_nan (Range.lo range) || is_nan (Range.hi range)
+
 let lookup_typed t name range =
-  Typed_index.range ?lo:(Range.lo range) ?hi:(Range.hi range) (typed_exn t name)
+  if nan_bound range then []
+  else
+    Typed_index.range ?lo:(Range.lo range) ?hi:(Range.hi range)
+      (typed_exn t name)
 
 let lookup_double t range = lookup_typed t "xs:double" range
 
@@ -164,10 +174,15 @@ let delete_subtree t n =
   in
   let removed = ref [] in
   let removed_values = ref [] in
+  (* Only the indexable kinds reach the value indices: comments and PIs
+     carry no postings, and their never-assigned field reads as the
+     (viable) identity — counting them as removed viable nodes would
+     corrupt the typed indices' viability accounting. *)
   Store.iter_pre ~root:n t.store (fun m ->
-      removed := m :: !removed;
       match Store.kind t.store m with
+      | Store.Element -> removed := m :: !removed
       | Store.Text | Store.Attribute ->
+          removed := m :: !removed;
           removed_values := (m, Store.text t.store m) :: !removed_values
       | _ -> ());
   Store.delete_subtree t.store n;
@@ -237,8 +252,7 @@ module Legacy = struct
   let of_xml_exn ?types ?substring src =
     of_xml_exn ~config:(make_config ?types ?substring ()) src
 
-  let lookup_typed ?lo ?hi t name =
-    Typed_index.range ?lo ?hi (typed_exn t name)
+  let lookup_typed ?lo ?hi t name = lookup_typed t name { Range.lo; hi }
 
   let lookup_double ?lo ?hi t = lookup_typed ?lo ?hi t "xs:double"
 

@@ -38,7 +38,13 @@ module Config : sig
   val default : t
 end
 
-(** Inclusive range bounds for typed lookups. *)
+(** Inclusive range bounds for typed lookups.
+
+    Both bounds are inclusive; an empty interval ([lo > hi]) matches
+    nothing. A NaN bound also matches nothing: no value compares with
+    NaN, so no value lies inclusively within such a range. [-0.0] and
+    [0.0] are the same bound (and the same indexed key), per IEEE
+    equality. *)
 module Range : sig
   type t
 

@@ -206,6 +206,9 @@ let parse_datetime s =
           while !pos < len && s.[!pos] >= '0' && s.[!pos] <= '9' do
             incr pos
           done;
+          (* the grammar is [(.s+)?]: a dot with no digits is not a
+             complete lexical form *)
+          if !pos = start then raise Exit;
           frac := float_of_string ("0." ^ String.sub s start (!pos - start))
         end;
         let tz_seconds =
@@ -377,6 +380,7 @@ let parse_time s =
           while !pos < len && s.[!pos] >= '0' && s.[!pos] <= '9' do
             incr pos
           done;
+          if !pos = start then raise Exit;
           frac := float_of_string ("0." ^ String.sub s start (!pos - start))
         end;
         let tz, pos = parse_tz s !pos len in

@@ -1,4 +1,4 @@
-let magic = "XVI-SNAPSHOT-1\n"
+let magic = "XVI-SNAPSHOT-2\n"
 
 (* A fingerprint of the running binary: closure marshalling embeds code
    pointers, so a snapshot is only valid for the exact executable that
@@ -8,15 +8,35 @@ let fingerprint =
     (try Digest.to_hex (Digest.file Sys.executable_name)
      with Sys_error _ -> "unknown")
 
-type error = Not_a_snapshot | Binary_mismatch | Io_error of string
+type error =
+  | Not_a_snapshot
+  | Binary_mismatch
+  | Corrupted of string
+  | Io_error of string
 
 let error_to_string = function
   | Not_a_snapshot -> "not an xvi snapshot"
   | Binary_mismatch ->
       "snapshot was written by a different build of this binary"
+  | Corrupted what -> "corrupt snapshot: " ^ what
   | Io_error msg -> msg
 
+(* Format (all header fields end in '\n'):
+
+     magic                 "XVI-SNAPSHOT-2\n"
+     fingerprint           hex digest of the executable
+     payload length        decimal byte count
+     payload digest        hex MD5 of the payload bytes
+     payload               Marshal output (closures)
+
+   The explicit length makes truncation detectable without touching
+   [Marshal]; the digest makes any byte flip in the payload detectable.
+   [Marshal.from_string] is only ever called on bytes whose digest
+   matched, so its undefined behaviour on corrupt input is unreachable
+   through this API. *)
+
 let save db path =
+  let payload = Marshal.to_string db [ Marshal.Closures ] in
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   Fun.protect
@@ -25,7 +45,11 @@ let save db path =
       output_string oc magic;
       output_string oc (Lazy.force fingerprint);
       output_char oc '\n';
-      Marshal.to_channel oc db [ Marshal.Closures ]);
+      output_string oc (string_of_int (String.length payload));
+      output_char oc '\n';
+      output_string oc (Digest.to_hex (Digest.string payload));
+      output_char oc '\n';
+      output_string oc payload);
   Sys.rename tmp path
 
 let load ?config path =
@@ -41,18 +65,42 @@ let load ?config path =
           if not (String.equal fp (Lazy.force fingerprint)) then
             Error Binary_mismatch
           else
-            let db = (Marshal.from_channel ic : Db.t) in
-            match config with
-            | None -> Ok db
-            | Some config ->
-                (* Re-index the loaded store under the new configuration
-                   (different types, substring index, or a parallel
-                   rebuild). *)
-                Ok (Db.of_store ~config (Db.store db))
+            match int_of_string_opt (input_line ic) with
+            | None -> Error (Corrupted "unreadable payload length")
+            | Some len when len < 0 ->
+                Error (Corrupted "unreadable payload length")
+            | Some len ->
+                let digest = input_line ic in
+                (* Strict framing: the payload must be exactly the rest
+                   of the file, so truncation and trailing garbage are
+                   both rejected before any byte is read. *)
+                if in_channel_length ic - pos_in ic <> len then
+                  Error (Corrupted "payload length mismatch")
+                else
+                  let payload = really_input_string ic len in
+                  if
+                    not
+                      (String.equal digest
+                         (Digest.to_hex (Digest.string payload)))
+                  then Error (Corrupted "payload digest mismatch")
+                  else
+                    let db = (Marshal.from_string payload 0 : Db.t) in
+                    (match config with
+                    | None -> Ok db
+                    | Some config ->
+                        (* Re-index the loaded store under the new
+                           configuration (different types, substring
+                           index, or a parallel rebuild). *)
+                        Ok (Db.of_store ~config (Db.store db)))
         end)
   with
   | Sys_error msg -> Error (Io_error msg)
   | End_of_file -> Error Not_a_snapshot
+  | Failure msg ->
+      (* [Marshal.from_string] on a payload that collides with its
+         digest, or [input_line] overflow — never let it escape the
+         result type. *)
+      Error (Corrupted msg)
 
 let load_exn ?config path =
   match load ?config path with

@@ -5,12 +5,16 @@
     reopen them directly — the role MonetDB's persistent BATs play for
     the paper's indices.
 
-    Format: a magic string, a build fingerprint, then the [Marshal]ed
-    database (with closure marshalling, since type machines carry
-    parsing functions). Snapshots are therefore {e only readable by the
-    binary that wrote them} — the fingerprint enforces this, turning a
-    segfault into a clean error. This mirrors the usual trade-off of
-    engine-internal storage formats, and the XML itself remains the
+    Format: a magic string, a build fingerprint, the payload length and
+    an MD5 digest of the payload, then the [Marshal]ed database (with
+    closure marshalling, since type machines carry parsing functions).
+    Snapshots are therefore {e only readable by the binary that wrote
+    them} — the fingerprint enforces this, turning a segfault into a
+    clean error. The length and digest make truncation and byte
+    corruption detectable {e before} [Marshal] ever sees the payload, so
+    {!load} is total: any damaged file yields an [Error], never an
+    exception and never a corrupt [Ok]. This mirrors the usual trade-off
+    of engine-internal storage formats, and the XML itself remains the
     portable representation. *)
 
 val save : Db.t -> string -> unit
@@ -20,6 +24,9 @@ val save : Db.t -> string -> unit
 type error =
   | Not_a_snapshot  (** bad magic — the file is something else *)
   | Binary_mismatch  (** written by a different build of this library *)
+  | Corrupted of string
+      (** framing, length or digest check failed — the file started as a
+          snapshot but its bytes were damaged *)
   | Io_error of string
 
 val error_to_string : error -> string

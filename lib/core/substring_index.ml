@@ -33,8 +33,13 @@ let distinct_grams s =
 let add_node t store n =
   List.iter
     (fun g ->
-      BT.insert t.postings (g, n) ();
-      t.entries <- t.entries + 1)
+      (* a batch may name the same node twice; the second pass re-adds
+         grams that are already present, which must not inflate the
+         entry counter *)
+      if not (BT.mem t.postings (g, n)) then begin
+        BT.insert t.postings (g, n) ();
+        t.entries <- t.entries + 1
+      end)
     (distinct_grams (Store.text store n))
 
 let remove_node_value t n old_value =
@@ -136,9 +141,26 @@ let contains t store pattern =
   end
 
 let element_contains t store pattern =
+  if String.length pattern = 0 then begin
+    (* Every string value contains the empty pattern, including the ""
+       of childless elements — which have no text-node seed below. *)
+    let acc = ref [] in
+    Store.iter_pre store (fun n ->
+        match Store.kind store n with
+        | Store.Element | Store.Document -> acc := n :: !acc
+        | _ -> ());
+    List.sort compare !acc
+  end
+  else begin
   let result = Hashtbl.create 64 in
-  (* 1. within-node matches lift to every ancestor *)
-  let seeds = contains t store pattern in
+  (* 1. within-node matches lift to every ancestor. Attribute matches do
+     not seed: an attribute's value is no part of its element's XDM
+     string value. *)
+  let seeds =
+    List.filter
+      (fun n -> Store.kind store n = Store.Text)
+      (contains t store pattern)
+  in
   List.iter
     (fun n ->
       let rec up c =
@@ -208,6 +230,7 @@ let element_contains t store pattern =
       (Store.text_nodes store)
   end;
   List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) result [])
+  end
 
 let update_texts t store updates =
   List.iter

@@ -180,6 +180,59 @@ let test_abort_and_finished_txns () =
   Alcotest.(check int) "explicit abort counted" 1 st.Txn.aborted;
   Alcotest.(check int) "explicit abort is not a conflict" 0 st.Txn.conflicts
 
+(* Drive many random interleavings and require the manager's counters to
+   reconcile exactly with what the driver observed: every begun
+   transaction ends up committed or aborted, and [conflicts] counts
+   precisely the commits lost to first-committer-wins (never explicit
+   aborts). *)
+let test_stats_reconcile () =
+  for round = 0 to 19 do
+    let rng = Prng.create (900 + round) in
+    let db = fresh_db 26 in
+    let store = Db.store db in
+    let texts = Store.text_nodes store in
+    let mgr = Txn.manager db in
+    let n_txns = 2 + Prng.int rng 5 in
+    let txns =
+      Array.init n_txns (fun _ ->
+          let t = Txn.begin_ mgr in
+          for _ = 0 to Prng.int rng 3 do
+            (* a small victim pool so overlap is common *)
+            write t texts.(Prng.int rng 5) (string_of_int (Prng.int rng 100))
+          done;
+          t)
+    in
+    let committed = ref 0 and aborted = ref 0 and conflicts = ref 0 in
+    Array.iter
+      (fun t ->
+        if Prng.int rng 4 = 0 then begin
+          Txn.abort t;
+          incr aborted
+        end
+        else
+          match Txn.commit t with
+          | Ok () -> incr committed
+          | Error _ ->
+              incr aborted;
+              incr conflicts)
+      txns;
+    let st = Txn.stats mgr in
+    Alcotest.(check int) "committed" !committed st.Txn.committed;
+    Alcotest.(check int) "aborted" !aborted st.Txn.aborted;
+    Alcotest.(check int) "conflicts" !conflicts st.Txn.conflicts;
+    Alcotest.(check int) "every transaction accounted for" n_txns
+      (st.Txn.committed + st.Txn.aborted);
+    (* the finished transactions must refuse further writes *)
+    Array.iter
+      (fun t ->
+        match Txn.update_text t texts.(0) "late" with
+        | Error `Finished -> ()
+        | _ -> Alcotest.fail "write after commit/abort should report `Finished")
+      txns;
+    Alcotest.(check (result unit string)) "indices validate" (Ok ())
+      (Db.validate db)
+  done
+
 let () =
   Alcotest.run "txn"
     [
@@ -191,5 +244,6 @@ let () =
           Alcotest.test_case "commutativity" `Quick test_commutativity;
           Alcotest.test_case "random interleavings" `Quick test_random_interleavings;
           Alcotest.test_case "abort and lifecycle" `Quick test_abort_and_finished_txns;
+          Alcotest.test_case "stats reconcile" `Quick test_stats_reconcile;
         ] );
     ]
