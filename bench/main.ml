@@ -6,11 +6,13 @@
      dune exec bench/main.exe -- table1 fig10 -- selected experiments
      dune exec bench/main.exe -- --scale=0.02 -- larger documents
 
-   Experiment ids: table1, fig9, fig10, fig11, micro, ablation.
+   Experiment ids: table1, fig9, fig10, fig11, micro, ablation, substr,
+   baseline, queries, query, parallel.
    --scale=F sets the fraction of the paper's document sizes to generate
    (default 0.01, i.e. the 2 GB Wiki becomes ~20 MB); --reps=N the
    repetitions for timed runs (paper: 3 for creation, 20 for updates;
-   default here 3). *)
+   default here 3); --quick shrinks the query experiment to a CI smoke
+   run (small document, one rep). *)
 
 module Store = Xvi_xml.Store
 module Parser = Xvi_xml.Parser
@@ -813,6 +815,120 @@ let queries () =
       print_newline ())
     cases
 
+(* ====================================================== query ===== *)
+
+(* The compositional query layer: a conjunctive name + range (+ scope)
+   predicate over XMark, answered by the planner's streaming cursor
+   merges vs the pre-planner strategy — materialize every conjunct's
+   full hit list, intersect through a hashtable, apply the scope by
+   parent up-walks, sort. Results are asserted equal; timings and the
+   speedup land in BENCH_query.json for trend tracking. *)
+let quick = ref false
+
+let query_bench () =
+  print_endline "== Query planner: streaming merges vs naive intersection ==";
+  let module Db = Xvi_core.Db in
+  let module Ir = Db.Ir in
+  let module Plane = Xvi_xml.Pre_plane in
+  let factor = if !quick then 0.08 else !scale *. 40.0 in
+  let reps = if !quick then 1 else !reps in
+  let xml = Xvi_workload.Xmark.generate ~seed:42 ~factor () in
+  let store = Parser.parse_exn xml in
+  let db = Db.of_store store in
+  Printf.printf "XMark factor %.2f: %s nodes\n%!" factor
+    (Table.fmt_int (Store.live_count store));
+  let scope =
+    match Db.elements_named db "open_auctions" with
+    | s :: _ -> s
+    | [] -> failwith "XMark document without <open_auctions>"
+  in
+  let range = Db.Range.between 100.0 200.0 in
+  let conj = Ir.conj [ Ir.named "initial"; Ir.typed_range "xs:double" range ] in
+  let scoped = Ir.within ~scope conj in
+  let naive_run ~use_scope () =
+    (* the pre-planner shape: every conjunct — the scope included — as a
+       materialized node list, intersected through hashtables, sorted *)
+    let l1 = Db.elements_named db "initial" in
+    let l2 = Db.lookup_double db range in
+    let scope_set =
+      if not use_scope then None
+      else begin
+        let set = Hashtbl.create 4096 in
+        let rec add n =
+          Hashtbl.replace set n ();
+          List.iter add (Store.attributes store n);
+          List.iter add (Store.children store n)
+        in
+        add scope;
+        Some set
+      end
+    in
+    let set = Hashtbl.create (List.length l1) in
+    List.iter (fun n -> Hashtbl.replace set n ()) l1;
+    let inter = List.filter (Hashtbl.mem set) l2 in
+    let restricted =
+      match scope_set with
+      | None -> inter
+      | Some s -> List.filter (Hashtbl.mem s) inter
+    in
+    Plane.sort_doc_order (Db.plane db) restricted
+  in
+  print_endline "plan for the scoped conjunction:";
+  print_string (Db.explain db scoped);
+  print_newline ();
+  let rows = ref [] and json_cases = ref [] in
+  List.iter
+    (fun (label, ir, naive) ->
+      let planned_hits = Db.query db ir in
+      let naive_hits = naive () in
+      assert (planned_hits = naive_hits);
+      let planned_ms =
+        Timing.repeat_ms reps (fun () -> ignore (Db.query db ir))
+      in
+      let naive_ms = Timing.repeat_ms reps (fun () -> ignore (naive ())) in
+      rows :=
+        [
+          label;
+          Table.fmt_int (List.length planned_hits);
+          Table.fmt_ms planned_ms;
+          Table.fmt_ms naive_ms;
+          Printf.sprintf "%.1fx" (naive_ms /. planned_ms);
+        ]
+        :: !rows;
+      json_cases :=
+        Printf.sprintf
+          "    { \"query\": %S, \"hits\": %d, \"planned_ms\": %.4f, \
+           \"naive_ms\": %.4f, \"speedup\": %.2f }"
+          (Ir.to_string ir) (List.length planned_hits) planned_ms naive_ms
+          (naive_ms /. planned_ms)
+        :: !json_cases)
+    [
+      ("name + range", conj, naive_run ~use_scope:false);
+      ("name + range within scope", scoped, naive_run ~use_scope:true);
+    ];
+  Table.print
+    ~header:[ "query"; "hits"; "planned"; "naive intersect"; "speedup" ]
+    (List.rev !rows);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"query\",\n\
+      \  \"xmark_factor\": %.3f,\n\
+      \  \"nodes\": %d,\n\
+      \  \"reps\": %d,\n\
+      \  \"cases\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      factor (Store.live_count store) reps
+      (String.concat ",\n" (List.rev !json_cases))
+  in
+  let oc = open_out "BENCH_query.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_query.json";
+  print_newline ()
+
 (* ====================================================== parallel ===== *)
 
 (* Extension experiment: domain-parallel index construction. Builds the
@@ -881,7 +997,8 @@ let parallel () =
 let all_experiments =
   [ ("micro", micro); ("table1", table1); ("fig9", fig9); ("fig11", fig11);
     ("fig10", fig10); ("ablation", ablation); ("substr", substr);
-    ("baseline", baseline); ("queries", queries); ("parallel", parallel) ]
+    ("baseline", baseline); ("queries", queries); ("query", query_bench);
+    ("parallel", parallel) ]
 
 let () =
   let selected = ref [] in
@@ -892,12 +1009,14 @@ let () =
           scale := float_of_string (String.sub arg 8 (String.length arg - 8))
         else if String.length arg > 7 && String.sub arg 0 7 = "--reps=" then
           reps := int_of_string (String.sub arg 7 (String.length arg - 7))
+        else if arg = "--quick" then quick := true
         else if List.mem_assoc arg all_experiments then
           selected := arg :: !selected
         else begin
           Printf.eprintf
             "unknown argument %s (expected: table1 fig9 fig10 fig11 micro \
-             ablation substr baseline queries parallel, --scale=F, --reps=N)\n"
+             ablation substr baseline queries query parallel, --scale=F, \
+             --reps=N, --quick)\n"
             arg;
           exit 2
         end)

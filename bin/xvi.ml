@@ -135,7 +135,14 @@ let stats_cmd =
   let run file jobs =
     let src = read_file file in
     let store, shred_ms =
-      Xvi_util.Timing.time_ms (fun () -> Parser.parse_exn src)
+      if Xvi_core.Snapshot.is_snapshot file then
+        match Xvi_core.Snapshot.load file with
+        | Ok db -> (Db.store db, 0.0)
+        | Error e ->
+            Printf.eprintf "%s: %s\n" file
+              (Xvi_core.Snapshot.error_to_string e);
+            exit 1
+      else Xvi_util.Timing.time_ms (fun () -> shred_exn file)
     in
     let double = Xvi_core.Lexical_types.double () in
     let jobs = resolve_jobs jobs in
@@ -175,23 +182,94 @@ let query_cmd =
   let naive_only =
     Arg.(value & flag & info [ "naive" ] ~doc:"Skip the index-accelerated run.")
   in
+  let explain =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:
+               "Print the predicate conjuncts compiled to the query IR, \
+                sorted by estimated cardinality, and the planner's plan for \
+                the chosen candidate generator.")
+  in
+  let within =
+    Arg.(value & opt (some string) None
+         & info [ "within" ] ~docv:"XPATH"
+             ~doc:
+               "Restrict matches to the subtree rooted at the first node the \
+                given path selects; runs as a staircase-join filter in the \
+                plan, not a post-hoc intersection.")
+  in
   let limit =
     Arg.(value & opt int 10 & info [ "limit"; "n" ] ~docv:"N"
          ~doc:"Print at most N matches.")
   in
-  let run file expr naive_only limit =
-    let xpath =
-      match Xvi_xpath.Xpath.parse expr with
-      | Ok t -> t
-      | Error e ->
-          Printf.eprintf "XPath error at %d: %s\n" e.Xvi_xpath.Xpath.pos
-            e.Xvi_xpath.Xpath.message;
-          exit 1
-    in
+  let parse_or_die expr =
+    match Xvi_xpath.Xpath.parse expr with
+    | Ok t -> t
+    | Error e ->
+        Printf.eprintf "XPath error at %d: %s\n" e.Xvi_xpath.Xpath.pos
+          e.Xvi_xpath.Xpath.message;
+        exit 1
+  in
+  let indent s =
+    String.concat ""
+      (List.map (fun l -> "  " ^ l ^ "\n") (String.split_on_char '\n' (String.trim s)))
+  in
+  let run file expr naive_only explain within limit =
+    let xpath = parse_or_die expr in
     let db, open_ms = Xvi_util.Timing.time_ms (fun () -> open_db file) in
     let store = Db.store db in
+    let scope =
+      match within with
+      | None -> None
+      | Some wexpr -> (
+          match Xvi_xpath.Xpath.eval store (parse_or_die wexpr) with
+          | n :: _ -> Some n
+          | [] ->
+              Printf.eprintf "--within %s: selects no node\n" wexpr;
+              exit 1)
+    in
+    let wrap ir =
+      match scope with None -> ir | Some s -> Db.Ir.within ~scope:s ir
+    in
+    if explain then begin
+      match Xvi_xpath.Xpath.compile_candidates db xpath with
+      | [] ->
+          print_endline
+            "explain: no indexable conjunct; evaluated by tree walk"
+      | cands ->
+          let ranked =
+            List.sort
+              (fun (_, _, a) (_, _, b) -> compare a b)
+              (List.map (fun (l, ir) -> (l, ir, Db.estimate db ir)) cands)
+          in
+          print_endline "conjuncts, cheapest candidate generator first:";
+          List.iteri
+            (fun i (l, ir, e) ->
+              Printf.printf "  %s est %-8d %s   [ir: %s]\n"
+                (if i = 0 then "->" else "  ")
+                e l (Db.Ir.to_string ir))
+            ranked;
+          let _, driver, _ = List.hd ranked in
+          Printf.printf "driver plan:\n%s" (indent (Db.explain db (wrap driver)));
+          if List.length ranked > 1 then begin
+            let all = Db.Ir.conj (List.map (fun (_, ir, _) -> ir) ranked) in
+            Printf.printf
+              "conjunctive index plan (node-set semantics; the XPath \
+               evaluator instead verifies residual conjuncts per candidate):\n\
+               %s"
+              (indent (Db.explain db (wrap all)))
+          end
+    end;
+    let in_scope =
+      match scope with
+      | None -> fun _ -> true
+      | Some s ->
+          let plane = Db.plane db in
+          fun n -> Xvi_xml.Pre_plane.in_subtree plane ~scope:s n
+    in
     let naive, naive_ms =
-      Xvi_util.Timing.time_ms (fun () -> Xvi_xpath.Xpath.eval store xpath)
+      Xvi_util.Timing.time_ms (fun () ->
+          List.filter in_scope (Xvi_xpath.Xpath.eval store xpath))
     in
     Printf.printf "naive:   %d matches in %s\n" (List.length naive)
       (Table.fmt_ms naive_ms);
@@ -200,7 +278,8 @@ let query_cmd =
       else begin
         let build_ms = open_ms in
         let indexed, fast_ms =
-          Xvi_util.Timing.time_ms (fun () -> Xvi_xpath.Xpath.eval_indexed db xpath)
+          Xvi_util.Timing.time_ms (fun () ->
+              List.filter in_scope (Xvi_xpath.Xpath.eval_indexed db xpath))
         in
         let plan = Xvi_xpath.Xpath.last_plan () in
         Printf.printf
@@ -226,7 +305,7 @@ let query_cmd =
       result
   in
   Cmd.v (Cmd.info "query" ~doc:"Evaluate an XPath expression")
-    Term.(const run $ file $ expr $ naive_only $ limit)
+    Term.(const run $ file $ expr $ naive_only $ explain $ within $ limit)
 
 (* --- update --- *)
 

@@ -22,6 +22,8 @@ module type S = sig
   val fold : (key -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
   val iter_range : ?lo:key -> ?hi:key -> (key -> 'a -> unit) -> 'a t -> unit
   val range : ?lo:key -> ?hi:key -> 'a t -> (key * 'a) list
+  val to_seq_range : ?lo:key -> ?hi:key -> 'a t -> (key * 'a) Seq.t
+  val count_range : ?lo:key -> ?hi:key -> 'a t -> int
   val min_binding : 'a t -> (key * 'a) option
   val max_binding : 'a t -> (key * 'a) option
   val height : 'a t -> int
@@ -472,6 +474,44 @@ module Make (K : ORDERED) = struct
     let acc = ref [] in
     iter_range ?lo ?hi (fun k v -> acc := (k, v) :: !acc) t;
     List.rev !acc
+
+  let to_seq_range ?lo ?hi t =
+    match t.root with
+    | None -> Seq.empty
+    | Some root ->
+        let start =
+          match lo with None -> leftmost_leaf root | Some k -> seek_leaf root k
+        in
+        let above_lo k =
+          match lo with None -> true | Some b -> K.compare k b >= 0
+        in
+        let below_hi k =
+          match hi with None -> true | Some b -> K.compare k b <= 0
+        in
+        (* Position = (leaf, slot). Skip leading keys below [lo] once;
+           after that the chain is ascending so only the [hi] check
+           remains on each pull. *)
+        let rec pull skipping l i () =
+          if i >= l.ln then
+            match l.next with
+            | None -> Seq.Nil
+            | Some next -> pull skipping next 0 ()
+          else
+            let k = l.lkeys.(i) in
+            if skipping && not (above_lo k) then pull skipping l (i + 1) ()
+            else if below_hi k then
+              Seq.Cons ((k, l.lvals.(i)), pull false l (i + 1))
+            else Seq.Nil
+        in
+        pull true start 0
+
+  let count_range ?lo ?hi t =
+    match (lo, hi) with
+    | None, None -> t.count
+    | _ ->
+        let n = ref 0 in
+        iter_range ?lo ?hi (fun _ _ -> incr n) t;
+        !n
 
   let min_binding t =
     match t.root with

@@ -68,6 +68,16 @@ module type S = sig
   val range : ?lo:key -> ?hi:key -> 'a t -> (key * 'a) list
   (** [iter_range] collected into a list. *)
 
+  val to_seq_range : ?lo:key -> ?hi:key -> 'a t -> (key * 'a) Seq.t
+  (** [iter_range] as an on-demand sequence over the leaf chain — the
+      substrate of the index posting cursors: consumers pull one binding
+      at a time instead of materializing the range. The sequence reads
+      the live tree; do not mutate the tree while consuming it. *)
+
+  val count_range : ?lo:key -> ?hi:key -> 'a t -> int
+  (** Number of bindings in the (inclusive) range, without building a
+      list — the planner's cardinality estimator. O(log n + k). *)
+
   val min_binding : 'a t -> (key * 'a) option
   val max_binding : 'a t -> (key * 'a) option
 

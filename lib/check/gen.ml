@@ -160,6 +160,61 @@ let op rng =
   | `Compact -> Compact
   | `Snapshot -> Snapshot_roundtrip
 
+(* --- predicate-IR trees (the query-planner differential) --- *)
+
+type ir_spec =
+  | S_eq of string
+  | S_range of string * float option * float option
+  | S_contains of string
+  | S_el_contains of string
+  | S_named of string
+  | S_within of int * ir_spec
+  | S_and of ir_spec list
+  | S_or of ir_spec list
+  | S_not of ir_spec
+
+let pattern rng =
+  let w = Prng.choose rng vocab in
+  String.sub w 0 (1 + Prng.int rng (String.length w))
+
+let bound rng =
+  match Prng.int rng 4 with
+  | 0 -> None
+  | 1 -> Some (float_of_int (Prng.in_range rng (-100) 1000))
+  | 2 -> Some (float_of_int (Prng.int rng 800) /. 8.)
+  | _ -> Some (float_of_int (Prng.int rng 50))
+
+(* xs:double and xs:dateTime are indexed under the harness config;
+   xs:integer and xs:decimal are known types without an index, so a
+   range over them must route through the planner's verified-scan
+   fallback and still agree with the oracle. *)
+let range_types =
+  [| "xs:double"; "xs:double"; "xs:double"; "xs:dateTime"; "xs:integer";
+     "xs:decimal" |]
+
+let ir_leaf rng =
+  match Prng.int rng 7 with
+  | 0 | 1 -> S_eq (value rng)
+  | 2 -> S_eq (Prng.choose rng vocab)
+  | 3 -> S_range (Prng.choose rng range_types, bound rng, bound rng)
+  | 4 -> S_contains (pattern rng)
+  | 5 -> S_el_contains (pattern rng)
+  | _ -> S_named (Prng.choose rng names)
+
+let rec ir_node rng depth =
+  if depth <= 0 then ir_leaf rng
+  else
+    match Prng.int rng 8 with
+    | 0 | 1 ->
+        S_and (List.init (2 + Prng.int rng 2) (fun _ -> ir_node rng (depth - 1)))
+    | 2 | 3 ->
+        S_or (List.init (2 + Prng.int rng 2) (fun _ -> ir_node rng (depth - 1)))
+    | 4 -> S_not (ir_node rng (depth - 1))
+    | 5 -> S_within (selector rng, ir_node rng (depth - 1))
+    | _ -> ir_leaf rng
+
+let ir rng = ir_node rng 3
+
 (* --- trace printing --- *)
 
 let writes_to_ocaml ws =

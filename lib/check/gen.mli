@@ -50,5 +50,26 @@ val op : Xvi_util.Prng.t -> op
 (** The next random operation, weighted towards value updates (the
     paper's Figure 8 path). *)
 
+(** A random predicate-IR tree in the same self-contained style as
+    {!op}: scopes are integer selectors resolved by the runner against
+    the live elements + the document node at check time. Range bounds
+    may be open; type names mix the harness-indexed types with known
+    types that have no index, forcing the planner's verified-scan
+    fallback into the differential. *)
+type ir_spec =
+  | S_eq of string
+  | S_range of string * float option * float option
+      (** type name, inclusive lo / hi *)
+  | S_contains of string
+  | S_el_contains of string
+  | S_named of string
+  | S_within of int * ir_spec
+  | S_and of ir_spec list
+  | S_or of ir_spec list
+  | S_not of ir_spec
+
+val ir : Xvi_util.Prng.t -> ir_spec
+(** A random tree, depth at most 3, leaves as above. *)
+
 val op_to_ocaml : op -> string
 (** The op as OCaml constructor syntax, for replayable trace output. *)

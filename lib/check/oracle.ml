@@ -168,3 +168,54 @@ let lookup_string_within store ~scope s =
 
 let lookup_typed_within store spec ~scope range =
   within store ~scope (lookup_typed store spec range)
+
+(* --- compositional predicate-IR evaluation (the planner's oracle) ---
+
+   One recursive [holds] per node over the same walk as everything
+   above: no cursors, no estimates, no plan shapes. The universe is the
+   set of live nodes with an XDM string value, mirroring the documented
+   [Ir.Not] semantics; each leaf constrains the node kind exactly as the
+   corresponding index family does. *)
+
+module Ir = Db.Ir
+
+let spec_named name =
+  match
+    List.find_opt
+      (fun s -> String.equal s.Lexical_types.type_name name)
+      (Lexical_types.all ())
+  with
+  | Some s -> s
+  | None -> invalid_arg ("Oracle.eval_ir: unknown type " ^ name)
+
+let rec ir_holds store ir n =
+  match (ir : Ir.t) with
+  | Ir.All -> true
+  | Ir.String_eq s -> String.equal (string_value store n) s
+  | Ir.Typed_range (ty, r) -> (
+      match typed_value (spec_named ty) store n with
+      | Some v -> in_range r v
+      | None -> false)
+  | Ir.Contains pat -> (
+      match Store.kind store n with
+      | Store.Text | Store.Attribute ->
+          string_contains ~pattern:pat (Store.text store n)
+      | _ -> false)
+  | Ir.Element_contains pat -> (
+      match Store.kind store n with
+      | Store.Element | Store.Document ->
+          string_contains ~pattern:pat (string_value store n)
+      | _ -> false)
+  | Ir.Named nm ->
+      Store.kind store n = Store.Element && String.equal (Store.name store n) nm
+  | Ir.Within (scope, q) -> in_subtree store ~scope n && ir_holds store q n
+  | Ir.And qs -> List.for_all (fun q -> ir_holds store q n) qs
+  | Ir.Or qs -> List.exists (fun q -> ir_holds store q n) qs
+  | Ir.Not q -> not (ir_holds store q n)
+
+let eval_ir store ir =
+  let hits = ref [] in
+  walk store (fun n ->
+      if has_string_value store n && ir_holds store ir n then
+        hits := n :: !hits);
+  List.rev !hits

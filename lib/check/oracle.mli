@@ -73,3 +73,13 @@ val lookup_typed_within :
   node list
 (** Oracle for {!Xvi_core.Db.lookup_double_within}, generalised over the
     spec. *)
+
+val eval_ir : Xvi_xml.Store.t -> Xvi_core.Db.Ir.t -> node list
+(** Oracle for {!Xvi_core.Db.query}: the predicate IR evaluated by one
+    recursive truth test per node over this module's own pre-order walk
+    — no cursors, no plans, no estimates. The universe is the live
+    nodes with an XDM string value; [Within] is the ancestor up-walk,
+    [Not] the complement within the universe. Results in document
+    order.
+    @raise Invalid_argument on a [Typed_range] whose type name is not
+    in {!Xvi_core.Lexical_types.all} (matching {!Xvi_core.Db.query}). *)

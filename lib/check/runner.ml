@@ -215,6 +215,33 @@ let sample_pattern rng store =
       let len = min (1 + Prng.int rng 5) (String.length s - start) in
       String.sub s start len
 
+(* A generated spec becomes a concrete IR term against the current
+   store: [S_within] selectors resolve over the live elements + the
+   document node (the same pool as insert parents); an unresolvable
+   scope drops the wrapper rather than the whole tree. *)
+let rec resolve_ir store (s : Gen.ir_spec) : Db.Ir.t =
+  let range_of lo hi =
+    match (lo, hi) with
+    | None, None -> Db.Range.any
+    | Some lo, None -> Db.Range.at_least lo
+    | None, Some hi -> Db.Range.at_most hi
+    | Some lo, Some hi -> Db.Range.between lo hi
+  in
+  match s with
+  | Gen.S_eq v -> Db.Ir.string_eq v
+  | Gen.S_range (ty, lo, hi) -> Db.Ir.typed_range ty (range_of lo hi)
+  | Gen.S_contains p -> Db.Ir.contains p
+  | Gen.S_el_contains p -> Db.Ir.element_contains p
+  | Gen.S_named nm -> Db.Ir.named nm
+  | Gen.S_within (k, inner) -> (
+      let inner = resolve_ir store inner in
+      match resolve (insert_parents store) k with
+      | Some scope -> Db.Ir.within ~scope inner
+      | None -> inner)
+  | Gen.S_and ss -> Db.Ir.conj (List.map (resolve_ir store) ss)
+  | Gen.S_or ss -> Db.Ir.disj (List.map (resolve_ir store) ss)
+  | Gen.S_not s -> Db.Ir.neg (resolve_ir store s)
+
 let check ~config ~step db counter =
   let store = Db.store db in
   let rng = Prng.create (0x5EED + (7919 * step)) in
@@ -308,6 +335,18 @@ let check ~config ~step db counter =
       (Oracle.lookup_typed_within store double ~scope r)
       (Db.lookup_double_within db ~scope r)
   end;
+  (* compositional IR queries: random conjunction/disjunction/negation/
+     scope trees through the planner vs the oracle's per-node truth
+     test *)
+  List.iter
+    (fun spec ->
+      let ir = resolve_ir store spec in
+      tick ();
+      compare_lists
+        ~what:(Printf.sprintf "query %s" (Db.Ir.to_string ir))
+        (Oracle.eval_ir store ir)
+        (Db.query db ir))
+    (List.init 3 (fun _ -> Gen.ir rng));
   (* periodically, the heavyweight check: every index vs a rebuild *)
   if step mod 7 = 0 then begin
     tick ();

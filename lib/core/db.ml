@@ -19,16 +19,9 @@ module Config = struct
     }
 end
 
-module Range = struct
-  type t = { lo : float option; hi : float option }
-
-  let between lo hi = { lo = Some lo; hi = Some hi }
-  let at_least lo = { lo = Some lo; hi = None }
-  let at_most hi = { lo = None; hi = Some hi }
-  let any = { lo = None; hi = None }
-  let lo t = t.lo
-  let hi t = t.hi
-end
+module Range = Xvi_query.Range
+module Ir = Xvi_query.Ir
+module Plan = Xvi_query.Plan
 
 type t = {
   store : Store.t;
@@ -102,52 +95,196 @@ let plane t =
       p
 
 let invalidate_plane t = t.plane <- None
-let elements_named t name = Name_index.nodes t.names t.store name
-let lookup_string t s = String_index.lookup t.strings t.store s
 
-let substring_exn t =
-  match t.substring with
-  | Some si -> si
-  | None ->
-      invalid_arg "Db: the substring index was not built (Config.substring)"
+(* --- Query layer wiring ---
 
-let lookup_contains t pattern =
-  Substring_index.contains (substring_exn t) t.store pattern
+   Everything below routes through lib/query: [access] hands the planner
+   one streaming access path per index-served leaf, [verify] is the
+   ground truth for residual conjuncts and scan fallbacks, and each
+   public lookup is an IR compile + plan. *)
+
+let has_value_kind store n =
+  match Store.kind store n with
+  | Store.Element | Store.Text | Store.Attribute | Store.Document -> true
+  | Store.Comment | Store.Pi | Store.Deleted -> false
+
+let spec_named name =
+  List.find_opt
+    (fun s -> String.equal s.Lexical_types.type_name name)
+    (Lexical_types.all ())
+
+(* Typed key of one node under a type name: the configured index's
+   column when present, otherwise DFA acceptance + parse — acceptance
+   first, because [parse] assumes a vetted lexical shape. *)
+let typed_value t name n =
+  match typed_index t name with
+  | Some ti -> Typed_index.value_of ti n
+  | None -> (
+      match spec_named name with
+      | None -> invalid_arg (Printf.sprintf "Db: unknown type %s" name)
+      | Some spec ->
+          let sv = Store.string_value t.store n in
+          if Dfa.accepts (Sct.dfa spec.Lexical_types.sct) sv then
+            spec.Lexical_types.parse sv
+          else None)
+
+let rec holds t ir n =
+  let store = t.store in
+  match ir with
+  | Ir.All -> true
+  | Ir.String_eq s -> String.equal (Store.string_value store n) s
+  | Ir.Typed_range (name, r) -> (
+      match typed_value t name n with
+      | Some v -> Range.mem r v
+      | None -> false)
+  | Ir.Contains pat -> (
+      match Store.kind store n with
+      | Store.Text | Store.Attribute ->
+          Substring_index.string_contains ~pattern:pat (Store.text store n)
+      | _ -> false)
+  | Ir.Element_contains pat -> (
+      match Store.kind store n with
+      | Store.Element | Store.Document ->
+          Substring_index.string_contains ~pattern:pat
+            (Store.string_value store n)
+      | _ -> false)
+  | Ir.Named name ->
+      Store.kind store n = Store.Element
+      && String.equal (Store.name store n) name
+  | Ir.Within (scope, p) ->
+      Xvi_xml.Pre_plane.in_subtree (plane t) ~scope n && holds t p n
+  | Ir.And ps -> List.for_all (fun p -> holds t p n) ps
+  | Ir.Or ps -> List.exists (fun p -> holds t p n) ps
+  | Ir.Not p -> not (holds t p n)
+
+let verify t ir n = has_value_kind t.store n && holds t ir n
+
+let access t ir =
+  match ir with
+  | Ir.String_eq s ->
+      Some
+        {
+          Plan.label = Printf.sprintf "string-index %S" s;
+          estimate = String_index.estimate t.strings s;
+          cursor = (fun () -> String_index.cursor t.strings t.store s);
+          native = (fun () -> String_index.lookup t.strings t.store s);
+        }
+  | Ir.Typed_range (name, r) -> (
+      match typed_index t name with
+      | None -> None
+      | Some ti ->
+          let lo = Range.lo r and hi = Range.hi r in
+          Some
+            {
+              Plan.label =
+                Printf.sprintf "typed-index %s %s" name (Range.to_string r);
+              estimate = Typed_index.estimate_range ?lo ?hi ti;
+              cursor = (fun () -> Typed_index.cursor ?lo ?hi ti);
+              native = (fun () -> Typed_index.range ?lo ?hi ti);
+            })
+  | Ir.Contains pat -> (
+      match t.substring with
+      | None -> None
+      | Some si ->
+          Some
+            {
+              Plan.label = Printf.sprintf "substring-index contains %S" pat;
+              estimate = Substring_index.estimate si pat;
+              cursor = (fun () -> Substring_index.cursor si t.store pat);
+              native = (fun () -> Substring_index.contains si t.store pat);
+            })
+  | Ir.Element_contains pat -> (
+      match t.substring with
+      | None -> None
+      | Some si ->
+          Some
+            {
+              Plan.label =
+                Printf.sprintf "substring-index element-contains %S" pat;
+              estimate = Substring_index.element_estimate si pat;
+              cursor = (fun () -> Substring_index.element_cursor si t.store pat);
+              native =
+                (fun () -> Substring_index.element_contains si t.store pat);
+            })
+  | Ir.Named name ->
+      Some
+        {
+          Plan.label = Printf.sprintf "name-index <%s>" name;
+          estimate = Name_index.count t.names t.store name;
+          cursor = (fun () -> Name_index.cursor t.names t.store name);
+          native = (fun () -> Name_index.nodes t.names t.store name);
+        }
+  | _ -> None
+
+let provider t =
+  {
+    Plan.universe = (fun () -> Store.live_count t.store);
+    node_range = (fun () -> Store.node_range t.store);
+    plane = (fun () -> plane t);
+    access = access t;
+    verify = verify t;
+  }
+
+(* An unknown type name is a caller bug, not an empty result; surface it
+   at compile time rather than from deep inside a scan. *)
+let rec check_types t ir =
+  match ir with
+  | Ir.Typed_range (name, _) ->
+      if typed_index t name = None && spec_named name = None then
+        invalid_arg (Printf.sprintf "Db: unknown type %s" name)
+  | Ir.Within (_, p) | Ir.Not p -> check_types t p
+  | Ir.And ps | Ir.Or ps -> List.iter (check_types t) ps
+  | _ -> ()
+
+let compile t ir =
+  check_types t ir;
+  Plan.plan (provider t) ir
+
+let explain t ir = Plan.explain (compile t ir)
+let estimate t ir = Plan.estimate (compile t ir)
+let query_seq t ir = Plan.run_seq (compile t ir)
+let query_ids t ir = Plan.run_list (compile t ir)
+
+let query t ir =
+  Xvi_xml.Pre_plane.sort_doc_order (plane t) (query_ids t ir)
+
+(* --- Lookups: one-line IR compiles ---
+
+   Single-leaf plans return the index's native answer order, which keeps
+   each signature bit-identical to the pre-planner implementation. *)
+
+let elements_named t name = Plan.run_list (compile t (Ir.named name))
+let lookup_string t s = Plan.run_list (compile t (Ir.string_eq s))
+let lookup_contains t pattern = Plan.run_list (compile t (Ir.contains pattern))
 
 let lookup_element_contains t pattern =
-  Substring_index.element_contains (substring_exn t) t.store pattern
-
-let typed_exn t name =
-  match typed_index t name with
-  | Some ti -> ti
-  | None -> invalid_arg (Printf.sprintf "Db: no %s index configured" name)
-
-(* A NaN bound satisfies no inclusive comparison, so it matches nothing —
-   checked here because the B+tree's key order deliberately sorts NaN
-   last, which would turn [at_most nan] into "everything". *)
-let nan_bound range =
-  let is_nan = function Some v -> Float.is_nan v | None -> false in
-  is_nan (Range.lo range) || is_nan (Range.hi range)
+  Plan.run_list (compile t (Ir.element_contains pattern))
 
 let lookup_typed t name range =
-  if nan_bound range then []
-  else
-    Typed_index.range ?lo:(Range.lo range) ?hi:(Range.hi range)
-      (typed_exn t name)
+  let ir = Ir.typed_range name range in
+  match typed_index t name with
+  | Some _ -> Plan.run_list (compile t ir)
+  | None ->
+      (* scan fallback — decorate with typed keys to keep the value-order
+         contract the index would have delivered *)
+      let keyed =
+        List.filter_map
+          (fun n -> Option.map (fun v -> (v, n)) (typed_value t name n))
+          (Plan.run_list (compile t ir))
+      in
+      List.map snd
+        (List.sort
+           (fun (v1, n1) (v2, n2) ->
+             match Float.compare v1 v2 with 0 -> compare n1 n2 | c -> c)
+           keyed)
 
 let lookup_double t range = lookup_typed t "xs:double" range
 
-let within t ~scope hits =
-  let p = plane t in
-  let descendants = Xvi_xml.Pre_plane.join_descendant p ~context:[ scope ] hits in
-  if List.mem scope hits then
-    Xvi_xml.Pre_plane.sort_doc_order p (scope :: descendants)
-  else descendants
-
-let lookup_string_within t ~scope s = within t ~scope (lookup_string t s)
+let lookup_string_within t ~scope s =
+  query t (Ir.within ~scope (Ir.string_eq s))
 
 let lookup_double_within t ~scope range =
-  within t ~scope (lookup_double t range)
+  query t (Ir.within ~scope (Ir.typed_range "xs:double" range))
 
 let update_texts t updates =
   (* the substring index needs the old values to drop their grams *)
@@ -233,29 +370,3 @@ let validate t =
     List.filter_map (function Ok () -> None | Error e -> Some e) results
   in
   match errors with [] -> Ok () | es -> Error (String.concat "; " es)
-
-module Legacy = struct
-  let make_config ?types ?(substring = false) () =
-    {
-      Config.default with
-      Config.types =
-        (match types with Some ts -> ts | None -> Config.default.Config.types);
-      substring;
-    }
-
-  let of_store ?types ?substring s =
-    of_store ~config:(make_config ?types ?substring ()) s
-
-  let of_xml ?types ?substring src =
-    of_xml ~config:(make_config ?types ?substring ()) src
-
-  let of_xml_exn ?types ?substring src =
-    of_xml_exn ~config:(make_config ?types ?substring ()) src
-
-  let lookup_typed ?lo ?hi t name = lookup_typed t name { Range.lo; hi }
-
-  let lookup_double ?lo ?hi t = lookup_typed ?lo ?hi t "xs:double"
-
-  let lookup_double_within ?lo ?hi t ~scope () =
-    within t ~scope (lookup_double ?lo ?hi t)
-end

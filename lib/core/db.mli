@@ -8,9 +8,13 @@
 
     Construction is driven by a {!Config.t} record (which types, the
     opt-in substring index, and how many domains build in parallel);
-    range lookups take a first-class {!Range.t} bound pair. The former
-    optional-argument API survives as deprecated wrappers in
-    {!Legacy}. *)
+    range lookups take a first-class {!Range.t} bound pair.
+
+    Every lookup below — and any composition of them — routes through
+    the query layer: the predicate is compiled to an {!Xvi_query.Ir}
+    term, planned against the available indices by estimated
+    cardinality, and executed as streaming cursor merges. {!query},
+    {!query_seq} and {!explain} expose that pipeline directly. *)
 
 type t
 
@@ -38,29 +42,13 @@ module Config : sig
   val default : t
 end
 
-(** Inclusive range bounds for typed lookups.
+module Range = Xvi_query.Range
+(** Inclusive range bounds for typed lookups (see {!Xvi_query.Range}).
+    Re-exported with a visible equality so ranges flow between the
+    lookup API and hand-built {!Xvi_query.Ir} terms. *)
 
-    Both bounds are inclusive; an empty interval ([lo > hi]) matches
-    nothing. A NaN bound also matches nothing: no value compares with
-    NaN, so no value lies inclusively within such a range. [-0.0] and
-    [0.0] are the same bound (and the same indexed key), per IEEE
-    equality. *)
-module Range : sig
-  type t
-
-  val between : float -> float -> t
-  (** [between lo hi] — both bounds inclusive. *)
-
-  val at_least : float -> t
-
-  val at_most : float -> t
-
-  val any : t
-  (** Unbounded: every complete value, in value order. *)
-
-  val lo : t -> float option
-  val hi : t -> float option
-end
+module Ir = Xvi_query.Ir
+(** The predicate IR accepted by {!query} / {!explain}. *)
 
 val of_store : ?config:Config.t -> Xvi_xml.Store.t -> t
 (** Index an existing store. The string index is always built; typed
@@ -99,7 +87,42 @@ val plane : t -> Xvi_xml.Pre_plane.t
 val elements_named : t -> string -> node list
 (** Live elements with this tag, via {!Name_index}. *)
 
-(** {1 Lookups} *)
+(** {1 Queries}
+
+    The compositional entry points: hand the planner any {!Ir} term.
+    Conjunctions are reordered cheapest-estimate-first and intersected
+    by streaming leapfrog merges, disjunctions are k-way ordered merge
+    unions, [Within] runs as a staircase-join filter on the cheapest
+    cursor, and predicates no index serves fall back to a verified
+    scan. *)
+
+val query : t -> Ir.t -> node list
+(** All matching nodes, in document order. *)
+
+val query_seq : t -> Ir.t -> node Seq.t
+(** Lazy execution in ascending {e node-id} order (the cursors' merge
+    order, which is document order until structural inserts diverge the
+    two); each [Seq] step pulls the underlying cursors once. *)
+
+val query_ids : t -> Ir.t -> node list
+(** Plan-output order without the final document-order sort: the
+    index's native order for single-index plans (e.g. value order for a
+    typed range), ascending node-id order otherwise. The cheapest way
+    to consume hits whose order does not matter. *)
+
+val estimate : t -> Ir.t -> int
+(** The planner's cardinality estimate (an upper bound from index
+    statistics; {e not} an execution). *)
+
+val explain : t -> Ir.t -> string
+(** The plan as an indented tree: per-node access paths with their
+    estimates, intersections in execution (cheapest-first) order,
+    staircase filters, residual verification, scan fallbacks. *)
+
+(** {1 Lookups}
+
+    The pre-IR lookup family; each is a one-line IR compile + plan and
+    returns exactly what it always has. *)
 
 val lookup_string : t -> string -> node list
 (** All nodes (element, attribute or text) whose XDM string value equals
@@ -108,25 +131,36 @@ val lookup_string : t -> string -> node list
 
 val lookup_double : t -> Range.t -> node list
 (** Range lookup on the [xs:double] index, e.g.
-    [lookup_double db (Range.between 10. 20.)].
-    @raise Invalid_argument if the double index was not configured. *)
+    [lookup_double db (Range.between 10. 20.)]. Total even without the
+    double index — see {!lookup_typed}. *)
 
 val lookup_typed : t -> string -> Range.t -> node list
-(** Range lookup on a typed index by type name. *)
+(** Range lookup on a typed index by type name, in (value, node) order.
+    Without the index configured this still answers — the planner falls
+    back to a verified document scan (DFA acceptance + parse per node),
+    which is O(document), orders of magnitude above the indexed path;
+    configure the index for anything hot.
+    @raise Invalid_argument on a type name unknown to
+    {!Lexical_types.all}. *)
 
 val lookup_contains : t -> string -> node list
-(** Text/attribute nodes whose value contains the pattern.
-    @raise Invalid_argument if the substring index was not built. *)
+(** Text/attribute nodes whose value contains the pattern. Served by
+    the substring index when built; otherwise the planner's verified
+    scan answers — correct but O(document), the same cost cliff as
+    {!lookup_typed}. *)
 
 val lookup_element_contains : t -> string -> node list
 (** Elements/document nodes whose XDM string value contains the
-    pattern (boundary-spanning matches included).
-    @raise Invalid_argument if the substring index was not built. *)
+    pattern (boundary-spanning matches included). Same scan-fallback
+    cost cliff as {!lookup_contains} when the substring index is not
+    built. *)
 
 (** {2 Scoped lookups}
 
-    Value-index hits intersected with a subtree through a staircase
-    join on the pre/size/level plane — no tree walking, no scan. *)
+    Value-index hits restricted to a subtree through a staircase-join
+    filter on the pre/size/level plane — no tree walking, no list
+    intersection. A scope that is tombstoned (or otherwise unknown to
+    the current plane snapshot) covers nothing: the result is []. *)
 
 val lookup_string_within : t -> scope:node -> string -> node list
 (** Nodes in the subtree rooted at [scope] (inclusive) whose string
@@ -161,36 +195,3 @@ val index_storage_bytes : t -> int
 
 val validate : t -> (unit, string) result
 (** Every index equals a from-scratch rebuild. *)
-
-(** {1 Deprecated}
-
-    The pre-{!Config}/{!Range} optional-argument API, kept so existing
-    callers keep compiling. Each wrapper forwards to the primary
-    entry points above. *)
-
-module Legacy : sig
-  val of_store :
-    ?types:Lexical_types.spec list -> ?substring:bool -> Xvi_xml.Store.t -> t
-  [@@ocaml.deprecated "use Db.of_store ?config"]
-
-  val of_xml :
-    ?types:Lexical_types.spec list ->
-    ?substring:bool ->
-    string ->
-    (t, Xvi_xml.Parser.error) result
-  [@@ocaml.deprecated "use Db.of_xml ?config"]
-
-  val of_xml_exn :
-    ?types:Lexical_types.spec list -> ?substring:bool -> string -> t
-  [@@ocaml.deprecated "use Db.of_xml_exn ?config"]
-
-  val lookup_double : ?lo:float -> ?hi:float -> t -> node list
-  [@@ocaml.deprecated "use Db.lookup_double with Db.Range"]
-
-  val lookup_typed : ?lo:float -> ?hi:float -> t -> string -> node list
-  [@@ocaml.deprecated "use Db.lookup_typed with Db.Range"]
-
-  val lookup_double_within :
-    ?lo:float -> ?hi:float -> t -> scope:node -> unit -> node list
-  [@@ocaml.deprecated "use Db.lookup_double_within with Db.Range"]
-end

@@ -48,6 +48,28 @@ let count t store name =
             (fun acc n -> if Store.is_live store n then acc + 1 else acc)
             0 vec)
 
+let cursor t store name =
+  match Xvi_xml.Name_pool.find (Store.names store) name with
+  | None -> fun () -> None
+  | Some id -> (
+      match Hashtbl.find_opt t.by_name id with
+      | None -> fun () -> None
+      | Some vec ->
+          (* bucket vecs grow by push in ascending node-id order (one
+             shredding pass, then inserts of strictly fresher ids), so a
+             positional walk already streams the merge order; tombstones
+             are skipped as in [nodes] *)
+          let i = ref 0 in
+          let rec pull () =
+            if !i >= Vec.Int.length vec then None
+            else begin
+              let n = Vec.Int.get vec !i in
+              incr i;
+              if Store.is_live store n then Some n else pull ()
+            end
+          in
+          pull)
+
 let on_insert t store ~roots =
   List.iter
     (fun root ->

@@ -22,6 +22,12 @@ val nodes : t -> Xvi_xml.Store.t -> string -> node list
 val count : t -> Xvi_xml.Store.t -> string -> int
 (** [List.length (nodes ...)] without building the list. *)
 
+val cursor : t -> Xvi_xml.Store.t -> string -> unit -> node option
+(** Lazy cursor over the live elements of this tag, ascending node
+    order (the bucket is push-ordered by construction), tombstones
+    skipped on pull. Do not insert under this name while the cursor is
+    live. *)
+
 val on_insert : t -> Xvi_xml.Store.t -> roots:node list -> unit
 (** Register the elements of freshly inserted subtrees. *)
 

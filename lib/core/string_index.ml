@@ -106,6 +106,26 @@ let lookup t store s =
   List.filter (fun n -> String.equal (Store.string_value store n) s)
     (lookup_candidates t store s)
 
+let estimate t s =
+  let h = Hash.to_int (Hash.hash s) in
+  BT.count_range ~lo:(h, min_int) ~hi:(h, max_int) t.postings
+
+let cursor t store s =
+  let h = Hash.to_int (Hash.hash s) in
+  let bucket =
+    ref (BT.to_seq_range ~lo:(h, min_int) ~hi:(h, max_int) t.postings)
+  in
+  (* pull hash matches off the leaf chain; verify against the real
+     string value so collision false positives never escape the cursor *)
+  let rec pull () =
+    match !bucket () with
+    | Seq.Nil -> None
+    | Seq.Cons (((_, n), ()), rest) ->
+        bucket := rest;
+        if String.equal (Store.string_value store n) s then Some n else pull ()
+  in
+  pull
+
 let apply_changes t changes =
   List.iter
     (fun { Indexer.node; old_field; new_field; _ } ->

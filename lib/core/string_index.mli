@@ -41,6 +41,18 @@ val lookup_candidates : t -> Xvi_xml.Store.t -> string -> node list
 (** Hash matches before verification — exposed for the collision
     experiments and for callers that layer their own predicates. *)
 
+(** {1 Streaming access (query planner)} *)
+
+val cursor : t -> Xvi_xml.Store.t -> string -> unit -> node option
+(** Lazy posting cursor in ascending node order: pulls hash matches off
+    the B+tree leaf chain one at a time, filtering collision false
+    positives against the live string values. Do not update the index
+    while a cursor is live. *)
+
+val estimate : t -> string -> int
+(** Hash-bucket size — the planner's cardinality estimate for an
+    equality lookup (an upper bound: collisions inflate it). *)
+
 (** {1 Maintenance} *)
 
 val update_texts : t -> Xvi_xml.Store.t -> node list -> unit

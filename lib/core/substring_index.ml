@@ -232,6 +232,48 @@ let element_contains t store pattern =
   List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) result [])
   end
 
+let pattern_grams pattern =
+  let m = String.length pattern in
+  if m < q then []
+  else List.sort_uniq compare (List.init (m - q + 1) (fun i -> pack pattern i))
+
+let gram_count t g =
+  BT.count_range ~lo:(g, min_int) ~hi:(g, max_int) t.postings
+
+let estimate t pattern =
+  match pattern_grams pattern with
+  | [] ->
+      (* short patterns scan every indexed node; the entry count is the
+         only cheap upper bound the gram tree offers *)
+      t.entries
+  | grams -> List.fold_left (fun acc g -> min acc (gram_count t g)) max_int grams
+
+let element_estimate t pattern =
+  (* each text-node seed lifts to its ancestor chain; scale the seed
+     estimate by a nominal depth rather than walking anything *)
+  let nominal_depth = 4 in
+  estimate t pattern * nominal_depth
+
+let lazy_list_cursor force =
+  let state = ref None in
+  let rec pull () =
+    match !state with
+    | Some [] -> None
+    | Some (n :: tl) ->
+        state := Some tl;
+        Some n
+    | None ->
+        state := Some (force ());
+        pull ()
+  in
+  pull
+
+let cursor t store pattern =
+  lazy_list_cursor (fun () -> contains t store pattern)
+
+let element_cursor t store pattern =
+  lazy_list_cursor (fun () -> element_contains t store pattern)
+
 let update_texts t store updates =
   List.iter
     (fun (n, old_value) ->

@@ -26,6 +26,11 @@ val q : int
 
 val create : Xvi_xml.Store.t -> t
 
+val string_contains : pattern:string -> string -> bool
+(** The naive substring check used to verify candidates (patterns are
+    short) — shared with the query planner's scan fallback so both
+    paths agree on the empty-pattern convention (everything matches). *)
+
 val contains : t -> Xvi_xml.Store.t -> string -> node list
 (** Text/attribute nodes whose value contains the pattern, in node-id
     order. Exact (candidates are verified). Patterns shorter than
@@ -38,6 +43,25 @@ val element_contains : t -> Xvi_xml.Store.t -> string -> node list
     spanning matches on the seed nodes' ancestors. Exact but slower
     than {!contains}; degenerates to an ancestor sweep when the pattern
     is shorter than {!q}. *)
+
+(** {1 Streaming access (query planner)} *)
+
+val cursor : t -> Xvi_xml.Store.t -> string -> unit -> node option
+(** {!contains} as a posting cursor (ascending node order). The gram
+    intersection runs on the first pull — lazy in {e when} the work
+    happens, so an enclosing leapfrog merge that exhausts early on
+    another input never pays for it. *)
+
+val element_cursor : t -> Xvi_xml.Store.t -> string -> unit -> node option
+(** {!element_contains} as a cursor, same laziness contract. *)
+
+val estimate : t -> string -> int
+(** Rarest-gram posting-list length — the planner's cardinality
+    estimate (an upper bound on {!contains} hits). Patterns shorter
+    than {!q} estimate as the whole entry count: they scan. *)
+
+val element_estimate : t -> string -> int
+(** {!estimate} scaled by a nominal ancestor-chain depth. *)
 
 (** {1 Maintenance}
 

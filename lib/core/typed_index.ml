@@ -182,6 +182,33 @@ let range ?lo ?hi t =
 
 let equals t v = range ~lo:v ~hi:v t
 
+let bounds lo hi =
+  ( Option.map (fun v -> (v, min_int)) lo,
+    Option.map (fun v -> (v, max_int)) hi )
+
+let estimate_range ?lo ?hi t =
+  let lo, hi = bounds lo hi in
+  BT.count_range ?lo ?hi t.values
+
+let cursor ?lo ?hi t =
+  (* The tree's native order is (value, node); merges need node order,
+     so materialize and sort on first pull — the cursor is lazy in
+     *when* the range runs, and exact thereafter. *)
+  let state = ref None in
+  let rec pull () =
+    match !state with
+    | Some rest -> (
+        match rest with
+        | [] -> None
+        | n :: tl ->
+            state := Some tl;
+            Some n)
+    | None ->
+        state := Some (List.sort compare (range ?lo ?hi t));
+        pull ()
+  in
+  pull
+
 (* Apply an update: fix the viability counter from state changes, then
    re-extract fragments and typed values across the whole touched set —
    a state can survive a value change (replacing digits by digits), so

@@ -68,6 +68,18 @@ val range : ?lo:float -> ?hi:float -> t -> node list
 
 val equals : t -> float -> node list
 
+(** {1 Streaming access (query planner)} *)
+
+val cursor : ?lo:float -> ?hi:float -> t -> unit -> node option
+(** Posting cursor over the range in ascending {e node} order (the merge
+    order of the query executor; the tree's native order is by value, so
+    the range is materialized and sorted on the first pull). Do not
+    update the index while a cursor is live. *)
+
+val estimate_range : ?lo:float -> ?hi:float -> t -> int
+(** Exact binding count in the range via the B+tree leaf chain — the
+    planner's cardinality estimate. *)
+
 (** {1 Maintenance} *)
 
 val update_texts : t -> Xvi_xml.Store.t -> node list -> unit

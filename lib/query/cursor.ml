@@ -1,0 +1,107 @@
+type node = Xvi_xml.Store.node
+type t = unit -> node option
+
+let empty () = None
+
+let of_sorted_list nodes =
+  let rest = ref nodes in
+  let rec pull () =
+    match !rest with
+    | [] -> None
+    | n :: tl ->
+        rest := tl;
+        (* collapse duplicates so downstream merges see a strict order *)
+        (match tl with m :: _ when m = n -> pull () | _ -> Some n)
+  in
+  pull
+
+let of_lazy_list force =
+  let state = ref None in
+  fun () ->
+    let c =
+      match !state with
+      | Some c -> c
+      | None ->
+          let c = of_sorted_list (force ()) in
+          state := Some c;
+          c
+    in
+    c ()
+
+let filter keep c =
+  let rec pull () =
+    match c () with
+    | None -> None
+    | Some n when keep n -> Some n
+    | Some _ -> pull ()
+  in
+  pull
+
+let union cursors =
+  (* heads of the still-live inputs; linear min scan — fan-in is the
+     handful of branches of a disjunction, not worth a heap *)
+  let heads = lazy (Array.of_list (List.map (fun c -> (c, c ())) cursors)) in
+  let pull () =
+    let heads = Lazy.force heads in
+    let best = ref None in
+    Array.iter
+      (fun (_, h) ->
+        match (h, !best) with
+        | Some n, Some b when n < b -> best := Some n
+        | Some n, None -> best := Some n
+        | _ -> ())
+      heads;
+    match !best with
+    | None -> None
+    | Some n ->
+        Array.iteri
+          (fun i (c, h) -> if h = Some n then heads.(i) <- (c, c ()))
+          heads;
+        Some n
+  in
+  pull
+
+let inter cursors =
+  match cursors with
+  | [] -> empty
+  | driver :: others ->
+      let others = Array.of_list others in
+      (* last node each non-driver cursor has reached *)
+      let reached = Array.map (fun _ -> Some min_int) others in
+      let catch_up i target =
+        let rec go = function
+          | Some n when n < target -> go (others.(i) ())
+          | pos ->
+              reached.(i) <- pos;
+              pos
+        in
+        match reached.(i) with
+        | Some n when n >= target -> Some n
+        | cur -> go cur
+      in
+      let rec pull () =
+        match driver () with
+        | None -> None
+        | Some n ->
+            let ok = ref true in
+            Array.iteri
+              (fun i _ ->
+                if !ok then
+                  match catch_up i n with
+                  | Some m when m = n -> ()
+                  | Some _ -> ok := false
+                  | None -> ok := false)
+              others;
+            if !ok then Some n
+            else if Array.exists (fun r -> r = None) reached then None
+            else pull ()
+      in
+      pull
+
+let to_list c =
+  let rec go acc = match c () with None -> List.rev acc | Some n -> go (n :: acc) in
+  go []
+
+let to_seq c =
+  let rec next () = match c () with None -> Seq.Nil | Some n -> Seq.Cons (n, next) in
+  next

@@ -1,0 +1,40 @@
+(** Streaming posting cursors.
+
+    A cursor yields node ids in strictly ascending order, one pull at a
+    time — the common currency of the index access paths, so that
+    intersection and union run as ordered merges instead of list
+    set-ops. Ascending {e node id} is the canonical merge order: every
+    index can produce it cheaply, and it coincides with document order
+    until structural inserts reorder ids (executors that promise
+    document order re-sort through the pre/size/level plane at the
+    end). *)
+
+type node = Xvi_xml.Store.node
+
+type t = unit -> node option
+(** Pull the next node; [None] is exhaustion and must be sticky. *)
+
+val empty : t
+
+val of_sorted_list : node list -> t
+(** The list must be sorted ascending; duplicates are skipped on pull. *)
+
+val of_lazy_list : (unit -> node list) -> t
+(** Defers the (sorted-ascending) materialization to the first pull —
+    for access paths whose native order is not node order and which
+    therefore sort on demand. *)
+
+val filter : (node -> bool) -> t -> t
+
+val union : t list -> t
+(** k-way ordered merge, duplicates collapsed. *)
+
+val inter : t list -> t
+(** Leapfrog intersection: the first cursor drives, the rest catch up.
+    Order the inputs cheapest-first so the driver is the most selective
+    stream. [inter []] is {!empty}. *)
+
+val to_list : t -> node list
+
+val to_seq : t -> node Seq.t
+(** Lazy: each [Seq] step pulls once. *)

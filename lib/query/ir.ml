@@ -1,0 +1,49 @@
+type node = Xvi_xml.Store.node
+
+type t =
+  | All
+  | String_eq of string
+  | Typed_range of string * Range.t
+  | Contains of string
+  | Element_contains of string
+  | Named of string
+  | Within of node * t
+  | And of t list
+  | Or of t list
+  | Not of t
+
+let all = All
+let string_eq s = String_eq s
+let typed_range ty r = Typed_range (ty, r)
+let contains p = Contains p
+let element_contains p = Element_contains p
+let named n = Named n
+let within ~scope p = Within (scope, p)
+
+let conj ps =
+  let flat =
+    List.concat_map (function And qs -> qs | All -> [] | q -> [ q ]) ps
+  in
+  match flat with [] -> All | [ p ] -> p | ps -> And ps
+
+let disj ps =
+  let flat = List.concat_map (function Or qs -> qs | q -> [ q ]) ps in
+  match flat with [ p ] -> p | ps -> Or ps
+
+let neg = function Not p -> p | p -> Not p
+
+let rec to_string = function
+  | All -> "all"
+  | String_eq s -> Printf.sprintf "value = %S" s
+  | Typed_range (ty, r) -> Printf.sprintf "%s in %s" ty (Range.to_string r)
+  | Contains p -> Printf.sprintf "contains %S" p
+  | Element_contains p -> Printf.sprintf "element-contains %S" p
+  | Named n -> Printf.sprintf "named <%s>" n
+  | Within (scope, p) -> Printf.sprintf "(%s) within #%d" (to_string p) scope
+  | And ps -> group " and " ps
+  | Or [] -> "none"
+  | Or ps -> group " or " ps
+  | Not p -> Printf.sprintf "not (%s)" (to_string p)
+
+and group sep ps =
+  Printf.sprintf "(%s)" (String.concat sep (List.map to_string ps))

@@ -1,0 +1,62 @@
+(** Predicate IR: the compositional query language over value indices.
+
+    A term denotes a set of {e nodes} — the paper's index answers are
+    node sets, so conjunction is node-set intersection (the same node
+    must satisfy every conjunct), disjunction is union, and [Within]
+    restricts to a subtree through the pre/size/level plane.
+
+    Every leaf constrains the node's kind as well as its value, because
+    that is what the corresponding index family answers:
+
+    - [String_eq] / [Typed_range]: nodes with an XDM string value
+      (element, text, attribute, document);
+    - [Contains]: text and attribute nodes (the leaf postings of the
+      substring index);
+    - [Element_contains]: element and document nodes;
+    - [Named]: elements.
+
+    [Not p] complements against the {e universe} — live nodes with an
+    XDM string value — not against all node ids, so comments, processing
+    instructions and tombstones never appear in any answer.
+
+    Terms are data; {!Plan} chooses access paths for them. Build them
+    with the smart constructors, which flatten nested [And]/[Or],
+    collapse double negation and drop [All] units. *)
+
+type node = Xvi_xml.Store.node
+
+type t =
+  | All  (** every node in the universe *)
+  | String_eq of string
+  | Typed_range of string * Range.t  (** type name, e.g. ["xs:double"] *)
+  | Contains of string
+  | Element_contains of string
+  | Named of string
+  | Within of node * t  (** scope (inclusive) and inner predicate *)
+  | And of t list
+  | Or of t list  (** [Or \[\]] matches nothing *)
+  | Not of t
+
+(** {1 Smart constructors} *)
+
+val all : t
+val string_eq : string -> t
+val typed_range : string -> Range.t -> t
+val contains : string -> t
+val element_contains : string -> t
+val named : string -> t
+
+val within : scope:node -> t -> t
+
+val conj : t list -> t
+(** Flattens nested [And], drops [All]; [conj []] is [All]. *)
+
+val disj : t list -> t
+(** Flattens nested [Or]; [disj []] matches nothing. *)
+
+val neg : t -> t
+(** Collapses double negation. *)
+
+val to_string : t -> string
+(** Compact one-line rendering, e.g.
+    [(value = "x" and xs:double in [40, 60]) within #17]. *)

@@ -1,0 +1,247 @@
+module Pre_plane = Xvi_xml.Pre_plane
+
+type node = Xvi_xml.Store.node
+
+type access = {
+  label : string;
+  estimate : int;
+  cursor : unit -> Cursor.t;
+  native : unit -> node list;
+}
+
+type provider = {
+  universe : unit -> int;
+  node_range : unit -> int;
+  plane : unit -> Pre_plane.t;
+  access : Ir.t -> access option;
+  verify : Ir.t -> node -> bool;
+}
+
+type t =
+  | Empty
+  | Leaf of access
+  | Inter of t list  (* estimate-ascending; the head drives the merge *)
+  | Union of t list
+  | Filter of t * residual list  (* index-less conjuncts, verified per hit *)
+  | Staircase of {
+      scope : node;
+      card : int;  (* scope subtree cardinality, for the estimate *)
+      in_scope : node -> bool;  (* O(1) pre-range check, plane captured *)
+      inner : t;
+    }
+  | Scan of scan
+
+and residual = { r_pred : Ir.t; r_check : node -> bool }
+
+and scan = {
+  p : provider;
+  pred : Ir.t;
+  s_scope : node option;  (* restrict the scan to a subtree *)
+  est : int;
+}
+
+let rec estimate = function
+  | Empty -> 0
+  | Leaf a -> a.estimate
+  | Inter ts ->
+      List.fold_left (fun acc t -> min acc (estimate t)) max_int ts
+  | Union ts -> List.fold_left (fun acc t -> acc + estimate t) 0 ts
+  | Filter (inner, _) -> estimate inner
+  | Staircase s -> min s.card (estimate s.inner)
+  | Scan s -> s.est
+
+(* Can this plan shape produce a cursor without a universe scan? *)
+let rec index_served = function
+  | Empty | Leaf _ -> true
+  | Inter ts | Union ts -> List.for_all index_served ts
+  | Filter (inner, _) -> index_served inner
+  | Staircase s -> index_served s.inner
+  | Scan _ -> false
+
+let is_leaf_term = function
+  | Ir.String_eq _ | Ir.Typed_range _ | Ir.Contains _ | Ir.Element_contains _
+  | Ir.Named _ ->
+      true
+  | _ -> false
+
+let scan p pred = Scan { p; pred; s_scope = None; est = p.universe () }
+
+(* Attach a [Within scope] restriction: a staircase filter on the
+   cheapest cursor of an intersection, a single filter above a union,
+   and a subtree-bounded domain for scans. [card] (scope subtree size)
+   tightens the estimate so an enclosing conjunction still orders its
+   children correctly. *)
+let rec push_within plane scope plan =
+  let card = 1 + Pre_plane.size plane scope in
+  let staircase inner =
+    Staircase
+      {
+        scope;
+        card;
+        in_scope = (fun n -> Pre_plane.in_subtree plane ~scope n);
+        inner;
+      }
+  in
+  match plan with
+  | Empty -> Empty
+  | Inter (cheapest :: rest) ->
+      Inter (push_within plane scope cheapest :: rest)
+  | Filter (inner, residuals) ->
+      Filter (push_within plane scope inner, residuals)
+  | Scan ({ s_scope = None; _ } as s) ->
+      Scan { s with s_scope = Some scope; est = min s.est card }
+  | (Leaf _ | Union _ | Staircase _ | Scan _ | Inter []) as inner ->
+      staircase inner
+
+let by_estimate a b = compare (estimate a) (estimate b)
+
+let rec plan p ir =
+  match ir with
+  | Ir.All -> scan p Ir.All
+  | Ir.Typed_range (_, r) when Range.nan_bound r -> Empty
+  | leaf when is_leaf_term leaf -> (
+      match p.access leaf with
+      | Some a -> Leaf a
+      | None -> scan p leaf)
+  | Ir.Not _ -> scan p ir
+  | Ir.Within (scope, q) ->
+      let plane = p.plane () in
+      if Pre_plane.pre plane scope < 0 then Empty
+      else push_within plane scope (plan p q)
+  | Ir.And qs -> plan_and p qs
+  | Ir.Or qs -> plan_or p qs
+  | _ -> scan p ir
+
+and plan_and p qs =
+  let qs = List.filter (fun q -> q <> Ir.All) qs in
+  let plans = List.map (fun q -> (q, plan p q)) qs in
+  if List.exists (fun (_, pl) -> pl = Empty) plans then Empty
+  else
+    let served, residual =
+      List.partition (fun (_, pl) -> index_served pl) plans
+    in
+    match served with
+    | [] -> scan p (Ir.And qs)
+    | _ ->
+        let inner =
+          match List.sort by_estimate (List.map snd served) with
+          | [ one ] -> one
+          | many -> Inter many
+        in
+        if residual = [] then inner
+        else
+          Filter
+            ( inner,
+              List.map
+                (fun (q, _) -> { r_pred = q; r_check = p.verify q })
+                residual )
+
+and plan_or p qs =
+  let plans = List.filter (fun pl -> pl <> Empty) (List.map (plan p) qs) in
+  match plans with
+  | [] -> Empty
+  | [ one ] -> one
+  | many ->
+      (* one verified scan beats unioning any scan with anything *)
+      if List.for_all index_served many then
+        Union (List.sort by_estimate many)
+      else scan p (Ir.Or qs)
+
+(* --- Execution --- *)
+
+let scan_cursor s =
+  match s.s_scope with
+  | None ->
+      let range = s.p.node_range () in
+      let n = ref 0 in
+      let rec pull () =
+        if !n >= range then None
+        else
+          let id = !n in
+          incr n;
+          if s.p.verify s.pred id then Some id else pull ()
+      in
+      pull
+  | Some scope ->
+      (* subtree domain: pull the plane's pre-order cursor, verify, and
+         re-sort to node order lazily for merge compatibility *)
+      Cursor.of_lazy_list (fun () ->
+          let sub = Pre_plane.subtree_cursor (s.p.plane ()) scope in
+          let rec collect acc =
+            match sub () with
+            | None -> List.sort compare acc
+            | Some n ->
+                collect (if s.p.verify s.pred n then n :: acc else acc)
+          in
+          collect [])
+
+let rec cursor = function
+  | Empty -> Cursor.empty
+  | Leaf a -> a.cursor ()
+  | Inter ts -> Cursor.inter (List.map cursor ts)
+  | Union ts -> Cursor.union (List.map cursor ts)
+  | Filter (inner, residuals) ->
+      Cursor.filter
+        (fun n -> List.for_all (fun r -> r.r_check n) residuals)
+        (cursor inner)
+  | Staircase s -> Cursor.filter s.in_scope (cursor s.inner)
+  | Scan s -> scan_cursor s
+
+let run_list t =
+  match t with
+  | Leaf a -> a.native ()
+  | _ -> Cursor.to_list (cursor t)
+
+let run_seq t = Cursor.to_seq (cursor t)
+
+(* --- Explain --- *)
+
+let describe t =
+  match t with
+  | Empty -> "empty (est 0)"
+  | Leaf a -> Printf.sprintf "%s (est %d)" a.label a.estimate
+  | Inter ts ->
+      Printf.sprintf "intersect [%d inputs, cheapest drives] (est %d)"
+        (List.length ts) (estimate t)
+  | Union ts ->
+      Printf.sprintf "union [%d inputs, merge on node order] (est %d)"
+        (List.length ts) (estimate t)
+  | Filter (_, rs) ->
+      Printf.sprintf "verify residual [%s] (est %d)"
+        (String.concat "; " (List.map (fun r -> Ir.to_string r.r_pred) rs))
+        (estimate t)
+  | Staircase s ->
+      Printf.sprintf "staircase within #%d (subtree card %d)" s.scope s.card
+  | Scan s -> (
+      match s.s_scope with
+      | None ->
+          Printf.sprintf "scan+verify %s (est %d, no index)"
+            (Ir.to_string s.pred) s.est
+      | Some scope ->
+          Printf.sprintf "scan subtree #%d +verify %s (est %d, no index)"
+            scope (Ir.to_string s.pred) s.est)
+
+let explain t =
+  let buf = Buffer.create 256 in
+  let rec go prefix child_prefix t =
+    Buffer.add_string buf prefix;
+    Buffer.add_string buf (describe t);
+    Buffer.add_char buf '\n';
+    let children =
+      match t with
+      | Inter ts | Union ts -> ts
+      | Filter (inner, _) | Staircase { inner; _ } -> [ inner ]
+      | _ -> []
+    in
+    let rec each = function
+      | [] -> ()
+      | [ last ] ->
+          go (child_prefix ^ "`- ") (child_prefix ^ "   ") last
+      | c :: rest ->
+          go (child_prefix ^ "|- ") (child_prefix ^ "|  ") c;
+          each rest
+    in
+    each children
+  in
+  go "" "" t;
+  Buffer.contents buf

@@ -1,0 +1,68 @@
+(** Cost-based planner and executor for {!Ir} terms.
+
+    The planner knows nothing about the concrete indices: the database
+    layer hands it a {!provider} of closures — one access path per
+    servable leaf, a verifier for arbitrary residual predicates, and the
+    pre/size/level plane for scope arithmetic. This inversion keeps the
+    query layer below the index layer in the build graph while letting
+    every [Db.lookup_*] route through one pipeline.
+
+    Planning rules:
+
+    - a leaf with an access path becomes a {e cursor} (ascending node
+      order) with a cardinality estimate from the index (bucket size,
+      B+tree range count, rarest q-gram posting length, name extent);
+    - [And] splits into index-served conjuncts — sorted by estimate,
+      cheapest first, and intersected by a streaming leapfrog merge —
+      and residual conjuncts verified per candidate;
+    - [And] with no index-served conjunct, [Not], and index-less leaves
+      fall back to a verified scan over the universe (or over the scope
+      subtree only, when under [Within]);
+    - [Or] is a streaming k-way merge-union, unless some branch needs a
+      scan, in which case one scan verifies the whole disjunction;
+    - [Within] becomes a staircase-join filter ([pre scope <= pre n <=
+      pre scope + size scope], O(1) per candidate) pushed onto the
+      cheapest conjunct's cursor; a scope unknown to the plane (e.g.
+      tombstoned) plans to the empty result. *)
+
+type node = Xvi_xml.Store.node
+
+(** One index access path for one leaf predicate. *)
+type access = {
+  label : string;  (** for {!explain}, e.g. ["string-index \"x\""] *)
+  estimate : int;  (** cardinality upper bound from the index *)
+  cursor : unit -> Cursor.t;  (** ascending node order, exact *)
+  native : unit -> node list;
+      (** the index's native answer order (e.g. value order for typed
+          ranges) — what single-leaf plans return so pre-existing lookup
+          signatures keep their ordering bit-identical *)
+}
+
+type provider = {
+  universe : unit -> int;  (** live-node count: the scan estimate *)
+  node_range : unit -> int;  (** scan domain: ids are [0 .. range-1] *)
+  plane : unit -> Xvi_xml.Pre_plane.t;
+  access : Ir.t -> access option;
+      (** access path for a {e leaf} term; [None] when no index serves
+          it (then the planner scans) *)
+  verify : Ir.t -> node -> bool;
+      (** ground-truth check of any term against one node *)
+}
+
+type t
+
+val plan : provider -> Ir.t -> t
+
+val estimate : t -> int
+
+val run_list : t -> node list
+(** Single-leaf plans return the access path's native order; every other
+    shape returns ascending node order. *)
+
+val run_seq : t -> node Seq.t
+(** Always ascending node order; lazy — pulls the underlying cursors on
+    demand. *)
+
+val explain : t -> string
+(** Multi-line plan tree with per-node estimates, children of an
+    intersection in execution (cheapest-first) order. *)

@@ -1,0 +1,21 @@
+type t = { lo : float option; hi : float option }
+
+let between lo hi = { lo = Some lo; hi = Some hi }
+let at_least lo = { lo = Some lo; hi = None }
+let at_most hi = { lo = None; hi = Some hi }
+let any = { lo = None; hi = None }
+let lo t = t.lo
+let hi t = t.hi
+
+let nan_bound t =
+  let is_nan = function Some v -> Float.is_nan v | None -> false in
+  is_nan t.lo || is_nan t.hi
+
+let mem t v =
+  (not (nan_bound t))
+  && (match t.lo with None -> true | Some b -> v >= b)
+  && match t.hi with None -> true | Some b -> v <= b
+
+let to_string t =
+  let bound inf = function Some v -> Printf.sprintf "%g" v | None -> inf in
+  Printf.sprintf "[%s, %s]" (bound "-inf" t.lo) (bound "+inf" t.hi)

@@ -1,0 +1,35 @@
+(** Inclusive range bounds for typed lookups.
+
+    Both bounds are inclusive; an empty interval ([lo > hi]) matches
+    nothing. A NaN bound also matches nothing: no value compares with
+    NaN, so no value lies inclusively within such a range. [-0.0] and
+    [0.0] are the same bound (and the same indexed key), per IEEE
+    equality. *)
+
+type t
+
+val between : float -> float -> t
+(** [between lo hi] — both bounds inclusive. *)
+
+val at_least : float -> t
+
+val at_most : float -> t
+
+val any : t
+(** Unbounded: every complete value, in value order. *)
+
+val lo : t -> float option
+val hi : t -> float option
+
+val nan_bound : t -> bool
+(** A NaN bound satisfies no inclusive comparison, so the range matches
+    nothing. Callers must check this {e before} handing the bounds to a
+    B+tree range scan: the tree's key order deliberately sorts NaN last,
+    which would turn [at_most nan] into "everything". *)
+
+val mem : t -> float -> bool
+(** Inclusive membership of a (non-NaN) value; [false] whenever
+    {!nan_bound} holds. The scan-fallback verifier. *)
+
+val to_string : t -> string
+(** ["[lo, hi]"] with ["-inf"]/["+inf"] for open ends. *)

@@ -68,6 +68,24 @@ let descendants t n =
   let p = known t n "descendants" in
   List.init t.sizes.(p) (fun i -> t.node_of_pre.(p + 1 + i))
 
+let in_subtree t ~scope n =
+  let ps = pre t scope and pn = pre t n in
+  ps >= 0 && pn >= 0 && ps <= pn && pn <= ps + t.sizes.(ps)
+
+let subtree_cursor t scope =
+  let ps = pre t scope in
+  if ps < 0 then fun () -> None
+  else
+    let stop = ps + t.sizes.(ps) in
+    let next = ref ps in
+    fun () ->
+      if !next > stop then None
+      else begin
+        let n = t.node_of_pre.(!next) in
+        incr next;
+        Some n
+      end
+
 let sort_doc_order t nodes =
   List.sort (compare_order t) nodes
 

@@ -51,6 +51,17 @@ val is_descendant : t -> ancestor:node -> node -> bool
 val descendants : t -> node -> node list
 (** The pre range, in document order. *)
 
+val in_subtree : t -> scope:node -> node -> bool
+(** [scope] itself or a descendant of it — the staircase-join predicate
+    used by the query planner's [Within] filter. O(1). Total: [false]
+    when either node is unknown to this snapshot (so a tombstoned scope
+    covers nothing rather than raising). *)
+
+val subtree_cursor : t -> node -> unit -> node option
+(** Lazy document-order cursor over [scope] and its descendants (the
+    contiguous pre range), pulled one node at a time. Exhausted from the
+    start when the scope is unknown to this snapshot. *)
+
 val sort_doc_order : t -> node list -> node list
 
 (** {1 Staircase joins} *)

@@ -604,77 +604,126 @@ let fast_path_plan steps =
         Some (prefix @ [ last ], preds)
       end
 
-(* The candidate generator: value hits straight from the indices. All
-   indexable conjuncts are considered; numeric comparisons over the same
-   operand path merge into one bounded range scan ([x >= 100 and
-   x < 120] becomes a single B+tree range); the most selective generator
-   wins. Strictness and residual predicates are re-verified per
-   candidate, so over-approximation here is harmless. *)
-let generator_hits db preds =
-  let string_gens =
+(* Compile the indexable top-level conjuncts into predicate-IR terms,
+   each labeled with its source text. Numeric comparisons over the same
+   operand path merge into one bounded range ([x >= 100 and x < 120]
+   becomes a single B+tree range). Each term over-approximates its
+   conjunct — strictness ([<] vs [<=], [!=]) and the operand path are
+   re-verified per candidate — which is sound for a generator: it may
+   only widen the hit set, never lose an answer.
+
+   Conjuncts must NOT be intersected with each other: different
+   conjuncts of the same predicate may be satisfied by different operand
+   nodes under the context node, so the node sets of two conjuncts need
+   not overlap even when both hold. One conjunct drives; the rest are
+   verified per candidate. *)
+let pred_to_string p =
+  let buf = Buffer.create 32 in
+  pred_to_buf buf p;
+  Buffer.contents buf
+
+let candidate_irs db preds =
+  let module Ir = Db.Ir in
+  let strings =
     List.filter_map
-      (function Compare (_, Eq, Str s) -> Some (Db.lookup_string db s) | _ -> None)
+      (function
+        | Compare (_, Eq, Str s) as p -> Some (pred_to_string p, Ir.string_eq s)
+        | _ -> None)
       preds
   in
-  let contains_gens =
+  let contains_cands =
     if Db.substring_index db = None then []
     else
       List.filter_map
         (function
-          | Contains (_, pattern) ->
+          | Contains (_, pattern) as p ->
+              (* a hit may live in a text/attribute leaf or span element
+                 boundaries: both faces of the index, unioned *)
               Some
-                (Db.lookup_contains db pattern
-                @ Db.lookup_element_contains db pattern)
+                ( pred_to_string p,
+                  Ir.disj [ Ir.contains pattern; Ir.element_contains pattern ] )
           | _ -> None)
         preds
   in
-  let num_gens =
-    match Db.typed_index db "xs:double" with
-    | None -> []
-    | Some ti ->
-        (* group numeric bounds by operand path *)
-        let groups : (operand * (float option * float option)) list ref = ref [] in
-        List.iter
-          (function
-            | Compare (op, cmp, Num v) -> (
-                let lo, hi =
-                  match cmp with
-                  | Eq -> (Some v, Some v)
-                  | Gt | Ge -> (Some v, None)
-                  | Lt | Le -> (None, Some v)
-                  | Neq -> (None, None)
-                in
-                let merge_lo a b =
-                  match (a, b) with
-                  | Some x, Some y -> Some (max x y)
-                  | x, None | None, x -> x
-                in
-                let merge_hi a b =
-                  match (a, b) with
-                  | Some x, Some y -> Some (min x y)
-                  | x, None | None, x -> x
-                in
-                match List.assoc_opt op !groups with
-                | Some (glo, ghi) ->
-                    groups :=
-                      (op, (merge_lo glo lo, merge_hi ghi hi))
-                      :: List.remove_assoc op !groups
-                | None -> groups := (op, (lo, hi)) :: !groups)
-            | _ -> ())
-          preds;
-        List.filter_map
-          (fun (_, (lo, hi)) ->
-            if lo = None && hi = None then None
-            else Some (Xvi_core.Typed_index.range ?lo ?hi ti))
-          !groups
+  let nums =
+    if Db.typed_index db "xs:double" = None then []
+    else begin
+      (* group numeric bounds by operand path *)
+      let groups : (operand * (float option * float option)) list ref = ref [] in
+      List.iter
+        (function
+          | Compare (op, cmp, Num v) -> (
+              let lo, hi =
+                match cmp with
+                | Eq -> (Some v, Some v)
+                | Gt | Ge -> (Some v, None)
+                | Lt | Le -> (None, Some v)
+                | Neq -> (None, None)
+              in
+              let merge_lo a b =
+                match (a, b) with
+                | Some x, Some y -> Some (max x y)
+                | x, None | None, x -> x
+              in
+              let merge_hi a b =
+                match (a, b) with
+                | Some x, Some y -> Some (min x y)
+                | x, None | None, x -> x
+              in
+              match List.assoc_opt op !groups with
+              | Some (glo, ghi) ->
+                  groups :=
+                    (op, (merge_lo glo lo, merge_hi ghi hi))
+                    :: List.remove_assoc op !groups
+              | None -> groups := (op, (lo, hi)) :: !groups)
+          | _ -> ())
+        preds;
+      List.filter_map
+        (fun (op, (lo, hi)) ->
+          let range =
+            match (lo, hi) with
+            | Some lo, Some hi -> Some (Db.Range.between lo hi)
+            | Some lo, None -> Some (Db.Range.at_least lo)
+            | None, Some hi -> Some (Db.Range.at_most hi)
+            | None, None -> None (* only != bounds: no usable range *)
+          in
+          Option.map
+            (fun range ->
+              let label =
+                let b = Buffer.create 16 in
+                rel_to_buf b op.rel;
+                Printf.sprintf "fn:data(%s) in %s" (Buffer.contents b)
+                  (Db.Range.to_string range)
+              in
+              (label, Ir.typed_range "xs:double" range))
+            range)
+        !groups
+    end
   in
-  match
-    List.sort
-      (fun a b -> compare (List.length a) (List.length b))
-      (string_gens @ contains_gens @ num_gens)
-  with
-  | best :: _ -> Some best
+  strings @ contains_cands @ nums
+
+let compile_candidates db t =
+  match fast_path_plan t with
+  | None -> []
+  | Some (_, preds) -> candidate_irs db preds
+
+(* The candidate generator: the cheapest compiled conjunct by planner
+   estimate, executed to its value hits. Only the winner is
+   materialized — the estimates come from index statistics (hash-bucket
+   and B+tree range counts), not from running every candidate. *)
+let generator_hits db preds =
+  match candidate_irs db preds with
   | [] -> None
+  | (_, ir0) :: rest ->
+      let best, _ =
+        List.fold_left
+          (fun (bi, be) (_, ir) ->
+            let e = Db.estimate db ir in
+            if e < be then (ir, e) else (bi, be))
+          (ir0, Db.estimate db ir0)
+          rest
+      in
+      Some (Db.query_ids db best)
 
 let eval_fast db matcher steps hits =
   let store = Db.store db in

@@ -46,9 +46,23 @@ val eval : Xvi_xml.Store.t -> t -> Xvi_xml.Store.node list
 
 val eval_indexed : Xvi_core.Db.t -> t -> Xvi_xml.Store.node list
 (** Index-accelerated evaluation; same result, in document order.
-    Comparison predicates are answered by the value indices and then
-    mapped back through ancestor checks instead of walking every
-    subtree. *)
+    Comparison predicates are compiled into the query layer's predicate
+    IR ({!Xvi_core.Db.Ir}); the cheapest conjunct by planner estimate is
+    executed as the candidate generator and its hits mapped back through
+    ancestor checks instead of walking every subtree. *)
+
+val compile_candidates :
+  Xvi_core.Db.t -> t -> (string * Xvi_core.Db.Ir.t) list
+(** The indexable top-level conjuncts of the expression's final-step
+    predicate, compiled into predicate-IR terms and labeled with their
+    source text. Empty when the ancestor-driven fast path does not apply
+    (non-downward steps, predicates on interior steps, or no indexable
+    conjunct). {!eval_indexed} runs the cheapest of these — by
+    {!Xvi_core.Db.estimate} — as its candidate generator and verifies
+    the remaining conjuncts per candidate; conjuncts are never
+    intersected with each other, because distinct conjuncts may be
+    satisfied by distinct operand nodes. [xvi query --explain] prints
+    this table with the planner's plan for the chosen driver. *)
 
 type plan = {
   used_string_index : int;

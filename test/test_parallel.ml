@@ -225,35 +225,29 @@ let test_pool_slices () =
       Alcotest.(check int) (Printf.sprintf "covers [0,%d)" n) n !covered)
     [ (0, 1); (0, 4); (1, 4); (10, 3); (100, 7); (5, 5); (3, 8) ]
 
-(* --- the deprecated wrappers still answer like the primary API --- *)
+(* --- the Config record drives construction like the defaults do --- *)
 
-(* The wrappers are deprecated on purpose; silence the alert only here. *)
-module Legacy_use = struct
-  [@@@alert "-deprecated"]
-  [@@@warning "-3"]
-
-  let of_xml_exn = Db.Legacy.of_xml_exn
-  let lookup_double = Db.Legacy.lookup_double
-  let lookup_typed = Db.Legacy.lookup_typed
-end
-
-let test_legacy_wrappers () =
+let test_config_construction () =
   let xml = "<r><a>1.5</a><b>hello</b><c at=\"7\">x</c></r>" in
   let db = Db.of_xml_exn xml in
-  let legacy = Legacy_use.of_xml_exn ~substring:true xml in
+  let custom =
+    Db.of_xml_exn
+      ~config:{ Db.Config.default with Db.Config.substring = true }
+      xml
+  in
   Alcotest.(check (list int))
-    "legacy lookup_double = Range API"
+    "custom-config lookup_double = default"
     (Db.lookup_double db (Db.Range.between 1.0 2.0))
-    (Legacy_use.lookup_double ~lo:1.0 ~hi:2.0 legacy);
+    (Db.lookup_double custom (Db.Range.between 1.0 2.0));
   Alcotest.(check (list int))
-    "legacy lookup_typed = Range API"
+    "custom-config lookup_typed = default"
     (Db.lookup_typed db "xs:double" Db.Range.any)
-    (Legacy_use.lookup_typed legacy "xs:double");
-  Alcotest.(check bool) "legacy substring flag built the index" true
-    (Db.substring_index legacy <> None);
-  match Db.validate legacy with
+    (Db.lookup_typed custom "xs:double" Db.Range.any);
+  Alcotest.(check bool) "substring flag built the index" true
+    (Db.substring_index custom <> None);
+  match Db.validate custom with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "legacy validate: %s" e
+  | Error e -> Alcotest.failf "custom-config validate: %s" e
 
 (* --- snapshot reload with a config rebuild --- *)
 
@@ -300,7 +294,8 @@ let () =
           Alcotest.test_case "parallel build + updates" `Quick
             test_db_parallel_build_and_update;
           Alcotest.test_case "Range constructors" `Quick test_range_constructors;
-          Alcotest.test_case "legacy wrappers" `Quick test_legacy_wrappers;
+          Alcotest.test_case "config construction" `Quick
+            test_config_construction;
           Alcotest.test_case "snapshot reload with config" `Quick
             test_snapshot_load_with_config;
         ] );
