@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- --scale=0.02 -- larger documents
 
    Experiment ids: table1, fig9, fig10, fig11, micro, ablation, substr,
-   baseline, queries, query, parallel.
+   baseline, queries, query, parallel, wal.
    --scale=F sets the fraction of the paper's document sizes to generate
    (default 0.01, i.e. the 2 GB Wiki becomes ~20 MB); --reps=N the
    repetitions for timed runs (paper: 3 for creation, 20 for updates;
@@ -988,6 +988,142 @@ let parallel () =
   | Error e -> Printf.printf "VALIDATION FAILED: %s\n" e);
   print_newline ()
 
+(* ====================================================== wal ===== *)
+
+(* Extension experiment: durable commit throughput under the three WAL
+   sync policies. Every commit is one write-ahead-logged transaction;
+   Always pays one fsync per commit, Group batches the commits of a
+   2 ms window behind a single fsync, Never leaves flushing to the OS
+   (the upper bound: pure logging cost). Runs in a directory under the
+   current working tree, NOT /tmp — tmpfs grants free fsyncs and would
+   fake the result. Each mode's run is crash-recovered and validated
+   afterwards; throughputs land in BENCH_wal.json. *)
+let wal_bench () =
+  print_endline "== WAL group commit: durable commit throughput by sync policy ==";
+  let module Db = Xvi_core.Db in
+  let module Txn = Xvi_txn.Txn in
+  let module Wal = Xvi_wal.Wal in
+  let module Durable = Xvi_wal.Durable in
+  let factor = if !quick then 0.02 else 0.1 in
+  let commits = if !quick then 1000 else 2000 in
+  let xml = Xvi_workload.Xmark.generate ~seed:42 ~factor () in
+  let base = Filename.concat (Sys.getcwd ()) "_bench_wal.tmp" in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+  in
+  rm_rf base;
+  Unix.mkdir base 0o755;
+  let modes =
+    [ ("always", Wal.Always); ("group", Wal.Group 0.002); ("never", Wal.Never) ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (name, _) -> rm_rf (Filename.concat base name)) modes;
+      rm_rf base)
+    (fun () ->
+      let results =
+        List.map
+          (fun (name, mode) ->
+            let dir = Filename.concat base name in
+            let db = Db.of_xml_exn xml in
+            let texts = Store.text_nodes (Db.store db) in
+            let t = Durable.create ~sync_mode:mode ~dir db in
+            let n = Array.length texts in
+            let (), ms =
+              Timing.time_ms (fun () ->
+                  for i = 1 to commits do
+                    match
+                      Durable.update_text t
+                        texts.(i mod n)
+                        (Printf.sprintf "wal bench %d" i)
+                    with
+                    | Ok () -> ()
+                    | Error (c : Txn.conflict) ->
+                        failwith ("wal bench commit conflicted: " ^ c.Txn.reason)
+                  done;
+                  (* the tail of the last group window / Never backlog:
+                     durability isn't reached until this fsync, so it
+                     belongs inside the timed region *)
+                  Durable.sync t)
+            in
+            let st = Txn.stats (Durable.manager t) in
+            let w = (Durable.stats t).Durable.writer in
+            Durable.close t;
+            (* crash-recover the directory and make sure nothing was lost *)
+            let r = Durable.open_exn dir in
+            let last =
+              Store.text (Db.store (Durable.db r)) texts.(commits mod n)
+            in
+            if last <> Printf.sprintf "wal bench %d" commits then
+              failwith (name ^ ": recovery lost the last committed update");
+            (match Db.validate (Durable.db r) with
+            | Ok () -> ()
+            | Error e -> failwith (name ^ ": recovered db invalid: " ^ e));
+            Durable.close r;
+            let tps = float_of_int commits /. (ms /. 1000.) in
+            (name, mode, ms, tps, st, w))
+          modes
+      in
+      let tps_of name =
+        let _, _, _, tps, _, _ =
+          List.find (fun (n, _, _, _, _, _) -> n = name) results
+        in
+        tps
+      in
+      let speedup = tps_of "group" /. tps_of "always" in
+      Table.print
+        ~header:
+          [ "sync mode"; "commits"; "total"; "commits/s"; "fsyncs"; "batched" ]
+        (List.map
+           (fun (name, mode, ms, tps, st, (w : Wal.Writer.stats)) ->
+             ignore mode;
+             [
+               name;
+               string_of_int st.Txn.committed;
+               Table.fmt_ms ms;
+               Printf.sprintf "%.0f" tps;
+               string_of_int w.Wal.Writer.syncs;
+               string_of_int st.Txn.wal_deferred;
+             ])
+           results);
+      Printf.printf "group commit speedup over per-commit fsync: %.1fx\n"
+        speedup;
+      let json =
+        Printf.sprintf
+          "{\n\
+          \  \"experiment\": \"wal\",\n\
+          \  \"xmark_factor\": %.3f,\n\
+          \  \"commits\": %d,\n\
+          \  \"group_vs_always_speedup\": %.2f,\n\
+          \  \"modes\": [\n\
+           %s\n\
+          \  ]\n\
+           }\n"
+          factor commits speedup
+          (String.concat ",\n"
+             (List.map
+                (fun (name, mode, ms, tps, st, (w : Wal.Writer.stats)) ->
+                  Printf.sprintf
+                    "    { \"mode\": %S, \"sync\": %S, \"total_ms\": %.3f, \
+                     \"commits_per_s\": %.1f, \"fsyncs\": %d, \
+                     \"synced_commits\": %d, \"deferred_commits\": %d }"
+                    name
+                    (Wal.sync_mode_to_string mode)
+                    ms tps w.Wal.Writer.syncs st.Txn.wal_synced
+                    st.Txn.wal_deferred)
+                results))
+      in
+      let oc = open_out "BENCH_wal.json" in
+      output_string oc json;
+      close_out oc;
+      print_endline "wrote BENCH_wal.json";
+      print_newline ())
+
 (* ====================================================== main ===== *)
 
 (* [micro] runs first: its OLS estimates are cleanest before the data
@@ -998,7 +1134,7 @@ let all_experiments =
   [ ("micro", micro); ("table1", table1); ("fig9", fig9); ("fig11", fig11);
     ("fig10", fig10); ("ablation", ablation); ("substr", substr);
     ("baseline", baseline); ("queries", queries); ("query", query_bench);
-    ("parallel", parallel) ]
+    ("parallel", parallel); ("wal", wal_bench) ]
 
 let () =
   let selected = ref [] in
@@ -1015,7 +1151,7 @@ let () =
         else begin
           Printf.eprintf
             "unknown argument %s (expected: table1 fig9 fig10 fig11 micro \
-             ablation substr baseline queries query parallel, --scale=F, \
+             ablation substr baseline queries query parallel wal, --scale=F, \
              --reps=N, --quick)\n"
             arg;
           exit 2

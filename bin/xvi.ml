@@ -2,11 +2,17 @@
 
    Subcommands:
      generate   emit one of the paper's synthetic data sets as XML
-     shred      build all indices and save a binary snapshot
-     stats      shred a document and print its Table 1 row
+     shred      build all indices and save a binary snapshot, or (with
+                --durable) initialise a crash-safe durable directory
+     stats      shred a document and print its Table 1 row; on a durable
+                directory, report WAL length and checkpoint watermark
      query      evaluate an XPath expression, naive vs. index-accelerated
                 (accepts XML or a snapshot)
-     update     apply random text updates and report maintenance time
+     update     apply random text updates and report maintenance time;
+                on a durable directory, commits are write-ahead logged
+                under the chosen --sync policy
+     recover    crash-recover a durable directory and report the replay
+     checkpoint snapshot a durable directory and truncate its log
      fuzz       differential-check random traces against the oracle
      collisions hash-stability histogram of a document (Figure 11)  *)
 
@@ -16,6 +22,9 @@ module Store = Xvi_xml.Store
 module Parser = Xvi_xml.Parser
 module Db = Xvi_core.Db
 module Table = Xvi_util.Table
+module Txn = Xvi_txn.Txn
+module Wal = Xvi_wal.Wal
+module Durable = Xvi_wal.Durable
 
 let read_file path =
   let ic = open_in_bin path in
@@ -46,6 +55,56 @@ let open_db ?config path =
         Printf.eprintf "%s: %s\n" path (Xvi_core.Snapshot.error_to_string e);
         exit 1
   else Db.of_store ?config (shred_exn path)
+
+let sync_mode_arg =
+  let parse s =
+    match Wal.sync_mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "%S is not a sync mode (always, never, group, group:<ms>)" s))
+  in
+  let print ppf m = Format.pp_print_string ppf (Wal.sync_mode_to_string m) in
+  Cmdliner.Arg.(
+    value
+    & opt (conv (parse, print)) Wal.Always
+    & info [ "sync" ] ~docv:"MODE"
+        ~doc:
+          "WAL durability policy for a durable directory: $(b,always) (one \
+           fsync per commit), $(b,group) or $(b,group:<ms>) (commits inside \
+           the window share one fsync), $(b,never) (leave it to the OS).")
+
+let open_durable_or_die ?sync_mode dir =
+  match Durable.open_ ?sync_mode dir with
+  | Ok t -> t
+  | Error m ->
+      Printf.eprintf "%s: %s\n" dir m;
+      exit 1
+
+let print_replay_report = function
+  | None -> print_endline "recovery: log already at the snapshot; nothing to replay"
+  | Some (r : Wal.replay_report) ->
+      Printf.printf
+        "recovery: %d txn(s) / %d op(s) replayed, %d already in the \
+         snapshot, %d aborted\n"
+        r.Wal.stats.Wal.applied_txns r.Wal.stats.Wal.applied_ops
+        r.Wal.stats.Wal.skipped_txns r.Wal.stats.Wal.aborted_txns;
+      if r.Wal.truncated_bytes > 0 then
+        Printf.printf "recovery: truncated %d dead byte(s) (%d record(s)) past the last commit boundary\n"
+          r.Wal.truncated_bytes r.Wal.dropped_records;
+      (match r.Wal.damage with
+      | Some d -> Printf.printf "recovery: damaged tail detected: %s\n" d
+      | None -> ())
+
+let durable_stats_rows t =
+  let st = Durable.stats t in
+  [
+    [ "WAL length"; Table.fmt_bytes st.Durable.wal_bytes ];
+    [ "next LSN"; string_of_int st.Durable.next_lsn ];
+    [ "last checkpoint LSN"; string_of_int st.Durable.last_checkpoint_lsn ];
+  ]
 
 (* -j/--jobs: 0 means "one per core", the make convention. *)
 let jobs_arg =
@@ -111,7 +170,15 @@ let shred_cmd =
     Arg.(value & flag
          & info [ "substring" ] ~doc:"Also build the substring (3-gram) index.")
   in
-  let run file output substring jobs =
+  let durable =
+    Arg.(value & flag
+         & info [ "durable" ]
+             ~doc:
+               "Treat $(b,-o) as a durable directory: initialise it with a \
+                snapshot plus an empty write-ahead log instead of writing a \
+                bare snapshot file.")
+  in
+  let run file output substring durable jobs =
     let config =
       { Db.Config.default with substring; jobs = resolve_jobs jobs }
     in
@@ -121,18 +188,52 @@ let shred_cmd =
     in
     Printf.printf "shredded and indexed %s in %s (%d jobs)\n" file
       (Table.fmt_ms ms) config.Db.Config.jobs;
-    let (), ms = Xvi_util.Timing.time_ms (fun () -> Xvi_core.Snapshot.save db output) in
-    Printf.printf "snapshot %s written in %s\n" output (Table.fmt_ms ms)
+    if durable then begin
+      let t, ms =
+        Xvi_util.Timing.time_ms (fun () -> Durable.create ~dir:output db)
+      in
+      Durable.close t;
+      Printf.printf "durable directory %s initialised in %s (snapshot + WAL)\n"
+        output (Table.fmt_ms ms)
+    end
+    else begin
+      let (), ms =
+        Xvi_util.Timing.time_ms (fun () -> Xvi_core.Snapshot.save db output)
+      in
+      Printf.printf "snapshot %s written in %s\n" output (Table.fmt_ms ms)
+    end
   in
   Cmd.v
-    (Cmd.info "shred" ~doc:"Shred a document, build all indices, save a snapshot")
-    Term.(const run $ file $ output $ substring $ jobs_arg)
+    (Cmd.info "shred"
+       ~doc:
+         "Shred a document, build all indices, save a snapshot or a durable \
+          directory")
+    Term.(const run $ file $ output $ substring $ durable $ jobs_arg)
 
 (* --- stats --- *)
 
 let stats_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let durable_stats dir =
+    let t = open_durable_or_die dir in
+    print_replay_report (Durable.last_replay t);
+    let store = Db.store (Durable.db t) in
+    Table.print
+      ~header:[ "metric"; "value" ]
+      ([
+         [ "total nodes"; Table.fmt_int (Store.live_count store - 1) ];
+         [ "text nodes"; Table.fmt_int (Store.count_of_kind store Store.Text) ];
+         [ "db storage"; Table.fmt_bytes (Store.storage_bytes store) ];
+       ]
+      @ durable_stats_rows t);
+    Durable.close t
+  in
   let run file jobs =
+    if Sys.is_directory file && Durable.is_durable_dir file then begin
+      ignore jobs;
+      durable_stats file
+    end
+    else begin
     let src = read_file file in
     let store, shred_ms =
       if Xvi_core.Snapshot.is_snapshot file then
@@ -170,8 +271,13 @@ let stats_cmd =
         [ "db storage"; Table.fmt_bytes (Store.storage_bytes store) ];
         [ "double index storage"; Table.fmt_bytes (Xvi_core.Typed_index.storage_bytes ti) ];
       ]
+    end
   in
-  Cmd.v (Cmd.info "stats" ~doc:"Shred a document and print statistics")
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Print statistics for a document, snapshot or durable directory \
+          (including WAL length and checkpoint watermark)")
     Term.(const run $ file $ jobs_arg)
 
 (* --- query --- *)
@@ -316,28 +422,139 @@ let update_cmd =
          ~doc:"Number of text nodes to update.")
   in
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N") in
-  let run file count seed jobs =
-    let jobs = resolve_jobs jobs in
-    let config =
-      if jobs > 1 then Some { Db.Config.default with jobs } else None
+  (* On a durable directory every update is one write-ahead-logged
+     transaction, so the run also demonstrates the sync policies: count
+     the commits that paid an inline fsync vs. rode a group window. *)
+  let durable_update dir sync_mode count seed =
+    let t, open_ms =
+      Xvi_util.Timing.time_ms (fun () ->
+          open_durable_or_die ~sync_mode dir)
     in
-    let db, build_ms = Xvi_util.Timing.time_ms (fun () -> open_db ?config file) in
-    let store = Db.store db in
-    Printf.printf "index open/build: %s\n" (Table.fmt_ms build_ms);
+    print_replay_report (Durable.last_replay t);
+    Printf.printf "recover/open: %s\n" (Table.fmt_ms open_ms);
+    let store = Db.store (Durable.db t) in
     let updates =
       Xvi_workload.Update_workload.random_text_updates ~seed store ~count
     in
-    let (), ms = Xvi_util.Timing.time_ms (fun () -> Db.update_texts db updates) in
-    Printf.printf "updated %d text nodes; index maintenance %s\n"
-      (List.length updates) (Table.fmt_ms ms);
-    match Db.validate db with
+    let (), ms =
+      Xvi_util.Timing.time_ms (fun () ->
+          List.iter
+            (fun (n, v) ->
+              match Durable.update_text t n v with
+              | Ok () -> ()
+              | Error (c : Txn.conflict) ->
+                  Printf.eprintf "commit conflicted: %s\n" c.Txn.reason;
+                  exit 1)
+            updates)
+    in
+    Durable.sync t;
+    let st = Txn.stats (Durable.manager t) in
+    Printf.printf
+      "committed %d durable txn(s) in %s under --sync %s (%d fsynced inline, \
+       %d group-batched)\n"
+      st.Txn.committed (Table.fmt_ms ms)
+      (Wal.sync_mode_to_string sync_mode)
+      st.Txn.wal_synced st.Txn.wal_deferred;
+    (match Db.validate (Durable.db t) with
     | Ok () -> print_endline "indices validate clean against a rebuild"
     | Error e ->
         Printf.printf "VALIDATION FAILED: %s\n" e;
-        exit 1
+        exit 1);
+    Table.print ~header:[ "metric"; "value" ] (durable_stats_rows t);
+    Durable.close t
   in
-  Cmd.v (Cmd.info "update" ~doc:"Random text updates with index maintenance")
-    Term.(const run $ file $ count $ seed $ jobs_arg)
+  let run file count seed sync_mode jobs =
+    if Sys.is_directory file && Durable.is_durable_dir file then
+      durable_update file sync_mode count seed
+    else begin
+      let jobs = resolve_jobs jobs in
+      let config =
+        if jobs > 1 then Some { Db.Config.default with jobs } else None
+      in
+      let db, build_ms =
+        Xvi_util.Timing.time_ms (fun () -> open_db ?config file)
+      in
+      let store = Db.store db in
+      Printf.printf "index open/build: %s\n" (Table.fmt_ms build_ms);
+      let updates =
+        Xvi_workload.Update_workload.random_text_updates ~seed store ~count
+      in
+      let (), ms =
+        Xvi_util.Timing.time_ms (fun () -> Db.update_texts db updates)
+      in
+      Printf.printf "updated %d text nodes; index maintenance %s\n"
+        (List.length updates) (Table.fmt_ms ms);
+      match Db.validate db with
+      | Ok () -> print_endline "indices validate clean against a rebuild"
+      | Error e ->
+          Printf.printf "VALIDATION FAILED: %s\n" e;
+          exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:
+         "Random text updates with index maintenance; write-ahead logged \
+          when the target is a durable directory")
+    Term.(const run $ file $ count $ seed $ sync_mode_arg $ jobs_arg)
+
+(* --- recover / checkpoint --- *)
+
+let dir_arg =
+  Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
+       ~doc:"A durable directory (snapshot.xvi + wal.log).")
+
+let recover_cmd =
+  let run dir sync_mode =
+    if not (Durable.is_durable_dir dir) then begin
+      Printf.eprintf "%s: not a durable directory (no snapshot.xvi)\n" dir;
+      exit 1
+    end;
+    let t, ms =
+      Xvi_util.Timing.time_ms (fun () -> open_durable_or_die ~sync_mode dir)
+    in
+    print_replay_report (Durable.last_replay t);
+    Printf.printf "recovered %s in %s\n" dir (Table.fmt_ms ms);
+    (match Db.validate (Durable.db t) with
+    | Ok () -> print_endline "indices validate clean against a rebuild"
+    | Error e ->
+        Printf.printf "VALIDATION FAILED: %s\n" e;
+        Durable.close t;
+        exit 1);
+    Table.print ~header:[ "metric"; "value" ] (durable_stats_rows t);
+    Durable.close t
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Crash-recover a durable directory: truncate the log's torn tail, \
+          replay committed transactions past the snapshot, validate")
+    Term.(const run $ dir_arg $ sync_mode_arg)
+
+let checkpoint_cmd =
+  let run dir =
+    if not (Durable.is_durable_dir dir) then begin
+      Printf.eprintf "%s: not a durable directory (no snapshot.xvi)\n" dir;
+      exit 1
+    end;
+    let t = open_durable_or_die dir in
+    print_replay_report (Durable.last_replay t);
+    let before = (Durable.stats t).Durable.wal_bytes in
+    let (), ms = Xvi_util.Timing.time_ms (fun () -> Durable.checkpoint t) in
+    let st = Durable.stats t in
+    Printf.printf
+      "checkpoint at LSN %d in %s: log %s -> %s\n"
+      st.Durable.last_checkpoint_lsn (Table.fmt_ms ms)
+      (Table.fmt_bytes before)
+      (Table.fmt_bytes st.Durable.wal_bytes);
+    Durable.close t
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:
+         "Write a fresh LSN-stamped snapshot of a durable directory and \
+          truncate its write-ahead log")
+    Term.(const run $ dir_arg)
 
 (* --- fuzz --- *)
 
@@ -357,13 +574,26 @@ let fuzz_cmd =
     Arg.(
       value & flag
       & info [ "fault" ]
-          ~doc:"Also run the snapshot fault-injection sweep afterwards.")
+          ~doc:
+            "Also run the fault-injection sweeps afterwards: snapshot \
+             corruption, then the WAL crash-point sweep (recovery vs. an \
+             index-free oracle at every simulated crash position).")
   in
-  let run seed docs ops fault =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "CI budget: cap documents, operations and crash positions so the \
+             whole run finishes in seconds.")
+  in
+  let run seed docs ops fault quick =
     if docs < 0 || ops < 0 then begin
       Printf.eprintf "xvi fuzz: --docs and --ops must be non-negative\n";
       exit 2
     end;
+    let docs = if quick then min docs 5 else docs in
+    let ops = if quick then min ops 60 else ops in
     Printf.printf "seed %d, %d docs x %d ops\n%!" seed docs ops;
     (match
        Xvi_check.Runner.run ~log:print_endline ~seed ~docs ~ops_per_doc:ops ()
@@ -377,13 +607,40 @@ let fuzz_cmd =
     if fault then begin
       let rng = Xvi_util.Prng.create seed in
       let db = Db.of_xml_exn (Xvi_check.Gen.document rng) in
-      match Xvi_check.Fault.sweep db with
+      let truncations = if quick then Some 2048 else None in
+      let flips = if quick then 256 else 128 in
+      (match Xvi_check.Fault.sweep ?truncations ~flips db with
       | Ok r ->
-          Printf.printf "fault sweep ok: %d truncations, %d flips\n"
+          Printf.printf "fault sweep ok: %d truncations, %d flips\n%!"
             r.Xvi_check.Fault.truncations r.flips
       | Error m ->
           prerr_endline ("fault sweep: " ^ m);
-          exit 1
+          exit 1);
+      (* crash-point sweep: scripted durable commits, then recovery
+         checked against the oracle at every simulated crash position *)
+      let wal_db = Db.of_xml_exn (Xvi_check.Gen.document rng) in
+      let texts = Store.text_nodes (Db.store wal_db) in
+      if Array.length texts = 0 then
+        print_endline "wal sweep skipped: generated document has no text nodes"
+      else begin
+        let n = Array.length texts in
+        let batches =
+          List.init 6 (fun i ->
+              List.init ((i mod 3) + 1) (fun j ->
+                  (texts.((i * 3 + j) mod n), Printf.sprintf "wal-%d-%d" i j)))
+        in
+        let crash_points = if quick then Some 200 else None in
+        match Xvi_check.Fault.wal_sweep ?crash_points wal_db batches with
+        | Ok r ->
+            Printf.printf
+              "wal crash sweep ok: %d crash points, %d byte flips over %d \
+               commits\n"
+              r.Xvi_check.Fault.crash_points r.Xvi_check.Fault.wal_flips
+              r.Xvi_check.Fault.commits
+        | Error m ->
+            prerr_endline ("wal crash sweep: " ^ m);
+            exit 1
+      end
     end
   in
   Cmd.v
@@ -391,7 +648,7 @@ let fuzz_cmd =
        ~doc:
          "Differential fuzzing: random operation traces cross-checked \
           against an index-free oracle after every step")
-    Term.(const run $ seed $ docs $ ops $ fault)
+    Term.(const run $ seed $ docs $ ops $ fault $ quick)
 
 (* --- collisions --- *)
 
@@ -440,5 +697,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; shred_cmd; stats_cmd; query_cmd; update_cmd;
-            fuzz_cmd; collisions_cmd;
+            recover_cmd; checkpoint_cmd; fuzz_cmd; collisions_cmd;
           ]))

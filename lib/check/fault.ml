@@ -1,4 +1,9 @@
+module Store = Xvi_xml.Store
+module Db = Xvi_core.Db
 module Snapshot = Xvi_core.Snapshot
+module Txn = Xvi_txn.Txn
+module Wal = Xvi_wal.Wal
+module Durable = Xvi_wal.Durable
 
 type report = { truncations : int; flips : int }
 
@@ -112,3 +117,236 @@ let sweep ?(flips = 128) ?all_offsets ?truncations:trunc_cap db =
       match !failure with
       | Some m -> Error m
       | None -> Ok { truncations = !truncations; flips = !flipped })
+
+(* --- crash-point sweep over the write-ahead log ---
+
+   The oracle for every crash position is a database rebuilt from the
+   base snapshot by re-issuing the committed prefix of operations
+   through the public Db/Txn APIs — no WAL code anywhere in it. Which
+   operations are "the committed prefix" is also decided independently
+   of the scan logic: the live run records the log size after each
+   commit, and a crash at byte [c] commits exactly the operations whose
+   recorded size is <= c. Recovery must then produce a database whose
+   marshalled bytes are identical to the oracle's, twice over (reopening
+   the recovered directory must change nothing — idempotency). *)
+
+type wal_op =
+  | W_batch of (Store.node * string) list
+  | W_insert of { parent : Store.node; fragment : string }
+  | W_delete of Store.node
+
+type wal_report = { crash_points : int; wal_flips : int; commits : int }
+
+let db_digest db = Digest.string (Marshal.to_string db [ Marshal.Closures ])
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let fresh_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+(* Re-issue the first [k] operations on a fresh load of the base
+   snapshot. Batches go through Txn with the same insertion order as the
+   live run, so the winning commit hands Db.update_texts the same list
+   in the same order — the oracle and the recovery must agree bit for
+   bit, not just logically. *)
+let oracle_rebuild snap_path ops k =
+  match Snapshot.load snap_path with
+  | Error e ->
+      failwith ("wal_sweep: oracle snapshot load: " ^ Snapshot.error_to_string e)
+  | Ok db ->
+      let mgr = Txn.manager db in
+      List.iter
+        (function
+          | W_batch writes -> (
+              let tx = Txn.begin_ mgr in
+              List.iter
+                (fun (n, v) ->
+                  match Txn.update_text tx n v with
+                  | Ok () -> ()
+                  | Error _ -> failwith "wal_sweep: oracle update rejected")
+                writes;
+              match Txn.commit tx with
+              | Ok () -> ()
+              | Error _ -> failwith "wal_sweep: oracle commit conflicted")
+          | W_insert { parent; fragment } -> (
+              match Db.insert_xml db ~parent fragment with
+              | Ok _ -> ()
+              | Error _ -> failwith "wal_sweep: oracle insert rejected")
+          | W_delete n -> Db.delete_subtree db n)
+        (take k ops);
+      db_digest db
+
+let wal_sweep ?crash_points ?(wal_flips = 128) db batches =
+  let batches = List.filter (fun b -> b <> []) batches in
+  let base = fresh_dir "xvi_wal_base" in
+  let crash = fresh_dir "xvi_wal_crash" in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf base;
+      rm_rf crash)
+    (fun () ->
+      (* Live run: snapshot the caller's database at LSN 0, reopen the
+         directory (so the caller's copy is never mutated), and commit
+         the scripted operations, recording the log size after each. *)
+      Durable.close (Durable.create ~sync_mode:Wal.Always ~dir:base db);
+      let live = Durable.open_exn base in
+      let boundaries = ref [] (* (wal size after commit, op), reversed *) in
+      let record op =
+        boundaries := ((Durable.stats live).Durable.wal_bytes, op) :: !boundaries
+      in
+      List.iter
+        (fun writes ->
+          match Durable.update_texts live writes with
+          | Ok () -> record (W_batch writes)
+          | Error (c : Txn.conflict) ->
+              failwith ("wal_sweep: live commit conflicted: " ^ c.Txn.reason))
+        batches;
+      let probe = "<wal-probe kind=\"crash-sweep\">probe text</wal-probe>" in
+      (match Durable.insert_xml live ~parent:Store.document probe with
+      | Ok (root :: _) ->
+          record (W_insert { parent = Store.document; fragment = probe });
+          Durable.delete_subtree live root;
+          record (W_delete root)
+      | Ok [] -> failwith "wal_sweep: probe insert returned no roots"
+      | Error e ->
+          failwith
+            ("wal_sweep: probe insert rejected: "
+            ^ Xvi_xml.Parser.error_to_string e));
+      Durable.close live;
+      let boundaries = List.rev !boundaries in
+      let ops = List.map snd boundaries in
+      let sizes = Array.of_list (List.map fst boundaries) in
+      let commits = Array.length sizes in
+      let wal_bytes = read_file (Filename.concat base "wal.log") in
+      let snap_bytes = read_file (Filename.concat base "snapshot.xvi") in
+      let wal_size = String.length wal_bytes in
+      let magic_len = String.length Wal.magic in
+      (* memoised oracle digests, one per committed-prefix length *)
+      let oracle = Array.make (commits + 1) None in
+      let oracle_digest k =
+        match oracle.(k) with
+        | Some d -> d
+        | None ->
+            let d = oracle_rebuild (Filename.concat base "snapshot.xvi") ops k in
+            oracle.(k) <- Some d;
+            d
+      in
+      let committed_before cut =
+        let k = ref 0 in
+        Array.iter (fun s -> if s <= cut then incr k) sizes;
+        !k
+      in
+      let failure = ref None in
+      let fail m = if !failure = None then failure := Some m in
+      let crash_snap = Filename.concat crash "snapshot.xvi" in
+      let crash_wal = Filename.concat crash "wal.log" in
+      (* One crash variant: the snapshot plus the damaged log. Expects
+         recovery to land exactly on the oracle of [expect] commits, and
+         a second recovery of the recovered directory to change
+         nothing. *)
+      let check_variant ~what ~damaged ~expect =
+        write_file crash_snap snap_bytes;
+        write_file crash_wal damaged;
+        match Durable.open_ crash with
+        | Error m ->
+            fail (Printf.sprintf "recovery failed on %s: %s" what m)
+        | Ok t ->
+            let d1 = db_digest (Durable.db t) in
+            Durable.close t;
+            if d1 <> oracle_digest expect then
+              fail
+                (Printf.sprintf
+                   "recovery diverged from oracle on %s (%d commits expected)"
+                   what expect)
+            else (
+              match Durable.open_ crash with
+              | Error m ->
+                  fail (Printf.sprintf "second recovery failed on %s: %s" what m)
+              | Ok t2 ->
+                  let d2 = db_digest (Durable.db t2) in
+                  Durable.close t2;
+                  if d2 <> d1 then
+                    fail
+                      (Printf.sprintf "recovery is not idempotent on %s" what))
+      in
+      let expect_open_error ~what ~damaged =
+        write_file crash_snap snap_bytes;
+        write_file crash_wal damaged;
+        match Durable.open_ crash with
+        | Error _ -> ()
+        | Ok t ->
+            Durable.close t;
+            fail (Printf.sprintf "recovery accepted %s" what)
+      in
+      (* crash positions: every byte length of the log, or [crash_points]
+         evenly spaced ones plus every commit boundary and its
+         neighbours *)
+      let lengths =
+        match crash_points with
+        | None -> List.init (wal_size + 1) (fun i -> i)
+        | Some cap ->
+            let spaced = List.init cap (fun i -> i * wal_size / cap) in
+            let edges =
+              Array.to_list sizes
+              |> List.concat_map (fun s -> [ s - 1; s; s + 1 ])
+            in
+            List.sort_uniq compare
+              ((0 :: (magic_len - 1) :: magic_len :: wal_size :: edges) @ spaced)
+            |> List.filter (fun l -> l >= 0 && l <= wal_size)
+      in
+      let points = ref 0 in
+      List.iter
+        (fun len ->
+          if !failure = None then begin
+            incr points;
+            let damaged = String.sub wal_bytes 0 len in
+            let what = Printf.sprintf "log torn at byte %d of %d" len wal_size in
+            if len < magic_len then expect_open_error ~what ~damaged
+            else check_variant ~what ~damaged ~expect:(committed_before len)
+          end)
+        lengths;
+      (* byte flips inside the log: damage after the magic must recover
+         the prefix before the damaged frame; damage inside the magic
+         must be rejected *)
+      let flip_offsets =
+        let wanted = min wal_flips wal_size in
+        if wanted <= 0 then []
+        else
+          List.sort_uniq compare
+            (List.init magic_len (fun i -> i)
+            @ List.init wanted (fun i -> i * wal_size / wanted))
+          |> List.filter (fun p -> p >= 0 && p < wal_size)
+      in
+      let flipped = ref 0 in
+      List.iter
+        (fun pos ->
+          if !failure = None then begin
+            incr flipped;
+            let damaged = Bytes.of_string wal_bytes in
+            Bytes.set damaged pos
+              (Char.chr
+                 (Char.code wal_bytes.[pos] lxor (1 lsl (pos mod 8))));
+            let damaged = Bytes.to_string damaged in
+            let what = Printf.sprintf "byte flip at log offset %d" pos in
+            if pos < magic_len then expect_open_error ~what ~damaged
+            else check_variant ~what ~damaged ~expect:(committed_before pos)
+          end)
+        flip_offsets;
+      match !failure with
+      | Some m -> Error m
+      | None ->
+          Ok { crash_points = !points; wal_flips = !flipped; commits })

@@ -31,3 +31,43 @@ val sweep :
     when the file is ≤ 8 KiB) forces one flip per byte of the file;
     [truncations] caps the truncation sweep to that many evenly spaced
     lengths (default: every length shorter than the file). *)
+
+(** {1 Crash-point sweep over the write-ahead log}
+
+    {!wal_sweep} runs a scripted, durably-logged workload against a
+    {!Xvi_wal.Durable} directory, then simulates a crash at byte
+    positions of the log — every length of a torn tail, and single-byte
+    corruptions — and checks each recovery against an {e oracle}: a
+    database rebuilt from the base snapshot by re-issuing the committed
+    operation prefix through the public [Db]/[Txn] APIs, with no WAL
+    code involved. Which operations count as committed at a crash
+    position is decided from log sizes recorded during the live run,
+    independently of the scanner under test.
+
+    For every crash position, recovery must (a) succeed, (b) yield a
+    database whose marshalled bytes equal the oracle's, and (c) be
+    idempotent — recovering the recovered directory changes nothing.
+    Damage inside the log's magic header must instead be rejected. *)
+
+type wal_report = {
+  crash_points : int;  (** torn-tail positions exercised *)
+  wal_flips : int;  (** single-byte corruptions exercised *)
+  commits : int;  (** committed transactions in the scripted workload *)
+}
+
+val wal_sweep :
+  ?crash_points:int ->
+  ?wal_flips:int ->
+  Xvi_core.Db.t ->
+  (Xvi_xml.Store.node * string) list list ->
+  (wal_report, string) result
+(** [wal_sweep db batches] snapshots [db] into a fresh durable
+    directory (the caller's copy is never mutated), commits each batch
+    of text updates as one transaction, then a probe subtree insert and
+    delete, and sweeps crash positions as described above.
+    [crash_points] caps the torn-tail positions to that many evenly
+    spaced lengths plus every commit boundary and its neighbours
+    (default: every byte length of the log); [wal_flips] (default
+    [128]) bounds the corruption offsets, which always include the
+    whole magic header. Batch writes must target text or attribute
+    nodes of [db]. *)

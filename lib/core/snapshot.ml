@@ -1,4 +1,4 @@
-let magic = "XVI-SNAPSHOT-2\n"
+let magic = "XVI-SNAPSHOT-3\n"
 
 (* A fingerprint of the running binary: closure marshalling embeds code
    pointers, so a snapshot is only valid for the exact executable that
@@ -23,20 +23,38 @@ let error_to_string = function
 
 (* Format (all header fields end in '\n'):
 
-     magic                 "XVI-SNAPSHOT-2\n"
+     magic                 "XVI-SNAPSHOT-3\n"
      fingerprint           hex digest of the executable
      payload length        decimal byte count
      payload digest        hex MD5 of the payload bytes
-     payload               Marshal output (closures)
+     payload               Marshal output of [(lsn, db)] (closures)
 
    The explicit length makes truncation detectable without touching
    [Marshal]; the digest makes any byte flip in the payload detectable.
    [Marshal.from_string] is only ever called on bytes whose digest
    matched, so its undefined behaviour on corrupt input is unreachable
-   through this API. *)
+   through this API.
 
-let save db path =
-  let payload = Marshal.to_string db [ Marshal.Closures ] in
+   v3 over v2: the payload is the pair [(lsn, db)] rather than the bare
+   database, so the WAL position the snapshot covers travels under the
+   same digest as the data — a flipped LSN is as detectable as a flipped
+   index byte. *)
+
+(* fsync a directory so a rename inside it survives power loss; needs a
+   read-only descriptor on the directory itself. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ ->
+      (* some filesystems refuse to open directories; the rename is then
+         only as durable as the platform allows *)
+      ()
+
+let save ?(lsn = 0) db path =
+  let payload = Marshal.to_string (lsn, db) [ Marshal.Closures ] in
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   Fun.protect
@@ -49,10 +67,16 @@ let save db path =
       output_char oc '\n';
       output_string oc (Digest.to_hex (Digest.string payload));
       output_char oc '\n';
-      output_string oc payload);
-  Sys.rename tmp path
+      output_string oc payload;
+      (* the atomic-rename guarantee needs the bytes on the platter
+         before the rename is: flush the channel, then fsync the file *)
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp path;
+  (* ... and the rename itself recorded in the directory *)
+  fsync_dir (Filename.dirname path)
 
-let load ?config path =
+let load_with_lsn ?config path =
   try
     let ic = open_in_bin path in
     Fun.protect
@@ -84,14 +108,16 @@ let load ?config path =
                          (Digest.to_hex (Digest.string payload)))
                   then Error (Corrupted "payload digest mismatch")
                   else
-                    let db = (Marshal.from_string payload 0 : Db.t) in
+                    let lsn, db =
+                      (Marshal.from_string payload 0 : int * Db.t)
+                    in
                     (match config with
-                    | None -> Ok db
+                    | None -> Ok (db, lsn)
                     | Some config ->
                         (* Re-index the loaded store under the new
                            configuration (different types, substring
                            index, or a parallel rebuild). *)
-                        Ok (Db.of_store ~config (Db.store db)))
+                        Ok (Db.of_store ~config (Db.store db), lsn))
         end)
   with
   | Sys_error msg -> Error (Io_error msg)
@@ -101,6 +127,8 @@ let load ?config path =
          digest, or [input_line] overflow — never let it escape the
          result type. *)
       Error (Corrupted msg)
+
+let load ?config path = Result.map fst (load_with_lsn ?config path)
 
 let load_exn ?config path =
   match load ?config path with

@@ -5,21 +5,32 @@
     reopen them directly — the role MonetDB's persistent BATs play for
     the paper's indices.
 
-    Format: a magic string, a build fingerprint, the payload length and
-    an MD5 digest of the payload, then the [Marshal]ed database (with
-    closure marshalling, since type machines carry parsing functions).
-    Snapshots are therefore {e only readable by the binary that wrote
-    them} — the fingerprint enforces this, turning a segfault into a
-    clean error. The length and digest make truncation and byte
-    corruption detectable {e before} [Marshal] ever sees the payload, so
-    {!load} is total: any damaged file yields an [Error], never an
-    exception and never a corrupt [Ok]. This mirrors the usual trade-off
-    of engine-internal storage formats, and the XML itself remains the
-    portable representation. *)
+    Format (v3): a magic string, a build fingerprint, the payload length
+    and an MD5 digest of the payload, then the [Marshal]ed pair of the
+    write-ahead-log position ({e LSN}) the snapshot covers and the
+    database (with closure marshalling, since type machines carry
+    parsing functions). Snapshots are therefore {e only readable by the
+    binary that wrote them} — the fingerprint enforces this, turning a
+    segfault into a clean error. The length and digest make truncation
+    and byte corruption detectable {e before} [Marshal] ever sees the
+    payload — and because the LSN lives inside the digested payload, a
+    damaged LSN is exactly as detectable — so {!load} is total: any
+    damaged file yields an [Error], never an exception and never a
+    corrupt [Ok]. This mirrors the usual trade-off of engine-internal
+    storage formats, and the XML itself remains the portable
+    representation.
 
-val save : Db.t -> string -> unit
-(** [save db path] writes a snapshot atomically (via a temp file and
-    rename). *)
+    The LSN turns a snapshot into a {e checkpoint} for the durability
+    layer ({!Xvi_wal}): recovery replays only the log records committed
+    after it. A snapshot saved outside the durable path carries LSN 0
+    (everything in any log is newer). *)
+
+val save : ?lsn:int -> Db.t -> string -> unit
+(** [save ?lsn db path] writes a snapshot atomically and durably: the
+    bytes go to a temp file which is [fsync]ed before the rename into
+    place, and the directory is synced after it — a crash at any point
+    leaves either the old file or the new one, never a torn mix.
+    [lsn] (default [0]) is the log position this snapshot covers. *)
 
 type error =
   | Not_a_snapshot  (** bad magic — the file is something else *)
@@ -37,6 +48,11 @@ val load : ?config:Db.Config.t -> string -> (Db.t, error) result
     every index is rebuilt under the new configuration — the way to
     reopen a snapshot with different types, with the substring index,
     or with a parallel ([jobs > 1]) rebuild. *)
+
+val load_with_lsn :
+  ?config:Db.Config.t -> string -> (Db.t * int, error) result
+(** Like {!load}, also returning the checkpoint LSN recorded at
+    {!save} time. The durable open path starts its log replay there. *)
 
 val load_exn : ?config:Db.Config.t -> string -> Db.t
 (** @raise Failure on any {!error}. *)

@@ -1,16 +1,30 @@
 module Store = Xvi_xml.Store
 module Db = Xvi_core.Db
 
+type durability = {
+  log_commit : (Store.node * string) list -> [ `Synced | `Deferred ];
+  committed : unit -> unit;
+}
+
 type manager = {
   db : Db.t;
   versions : (Store.node, int) Hashtbl.t; (* node -> commit stamp *)
+  durability : durability option;
   mutable clock : int;
   mutable committed : int;
   mutable aborted : int;
   mutable conflicts : int;
+  mutable wal_synced : int;
+  mutable wal_deferred : int;
 }
 
-type stats = { committed : int; aborted : int; conflicts : int }
+type stats = {
+  committed : int;
+  aborted : int;
+  conflicts : int;
+  wal_synced : int;
+  wal_deferred : int;
+}
 
 type status = Active | Committed | Aborted
 
@@ -23,14 +37,17 @@ type t = {
 
 type conflict = { node : Store.node; reason : string }
 
-let manager db =
+let manager ?durability db =
   {
     db;
     versions = Hashtbl.create 256;
+    durability;
     clock = 0;
     committed = 0;
     aborted = 0;
     conflicts = 0;
+    wal_synced = 0;
+    wal_deferred = 0;
   }
 
 let db mgr = mgr.db
@@ -90,10 +107,26 @@ let commit t =
       t.mgr.clock <- t.mgr.clock + 1;
       let stamp = t.mgr.clock in
       let updates = Hashtbl.fold (fun n v acc -> (n, v) :: acc) t.writes [] in
+      (* Write-ahead: the log record must be appended (and, depending on
+         the sync mode, forced) before any index or store byte changes,
+         so a crash between the two replays the commit rather than
+         losing it. *)
+      (match t.mgr.durability with
+      | Some d when updates <> [] -> (
+          match d.log_commit updates with
+          | `Synced -> t.mgr.wal_synced <- t.mgr.wal_synced + 1
+          | `Deferred -> t.mgr.wal_deferred <- t.mgr.wal_deferred + 1)
+      | _ -> ());
       Db.update_texts t.mgr.db updates;
       List.iter (fun (n, _) -> Hashtbl.replace t.mgr.versions n stamp) updates;
       t.status <- Committed;
       t.mgr.committed <- t.mgr.committed + 1;
+      (* Post-visibility hook: the durable layer checks its
+         auto-checkpoint threshold here, once the database reflects the
+         commit it would snapshot. *)
+      (match t.mgr.durability with
+      | Some d when updates <> [] -> d.committed ()
+      | _ -> ());
       Ok ()
 
 let abort t =
@@ -106,4 +139,6 @@ let stats (mgr : manager) =
     committed = mgr.committed;
     aborted = mgr.aborted;
     conflicts = mgr.conflicts;
+    wal_synced = mgr.wal_synced;
+    wal_deferred = mgr.wal_deferred;
   }

@@ -18,6 +18,13 @@
       current sibling fields — the paper's "re-read the latest value of
       all ancestor nodes ... and their direct children".
 
+    A manager may carry a {!durability} hook (installed by
+    {!Xvi_wal.Durable}): the winning commit's write set is handed to
+    the hook {e before} any store or index byte changes — the
+    write-ahead invariant — and a post-visibility callback fires after
+    maintenance, where the durable layer checks its auto-checkpoint
+    threshold.
+
     The test suite checks the headline property: disjoint transactions
     committed in any interleaving leave byte-identical indices. *)
 
@@ -26,7 +33,23 @@ type t
 
 type conflict = { node : Xvi_xml.Store.node; reason : string }
 
-val manager : Xvi_core.Db.t -> manager
+type durability = {
+  log_commit :
+    (Xvi_xml.Store.node * string) list -> [ `Synced | `Deferred ];
+      (** Called with the write set of a commit that has passed the
+          conflict check, before the store or any index is touched. The
+          return says whether the log record already reached stable
+          storage ([`Synced]) or is waiting for a group-commit window /
+          explicit sync ([`Deferred]) — tallied in {!stats}. An
+          exception aborts the commit with the store untouched. *)
+  committed : unit -> unit;
+      (** Called after the commit is fully applied and visible. *)
+}
+
+val manager : ?durability:durability -> Xvi_core.Db.t -> manager
+(** A fresh manager over [db]. Without [durability] commits are
+    memory-only (exactly the pre-WAL behaviour). *)
+
 val db : manager -> Xvi_core.Db.t
 
 val begin_ : manager -> t
@@ -45,8 +68,11 @@ val write_set : t -> Xvi_xml.Store.node list
 
 val commit : t -> (unit, conflict) result
 (** First-committer-wins on each written node; ancestors are never part
-    of the conflict check. On success the store and all value indices
-    are updated atomically (single-threaded simulation). *)
+    of the conflict check. On success the write set is logged through
+    the manager's durability hook (when present) and only then applied:
+    the store and all value indices are updated atomically
+    (single-threaded simulation). Callers must not discard the [Error]
+    case silently — a lost conflict is a lost update. *)
 
 val abort : t -> unit
 
@@ -54,6 +80,15 @@ type stats = {
   committed : int;
   aborted : int;  (** conflict aborts and explicit {!abort}s together *)
   conflicts : int;  (** commit attempts lost to first-committer-wins *)
+  wal_synced : int;
+      (** durable commits whose log record was fsynced inline
+          ([sync_mode = Always], or a group window that closed) *)
+  wal_deferred : int;
+      (** durable commits batched into a later group-commit fsync (or
+          left to the OS under [sync_mode = Never]) — [wal_synced +
+          wal_deferred = committed] on a durable manager with non-empty
+          write sets, and the split is the group-commit batching
+          observable *)
 }
 
 val stats : manager -> stats

@@ -1,0 +1,262 @@
+module Store = Xvi_xml.Store
+module Parser = Xvi_xml.Parser
+module Db = Xvi_core.Db
+module Snapshot = Xvi_core.Snapshot
+module Txn = Xvi_txn.Txn
+
+let snapshot_path dir = Filename.concat dir "snapshot.xvi"
+let wal_path dir = Filename.concat dir "wal.log"
+
+let is_durable_dir dir =
+  Sys.file_exists dir
+  && Sys.is_directory dir
+  && Sys.file_exists (snapshot_path dir)
+
+type t = {
+  dir : string;
+  db : Db.t;
+  writer : Wal.Writer.t;
+  auto_checkpoint : int option;
+  mutable mgr : Txn.manager option;
+  mutable next_txn : int;
+  mutable last_checkpoint_lsn : Wal.lsn;
+  mutable last_replay : Wal.replay_report option;
+  mutable closed : bool;
+}
+
+let db t = t.db
+let dir t = t.dir
+let last_replay t = t.last_replay
+
+let check_open t op =
+  if t.closed then
+    invalid_arg (Printf.sprintf "Durable.%s: store is closed" op)
+
+let fresh_txn t =
+  t.next_txn <- t.next_txn + 1;
+  t.next_txn
+
+(* --- checkpointing --- *)
+
+let checkpoint t =
+  check_open t "checkpoint";
+  let base = Wal.Writer.last_lsn t.writer in
+  (* snapshot first — made durable by Snapshot.save's own fsync+rename
+     protocol — then drop the log it supersedes. A crash between the two
+     leaves a snapshot at LSN [base] plus a log of records <= base,
+     which replay filters out: both orders of the crash are safe, only
+     this order also keeps the log from lying about uncommitted data. *)
+  Snapshot.save ~lsn:base t.db (snapshot_path t.dir);
+  Wal.Writer.truncate_to_checkpoint t.writer ~base;
+  t.last_checkpoint_lsn <- base
+
+let maybe_auto_checkpoint t =
+  match t.auto_checkpoint with
+  | Some threshold when Wal.Writer.size t.writer > threshold -> checkpoint t
+  | _ -> ()
+
+(* --- the durability hook wiring --- *)
+
+let log_update_batch t writes =
+  check_open t "commit";
+  let txn = fresh_txn t in
+  ignore (Wal.Writer.append t.writer (Wal.Begin { txn }));
+  List.iter
+    (fun (node, value) ->
+      ignore (Wal.Writer.append t.writer (Wal.Update_text { txn; node; value })))
+    writes;
+  snd (Wal.Writer.log_commit t.writer ~txn)
+
+let make_manager t =
+  Txn.manager
+    ~durability:
+      {
+        Txn.log_commit = (fun writes -> log_update_batch t writes);
+        committed = (fun () -> maybe_auto_checkpoint t);
+      }
+    t.db
+
+let manager t =
+  match t.mgr with
+  | Some mgr -> mgr
+  | None ->
+      let mgr = make_manager t in
+      t.mgr <- Some mgr;
+      mgr
+
+(* --- opening --- *)
+
+let make ?auto_checkpoint_bytes ~dir ~db ~writer ~last_checkpoint_lsn
+    ~last_replay () =
+  {
+    dir;
+    db;
+    writer;
+    auto_checkpoint = auto_checkpoint_bytes;
+    mgr = None;
+    next_txn = 0;
+    last_checkpoint_lsn;
+    last_replay;
+    closed = false;
+  }
+
+let create ?(sync_mode = Wal.Always) ?auto_checkpoint_bytes ~dir db =
+  (match Sys.is_directory dir with
+  | true -> ()
+  | false -> invalid_arg (Printf.sprintf "Durable.create: %s is a file" dir)
+  | exception Sys_error _ -> Unix.mkdir dir 0o755);
+  Snapshot.save ~lsn:0 db (snapshot_path dir);
+  let writer = Wal.Writer.create ~sync_mode (wal_path dir) in
+  make ?auto_checkpoint_bytes ~dir ~db ~writer ~last_checkpoint_lsn:0
+    ~last_replay:None ()
+
+let open_ ?config ?(sync_mode = Wal.Always) ?auto_checkpoint_bytes dir =
+  match Snapshot.load_with_lsn ?config (snapshot_path dir) with
+  | Error e ->
+      Error
+        (Printf.sprintf "%s: %s" (snapshot_path dir)
+           (Snapshot.error_to_string e))
+  | Ok (db, snap_lsn) -> (
+      let wpath = wal_path dir in
+      if not (Sys.file_exists wpath) then begin
+        (* a snapshot without its log: nothing to replay; start a fresh
+           one, but keep LSNs monotonic across the gap *)
+        let writer = Wal.Writer.create ~sync_mode wpath in
+        Wal.Writer.close writer;
+        let writer =
+          Wal.Writer.attach ~sync_mode
+            ~size:(String.length Wal.magic)
+            ~next_lsn:(snap_lsn + 1) wpath
+        in
+        Ok
+          (make ?auto_checkpoint_bytes ~dir ~db ~writer
+             ~last_checkpoint_lsn:snap_lsn ~last_replay:None ())
+      end
+      else
+        match Wal.scan_file wpath with
+        | Error m -> Error (Printf.sprintf "%s: %s" wpath m)
+        | Ok scan -> (
+            match Wal.apply ~from_lsn:snap_lsn db scan.Wal.frames with
+            | Error m -> Error (Printf.sprintf "%s: replay: %s" wpath m)
+            | Ok stats ->
+                (* drop the dead tail before appending anything new *)
+                if scan.Wal.committed_end < scan.Wal.file_size then
+                  Unix.truncate wpath scan.Wal.committed_end;
+                let report =
+                  {
+                    Wal.stats;
+                    first_lsn =
+                      (match scan.Wal.frames with
+                      | [] -> 0
+                      | fr :: _ -> fr.Wal.lsn);
+                    last_lsn = scan.Wal.last_lsn;
+                    truncated_bytes =
+                      scan.Wal.file_size - scan.Wal.committed_end;
+                    dropped_records = scan.Wal.dropped_records;
+                    damage = scan.Wal.damage;
+                  }
+                in
+                let last_checkpoint_lsn =
+                  List.fold_left
+                    (fun acc fr ->
+                      match fr.Wal.record with
+                      | Wal.Checkpoint { base } -> max acc base
+                      | _ -> acc)
+                    snap_lsn scan.Wal.frames
+                in
+                let writer =
+                  Wal.Writer.attach ~sync_mode ~size:scan.Wal.committed_end
+                    ~next_lsn:(max (scan.Wal.last_lsn + 1) (snap_lsn + 1))
+                    wpath
+                in
+                Ok
+                  (make ?auto_checkpoint_bytes ~dir ~db ~writer
+                     ~last_checkpoint_lsn ~last_replay:(Some report) ())))
+
+let open_exn ?config ?sync_mode ?auto_checkpoint_bytes dir =
+  match open_ ?config ?sync_mode ?auto_checkpoint_bytes dir with
+  | Ok t -> t
+  | Error m -> failwith ("Durable.open_: " ^ m)
+
+(* --- durable update operations --- *)
+
+let update_texts t writes =
+  check_open t "update_texts";
+  let tx = Txn.begin_ (manager t) in
+  List.iter
+    (fun (n, v) ->
+      match Txn.update_text tx n v with
+      | Ok () -> ()
+      | Error `Not_text ->
+          Txn.abort tx;
+          invalid_arg
+            (Printf.sprintf "Durable.update_texts: node %d is not a text node"
+               n)
+      | Error `Finished -> assert false)
+    writes;
+  Txn.commit tx
+
+let update_text t n v = update_texts t [ (n, v) ]
+
+(* Structural operations are logged as single-op transactions. The
+   fragment is validated on a scratch store first: once the record is in
+   the log, applying it must not fail — neither now nor on replay. *)
+let insert_xml t ~parent fragment =
+  check_open t "insert_xml";
+  match Parser.parse_fragment (Store.create ()) ~parent:Store.document fragment with
+  | Error _ as e -> e
+  | Ok _ -> (
+      let txn = fresh_txn t in
+      ignore (Wal.Writer.append t.writer (Wal.Begin { txn }));
+      ignore (Wal.Writer.append t.writer (Wal.Insert { txn; parent; fragment }));
+      ignore (Wal.Writer.log_commit t.writer ~txn);
+      match Db.insert_xml t.db ~parent fragment with
+      | Ok roots ->
+          maybe_auto_checkpoint t;
+          Ok roots
+      | Error e ->
+          (* unreachable after validation; if it ever happens the log
+             and the database disagree and limping on would persist the
+             disagreement *)
+          failwith
+            ("Durable.insert_xml: validated fragment rejected on apply: "
+            ^ Parser.error_to_string e))
+
+let delete_subtree t node =
+  check_open t "delete_subtree";
+  (match Store.parent (Db.store t.db) node with
+  | Some _ -> ()
+  | None -> invalid_arg "Durable.delete_subtree: node has no parent");
+  let txn = fresh_txn t in
+  ignore (Wal.Writer.append t.writer (Wal.Begin { txn }));
+  ignore (Wal.Writer.append t.writer (Wal.Delete { txn; node }));
+  ignore (Wal.Writer.log_commit t.writer ~txn);
+  Db.delete_subtree t.db node;
+  maybe_auto_checkpoint t
+
+let sync t =
+  check_open t "sync";
+  Wal.Writer.sync t.writer
+
+(* --- accounting --- *)
+
+type stats = {
+  wal_bytes : int;
+  next_lsn : Wal.lsn;
+  last_checkpoint_lsn : Wal.lsn;
+  writer : Wal.Writer.stats;
+}
+
+let stats (t : t) =
+  {
+    wal_bytes = Wal.Writer.size t.writer;
+    next_lsn = Wal.Writer.next_lsn t.writer;
+    last_checkpoint_lsn = t.last_checkpoint_lsn;
+    writer = Wal.Writer.stats t.writer;
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Wal.Writer.close t.writer
+  end

@@ -1,0 +1,106 @@
+(** A database directory that survives crashes.
+
+    Layout: [dir/snapshot.xvi] (a {!Xvi_core.Snapshot} stamped with the
+    LSN it covers) plus [dir/wal.log] (a {!Wal} of everything committed
+    since). The protocol:
+
+    - {b commit}: the write set is appended to the log — and, depending
+      on the {!Wal.sync_mode}, fsynced — {e before} the store or any
+      index changes, via the {!Xvi_txn.Txn.durability} hook;
+    - {b open}: load the snapshot, scan the log, truncate its torn or
+      uncommitted tail at the last valid commit boundary, replay every
+      committed transaction above the snapshot's LSN, and continue
+      appending. Replay is idempotent — opening twice yields
+      bit-identical databases — because the snapshot's LSN watermark
+      filters already-covered commits;
+    - {b checkpoint}: write a fresh snapshot stamped with the current
+      LSN (atomic rename, file and directory fsynced), then truncate
+      the log down to a single [Checkpoint] record. A crash between the
+      two steps is safe in either order of observation: the new
+      snapshot simply finds every surviving log record at or below its
+      watermark. Checkpoints run on demand ({!checkpoint}, the CLI) or
+      automatically once the log outgrows [auto_checkpoint_bytes]. *)
+
+type t
+
+val create :
+  ?sync_mode:Wal.sync_mode -> ?auto_checkpoint_bytes:int -> dir:string ->
+  Xvi_core.Db.t -> t
+(** Initialise [dir] (created if missing) with a snapshot of [db] at
+    LSN 0 and an empty log. [sync_mode] defaults to {!Wal.Always};
+    [auto_checkpoint_bytes] defaults to never checkpointing
+    automatically. *)
+
+val open_ :
+  ?config:Xvi_core.Db.Config.t ->
+  ?sync_mode:Wal.sync_mode ->
+  ?auto_checkpoint_bytes:int ->
+  string ->
+  (t, string) result
+(** Recover: load, scan, truncate, replay (see above). [Error] when the
+    snapshot is unreadable, the log's header is damaged, or replay
+    contradicts the database. A missing log file (e.g. after copying
+    only the snapshot) is tolerated — there is nothing to replay. *)
+
+val open_exn :
+  ?config:Xvi_core.Db.Config.t ->
+  ?sync_mode:Wal.sync_mode ->
+  ?auto_checkpoint_bytes:int ->
+  string ->
+  t
+
+val is_durable_dir : string -> bool
+(** A directory containing a snapshot — how the CLI tells a durable
+    directory from a bare snapshot file. *)
+
+val db : t -> Xvi_core.Db.t
+val dir : t -> string
+
+val last_replay : t -> Wal.replay_report option
+(** What recovery did when this handle was opened with {!open_};
+    [None] for {!create} or when there was no log to replay. *)
+
+val manager : t -> Xvi_txn.Txn.manager
+(** The transaction manager wired to the log: commits through it are
+    write-ahead logged. One manager per handle (created lazily). *)
+
+val update_texts :
+  t -> (Xvi_xml.Store.node * string) list -> (unit, Xvi_txn.Txn.conflict) result
+(** One durable transaction over the write set. The [Error] carries a
+    serialisation conflict; callers must surface it. *)
+
+val update_text :
+  t -> Xvi_xml.Store.node -> string -> (unit, Xvi_txn.Txn.conflict) result
+
+val insert_xml :
+  t ->
+  parent:Xvi_xml.Store.node ->
+  string ->
+  (Xvi_xml.Store.node list, Xvi_xml.Parser.error) result
+(** Durably logged subtree insertion. The fragment is validated on a
+    scratch store {e before} logging, so a record in the log is always
+    applicable — at commit time and on every future replay. *)
+
+val delete_subtree : t -> Xvi_xml.Store.node -> unit
+(** Durably logged subtree deletion. Raises [Invalid_argument] on the
+    document root, like {!Xvi_core.Db.delete_subtree}. *)
+
+val checkpoint : t -> unit
+(** Snapshot now, then truncate the log (see the protocol above). *)
+
+val sync : t -> unit
+(** Flush any group-commit window or [Never]-mode backlog to stable
+    storage. *)
+
+type stats = {
+  wal_bytes : int;  (** current log size, header included *)
+  next_lsn : Wal.lsn;
+  last_checkpoint_lsn : Wal.lsn;
+  writer : Wal.Writer.stats;
+}
+
+val stats : t -> stats
+
+val close : t -> unit
+(** Final sync (unless [sync_mode = Never]) and release. Idempotent;
+    any later operation raises [Invalid_argument]. *)

@@ -1,0 +1,581 @@
+module Store = Xvi_xml.Store
+module Db = Xvi_core.Db
+
+let magic = "XVI-WAL-1\n"
+
+type lsn = int
+
+type record =
+  | Begin of { txn : int }
+  | Update_text of { txn : int; node : Store.node; value : string }
+  | Insert of { txn : int; parent : Store.node; fragment : string }
+  | Delete of { txn : int; node : Store.node }
+  | Commit of { txn : int }
+  | Abort of { txn : int }
+  | Checkpoint of { base : lsn }
+
+type framed = { lsn : lsn; record : record }
+
+let record_to_string = function
+  | Begin { txn } -> Printf.sprintf "Begin(t%d)" txn
+  | Update_text { txn; node; value } ->
+      Printf.sprintf "Update_text(t%d, n%d, %S)" txn node value
+  | Insert { txn; parent; fragment } ->
+      Printf.sprintf "Insert(t%d, n%d, %S)" txn parent fragment
+  | Delete { txn; node } -> Printf.sprintf "Delete(t%d, n%d)" txn node
+  | Commit { txn } -> Printf.sprintf "Commit(t%d)" txn
+  | Abort { txn } -> Printf.sprintf "Abort(t%d)" txn
+  | Checkpoint { base } -> Printf.sprintf "Checkpoint(lsn %d)" base
+
+(* --- codec ---
+
+   One frame per record, reusing the Snapshot-v2 idea of length+digest
+   framing, in binary:
+
+     u32le  payload length
+     16B    MD5 of the payload
+     bytes  payload
+
+   payload:
+
+     u64le  LSN
+     u8     tag
+     ...    tag-specific fields (u64le ints, u32le-length-prefixed
+            strings)
+
+   A torn write leaves either a short header, a frame extending past
+   end-of-file, or a digest mismatch — all detected before any field is
+   parsed, so recovery can truncate the tail instead of reading
+   garbage. *)
+
+let frame_overhead = 4 + 16
+
+let add_u64 buf n = Buffer.add_int64_le buf (Int64.of_int n)
+
+let add_str buf s =
+  Buffer.add_int32_le buf (Int32.of_int (String.length s));
+  Buffer.add_string buf s
+
+let encode ~lsn record =
+  let p = Buffer.create 64 in
+  add_u64 p lsn;
+  (match record with
+  | Begin { txn } ->
+      Buffer.add_uint8 p 1;
+      add_u64 p txn
+  | Update_text { txn; node; value } ->
+      Buffer.add_uint8 p 2;
+      add_u64 p txn;
+      add_u64 p node;
+      add_str p value
+  | Insert { txn; parent; fragment } ->
+      Buffer.add_uint8 p 3;
+      add_u64 p txn;
+      add_u64 p parent;
+      add_str p fragment
+  | Delete { txn; node } ->
+      Buffer.add_uint8 p 4;
+      add_u64 p txn;
+      add_u64 p node
+  | Commit { txn } ->
+      Buffer.add_uint8 p 5;
+      add_u64 p txn
+  | Abort { txn } ->
+      Buffer.add_uint8 p 6;
+      add_u64 p txn
+  | Checkpoint { base } ->
+      Buffer.add_uint8 p 7;
+      add_u64 p base);
+  let payload = Buffer.contents p in
+  let f = Buffer.create (String.length payload + frame_overhead) in
+  Buffer.add_int32_le f (Int32.of_int (String.length payload));
+  Buffer.add_string f (Digest.string payload);
+  Buffer.add_string f payload;
+  Buffer.contents f
+
+exception Bad_payload of string
+
+let parse_payload payload =
+  let pos = ref 0 in
+  let len = String.length payload in
+  let need n what =
+    if !pos + n > len then
+      raise (Bad_payload (Printf.sprintf "payload ends inside %s" what))
+  in
+  let u64 what =
+    need 8 what;
+    let v = Int64.to_int (String.get_int64_le payload !pos) in
+    pos := !pos + 8;
+    if v < 0 then raise (Bad_payload (Printf.sprintf "negative %s" what));
+    v
+  in
+  let str what =
+    need 4 what;
+    let n = Int32.to_int (String.get_int32_le payload !pos) in
+    pos := !pos + 4;
+    if n < 0 then raise (Bad_payload (Printf.sprintf "negative %s length" what));
+    need n what;
+    let s = String.sub payload !pos n in
+    pos := !pos + n;
+    s
+  in
+  let lsn = u64 "lsn" in
+  need 1 "tag";
+  let tag = String.get_uint8 payload !pos in
+  incr pos;
+  let record =
+    match tag with
+    | 1 -> Begin { txn = u64 "txn" }
+    | 2 ->
+        let txn = u64 "txn" in
+        let node = u64 "node" in
+        let value = str "value" in
+        Update_text { txn; node; value }
+    | 3 ->
+        let txn = u64 "txn" in
+        let parent = u64 "parent" in
+        let fragment = str "fragment" in
+        Insert { txn; parent; fragment }
+    | 4 ->
+        let txn = u64 "txn" in
+        let node = u64 "node" in
+        Delete { txn; node }
+    | 5 -> Commit { txn = u64 "txn" }
+    | 6 -> Abort { txn = u64 "txn" }
+    | 7 -> Checkpoint { base = u64 "base lsn" }
+    | t -> raise (Bad_payload (Printf.sprintf "unknown record tag %d" t))
+  in
+  if !pos <> len then raise (Bad_payload "trailing bytes after record");
+  { lsn; record }
+
+type decoded =
+  | Frame of framed * int  (** the record and the offset just past it *)
+  | End
+  | Torn of string
+      (** incomplete or corrupt from this offset on; recovery truncates *)
+
+let min_payload = 8 + 1 + 8 (* lsn + tag + one u64 field *)
+
+let decode s pos =
+  let len = String.length s in
+  if pos >= len then End
+  else if pos + frame_overhead > len then Torn "incomplete frame header"
+  else
+    let plen = Int32.to_int (String.get_int32_le s pos) in
+    if plen < min_payload then
+      Torn (Printf.sprintf "implausible payload length %d" plen)
+    else if pos + frame_overhead + plen > len then
+      Torn "frame extends past end of log"
+    else
+      let digest = String.sub s (pos + 4) 16 in
+      let payload = String.sub s (pos + frame_overhead) plen in
+      if not (String.equal digest (Digest.string payload)) then
+        Torn "payload digest mismatch"
+      else
+        match parse_payload payload with
+        | fr -> Frame (fr, pos + frame_overhead + plen)
+        | exception Bad_payload m -> Torn m
+
+(* --- scanning a log file ---
+
+   The valid prefix ends at the last frame boundary; the *committed*
+   prefix ends at the last Commit/Abort/Checkpoint boundary. Everything
+   past the committed prefix — valid records of an unfinished
+   transaction as well as a torn or corrupt tail — is dead: replay
+   ignores it and the writer truncates it before appending. *)
+
+type scan = {
+  frames : framed list;  (** the committed prefix, in log order *)
+  last_lsn : lsn;  (** highest LSN in [frames]; [0] when none *)
+  committed_end : int;  (** byte offset after the last commit boundary *)
+  file_size : int;
+  dropped_records : int;
+      (** valid records past the last commit boundary (an unfinished
+          transaction's tail) *)
+  damage : string option;
+      (** why scanning stopped before end-of-file, when it did *)
+}
+
+let scan_string s =
+  let n = String.length s in
+  let mlen = String.length magic in
+  if n < mlen || not (String.equal (String.sub s 0 mlen) magic) then
+    Error "not an xvi write-ahead log (bad magic)"
+  else begin
+    let frames = ref [] and tail = ref [] in
+    let committed_end = ref mlen and last_lsn = ref 0 in
+    let prev_lsn = ref 0 in
+    let damage = ref None in
+    let rec go pos =
+      match decode s pos with
+      | End -> ()
+      | Torn m -> if pos < n then damage := Some m
+      | Frame (fr, next) ->
+          if fr.lsn <= !prev_lsn then
+            damage :=
+              Some
+                (Printf.sprintf "non-monotonic LSN %d after %d" fr.lsn !prev_lsn)
+          else begin
+            prev_lsn := fr.lsn;
+            tail := fr :: !tail;
+            (match fr.record with
+            | Commit _ | Abort _ | Checkpoint _ ->
+                frames := !tail @ !frames;
+                tail := [];
+                committed_end := next;
+                last_lsn := fr.lsn
+            | Begin _ | Update_text _ | Insert _ | Delete _ -> ());
+            go next
+          end
+    in
+    go mlen;
+    Ok
+      {
+        frames = List.rev !frames;
+        last_lsn = !last_lsn;
+        committed_end = !committed_end;
+        file_size = n;
+        dropped_records = List.length !tail;
+        damage = !damage;
+      }
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan_file path =
+  match read_file path with
+  | s -> scan_string s
+  | exception Sys_error m -> Error m
+
+(* --- replay --- *)
+
+type op =
+  | Op_update of Store.node * string
+  | Op_insert of Store.node * string
+  | Op_delete of Store.node
+
+type apply_stats = {
+  applied_txns : int;
+  applied_ops : int;
+  skipped_txns : int;  (** committed at or below [from_lsn] *)
+  aborted_txns : int;
+}
+
+exception Replay_failed of string
+
+let replay_failf fmt = Printf.ksprintf (fun m -> raise (Replay_failed m)) fmt
+
+(* One committed transaction re-applied. Bit-identity with the original
+   commit demands the exact same calls in the exact same order: a pure
+   text-update transaction was applied as ONE [Db.update_texts] batch in
+   the order the log records it (the order the winning commit used), so
+   replay batches identically; structural operations were single-op
+   transactions through the Db update API. Node kinds are validated
+   first — the log never contradicts the database it was written
+   against, so a mismatch is a caller error (wrong snapshot, wrong
+   directory) and must surface as [Error], not an exception from the
+   index layers. *)
+let apply_committed db ops =
+  let store = Db.store db in
+  let updatable n =
+    match Store.kind store n with
+    | Store.Text | Store.Attribute -> true
+    | _ -> false
+    | exception _ -> false
+  in
+  let apply_updates updates =
+    List.iter
+      (fun (n, _) ->
+        if not (updatable n) then
+          replay_failf "logged update targets non-text node %d" n)
+      updates;
+    Db.update_texts db updates
+  in
+  let all_updates =
+    ops <> [] && List.for_all (function Op_update _ -> true | _ -> false) ops
+  in
+  if all_updates then
+    apply_updates
+      (List.map (function Op_update (n, v) -> (n, v) | _ -> assert false) ops)
+  else
+    List.iter
+      (function
+        | Op_update (n, v) -> apply_updates [ (n, v) ]
+        | Op_insert (parent, fragment) -> (
+            match Db.insert_xml db ~parent fragment with
+            | Ok _ -> ()
+            | Error e ->
+                replay_failf "logged fragment rejected on replay: %s"
+                  (Xvi_xml.Parser.error_to_string e)
+            | exception Invalid_argument m ->
+                replay_failf "logged insert invalid: %s" m)
+        | Op_delete n -> (
+            match Db.delete_subtree db n with
+            | () -> ()
+            | exception Invalid_argument m ->
+                replay_failf "logged delete invalid: %s" m))
+      ops
+
+let apply ?(from_lsn = 0) db frames =
+  let open_txns : (int, op list) Hashtbl.t = Hashtbl.create 8 in
+  let applied_txns = ref 0
+  and applied_ops = ref 0
+  and skipped_txns = ref 0
+  and aborted_txns = ref 0 in
+  let buffer txn what op =
+    match Hashtbl.find_opt open_txns txn with
+    | Some ops -> Hashtbl.replace open_txns txn (op :: ops)
+    | None -> replay_failf "%s record for transaction %d without Begin" what txn
+  in
+  let close txn what =
+    match Hashtbl.find_opt open_txns txn with
+    | Some ops ->
+        Hashtbl.remove open_txns txn;
+        List.rev ops
+    | None -> replay_failf "%s record for transaction %d without Begin" what txn
+  in
+  try
+    List.iter
+      (fun fr ->
+        match fr.record with
+        | Begin { txn } ->
+            if Hashtbl.mem open_txns txn then
+              replay_failf "transaction %d begun twice" txn;
+            Hashtbl.replace open_txns txn []
+        | Update_text { txn; node; value } ->
+            buffer txn "Update_text" (Op_update (node, value))
+        | Insert { txn; parent; fragment } ->
+            buffer txn "Insert" (Op_insert (parent, fragment))
+        | Delete { txn; node } -> buffer txn "Delete" (Op_delete node)
+        | Commit { txn } ->
+            let ops = close txn "Commit" in
+            if fr.lsn <= from_lsn then incr skipped_txns
+            else begin
+              apply_committed db ops;
+              incr applied_txns;
+              applied_ops := !applied_ops + List.length ops
+            end
+        | Abort { txn } ->
+            ignore (close txn "Abort");
+            incr aborted_txns
+        | Checkpoint _ -> ())
+      frames;
+    if Hashtbl.length open_txns > 0 then
+      (* scan already cut the list at the last commit boundary, so an
+         open transaction here is a caller handing us a raw frame list *)
+      replay_failf "%d transaction(s) never committed or aborted"
+        (Hashtbl.length open_txns);
+    Ok
+      {
+        applied_txns = !applied_txns;
+        applied_ops = !applied_ops;
+        skipped_txns = !skipped_txns;
+        aborted_txns = !aborted_txns;
+      }
+  with Replay_failed m -> Error m
+
+type replay_report = {
+  stats : apply_stats;
+  first_lsn : lsn;  (** lowest LSN replayed over; [0] when log empty *)
+  last_lsn : lsn;
+  truncated_bytes : int;
+      (** bytes past the last commit boundary (torn tail + unfinished
+          transactions), ignored by replay *)
+  dropped_records : int;
+  damage : string option;
+}
+
+let replay ?from_lsn db path =
+  match scan_file path with
+  | Error m -> Error m
+  | Ok scan -> (
+      match apply ?from_lsn db scan.frames with
+      | Error m -> Error m
+      | Ok stats ->
+          Ok
+            {
+              stats;
+              first_lsn =
+                (match scan.frames with [] -> 0 | fr :: _ -> fr.lsn);
+              last_lsn = scan.last_lsn;
+              truncated_bytes = scan.file_size - scan.committed_end;
+              dropped_records = scan.dropped_records;
+              damage = scan.damage;
+            })
+
+(* --- sync modes --- *)
+
+type sync_mode = Always | Group of float | Never
+
+let sync_mode_to_string = function
+  | Always -> "always"
+  | Group w -> Printf.sprintf "group:%gms" (w *. 1000.)
+  | Never -> "never"
+
+let sync_mode_of_string s =
+  match String.lowercase_ascii s with
+  | "always" -> Some Always
+  | "never" -> Some Never
+  | "group" -> Some (Group 0.002)
+  | s ->
+      let prefix = "group:" in
+      let n = String.length prefix in
+      if String.length s > n && String.sub s 0 n = prefix then
+        match float_of_string_opt (String.sub s n (String.length s - n)) with
+        | Some ms when ms >= 0. -> Some (Group (ms /. 1000.))
+        | _ -> None
+      else None
+
+(* --- writer --- *)
+
+module Writer = struct
+  type stats = {
+    appended : int;
+    commits : int;
+    syncs : int;
+    synced_commits : int;
+    deferred_commits : int;
+  }
+
+  type t = {
+    path : string;
+    fd : Unix.file_descr;
+    mode : sync_mode;
+    mutable next : lsn;
+    mutable size : int;
+    mutable dirty : bool;
+    mutable window_start : float;  (** 0. = no group window open *)
+    mutable s_appended : int;
+    mutable s_commits : int;
+    mutable s_syncs : int;
+    mutable s_synced : int;
+    mutable s_deferred : int;
+  }
+
+  let write_all fd s =
+    let n = String.length s in
+    let rec go off =
+      if off < n then go (off + Unix.write_substring fd s off (n - off))
+    in
+    go 0
+
+  let fsync_dir dir =
+    match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+    | fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+
+  let make ~path ~fd ~mode ~next ~size =
+    {
+      path;
+      fd;
+      mode;
+      next;
+      size;
+      dirty = false;
+      window_start = 0.;
+      s_appended = 0;
+      s_commits = 0;
+      s_syncs = 0;
+      s_synced = 0;
+      s_deferred = 0;
+    }
+
+  let create ?(sync_mode = Always) path =
+    let fd =
+      Unix.openfile path
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_APPEND ]
+        0o644
+    in
+    write_all fd magic;
+    (* the header is forced immediately: every crash the recovery sweep
+       considers happens after it, so a log file is never torn inside
+       its own magic *)
+    Unix.fsync fd;
+    fsync_dir (Filename.dirname path);
+    make ~path ~fd ~mode:sync_mode ~next:1 ~size:(String.length magic)
+
+  let attach ?(sync_mode = Always) ~size ~next_lsn path =
+    let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+    make ~path ~fd ~mode:sync_mode ~next:(max 1 next_lsn) ~size
+
+  let path t = t.path
+  let size t = t.size
+  let next_lsn t = t.next
+  let last_lsn t = t.next - 1
+  let sync_mode t = t.mode
+
+  let sync t =
+    if t.dirty then begin
+      Unix.fsync t.fd;
+      t.dirty <- false;
+      t.window_start <- 0.;
+      t.s_syncs <- t.s_syncs + 1
+    end
+
+  let append t record =
+    let lsn = t.next in
+    t.next <- lsn + 1;
+    let s = encode ~lsn record in
+    write_all t.fd s;
+    t.size <- t.size + String.length s;
+    t.dirty <- true;
+    t.s_appended <- t.s_appended + 1;
+    lsn
+
+  (* Group commit: the first unsynced commit opens a window; commits
+     landing inside it are batched behind the one fsync issued when the
+     window has aged past the configured width. *)
+  let log_commit t ~txn =
+    let lsn = append t (Commit { txn }) in
+    t.s_commits <- t.s_commits + 1;
+    let outcome =
+      match t.mode with
+      | Always ->
+          sync t;
+          `Synced
+      | Never -> `Deferred
+      | Group width ->
+          let now = Unix.gettimeofday () in
+          if t.window_start = 0. then t.window_start <- now;
+          if now -. t.window_start >= width then begin
+            sync t;
+            `Synced
+          end
+          else `Deferred
+    in
+    (match outcome with
+    | `Synced -> t.s_synced <- t.s_synced + 1
+    | `Deferred -> t.s_deferred <- t.s_deferred + 1);
+    (lsn, outcome)
+
+  (* Checkpoint truncation: the caller has just made a snapshot at
+     [base] durable, so every record at or below it is dead weight. The
+     log restarts from its header plus one Checkpoint record — LSNs keep
+     counting, they never restart. *)
+  let truncate_to_checkpoint t ~base =
+    Unix.ftruncate t.fd (String.length magic);
+    t.size <- String.length magic;
+    t.dirty <- true;
+    ignore (append t (Checkpoint { base }));
+    sync t
+
+  let stats t =
+    {
+      appended = t.s_appended;
+      commits = t.s_commits;
+      syncs = t.s_syncs;
+      synced_commits = t.s_synced;
+      deferred_commits = t.s_deferred;
+    }
+
+  let close t =
+    (match t.mode with Never -> () | Always | Group _ -> sync t);
+    Unix.close t.fd
+end

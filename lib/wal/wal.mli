@@ -1,0 +1,201 @@
+(** Append-only, digest-framed write-ahead log for the index family.
+
+    The paper's indices are {e updatable} — maintained incrementally
+    under text updates (Figure 8) instead of rebuilt — but incremental
+    maintenance is only worth its price if the commits it makes cheap
+    also {e survive}. This module supplies the missing half: every
+    committing transaction appends its write set here {e before} any
+    store or index byte changes, so after a crash the committed suffix
+    since the last {!Xvi_core.Snapshot} checkpoint can be replayed
+    instead of being lost.
+
+    {2 Record format}
+
+    The log is a magic line followed by frames. Each frame reuses the
+    snapshot's length+digest idea in binary form — a [u32le] payload
+    length, the payload's MD5, then the payload ([u64le] LSN, a tag
+    byte, and tag-specific fields). A torn write therefore surfaces as a
+    short header, a frame extending past end-of-file, or a digest
+    mismatch — all detected before a single field is parsed — and
+    recovery truncates the log at the {e last valid commit boundary}
+    rather than trusting a damaged tail. LSNs increase strictly
+    monotonically across the life of a log (checkpoint truncation does
+    not restart them); a non-monotonic LSN is treated as corruption.
+
+    {2 Transactions on the log}
+
+    Records group into transactions: [Begin], any number of
+    [Update_text] / [Insert] / [Delete] operations, then [Commit] or
+    [Abort]. {!replay} re-applies committed transactions in log order —
+    a pure text-update transaction as one {!Xvi_core.Db.update_texts}
+    batch in the recorded order (the exact call the winning commit
+    made, so replay is bit-identical), structural single-op
+    transactions through {!Xvi_core.Db} — and skips aborted and
+    unfinished ones, as well as anything at or below the snapshot's
+    LSN. Because application is deterministic and filtered by that
+    watermark, recovery is idempotent: opening the same directory twice
+    yields bit-identical databases.
+
+    The higher-level open/checkpoint protocol lives in {!Durable}. *)
+
+type lsn = int
+(** Log sequence number; strictly increasing, starting at 1. [0] means
+    "before every record" (a fresh snapshot's watermark). *)
+
+type record =
+  | Begin of { txn : int }
+  | Update_text of { txn : int; node : Xvi_xml.Store.node; value : string }
+  | Insert of { txn : int; parent : Xvi_xml.Store.node; fragment : string }
+  | Delete of { txn : int; node : Xvi_xml.Store.node }
+  | Commit of { txn : int }
+  | Abort of { txn : int }
+  | Checkpoint of { base : lsn }
+      (** all records with LSN [<= base] are covered by the snapshot *)
+
+type framed = { lsn : lsn; record : record }
+
+val record_to_string : record -> string
+
+val magic : string
+(** The log file header line. *)
+
+(** {1 Codec} *)
+
+val encode : lsn:lsn -> record -> string
+(** One framed record, ready to append. *)
+
+type decoded =
+  | Frame of framed * int  (** the record and the offset just past it *)
+  | End  (** clean end of input *)
+  | Torn of string
+      (** incomplete or corrupt from this offset on; recovery truncates
+          here *)
+
+val decode : string -> int -> decoded
+(** [decode s pos] reads one frame at byte offset [pos]. Total: any
+    byte damage or truncation yields [Torn], never an exception. *)
+
+(** {1 Scanning} *)
+
+type scan = {
+  frames : framed list;  (** the committed prefix, in log order *)
+  last_lsn : lsn;  (** highest LSN in [frames]; [0] when none *)
+  committed_end : int;
+      (** byte offset after the last Commit/Abort/Checkpoint frame — the
+          truncation point for reopening the log *)
+  file_size : int;
+  dropped_records : int;
+      (** valid records past the last commit boundary (an unfinished
+          transaction's tail) *)
+  damage : string option;
+      (** why scanning stopped before end-of-file, when it did *)
+}
+
+val scan_string : string -> (scan, string) result
+(** [Error] only on a bad or missing magic header; any damage {e after}
+    the header is reported in [damage] with the valid prefix intact. *)
+
+val scan_file : string -> (scan, string) result
+
+(** {1 Replay} *)
+
+type op =
+  | Op_update of Xvi_xml.Store.node * string
+  | Op_insert of Xvi_xml.Store.node * string
+  | Op_delete of Xvi_xml.Store.node
+
+type apply_stats = {
+  applied_txns : int;
+  applied_ops : int;
+  skipped_txns : int;  (** committed at or below [from_lsn] *)
+  aborted_txns : int;
+}
+
+val apply :
+  ?from_lsn:lsn -> Xvi_core.Db.t -> framed list -> (apply_stats, string) result
+(** Re-apply the committed transactions in [frames] (as returned by
+    {!scan_string} / {!scan_file}) whose commit LSN exceeds [from_lsn]
+    (default [0]). [Error] when the log contradicts the database — a
+    logged update targeting a non-text node, a fragment that no longer
+    parses, a record stream with unbalanced Begin/Commit. *)
+
+type replay_report = {
+  stats : apply_stats;
+  first_lsn : lsn;  (** lowest LSN replayed over; [0] when log empty *)
+  last_lsn : lsn;
+  truncated_bytes : int;
+      (** bytes past the last commit boundary (torn tail + unfinished
+          transactions), ignored by replay *)
+  dropped_records : int;
+  damage : string option;
+}
+
+val replay :
+  ?from_lsn:lsn -> Xvi_core.Db.t -> string -> (replay_report, string) result
+(** [replay ~from_lsn db path] = {!scan_file} + {!apply}, with a
+    recovery report. Idempotent given the same [from_lsn] watermark
+    discipline: {!Durable.open_} twice yields bit-identical databases. *)
+
+(** {1 Writing} *)
+
+type sync_mode =
+  | Always  (** one [fsync] per commit; every [Ok] is durable *)
+  | Group of float
+      (** group commit: commits within a window of this many seconds
+          share one [fsync]; a crash loses at most the open window *)
+  | Never
+      (** no [fsync] except on close/checkpoint; durability is whatever
+          the OS page cache grants *)
+
+val sync_mode_to_string : sync_mode -> string
+
+val sync_mode_of_string : string -> sync_mode option
+(** ["always"], ["never"], ["group"] (2 ms) or ["group:<ms>"]. *)
+
+module Writer : sig
+  type t
+
+  val create : ?sync_mode:sync_mode -> string -> t
+  (** Fresh log at the path (truncating any existing file); the header
+      is fsynced before returning, so no later crash can tear it. *)
+
+  val attach : ?sync_mode:sync_mode -> size:int -> next_lsn:lsn -> string -> t
+  (** Append to an existing log the caller has already scanned (and
+      truncated to [size], its last commit boundary). *)
+
+  val append : t -> record -> lsn
+  (** Buffered in the OS at return; durable per the sync mode's next
+      fsync. *)
+
+  val log_commit : t -> txn:int -> lsn * [ `Synced | `Deferred ]
+  (** Append the [Commit] record and run the sync policy: [Always]
+      fsyncs now, [Group w] fsyncs once the open batching window is
+      older than [w], [Never] leaves it to the OS. *)
+
+  val sync : t -> unit
+  (** Force everything appended so far to stable storage. *)
+
+  val truncate_to_checkpoint : t -> base:lsn -> unit
+  (** Drop every record (the caller's snapshot at [base] covers them),
+      leaving the header plus one fsynced [Checkpoint] record. LSNs
+      continue — they never restart. *)
+
+  val path : t -> string
+  val size : t -> int
+  val next_lsn : t -> lsn
+  val last_lsn : t -> lsn
+  val sync_mode : t -> sync_mode
+
+  type stats = {
+    appended : int;  (** records written *)
+    commits : int;
+    syncs : int;  (** fsyncs issued *)
+    synced_commits : int;  (** commits that returned [`Synced] *)
+    deferred_commits : int;  (** commits batched behind a later fsync *)
+  }
+
+  val stats : t -> stats
+
+  val close : t -> unit
+  (** Final sync (except under [Never]) and close. *)
+end

@@ -78,7 +78,7 @@ let test_rejects_fingerprint_mismatch () =
           (fun () -> really_input_string ic (in_channel_length ic))
       in
       let mutated = Bytes.of_string content in
-      let fp_pos = String.length "XVI-SNAPSHOT-2\n" in
+      let fp_pos = String.length "XVI-SNAPSHOT-3\n" in
       Bytes.set mutated fp_pos
         (if Bytes.get mutated fp_pos = '0' then '1' else '0');
       let oc = open_out_bin path in
