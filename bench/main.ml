@@ -1032,7 +1032,9 @@ let wal_bench () =
             let dir = Filename.concat base name in
             let db = Db.of_xml_exn xml in
             let texts = Store.text_nodes (Db.store db) in
-            let t = Durable.create ~sync_mode:mode ~dir db in
+            (* scratch dir: a leftover from an interrupted run is fair
+               game to overwrite *)
+            let t = Durable.create ~force:true ~sync_mode:mode ~dir db in
             let n = Array.length texts in
             let (), ms =
               Timing.time_ms (fun () ->

@@ -178,7 +178,16 @@ let shred_cmd =
                 snapshot plus an empty write-ahead log instead of writing a \
                 bare snapshot file.")
   in
-  let run file output substring durable jobs =
+  let force =
+    Arg.(value & flag
+         & info [ "force" ]
+             ~doc:
+               "With $(b,--durable): overwrite $(b,-o) even when it already \
+                holds a durable store. Without this flag, pointing at an \
+                existing durable directory is refused — it would destroy all \
+                its committed data.")
+  in
+  let run file output substring durable force jobs =
     let config =
       { Db.Config.default with substring; jobs = resolve_jobs jobs }
     in
@@ -189,8 +198,16 @@ let shred_cmd =
     Printf.printf "shredded and indexed %s in %s (%d jobs)\n" file
       (Table.fmt_ms ms) config.Db.Config.jobs;
     if durable then begin
+      if Durable.is_durable_dir output && not force then begin
+        Printf.eprintf
+          "%s: already a durable directory; --force to overwrite its \
+           committed data\n"
+          output;
+        exit 1
+      end;
       let t, ms =
-        Xvi_util.Timing.time_ms (fun () -> Durable.create ~dir:output db)
+        Xvi_util.Timing.time_ms (fun () ->
+            Durable.create ~force ~dir:output db)
       in
       Durable.close t;
       Printf.printf "durable directory %s initialised in %s (snapshot + WAL)\n"
@@ -208,7 +225,7 @@ let shred_cmd =
        ~doc:
          "Shred a document, build all indices, save a snapshot or a durable \
           directory")
-    Term.(const run $ file $ output $ substring $ durable $ jobs_arg)
+    Term.(const run $ file $ output $ substring $ durable $ force $ jobs_arg)
 
 (* --- stats --- *)
 

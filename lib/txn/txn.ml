@@ -77,7 +77,11 @@ let commit t =
   check_active t "commit";
   (* First-committer-wins, checked only on the written leaves — the
      paper's point is precisely that ancestors need no locks and no
-     conflict check, because recombination commutes. *)
+     conflict check, because recombination commutes. Structural deletes
+     bypass the version table, so the kind a write validated at
+     [update_text] time is re-checked here: a node tombstoned since then
+     must surface as a conflict *before* the durability hook can log a
+     record that would fail to apply (and fail again on every replay). *)
   let conflict =
     Hashtbl.fold
       (fun node _ acc ->
@@ -94,7 +98,19 @@ let commit t =
                         "node %d committed at stamp %d after txn start %d" node
                         stamp t.start;
                   }
-            | _ -> None))
+            | _ -> (
+                match Store.kind (Db.store t.mgr.db) node with
+                | Store.Text | Store.Attribute -> None
+                | _ ->
+                    Some
+                      {
+                        node;
+                        reason =
+                          Printf.sprintf
+                            "node %d was removed by a structural operation \
+                             during the transaction"
+                            node;
+                      })))
       t.writes None
   in
   match conflict with

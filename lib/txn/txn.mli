@@ -68,7 +68,11 @@ val write_set : t -> Xvi_xml.Store.node list
 
 val commit : t -> (unit, conflict) result
 (** First-committer-wins on each written node; ancestors are never part
-    of the conflict check. On success the write set is logged through
+    of the conflict check. A written node that a structural delete has
+    tombstoned since {!update_text} validated it is also a conflict —
+    structural operations bypass the version table, so the kind is
+    re-checked against the store here, before anything can reach the
+    durability hook's log. On success the write set is logged through
     the manager's durability hook (when present) and only then applied:
     the store and all value indices are updated atomically
     (single-threaded simulation). Callers must not discard the [Error]

@@ -100,11 +100,18 @@ let make ?auto_checkpoint_bytes ~dir ~db ~writer ~last_checkpoint_lsn
     closed = false;
   }
 
-let create ?(sync_mode = Wal.Always) ?auto_checkpoint_bytes ~dir db =
+let create ?(sync_mode = Wal.Always) ?auto_checkpoint_bytes ?(force = false)
+    ~dir db =
   (match Sys.is_directory dir with
   | true -> ()
   | false -> invalid_arg (Printf.sprintf "Durable.create: %s is a file" dir)
   | exception Sys_error _ -> Unix.mkdir dir 0o755);
+  if (not force) && is_durable_dir dir then
+    invalid_arg
+      (Printf.sprintf
+         "Durable.create: %s already holds a durable store (snapshot + WAL); \
+          pass ~force:true to overwrite it"
+         dir);
   Snapshot.save ~lsn:0 db (snapshot_path dir);
   let writer = Wal.Writer.create ~sync_mode (wal_path dir) in
   make ?auto_checkpoint_bytes ~dir ~db ~writer ~last_checkpoint_lsn:0
@@ -139,7 +146,10 @@ let open_ ?config ?(sync_mode = Wal.Always) ?auto_checkpoint_bytes dir =
             match Wal.apply ~from_lsn:snap_lsn db scan.Wal.frames with
             | Error m -> Error (Printf.sprintf "%s: replay: %s" wpath m)
             | Ok stats ->
-                (* drop the dead tail before appending anything new *)
+                (* drop the dead tail before appending anything new;
+                   Writer.attach below fsyncs the file, making the
+                   shrunken length durable before any fresh frame can
+                   land where stale bytes used to be *)
                 if scan.Wal.committed_end < scan.Wal.file_size then
                   Unix.truncate wpath scan.Wal.committed_end;
                 let report =
@@ -198,11 +208,26 @@ let update_texts t writes =
 
 let update_text t n v = update_texts t [ (n, v) ]
 
-(* Structural operations are logged as single-op transactions. The
-   fragment is validated on a scratch store first: once the record is in
-   the log, applying it must not fail — neither now nor on replay. *)
+(* Structural operations are logged as single-op transactions. Both the
+   fragment (syntax, on a scratch store) and the target node (range,
+   liveness, kind, on the live store) are validated first: once the
+   record is in the log, applying it must not fail — neither now nor on
+   replay. A record that fails to apply after its Commit was fsynced
+   would make every future [open_] of the directory return [Error]. *)
 let insert_xml t ~parent fragment =
   check_open t "insert_xml";
+  let store = Db.store t.db in
+  if parent < 0 || parent >= Store.node_range store then
+    invalid_arg
+      (Printf.sprintf "Durable.insert_xml: parent %d out of range" parent);
+  (match Store.kind store parent with
+  | Store.Document | Store.Element -> ()
+  | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Durable.insert_xml: parent %d cannot take children (not a live \
+            element or the document)"
+           parent));
   match Parser.parse_fragment (Store.create ()) ~parent:Store.document fragment with
   | Error _ as e -> e
   | Ok _ -> (
@@ -224,7 +249,14 @@ let insert_xml t ~parent fragment =
 
 let delete_subtree t node =
   check_open t "delete_subtree";
-  (match Store.parent (Db.store t.db) node with
+  let store = Db.store t.db in
+  if node < 0 || node >= Store.node_range store then
+    invalid_arg
+      (Printf.sprintf "Durable.delete_subtree: node %d out of range" node);
+  if not (Store.is_live store node) then
+    invalid_arg
+      (Printf.sprintf "Durable.delete_subtree: node %d is already deleted" node);
+  (match Store.parent store node with
   | Some _ -> ()
   | None -> invalid_arg "Durable.delete_subtree: node has no parent");
   let txn = fresh_txn t in

@@ -24,12 +24,15 @@
 type t
 
 val create :
-  ?sync_mode:Wal.sync_mode -> ?auto_checkpoint_bytes:int -> dir:string ->
-  Xvi_core.Db.t -> t
+  ?sync_mode:Wal.sync_mode -> ?auto_checkpoint_bytes:int -> ?force:bool ->
+  dir:string -> Xvi_core.Db.t -> t
 (** Initialise [dir] (created if missing) with a snapshot of [db] at
     LSN 0 and an empty log. [sync_mode] defaults to {!Wal.Always};
     [auto_checkpoint_bytes] defaults to never checkpointing
-    automatically. *)
+    automatically. When [dir] already holds a durable store
+    ({!is_durable_dir}), raises [Invalid_argument] rather than silently
+    destroying its committed data — pass [~force:true] to overwrite
+    deliberately (the CLI maps [--force] onto this). *)
 
 val open_ :
   ?config:Xvi_core.Db.Config.t ->
@@ -77,20 +80,29 @@ val insert_xml :
   parent:Xvi_xml.Store.node ->
   string ->
   (Xvi_xml.Store.node list, Xvi_xml.Parser.error) result
-(** Durably logged subtree insertion. The fragment is validated on a
-    scratch store {e before} logging, so a record in the log is always
-    applicable — at commit time and on every future replay. *)
+(** Durably logged subtree insertion. Validated {e before} logging, so
+    a record in the log is always applicable — at commit time and on
+    every future replay: the fragment's syntax on a scratch store
+    ([Error] on failure), and the target on the live store — raises
+    [Invalid_argument] when [parent] is out of range, deleted, or not a
+    node that can take children (element or document). *)
 
 val delete_subtree : t -> Xvi_xml.Store.node -> unit
-(** Durably logged subtree deletion. Raises [Invalid_argument] on the
-    document root, like {!Xvi_core.Db.delete_subtree}. *)
+(** Durably logged subtree deletion. Raises [Invalid_argument] — before
+    anything reaches the log — on the document root (like
+    {!Xvi_core.Db.delete_subtree}), on an out-of-range node, and on an
+    already-deleted node. *)
 
 val checkpoint : t -> unit
 (** Snapshot now, then truncate the log (see the protocol above). *)
 
 val sync : t -> unit
 (** Flush any group-commit window or [Never]-mode backlog to stable
-    storage. *)
+    storage. Under [Group] an aged-out window is otherwise flushed by
+    the next operation's first log record (or by {!close}); a store
+    that goes quiescent right after a [`Deferred] commit keeps that
+    window open until one of those happens, so latency-sensitive
+    callers should [sync] before going idle. *)
 
 type stats = {
   wal_bytes : int;  (** current log size, header included *)

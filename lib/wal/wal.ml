@@ -503,6 +503,10 @@ module Writer = struct
 
   let attach ?(sync_mode = Always) ~size ~next_lsn path =
     let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+    (* recovery may have just truncated the dead tail; force the new
+       length before appending so a crash cannot resurrect stale
+       pre-truncation bytes behind freshly written frames *)
+    Unix.fsync fd;
     make ~path ~fd ~mode:sync_mode ~next:(max 1 next_lsn) ~size
 
   let path t = t.path
@@ -519,7 +523,25 @@ module Writer = struct
       t.s_syncs <- t.s_syncs + 1
     end
 
+  (* A group window that has aged past its width holds commits already
+     acknowledged as [`Deferred]; flush them before the next record of
+     any *new* transaction goes in. Commit records are excluded — the
+     window policy for them lives in [log_commit], which syncs the
+     batch *including* the closing commit. Under total quiescence no
+     append arrives to trigger this, so an open window persists until
+     an explicit [sync] or [close] — documented in the interface. *)
+  let flush_expired_window t =
+    match t.mode with
+    | Group width
+      when t.window_start > 0.
+           && Unix.gettimeofday () -. t.window_start >= width ->
+        sync t
+    | _ -> ()
+
   let append t record =
+    (match record with
+    | Commit _ -> ()
+    | _ -> flush_expired_window t);
     let lsn = t.next in
     t.next <- lsn + 1;
     let s = encode ~lsn record in

@@ -142,7 +142,13 @@ type sync_mode =
   | Always  (** one [fsync] per commit; every [Ok] is durable *)
   | Group of float
       (** group commit: commits within a window of this many seconds
-          share one [fsync]; a crash loses at most the open window *)
+          share one [fsync]. The window is closed by the commit that
+          finds it aged past its width, by the first record of the next
+          transaction after it expires, by an explicit {!Writer.sync},
+          or by {!Writer.close} — so a crash loses at most the commits
+          of the still-open window; under total quiescence that window
+          stays open (and its commits volatile) until the next append,
+          sync or close. *)
   | Never
       (** no [fsync] except on close/checkpoint; durability is whatever
           the OS page cache grants *)
@@ -161,11 +167,14 @@ module Writer : sig
 
   val attach : ?sync_mode:sync_mode -> size:int -> next_lsn:lsn -> string -> t
   (** Append to an existing log the caller has already scanned (and
-      truncated to [size], its last commit boundary). *)
+      truncated to [size], its last commit boundary). The file is
+      fsynced on attach so that truncation is durable before any new
+      frame is appended past it. *)
 
   val append : t -> record -> lsn
   (** Buffered in the OS at return; durable per the sync mode's next
-      fsync. *)
+      fsync. A non-[Commit] record first flushes any group window that
+      has aged past its width (see {!sync_mode}). *)
 
   val log_commit : t -> txn:int -> lsn * [ `Synced | `Deferred ]
   (** Append the [Commit] record and run the sync policy: [Always]

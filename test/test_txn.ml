@@ -180,6 +180,27 @@ let test_abort_and_finished_txns () =
   Alcotest.(check int) "explicit abort counted" 1 st.Txn.aborted;
   Alcotest.(check int) "explicit abort is not a conflict" 0 st.Txn.conflicts
 
+let test_structural_delete_conflicts () =
+  (* Db.delete_subtree bypasses the version table; the commit-time kind
+     re-check must catch a write whose node was tombstoned after
+     update_text validated it *)
+  let db = Db.of_xml_exn "<a><b>x</b><c>y</c></a>" in
+  let mgr = Txn.manager db in
+  let store = Db.store db in
+  let texts = Store.text_nodes store in
+  let t = Txn.begin_ mgr in
+  write t texts.(0) "doomed";
+  Db.delete_subtree db (Option.get (Store.parent store texts.(0)));
+  (match Txn.commit t with
+  | Ok () -> Alcotest.fail "committed a write to a deleted node"
+  | Error c -> Alcotest.(check int) "conflicting node" texts.(0) c.Txn.node);
+  let st = Txn.stats mgr in
+  Alcotest.(check int) "counted as conflict" 1 st.Txn.conflicts;
+  Alcotest.(check int) "counted as abort" 1 st.Txn.aborted;
+  match Db.validate db with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "validate: %s" e
+
 (* Drive many random interleavings and require the manager's counters to
    reconcile exactly with what the driver observed: every begun
    transaction ends up committed or aborted, and [conflicts] counts
@@ -244,6 +265,8 @@ let () =
           Alcotest.test_case "commutativity" `Quick test_commutativity;
           Alcotest.test_case "random interleavings" `Quick test_random_interleavings;
           Alcotest.test_case "abort and lifecycle" `Quick test_abort_and_finished_txns;
+          Alcotest.test_case "structural delete conflicts" `Quick
+            test_structural_delete_conflicts;
           Alcotest.test_case "stats reconcile" `Quick test_stats_reconcile;
         ] );
     ]

@@ -280,6 +280,127 @@ let test_durable_rejects_validation_errors () =
         (Durable.stats t).Durable.wal_bytes;
       Durable.close t)
 
+(* The review-found recovery-bricking scenario: an Insert whose parent
+   is invalid must be rejected *before* its records reach the log — a
+   durably committed record that fails to apply would make every later
+   open of the directory fail. *)
+let test_insert_parent_validated () =
+  with_dir (fun dir ->
+      let db = Db.of_xml_exn small_xml in
+      let store = Db.store db in
+      let texts = Store.text_nodes store in
+      let t = Durable.create ~dir db in
+      let header = String.length Wal.magic in
+      (match Durable.insert_xml t ~parent:999_999 "<x/>" with
+      | exception Invalid_argument _ -> ()
+      | Ok _ | Error _ -> Alcotest.fail "out-of-range parent accepted");
+      (match Durable.insert_xml t ~parent:texts.(0) "<x/>" with
+      | exception Invalid_argument _ -> ()
+      | Ok _ | Error _ -> Alcotest.fail "text node accepted as parent");
+      Alcotest.(check int) "nothing logged for rejected inserts" header
+        (Durable.stats t).Durable.wal_bytes;
+      (* delete <a>, then try to insert under the tombstoned element *)
+      let a_elt =
+        match Store.parent store texts.(0) with
+        | Some p -> p
+        | None -> Alcotest.fail "text node has no parent"
+      in
+      Durable.delete_subtree t a_elt;
+      let after_delete = (Durable.stats t).Durable.wal_bytes in
+      (match Durable.insert_xml t ~parent:a_elt "<x/>" with
+      | exception Invalid_argument _ -> ()
+      | Ok _ | Error _ -> Alcotest.fail "deleted parent accepted");
+      (match Durable.delete_subtree t a_elt with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "double delete accepted");
+      Alcotest.(check int) "nothing logged past the legitimate delete"
+        after_delete
+        (Durable.stats t).Durable.wal_bytes;
+      let live_fp = content_fingerprint (Durable.db t) in
+      Durable.close t;
+      (* the log replays cleanly: no doomed record ever got in *)
+      let r = Durable.open_exn dir in
+      Alcotest.(check bool) "recovery intact" true
+        (content_fingerprint (Durable.db r) = live_fp);
+      Durable.close r)
+
+(* Structural deletes bypass the Txn version table; the commit-time
+   kind re-check must turn the doomed write into a conflict before the
+   durability hook logs anything. *)
+let test_delete_bypass_is_conflict () =
+  with_dir (fun dir ->
+      let db = Db.of_xml_exn small_xml in
+      let store = Db.store db in
+      let texts = Store.text_nodes store in
+      let t = Durable.create ~dir db in
+      let tx = Txn.begin_ (Durable.manager t) in
+      (match Txn.update_text tx texts.(0) "doomed" with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "update_text rejected a live text node");
+      let a_elt =
+        match Store.parent store texts.(0) with
+        | Some p -> p
+        | None -> Alcotest.fail "text node has no parent"
+      in
+      Durable.delete_subtree t a_elt;
+      let wal_after_delete = (Durable.stats t).Durable.wal_bytes in
+      (match Txn.commit tx with
+      | Error c ->
+          Alcotest.(check int) "conflict names the deleted node" texts.(0)
+            c.Txn.node
+      | Ok () -> Alcotest.fail "commit applied a write to a deleted node");
+      Alcotest.(check int) "conflicted commit logged nothing" wal_after_delete
+        (Durable.stats t).Durable.wal_bytes;
+      let live_fp = content_fingerprint (Durable.db t) in
+      Durable.close t;
+      let r = Durable.open_exn dir in
+      Alcotest.(check bool) "recovery intact after conflict" true
+        (content_fingerprint (Durable.db r) = live_fp);
+      Durable.close r)
+
+let test_create_refuses_existing () =
+  with_dir (fun dir ->
+      let db = Db.of_xml_exn small_xml in
+      Durable.close (Durable.create ~dir db);
+      (match Durable.create ~dir (Db.of_xml_exn "<other/>") with
+      | exception Invalid_argument _ -> ()
+      | t ->
+          Durable.close t;
+          Alcotest.fail "create silently overwrote a durable directory");
+      (* the data survived the refused attempt *)
+      let r = Durable.open_exn dir in
+      Alcotest.(check bool) "original store intact" true
+        (Db.lookup_string (Durable.db r) "alpha" <> []);
+      Durable.close r;
+      let t = Durable.create ~force:true ~dir (Db.of_xml_exn "<other/>") in
+      Durable.close t;
+      let r = Durable.open_exn dir in
+      Alcotest.(check bool) "force overwrote" true
+        (Db.lookup_string (Durable.db r) "alpha" = []);
+      Durable.close r)
+
+(* An aged-out group window is flushed by the first record of the next
+   transaction, so a deferred commit's durability lag is bounded by the
+   next activity (or an explicit sync/close) rather than only by
+   close. *)
+let test_group_window_flush_on_append () =
+  with_dir (fun dir ->
+      let db = Db.of_xml_exn small_xml in
+      let texts = Store.text_nodes (Db.store db) in
+      let t = Durable.create ~sync_mode:(Wal.Group 0.005) ~dir db in
+      (match Durable.update_text t texts.(0) "one" with
+      | Ok () -> ()
+      | Error c -> Alcotest.failf "conflict: %s" c.Txn.reason);
+      Alcotest.(check int) "first commit deferred, no fsync yet" 0
+        (Durable.stats t).Durable.writer.Wal.Writer.syncs;
+      Unix.sleepf 0.02;
+      (match Durable.update_text t texts.(1) "two" with
+      | Ok () -> ()
+      | Error c -> Alcotest.failf "conflict: %s" c.Txn.reason);
+      Alcotest.(check int) "expired window flushed by next txn's append" 1
+        (Durable.stats t).Durable.writer.Wal.Writer.syncs;
+      Durable.close t)
+
 let test_group_commit_observable () =
   with_dir (fun dir ->
       let db = Db.of_xml_exn small_xml in
@@ -443,6 +564,14 @@ let () =
             test_durable_recovery_idempotent;
           Alcotest.test_case "validation before logging" `Quick
             test_durable_rejects_validation_errors;
+          Alcotest.test_case "insert parent validated" `Quick
+            test_insert_parent_validated;
+          Alcotest.test_case "structural delete conflicts txn" `Quick
+            test_delete_bypass_is_conflict;
+          Alcotest.test_case "create refuses existing" `Quick
+            test_create_refuses_existing;
+          Alcotest.test_case "expired group window flushes" `Quick
+            test_group_window_flush_on_append;
           Alcotest.test_case "group commit observable" `Quick
             test_group_commit_observable;
           Alcotest.test_case "checkpoint truncates" `Quick
