@@ -246,10 +246,8 @@ let stats_cmd =
     Durable.close t
   in
   let run file jobs =
-    if Sys.is_directory file && Durable.is_durable_dir file then begin
-      ignore jobs;
+    if Sys.is_directory file && Durable.is_durable_dir file then
       durable_stats file
-    end
     else begin
     let src = read_file file in
     let store, shred_ms =
@@ -362,7 +360,7 @@ let query_cmd =
       | cands ->
           let ranked =
             List.sort
-              (fun (_, _, a) (_, _, b) -> compare a b)
+              (fun (_, _, a) (_, _, b) -> Int.compare a b)
               (List.map (fun (l, ir) -> (l, ir, Db.estimate db ir)) cands)
           in
           print_endline "conjuncts, cheapest candidate generator first:";
@@ -695,7 +693,7 @@ let collisions_cmd =
         Hashtbl.replace histogram k
           (1 + Option.value ~default:0 (Hashtbl.find_opt histogram k)))
       by_hash;
-    let keys = List.sort compare (Hashtbl.fold (fun k _ l -> k :: l) histogram []) in
+    let keys = List.sort Int.compare (Hashtbl.fold (fun k _ l -> k :: l) histogram []) in
     Table.print
       ~header:[ "distinct strings per hash"; "hash values" ]
       (List.map

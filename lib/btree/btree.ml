@@ -273,10 +273,17 @@ module Make (K : ORDERED) = struct
             let parents =
               List.map
                 (fun size ->
-                  let nd =
-                    new_internal t ~fill_key
-                      ~fill_kid:(snd (List.hd !remaining))
+                  let fill_kid =
+                    (* chunk_sizes partitions the level exactly, so a
+                       chunk never starts past the end of it *)
+                    match !remaining with
+                    | (_, kid) :: _ -> kid
+                    | [] ->
+                        invalid_arg
+                          "Btree.of_sorted_array: internal level exhausted \
+                           before its chunks"
                   in
+                  let nd = new_internal t ~fill_key ~fill_kid in
                   let low = ref fill_key in
                   for i = 0 to size - 1 do
                     match !remaining with

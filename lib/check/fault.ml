@@ -87,7 +87,7 @@ let sweep ?(flips = 128) ?all_offsets ?truncations:trunc_cap db =
           let spaced =
             List.init flips (fun i -> i * size / flips)
           in
-          List.sort_uniq compare (List.init header (fun i -> i) @ spaced)
+          List.sort_uniq Int.compare (List.init header (fun i -> i) @ spaced)
         end
       in
       let flipped = ref 0 in
@@ -304,7 +304,7 @@ let wal_sweep ?crash_points ?(wal_flips = 128) db batches =
               Array.to_list sizes
               |> List.concat_map (fun s -> [ s - 1; s; s + 1 ])
             in
-            List.sort_uniq compare
+            List.sort_uniq Int.compare
               ((0 :: (magic_len - 1) :: magic_len :: wal_size :: edges) @ spaced)
             |> List.filter (fun l -> l >= 0 && l <= wal_size)
       in
@@ -326,7 +326,7 @@ let wal_sweep ?crash_points ?(wal_flips = 128) db batches =
         let wanted = min wal_flips wal_size in
         if wanted <= 0 then []
         else
-          List.sort_uniq compare
+          List.sort_uniq Int.compare
             (List.init magic_len (fun i -> i)
             @ List.init wanted (fun i -> i * wal_size / wanted))
           |> List.filter (fun p -> p >= 0 && p < wal_size)

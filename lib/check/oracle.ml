@@ -55,7 +55,7 @@ let walk store f =
 let collect store pred =
   let acc = ref [] in
   walk store (fun n -> if pred n then acc := n :: !acc);
-  List.sort compare !acc
+  List.sort Int.compare !acc
 
 let has_string_value store n =
   match Store.kind store n with
@@ -111,7 +111,7 @@ let lookup_typed store spec range =
   List.map snd
     (List.sort
        (fun (v1, n1) (v2, n2) ->
-         match compare_value v1 v2 with 0 -> compare n1 n2 | c -> c)
+         match compare_value v1 v2 with 0 -> Int.compare n1 n2 | c -> c)
        !hits)
 
 let string_contains ~pattern s =
@@ -157,7 +157,7 @@ let sort_doc_order store nodes =
       Hashtbl.replace rank n !next;
       incr next);
   List.sort
-    (fun a b -> compare (Hashtbl.find rank a) (Hashtbl.find rank b))
+    (fun a b -> Int.compare (Hashtbl.find rank a) (Hashtbl.find rank b))
     nodes
 
 let within store ~scope hits =

@@ -89,10 +89,14 @@ let apply_txn db (s : Gen.txn_script) =
             failf "txn a conflicted on a fresh manager: %s" c.Txn.reason
     in
     (* a is finished either way: further writes must say so *)
-    (match Txn.update_text a (fst (List.hd (if wa = [] then wb else wa))) "x" with
-    | Error `Finished -> ()
-    | Ok () -> failf "write accepted after txn a finished"
-    | Error `Not_text -> failf "`Not_text instead of `Finished after txn a finished");
+    (match (if wa = [] then wb else wa) with
+    | [] -> failf "apply_txn: both write sets empty past the emptiness guard"
+    | (probe, _) :: _ -> (
+        match Txn.update_text a probe "x" with
+        | Error `Finished -> ()
+        | Ok () -> failf "write accepted after txn a finished"
+        | Error `Not_text ->
+            failf "`Not_text instead of `Finished after txn a finished"));
     let expect_conflict = a_committed && overlap && wb <> [] in
     let b_committed =
       if s.Gen.abort_b || wb = [] then begin
@@ -322,13 +326,21 @@ let check ~config ~step db counter =
   let scopes = insert_parents store in
   if Array.length scopes > 0 then begin
     let scope = Prng.choose rng scopes in
-    let s = List.nth probes (2 mod List.length probes) in
+    let s =
+      (List.nth probes (2 mod List.length probes)
+      [@xvi.lint.allow
+        "R2: probes opens with two literal conses, so (2 mod length) is a \
+         valid index"])
+    in
     tick ();
     compare_lists
       ~what:(Printf.sprintf "lookup_string_within scope=%d %S" scope s)
       (Oracle.lookup_string_within store ~scope s)
       (Db.lookup_string_within db ~scope s);
-    let r = List.hd ranges in
+    let r =
+      (List.hd ranges
+      [@xvi.lint.allow "R2: ranges starts with a literal six-element list"])
+    in
     tick ();
     compare_lists
       ~what:(Printf.sprintf "lookup_double_within scope=%d %s" scope (show_range r))

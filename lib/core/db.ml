@@ -275,7 +275,7 @@ let lookup_typed t name range =
       List.map snd
         (List.sort
            (fun (v1, n1) (v2, n2) ->
-             match Float.compare v1 v2 with 0 -> compare n1 n2 | c -> c)
+             match Float.compare v1 v2 with 0 -> Int.compare n1 n2 | c -> c)
            keyed)
 
 let lookup_double t range = lookup_typed t "xs:double" range

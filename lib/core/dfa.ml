@@ -57,7 +57,6 @@ let build ~name ~n_states ~start ~sink ~finals ~classes ~transitions =
   List.iteri
     (fun id (cname, _) ->
       let chars = expand_chars cname in
-      ignore cname;
       List.iter
         (fun c ->
           let code = Char.code c in

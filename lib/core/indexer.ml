@@ -254,7 +254,8 @@ let create_multi_parallel pool store packs =
          in
          drive_texts store ctx tlo thi ~on_text ~on_combine;
          drive_attributes store alo ahi ~on_text)
-       jobs);
+       jobs
+      : unit array);
   (* Phase 2: merge partials into the target fields, in chunk order —
      itself partitioned by node-id slices (each slice writes disjoint
      indices of the pre-sized target vectors). *)
@@ -276,7 +277,8 @@ let create_multi_parallel pool store packs =
                set target n !acc
              done)
            machines)
-       jobs)
+       jobs
+      : unit array)
 
 let create_multi ?pool store packs =
   match pool with
@@ -286,7 +288,7 @@ let create_multi ?pool store packs =
 
 (* --- Reference computation (tests) --- *)
 
-let create_reference ops store =
+let create_reference (type f) (ops : f ops) store =
   let fields = make_fields ops (Store.node_range store) in
   let rec go n =
     match Store.kind store n with
@@ -306,7 +308,7 @@ let create_reference ops store =
         set fields n f;
         f
   in
-  ignore (go Store.document);
+  ignore (go Store.document : f);
   fields
 
 (* --- Figure 8: updates --- *)
@@ -369,23 +371,23 @@ let update ops store fields ~texts ?(structural = []) () =
      values" (Figure 8, lines 14-16 / 19-21). *)
   let by_depth =
     List.sort
-      (fun (_, la) (_, lb) -> compare lb la)
+      (fun (_, la) (_, lb) -> Int.compare lb la)
       (Hashtbl.fold (fun n () acc -> (n, Store.level store n) :: acc) dirty [])
   in
   List.iter (fun (n, _) -> assign n (fold_children ops store fields n)) by_depth;
   let touched =
     List.sort
-      (fun (_, la) (_, lb) -> compare lb la)
+      (fun (_, la) (_, lb) -> Int.compare lb la)
       (List.rev_append
          (List.map (fun n -> (n, Store.level store n)) texts)
          by_depth)
   in
   {
-    changes = List.sort (fun a b -> compare b.level a.level) !changes;
+    changes = List.sort (fun a b -> Int.compare b.level a.level) !changes;
     touched;
   }
 
-let compute_subtree ops store fields root =
+let compute_subtree (type f) (ops : f ops) store fields root =
   let rec go n =
     match Store.kind store n with
     | Store.Text ->
@@ -404,4 +406,4 @@ let compute_subtree ops store fields root =
         set fields n f;
         f
   in
-  ignore (go root)
+  ignore (go root : f)

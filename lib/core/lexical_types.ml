@@ -235,7 +235,11 @@ let parse_datetime s =
           in
           Some secs
       end
-    with _ -> None
+    with Exit | Failure _ | Invalid_argument _ ->
+      (* Exit: dot with no fraction digits; Failure: float_of_string on
+         a malformed fraction; Invalid_argument: positional reads past
+         the end of a short timezone.  Anything else must propagate. *)
+      None
 
 (* --- xs:decimal --- like double but without an exponent part *)
 let decimal_dfa () =
@@ -324,7 +328,9 @@ let parse_date s =
             ((float_of_int (days_from_civil ~year ~month ~day) *. 86400.0)
             -. float_of_int tz)
       end
-    with _ -> None
+    with Invalid_argument _ ->
+      (* positional digit reads past the end of a short timezone *)
+      None
 
 (* --- xs:time --- ws* D2:D2:D2 (.D+)? (Z | +-D2:D2)? ws* *)
 let time_dfa () =
@@ -390,7 +396,10 @@ let parse_time s =
             (float_of_int ((hour * 3600) + (minute * 60) + second - tz)
             +. !frac)
       end
-    with _ -> None
+    with Exit | Failure _ | Invalid_argument _ ->
+      (* same escape hatches as [parse_datetime]: incomplete fraction,
+         malformed float, or a positional read past the end *)
+      None
 
 let make name dfa parse =
   lazy { type_name = name; sct = Sct.of_dfa (dfa ()); parse }

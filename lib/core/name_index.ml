@@ -35,7 +35,7 @@ let nodes t store name =
                  a live entry is always still an element of this name *)
               if Store.is_live store n then acc := n :: !acc)
             vec;
-          List.sort compare !acc)
+          List.sort Int.compare !acc)
 
 let count t store name =
   match Xvi_xml.Name_pool.find (Store.names store) name with
@@ -92,15 +92,14 @@ let validate t store =
   Hashtbl.iter
     (fun name nodes_expected ->
       let got = nodes t store name in
-      if got <> List.sort compare nodes_expected then
+      if got <> List.sort Int.compare nodes_expected then
         problems := Printf.sprintf "mismatch for <%s>" name :: !problems)
     expected;
   (* and no phantom names *)
   Hashtbl.iter
-    (fun id vec ->
+    (fun id _vec ->
       let name = Xvi_xml.Name_pool.name (Store.names store) id in
       let live = count t store name in
-      ignore vec;
       if live > 0 && not (Hashtbl.mem expected name) then
         problems := Printf.sprintf "phantom name <%s>" name :: !problems)
     t.by_name;

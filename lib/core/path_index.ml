@@ -98,7 +98,7 @@ let extract t store n =
 let set_value t n = function
   | Some v ->
       (match Hashtbl.find_opt t.by_node n with
-      | Some old -> ignore (BT.remove t.values (old, n))
+      | Some old -> ignore (BT.remove t.values (old, n) : bool)
       | None -> ());
       Hashtbl.replace t.by_node n v;
       BT.insert t.values (v, n) ()
@@ -106,7 +106,7 @@ let set_value t n = function
       match Hashtbl.find_opt t.by_node n with
       | Some old ->
           Hashtbl.remove t.by_node n;
-          ignore (BT.remove t.values (old, n))
+          ignore (BT.remove t.values (old, n) : bool)
       | None -> ())
 
 let create ~pattern spec store =

@@ -87,7 +87,7 @@ let of_dfa ?(max_elements = 4096) dfa =
       | None -> ()
       | Some c ->
           let fn' = Array.map (fun v -> gens.(cls).(v)) fn in
-          ignore (add fn' (wit ^ String.make 1 c))
+          ignore (add fn' (wit ^ String.make 1 c) : int)
     done
   done;
   let size = !count in

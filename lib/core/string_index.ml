@@ -156,7 +156,7 @@ let on_insert t store ~roots =
           if indexable store n then add_posting t (Indexer.get t.fields n) n))
     roots;
   let parents =
-    List.sort_uniq compare
+    List.sort_uniq Int.compare
       (List.filter_map (fun r -> Store.parent store r) roots)
   in
   apply_changes t

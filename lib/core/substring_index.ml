@@ -104,7 +104,7 @@ let scan_all store pattern =
   Store.iter_pre store (fun n ->
       if indexable store n && string_contains ~pattern (Store.text store n) then
         acc := n :: !acc);
-  List.sort compare !acc
+  List.sort Int.compare !acc
 
 let contains t store pattern =
   let m = String.length pattern in
@@ -112,11 +112,11 @@ let contains t store pattern =
   else begin
     (* posting lists of the pattern's grams, rarest first; intersect *)
     let grams =
-      List.sort_uniq compare (List.init (m - q + 1) (fun i -> pack pattern i))
+      List.sort_uniq Int.compare (List.init (m - q + 1) (fun i -> pack pattern i))
     in
     let lists = List.map (posting_list t) grams in
     let lists =
-      List.sort (fun a b -> compare (List.length a) (List.length b)) lists
+      List.sort (fun a b -> Int.compare (List.length a) (List.length b)) lists
     in
     match lists with
     | [] -> []
@@ -134,7 +134,7 @@ let contains t store pattern =
             (fun n -> List.for_all (fun h -> Hashtbl.mem h n) sets)
             smallest
         in
-        List.sort compare
+        List.sort Int.compare
           (List.filter
              (fun n -> string_contains ~pattern (Store.text store n))
              candidates)
@@ -149,7 +149,7 @@ let element_contains t store pattern =
         match Store.kind store n with
         | Store.Element | Store.Document -> acc := n :: !acc
         | _ -> ());
-    List.sort compare !acc
+    List.sort Int.compare !acc
   end
   else begin
   let result = Hashtbl.create 64 in
@@ -229,13 +229,13 @@ let element_contains t store pattern =
         end)
       (Store.text_nodes store)
   end;
-  List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) result [])
+  List.sort Int.compare (Hashtbl.fold (fun n () acc -> n :: acc) result [])
   end
 
 let pattern_grams pattern =
   let m = String.length pattern in
   if m < q then []
-  else List.sort_uniq compare (List.init (m - q + 1) (fun i -> pack pattern i))
+  else List.sort_uniq Int.compare (List.init (m - q + 1) (fun i -> pack pattern i))
 
 let gram_count t g =
   BT.count_range ~lo:(g, min_int) ~hi:(g, max_int) t.postings

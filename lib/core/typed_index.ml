@@ -48,7 +48,7 @@ let remove_complete t n =
   | None -> ()
   | Some v ->
       Hashtbl.remove t.by_node n;
-      ignore (BT.remove t.values (v, n))
+      ignore (BT.remove t.values (v, n) : bool)
 
 (* Maintain the fragment table for a node whose state just changed.
    Children of a viable element are viable themselves, so their
@@ -204,7 +204,7 @@ let cursor ?lo ?hi t =
             state := Some tl;
             Some n)
     | None ->
-        state := Some (List.sort compare (range ?lo ?hi t));
+        state := Some (List.sort Int.compare (range ?lo ?hi t));
         pull ()
   in
   pull
@@ -260,7 +260,7 @@ let on_insert t store ~roots =
         !nodes)
     roots;
   let parents =
-    List.sort_uniq compare (List.filter_map (Store.parent store) roots)
+    List.sort_uniq Int.compare (List.filter_map (Store.parent store) roots)
   in
   apply t store
     (Indexer.update t.ops store t.fields ~texts:[] ~structural:parents ())

@@ -93,7 +93,7 @@ let rec push_within plane scope plan =
   | (Leaf _ | Union _ | Staircase _ | Scan _ | Inter []) as inner ->
       staircase inner
 
-let by_estimate a b = compare (estimate a) (estimate b)
+let by_estimate a b = Int.compare (estimate a) (estimate b)
 
 let rec plan p ir =
   match ir with
@@ -169,7 +169,7 @@ let scan_cursor s =
           let sub = Pre_plane.subtree_cursor (s.p.plane ()) scope in
           let rec collect acc =
             match sub () with
-            | None -> List.sort compare acc
+            | None -> List.sort Int.compare acc
             | Some n ->
                 collect (if s.p.verify s.pred n then n :: acc else acc)
           in

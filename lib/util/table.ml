@@ -36,7 +36,11 @@ let render ?align ~header rows =
   List.iter emit rows;
   Buffer.contents buf
 
-let print ?align ~header rows = print_string (render ?align ~header rows)
+let print ?align ~header rows =
+  (print_string (render ?align ~header rows))
+  [@xvi.lint.allow
+    "R6: Table.print is the CLI's terminal table renderer; printing to \
+     stdout is its contract -- library callers use [render]"]
 
 let fmt_bytes n =
   let f = float_of_int n in

@@ -23,5 +23,5 @@ let median_ms n f =
         let _, ms = time_ms f in
         ms)
   in
-  Array.sort compare samples;
+  Array.sort Float.compare samples;
   samples.(n / 2)

@@ -60,10 +60,12 @@ let maybe_auto_checkpoint t =
 let log_update_batch t writes =
   check_open t "commit";
   let txn = fresh_txn t in
-  ignore (Wal.Writer.append t.writer (Wal.Begin { txn }));
+  ignore (Wal.Writer.append t.writer (Wal.Begin { txn }) : Wal.lsn);
   List.iter
     (fun (node, value) ->
-      ignore (Wal.Writer.append t.writer (Wal.Update_text { txn; node; value })))
+      ignore
+        (Wal.Writer.append t.writer (Wal.Update_text { txn; node; value })
+          : Wal.lsn))
     writes;
   snd (Wal.Writer.log_commit t.writer ~txn)
 
@@ -232,9 +234,13 @@ let insert_xml t ~parent fragment =
   | Error _ as e -> e
   | Ok _ -> (
       let txn = fresh_txn t in
-      ignore (Wal.Writer.append t.writer (Wal.Begin { txn }));
-      ignore (Wal.Writer.append t.writer (Wal.Insert { txn; parent; fragment }));
-      ignore (Wal.Writer.log_commit t.writer ~txn);
+      ignore (Wal.Writer.append t.writer (Wal.Begin { txn }) : Wal.lsn);
+      ignore
+        (Wal.Writer.append t.writer (Wal.Insert { txn; parent; fragment })
+          : Wal.lsn);
+      ignore
+        (Wal.Writer.log_commit t.writer ~txn
+          : Wal.lsn * [ `Synced | `Deferred ]);
       match Db.insert_xml t.db ~parent fragment with
       | Ok roots ->
           maybe_auto_checkpoint t;
@@ -260,9 +266,10 @@ let delete_subtree t node =
   | Some _ -> ()
   | None -> invalid_arg "Durable.delete_subtree: node has no parent");
   let txn = fresh_txn t in
-  ignore (Wal.Writer.append t.writer (Wal.Begin { txn }));
-  ignore (Wal.Writer.append t.writer (Wal.Delete { txn; node }));
-  ignore (Wal.Writer.log_commit t.writer ~txn);
+  ignore (Wal.Writer.append t.writer (Wal.Begin { txn }) : Wal.lsn);
+  ignore (Wal.Writer.append t.writer (Wal.Delete { txn; node }) : Wal.lsn);
+  ignore
+    (Wal.Writer.log_commit t.writer ~txn : Wal.lsn * [ `Synced | `Deferred ]);
   Db.delete_subtree t.db node;
   maybe_auto_checkpoint t
 

@@ -205,8 +205,7 @@ let wiki ~seed ~factor () =
   let n = max 2 (int_of_float (39250.0 *. factor)) in
   (* Pre-draw colliding URL clusters (2–9 distinct strings per hash). *)
   tag ctx "mediawiki" (fun () ->
-      for i = 0 to n - 1 do
-        ignore i;
+      for _i = 0 to n - 1 do
         tag ctx "doc" (fun () ->
             text ctx "title"
               (String.capitalize_ascii (Text_gen.words ctx.tg (Prng.in_range ctx.rng 1 4)));

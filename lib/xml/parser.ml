@@ -106,7 +106,7 @@ let parse_reference st buf =
     expect st ';';
     let code =
       try int_of_string (if hex then "0x" ^ digits else digits)
-      with _ -> fail st "bad character reference &#%s;" digits
+      with Failure _ -> fail st "bad character reference &#%s;" digits
     in
     (try add_utf8 buf code
      with Invalid_argument _ -> fail st "character reference out of range")
@@ -247,7 +247,7 @@ let parse_attributes st ~element =
       expect st '=';
       skip_ws st;
       let value = parse_attr_value st in
-      ignore (Store.append_attribute st.store ~element ~name ~value);
+      ignore (Store.append_attribute st.store ~element ~name ~value : Store.node);
       go ()
     end
   in
@@ -275,7 +275,7 @@ and parse_content st ~parent =
   if eof st then ()
   else if peek st <> '<' then begin
     (match parse_text st with
-    | Some txt -> ignore (Store.append_text st.store ~parent txt)
+    | Some txt -> ignore (Store.append_text st.store ~parent txt : Store.node)
     | None -> ());
     parse_content st ~parent
   end
@@ -283,24 +283,25 @@ and parse_content st ~parent =
   else if looking_at st "<!--" then begin
     skip st "<!--";
     let c = parse_comment st in
-    ignore (Store.append_comment st.store ~parent c);
+    ignore (Store.append_comment st.store ~parent c : Store.node);
     parse_content st ~parent
   end
   else if looking_at st "<![CDATA[" then begin
     skip st "<![CDATA[";
     let txt = parse_cdata st in
-    if String.length txt > 0 then ignore (Store.append_text st.store ~parent txt);
+    if String.length txt > 0 then
+      ignore (Store.append_text st.store ~parent txt : Store.node);
     parse_content st ~parent
   end
   else if looking_at st "<?" then begin
     skip st "<?";
     let target, txt = parse_pi st in
-    ignore (Store.append_pi st.store ~parent ~target txt);
+    ignore (Store.append_pi st.store ~parent ~target txt : Store.node);
     parse_content st ~parent
   end
   else begin
     expect st '<';
-    ignore (parse_element st ~parent);
+    ignore (parse_element st ~parent : Store.node);
     parse_content st ~parent
   end
 
@@ -308,14 +309,14 @@ let parse_prolog st =
   skip_ws st;
   if looking_at st "<?xml" then begin
     skip st "<?";
-    ignore (parse_pi st)
+    ignore (parse_pi st : string * string)
   end;
   let rec misc () =
     skip_ws st;
     if looking_at st "<!--" then begin
       skip st "<!--";
       let c = parse_comment st in
-      ignore (Store.append_comment st.store ~parent:Store.document c);
+      ignore (Store.append_comment st.store ~parent:Store.document c : Store.node);
       misc ()
     end
     else if looking_at st "<!DOCTYPE" then begin
@@ -326,7 +327,7 @@ let parse_prolog st =
     else if looking_at st "<?" then begin
       skip st "<?";
       let target, txt = parse_pi st in
-      ignore (Store.append_pi st.store ~parent:Store.document ~target txt);
+      ignore (Store.append_pi st.store ~parent:Store.document ~target txt : Store.node);
       misc ()
     end
   in
@@ -340,19 +341,19 @@ let parse ?(strip_ws = true) src =
     parse_prolog st;
     if eof st || peek st <> '<' then fail st "expected root element";
     expect st '<';
-    ignore (parse_element st ~parent:Store.document);
+    ignore (parse_element st ~parent:Store.document : Store.node);
     (* trailing misc *)
     let rec misc () =
       skip_ws st;
       if eof st then ()
       else if looking_at st "<!--" then begin
         skip st "<!--";
-        ignore (parse_comment st);
+        ignore (parse_comment st : string);
         misc ()
       end
       else if looking_at st "<?" then begin
         skip st "<?";
-        ignore (parse_pi st);
+        ignore (parse_pi st : string * string);
         misc ()
       end
       else fail st "content after the root element"

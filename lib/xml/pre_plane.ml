@@ -58,7 +58,8 @@ let known t n what =
 let size t n = t.sizes.(known t n "size")
 let level t n = t.levels.(known t n "level")
 
-let compare_order t a b = compare (known t a "compare_order") (known t b "compare_order")
+let compare_order t a b =
+  Int.compare (known t a "compare_order") (known t b "compare_order")
 
 let is_descendant t ~ancestor n =
   let pa = known t ancestor "is_descendant" and pn = known t n "is_descendant" in
@@ -92,7 +93,7 @@ let sort_doc_order t nodes =
 (* ascending, deduplicated pre ranks of a node list *)
 let pre_ranks t what nodes =
   let arr = Array.of_list (List.map (fun n -> known t n what) nodes) in
-  Array.sort compare arr;
+  Array.sort Int.compare arr;
   arr
 
 let dedup_pre arr =

@@ -483,7 +483,7 @@ let pre_size_level t =
     Hashtbl.replace info n (!total, lvl);
     !total
   in
-  ignore (compute document 0);
+  ignore (compute document 0 : int);
   let out = ref [] in
   iter_pre t (fun n ->
       let size, lvl = Hashtbl.find info n in

@@ -111,7 +111,7 @@ let parse_number lx =
   digits ();
   if eat lx "." then digits ();
   if eat lx "e" || eat lx "E" then begin
-    ignore (eat lx "-" || eat lx "+");
+    ignore (eat lx "-" || eat lx "+" : bool);
     digits ()
   end;
   if lx.pos = start then fail lx "expected a number";
@@ -162,7 +162,7 @@ and parse_or lx =
   let left = parse_and lx in
   skip_ws lx;
   if looking_at lx "or " || looking_at lx "or]" then begin
-    ignore (eat lx "or");
+    ignore (eat lx "or" : bool);
     Or (left, parse_or lx)
   end
   else left
@@ -171,7 +171,7 @@ and parse_and lx =
   let left = parse_atom lx in
   skip_ws lx;
   if looking_at lx "and " then begin
-    ignore (eat lx "and");
+    ignore (eat lx "and" : bool);
     And (left, parse_and lx)
   end
   else left
@@ -179,7 +179,7 @@ and parse_and lx =
 and parse_atom lx =
   skip_ws lx;
   if looking_at lx "contains(" || looking_at lx "fn:contains(" then begin
-    ignore (eat lx "fn:contains(" || eat lx "contains(");
+    ignore (eat lx "fn:contains(" || eat lx "contains(" : bool);
     let rel = parse_rel_path lx in
     skip_ws lx;
     expect lx ",";
@@ -221,7 +221,7 @@ and parse_atom lx =
 
 and parse_operand lx =
   if looking_at lx "fn:data(" || looking_at lx "data(" then begin
-    ignore (eat lx "fn:data(" || eat lx "data(");
+    ignore (eat lx "fn:data(" || eat lx "data(" : bool);
     let rel = parse_rel_path lx in
     skip_ws lx;
     expect lx ")";
@@ -383,7 +383,7 @@ let naive_matcher =
         | Str s -> cmp_holds cmp (String.compare sv s)
         | Num v -> (
             match cast_double sv with
-            | Some v' -> cmp_holds cmp (compare v' v)
+            | Some v' -> cmp_holds cmp (Float.compare v' v)
             | None -> false));
     contains_match =
       (fun store n pattern ->
@@ -524,7 +524,7 @@ let indexed_matcher db counters =
                 { !counters with used_double_index = !counters.used_double_index + 1 }
             end;
             match Xvi_core.Typed_index.value_of (Lazy.force double_index) n with
-            | Some v' -> cmp_holds cmp (compare v' v)
+            | Some v' -> cmp_holds cmp (Float.compare v' v)
             | None -> false));
     contains_match =
       (fun _store n pattern ->
@@ -728,7 +728,11 @@ let generator_hits db preds =
 let eval_fast db matcher steps hits =
   let store = Db.store db in
   let rev_steps = List.rev steps in
-  let last = List.hd rev_steps in
+  let last =
+    match rev_steps with
+    | s :: _ -> s
+    | [] -> invalid_arg "Xpath.eval_fast: empty step list"
+  in
   let seen = Hashtbl.create 64 in
   let out = ref [] in
   List.iter
@@ -773,7 +777,12 @@ let eval_indexed db t =
           else None
         in
         let rev_steps = List.rev steps in
-        let last = List.hd rev_steps in
+        let last =
+          (* the fast-path planner only accepts non-empty chains *)
+          match rev_steps with
+          | s :: _ -> s
+          | [] -> invalid_arg "Xpath.eval_indexed: empty step list"
+        in
         let by_name () =
           match last.test with
           | Name nm ->

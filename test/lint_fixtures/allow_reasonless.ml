@@ -1,0 +1,3 @@
+(* A reasonless allow is itself a finding (A0) and suppresses nothing,
+   so the List.hd below still reports R2. *)
+let first xs = (List.hd xs) [@xvi.lint.allow "no rule prefix here"]

@@ -1,0 +1,8 @@
+(* R1 must fire: both a wildcard handler and a bound-but-unused one. *)
+let parse_or_zero x =
+  try int_of_string x
+  with _ -> 0
+
+let parse_or_one x =
+  try int_of_string x
+  with e -> 1

@@ -1,0 +1,8 @@
+(* R1 must stay quiet: specific exceptions, and a re-raised binder. *)
+let parse_or_zero x =
+  try int_of_string x
+  with Failure _ -> 0
+
+let parse_or_raise x =
+  try int_of_string x
+  with e -> raise e

@@ -1,0 +1,4 @@
+(* R2 must fire on each partial stdlib call. *)
+let first xs = List.hd xs
+let third xs = List.nth xs 2
+let force o = Option.get o

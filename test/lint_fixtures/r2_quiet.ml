@@ -1,0 +1,7 @@
+(* R2 must stay quiet: a total match, and a reasoned allow. *)
+let first = function
+  | x :: _ -> x
+  | [] -> invalid_arg "first: empty list"
+
+let second xs =
+  (List.hd xs) [@xvi.lint.allow "R2: fixture demonstrating a justified allow"]

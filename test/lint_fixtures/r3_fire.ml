@@ -1,0 +1,3 @@
+(* R3 must fire: polymorphic compare and hash with no comparator here. *)
+let max_any a b = if compare a b >= 0 then a else b
+let bucket x = Hashtbl.hash x

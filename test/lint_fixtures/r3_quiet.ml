@@ -1,0 +1,7 @@
+(* R3 must stay quiet: this module declares its own comparator, so a
+   bare [compare] is that binding, not the polymorphic one. *)
+type t = { id : int }
+
+let compare a b = Int.compare a.id b.id
+let max_t a b = if compare a b >= 0 then a else b
+let smaller a b = Int.compare a b < 0

@@ -1,0 +1,4 @@
+(* R4 must fire: the channel is opened and never closed in scope. *)
+let read_all path =
+  let ic = open_in_bin path in
+  really_input_string ic (in_channel_length ic)

@@ -1,0 +1,10 @@
+(* R4 must stay quiet: Fun.protect in one, a lexical close in the other. *)
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let touch path =
+  let oc = open_out path in
+  close_out oc

@@ -1,0 +1,2 @@
+(* R5 must fire: ignore with no type annotation. *)
+let drop xs = ignore (List.map succ xs)

@@ -1,0 +1,3 @@
+(* R6 must fire in lib code: libraries do not own stdout. *)
+let report x = print_endline x
+let trace fmt = Printf.printf fmt

@@ -1,0 +1,3 @@
+(* R6 must stay quiet: a log callback, and stderr (not stdout). *)
+let report log x = log x
+let warn fmt = Printf.eprintf fmt

@@ -1,0 +1,62 @@
+(* xvi-lint over the fixture corpus: every rule has one fixture that
+   must fire (with the exact rule ids and line numbers asserted) and
+   one that must stay quiet, plus the A0 meta-rule on a reasonless
+   allow.  Fixtures live in [lint_fixtures/] as data (never compiled),
+   so a fixture deliberately full of violations cannot break the
+   build. *)
+
+module Lint = Xvi_lint_lib.Lint
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+(* (rule id, 1-based line) pairs, sorted, so a test failure prints the
+   complete delta rather than the first mismatch. *)
+let findings_of name =
+  match Lint.lint_file ~in_lib:true (fixture name) with
+  | Error e -> Alcotest.failf "fixture %s failed to parse: %s" name e
+  | Ok fs ->
+      List.sort compare
+        (List.map (fun f -> (Lint.rule_id f.Lint.rule, f.Lint.line)) fs)
+
+let check name expected () =
+  Alcotest.(check (list (pair string int)))
+    name (List.sort compare expected) (findings_of name)
+
+let fires name expected = Alcotest.test_case (name ^ " fires") `Quick (check name expected)
+let quiet name = Alcotest.test_case (name ^ " quiet") `Quick (check name [])
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          fires "r1_fire.ml" [ ("R1", 4); ("R1", 8) ];
+          quiet "r1_quiet.ml";
+          fires "r2_fire.ml" [ ("R2", 2); ("R2", 3); ("R2", 4) ];
+          quiet "r2_quiet.ml";
+          fires "r3_fire.ml" [ ("R3", 2); ("R3", 3) ];
+          quiet "r3_quiet.ml";
+          fires "r4_fire.ml" [ ("R4", 3) ];
+          quiet "r4_quiet.ml";
+          fires "r5_fire.ml" [ ("R5", 2) ];
+          quiet "r5_quiet.ml";
+          fires "r6_fire.ml" [ ("R6", 2); ("R6", 3) ];
+          quiet "r6_quiet.ml";
+        ] );
+      ( "allow",
+        [
+          fires "allow_reasonless.ml" [ ("A0", 3); ("R2", 3) ];
+          Alcotest.test_case "allow carries reason through to_string" `Quick
+            (fun () ->
+              match Lint.lint_file ~in_lib:true (fixture "r2_fire.ml") with
+              | Error e -> Alcotest.failf "parse: %s" e
+              | Ok (f :: _) ->
+                  let s = Lint.to_string f in
+                  Alcotest.(check bool)
+                    "rendered finding names its rule" true
+                    (String.length s > 0
+                    && String.sub s 0 (String.length (fixture "r2_fire.ml"))
+                       = fixture "r2_fire.ml")
+              | Ok [] -> Alcotest.fail "r2_fire.ml produced no findings");
+        ] );
+    ]

@@ -1,0 +1,472 @@
+(* xvi-lint: project-invariant linter for the xvi index/WAL codebase.
+
+   Parses every [.ml]/[.mli] with compiler-libs and walks the Parsetree
+   with {!Ast_iterator}, enforcing a catalogue of rules distilled from
+   bugs the differential/fault harness (PRs 2 and 4) caught after they
+   shipped.  Each rule carries the historical failure it is derived
+   from; see DESIGN.md "Static analysis" for the full catalogue.
+
+   Findings are suppressible only via an explicit, reasoned attribute:
+
+   {[ (List.hd xs [@xvi.lint.allow "R2: xs is a literal cons above"]) ]}
+
+   A reasonless or malformed allow is itself a finding (A0) and
+   suppresses nothing, so every exception in the tree is justified
+   in-source. *)
+
+type rule =
+  | R1  (* catch-all exception handler discarding the exception *)
+  | R2  (* partial stdlib calls (List.hd / List.nth / Option.get) *)
+  | R3  (* polymorphic compare / Hashtbl.hash without a declared comparator *)
+  | R4  (* open without Fun.protect or a lexically-paired close *)
+  | R5  (* ignore without a type annotation *)
+  | R6  (* stdout printing from library code *)
+  | A0  (* malformed [@xvi.lint.allow] *)
+
+let rule_id = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+  | R6 -> "R6"
+  | A0 -> "A0"
+
+let rule_of_id = function
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "R5" -> Some R5
+  | "R6" -> Some R6
+  | _ -> None
+
+(* One line of why each rule exists; printed by [--rules]. *)
+let rule_doc = function
+  | R1 ->
+      "no catch-all 'with _ ->' / 'with e ->' that discards the exception: \
+       it swallows Out_of_memory/Stack_overflow and has hidden parse \
+       failures before (lexical_types.ml)"
+  | R2 ->
+      "no partial stdlib calls (List.hd, List.nth, Option.get) in lib/: an \
+       'unreachable' empty case becomes an unnamed Failure at a distance"
+  | R3 ->
+      "no polymorphic Stdlib.compare/Hashtbl.hash outside modules declaring \
+       an explicit comparator: the PR-2 NaN/Range bug is exactly this class"
+  | R4 ->
+      "every Unix.openfile/open_out must be under Fun.protect or a \
+       lexically-paired close: the WAL fsync discipline depends on it"
+  | R5 ->
+      "ignore must carry a type annotation so partial applications cannot \
+       be silently discarded"
+  | R6 -> "no print_endline/Printf.printf in lib/: libraries do not own stdout"
+  | A0 ->
+      "a [@xvi.lint.allow] must be \"R<n>: reason\": an unjustified \
+       suppression is itself a finding"
+
+let all_rules = [ R1; R2; R3; R4; R5; R6 ]
+
+type finding = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let compare_finding a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare (rule_id a.rule) (rule_id b.rule)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col (rule_id f.rule)
+    f.message
+
+(* --- Longident classification ------------------------------------- *)
+
+(* Strip an explicit [Stdlib.] qualifier so [Stdlib.List.hd] and
+   [List.hd] classify identically. *)
+let path_of lid =
+  match Longident.flatten lid with "Stdlib" :: rest -> rest | p -> p
+
+let is_partial_stdlib lid =
+  match path_of lid with
+  | [ "List"; "hd" ] | [ "List"; "nth" ] | [ "Option"; "get" ] -> true
+  | _ -> false
+
+let is_poly_compare lid =
+  match path_of lid with [ "compare" ] -> true | _ -> false
+
+let is_poly_hash lid =
+  match path_of lid with
+  | [ "Hashtbl"; "hash" ] | [ "Hashtbl"; "seeded_hash" ] -> true
+  | _ -> false
+
+let is_open_fn lid =
+  match path_of lid with
+  | [ "open_in" ] | [ "open_in_bin" ] | [ "open_in_gen" ]
+  | [ "open_out" ] | [ "open_out_bin" ] | [ "open_out_gen" ]
+  | [ "In_channel"; "open_bin" ] | [ "In_channel"; "open_text" ]
+  | [ "In_channel"; "open_gen" ]
+  | [ "Out_channel"; "open_bin" ] | [ "Out_channel"; "open_text" ]
+  | [ "Out_channel"; "open_gen" ]
+  | [ "Unix"; "openfile" ] | [ "UnixLabels"; "openfile" ] -> true
+  | _ -> false
+
+let is_close_or_protect lid =
+  match path_of lid with
+  | [ "close_in" ] | [ "close_in_noerr" ]
+  | [ "close_out" ] | [ "close_out_noerr" ]
+  | [ "In_channel"; "close" ] | [ "In_channel"; "close_noerr" ]
+  | [ "Out_channel"; "close" ] | [ "Out_channel"; "close_noerr" ]
+  | [ "Unix"; "close" ] | [ "UnixLabels"; "close" ]
+  | [ "Fun"; "protect" ] -> true
+  | _ -> false
+
+let is_stdout_print lid =
+  match path_of lid with
+  | [ "print_endline" ] | [ "print_string" ] | [ "print_newline" ]
+  | [ "print_char" ] | [ "print_int" ] | [ "print_float" ]
+  | [ "Printf"; "printf" ] | [ "Format"; "printf" ]
+  | [ "Format"; "print_string" ] -> true
+  | _ -> false
+
+let is_ignore lid = match path_of lid with [ "ignore" ] -> true | _ -> false
+
+(* --- generic Parsetree queries ------------------------------------ *)
+
+exception Found
+
+(* Does [e] mention an identifier satisfying [pred], at any depth? *)
+let expr_mentions pred e =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident { txt; _ } when pred txt -> raise Found
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  match it.expr it e with () -> false | exception Found -> true
+
+let mentions_var name e =
+  expr_mentions (function Longident.Lident n -> n = name | _ -> false) e
+
+(* Source locations of every open-function identifier inside [e]. *)
+let open_locs e =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident { txt; loc } when is_open_fn txt ->
+              acc := loc :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !acc
+
+(* A catch-all handler pattern: [_], a variable, or an or-pattern with a
+   catch-all branch.  Returns the variable name when there is one, so
+   the caller can check whether the handler actually uses it. *)
+let rec catch_all p =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_any -> Some None
+  | Parsetree.Ppat_var { txt; _ } -> Some (Some txt)
+  | Parsetree.Ppat_alias (inner, { txt; _ }) -> (
+      match catch_all inner with Some _ -> Some (Some txt) | None -> None)
+  | Parsetree.Ppat_or (a, b) -> (
+      match catch_all a with Some r -> Some r | None -> catch_all b)
+  | Parsetree.Ppat_constraint (inner, _) -> catch_all inner
+  | _ -> None
+
+let vb_binds_compare vb =
+  match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+  | Parsetree.Ppat_var { txt = "compare"; _ } -> true
+  | _ -> false
+
+let item_declares_compare item =
+  match item.Parsetree.pstr_desc with
+  | Parsetree.Pstr_value (_, vbs) -> List.exists vb_binds_compare vbs
+  | Parsetree.Pstr_primitive { pval_name = { txt = "compare"; _ }; _ } -> true
+  | _ -> false
+
+(* --- the allow attribute ------------------------------------------ *)
+
+let allow_attr_name = "xvi.lint.allow"
+
+(* "R2: reason" -> Ok (R2, reason); anything else -> Error why. *)
+let parse_allow_text s =
+  match String.index_opt s ':' with
+  | None ->
+      Error
+        (Printf.sprintf
+           "allow %S lacks a reason: expected \"R<n>: why this is safe\"" s)
+  | Some i -> (
+      let id = String.trim (String.sub s 0 i) in
+      let reason = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+      match rule_of_id id with
+      | None -> Error (Printf.sprintf "allow %S names unknown rule %S" s id)
+      | Some _ when String.length reason = 0 ->
+          Error (Printf.sprintf "allow %S carries an empty reason" s)
+      | Some r -> Ok (r, reason))
+
+let parse_allow_attr (attr : Parsetree.attribute) =
+  if attr.attr_name.txt <> allow_attr_name then None
+  else
+    match attr.attr_payload with
+    | Parsetree.PStr
+        [
+          {
+            pstr_desc =
+              Parsetree.Pstr_eval
+                ( {
+                    pexp_desc =
+                      Parsetree.Pexp_constant
+                        (Parsetree.Pconst_string (s, _, _));
+                    _;
+                  },
+                  _ );
+            _;
+          };
+        ] ->
+        Some (parse_allow_text s, attr.attr_loc)
+    | _ ->
+        Some
+          ( Error "allow payload must be a single string literal",
+            attr.attr_loc )
+
+(* --- the linting pass --------------------------------------------- *)
+
+type state = {
+  file : string;
+  in_lib : bool;
+  mutable findings : finding list;
+  mutable allows : (rule * string) list; (* active, innermost first *)
+  mutable compare_scope : int; (* > 0 inside a module declaring compare *)
+  sanctioned : (Location.t, unit) Hashtbl.t; (* paired/protected opens *)
+}
+
+let pos_of (loc : Location.t) =
+  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+
+let report st rule (loc : Location.t) message =
+  let suppressed =
+    rule <> A0 && List.exists (fun (r, _) -> r = rule) st.allows
+  in
+  if not suppressed then begin
+    let line, col = pos_of loc in
+    st.findings <- { rule; file = st.file; line; col; message } :: st.findings
+  end
+
+(* Push every well-formed allow on [attrs]; malformed ones become A0
+   findings and suppress nothing.  Returns how many were pushed so the
+   caller can pop when leaving the node's scope. *)
+let push_allows st attrs =
+  List.fold_left
+    (fun pushed attr ->
+      match parse_allow_attr attr with
+      | None -> pushed
+      | Some (Ok (rule, reason), _loc) ->
+          st.allows <- (rule, reason) :: st.allows;
+          pushed + 1
+      | Some (Error why, loc) ->
+          report st A0 loc why;
+          pushed)
+    0 attrs
+
+let pop_allows st n =
+  for _ = 1 to n do
+    match st.allows with [] -> () | _ :: rest -> st.allows <- rest
+  done
+
+let check_handler_case st (c : Parsetree.case) =
+  let flag loc what =
+    report st R1 loc
+      (Printf.sprintf
+         "catch-all handler %s discards the exception (swallows \
+          Out_of_memory/Stack_overflow); match the specific exceptions the \
+          guarded code raises"
+         what)
+  in
+  match catch_all c.pc_lhs with
+  | None -> ()
+  | Some None -> flag c.pc_lhs.ppat_loc "'_'"
+  | Some (Some name) ->
+      let used =
+        name.[0] <> '_'
+        && (mentions_var name c.pc_rhs
+           || match c.pc_guard with Some g -> mentions_var name g | None -> false)
+      in
+      if not used then flag c.pc_lhs.ppat_loc (Printf.sprintf "'%s'" name)
+
+let check_match_exception_case st (c : Parsetree.case) =
+  match c.pc_lhs.ppat_desc with
+  | Parsetree.Ppat_exception p -> (
+      match catch_all p with
+      | Some _ -> check_handler_case st { c with pc_lhs = p }
+      | None -> ())
+  | _ -> ()
+
+(* [let x = open_* ... in body]: the open is sanctioned when the body
+   reaches a close function or Fun.protect.  Purely lexical — it cannot
+   prove the close runs on every path, but it catches the class of
+   "opened, then forgot" bugs, and the WAL/snapshot code is written in
+   exactly this paired style. *)
+let sanction_paired_opens st bound_exprs continuations =
+  let opens = List.concat_map open_locs bound_exprs in
+  if opens <> [] && List.exists (expr_mentions is_close_or_protect) continuations
+  then List.iter (fun loc -> Hashtbl.replace st.sanctioned loc ()) opens
+
+let check_expr st (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_try (_, cases) -> List.iter (check_handler_case st) cases
+  | Pexp_match (_, cases) -> List.iter (check_match_exception_case st) cases
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+    when is_ignore txt -> (
+      match args with
+      | (Asttypes.Nolabel, arg) :: _ -> (
+          match arg.Parsetree.pexp_desc with
+          | Parsetree.Pexp_constraint _ -> ()
+          | _ ->
+              report st R5 e.pexp_loc
+                "ignore without a type annotation; write 'ignore (e : t)' so \
+                 a partial application cannot be silently discarded")
+      | _ -> ())
+  | Pexp_ident { txt; loc } ->
+      if st.in_lib && is_partial_stdlib txt then
+        report st R2 loc
+          (Printf.sprintf
+             "partial stdlib call %s; use a total pattern match that raises \
+              a named invariant error"
+             (String.concat "." (Longident.flatten txt)));
+      if st.compare_scope = 0 && (is_poly_compare txt || is_poly_hash txt)
+      then
+        report st R3 loc
+          (Printf.sprintf
+             "polymorphic %s outside a module declaring an explicit \
+              comparator; use a monomorphic comparison (Int.compare, \
+              Float.compare, ...)"
+             (String.concat "." (Longident.flatten txt)));
+      if is_open_fn txt && not (Hashtbl.mem st.sanctioned loc) then
+        report st R4 loc
+          (Printf.sprintf
+             "%s without Fun.protect or a lexically-paired close in scope"
+             (String.concat "." (Longident.flatten txt)));
+      if st.in_lib && is_stdout_print txt then
+        report st R6 loc
+          (Printf.sprintf
+             "%s in library code; return data or take a ~log callback"
+             (String.concat "." (Longident.flatten txt)))
+  | _ -> ()
+
+let make_iterator st =
+  let default = Ast_iterator.default_iterator in
+  let expr it e =
+    let pushed = push_allows st e.Parsetree.pexp_attributes in
+    check_expr st e;
+    (match e.pexp_desc with
+    | Pexp_let (_, vbs, body) ->
+        sanction_paired_opens st
+          (List.map (fun vb -> vb.Parsetree.pvb_expr) vbs)
+          [ body ];
+        (* a local [let compare = ...] shadows the polymorphic one *)
+        let scoped = List.exists vb_binds_compare vbs in
+        if scoped then st.compare_scope <- st.compare_scope + 1;
+        default.expr it e;
+        if scoped then st.compare_scope <- st.compare_scope - 1
+    | Pexp_match (scrut, cases) ->
+        sanction_paired_opens st [ scrut ]
+          (List.map (fun c -> c.Parsetree.pc_rhs) cases);
+        default.expr it e
+    | _ -> default.expr it e);
+    pop_allows st pushed
+  in
+  let value_binding it vb =
+    let pushed = push_allows st vb.Parsetree.pvb_attributes in
+    default.value_binding it vb;
+    pop_allows st pushed
+  in
+  let structure it items =
+    (* A structure declaring its own [compare] (or [external compare])
+       is an explicit-comparator module: bare [compare] inside it is
+       that binding, not the polymorphic one. *)
+    let scoped = List.exists item_declares_compare items in
+    if scoped then st.compare_scope <- st.compare_scope + 1;
+    (* floating [@@@xvi.lint.allow "..."] covers the rest of the file *)
+    let pushed =
+      List.fold_left
+        (fun pushed item ->
+          let pushed =
+            match item.Parsetree.pstr_desc with
+            | Parsetree.Pstr_attribute attr -> pushed + push_allows st [ attr ]
+            | _ -> pushed
+          in
+          it.Ast_iterator.structure_item it item;
+          pushed)
+        0 items
+    in
+    pop_allows st pushed;
+    if scoped then st.compare_scope <- st.compare_scope - 1
+  in
+  { default with expr; value_binding; structure }
+
+(* --- entry points ------------------------------------------------- *)
+
+type file_result = (finding list, string) result
+
+let lint_structure ~in_lib ~file str =
+  let st =
+    {
+      file;
+      in_lib;
+      findings = [];
+      allows = [];
+      compare_scope = 0;
+      sanctioned = Hashtbl.create 16;
+    }
+  in
+  let it = make_iterator st in
+  it.structure it str;
+  List.sort compare_finding st.findings
+
+let parse_with path parse =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Location.init lexbuf path;
+      parse lexbuf)
+
+let lint_file ~in_lib path : file_result =
+  let describe_parse_error e =
+    match Location.error_of_exn e with
+    | Some (`Ok err) ->
+        Format.asprintf "%a" Location.print_report err
+    | Some `Already_displayed | None -> Printexc.to_string e
+  in
+  if Filename.check_suffix path ".mli" then
+    (* interfaces carry no handler/expression code; parsing them still
+       guards the lint pass against bit-rotted syntax *)
+    match parse_with path Parse.interface with
+    | (_ : Parsetree.signature) -> Ok []
+    | exception e -> Error (describe_parse_error e)
+  else
+    match parse_with path Parse.implementation with
+    | str -> Ok (lint_structure ~in_lib ~file:path str)
+    | exception e -> Error (describe_parse_error e)

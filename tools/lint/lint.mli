@@ -1,0 +1,46 @@
+(** Project-invariant linter: parses OCaml sources with compiler-libs
+    and enforces the xvi rule catalogue (R1–R6) over the Parsetree.
+    See DESIGN.md "Static analysis" for the catalogue and the
+    historical bug each rule is derived from. *)
+
+type rule =
+  | R1  (** catch-all exception handler discarding the exception *)
+  | R2  (** partial stdlib calls (List.hd / List.nth / Option.get) *)
+  | R3  (** polymorphic compare / Hashtbl.hash without a comparator *)
+  | R4  (** open without Fun.protect or a lexically-paired close *)
+  | R5  (** ignore without a type annotation *)
+  | R6  (** stdout printing from library code *)
+  | A0  (** malformed [\@xvi.lint.allow] attribute *)
+
+val rule_id : rule -> string
+val rule_of_id : string -> rule option
+val rule_doc : rule -> string
+
+val all_rules : rule list
+(** R1–R6, in order; excludes the meta-rule A0. *)
+
+type finding = {
+  rule : rule;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as compilers print them *)
+  message : string;
+}
+
+val to_string : finding -> string
+(** [file:line:col: [Rn] message] *)
+
+val compare_finding : finding -> finding -> int
+(** Order by file, line, column, rule id. *)
+
+type file_result = (finding list, string) result
+(** [Error] is a parse failure, reported verbatim. *)
+
+val lint_file : in_lib:bool -> string -> file_result
+(** Lint one [.ml] (or parse-check one [.mli]).  [in_lib] enables the
+    library-only rules R2 and R6; R1/R3/R4/R5 apply everywhere.
+    Findings are sorted by position. *)
+
+val lint_structure :
+  in_lib:bool -> file:string -> Parsetree.structure -> finding list
+(** The pass itself, for callers that already hold a Parsetree. *)

@@ -1,0 +1,74 @@
+(* Driver: [xvi_lint [--rules] path...] lints every .ml/.mli under the
+   given files/directories (default: lib bin).  Exit 0 when clean, 1 on
+   findings, 2 on parse errors or bad usage. *)
+
+module Lint = Xvi_lint_lib.Lint
+
+let usage = "usage: xvi_lint [--rules] [path ...]"
+
+let print_rules () =
+  List.iter
+    (fun r -> Printf.printf "%s  %s\n" (Lint.rule_id r) (Lint.rule_doc r))
+    Lint.all_rules
+
+let rec collect path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "_build" || entry = ".git" then acc
+        else collect (Filename.concat path entry) acc)
+      acc
+      (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+(* Library-only rules apply to files living under a [lib] directory. *)
+let in_lib path =
+  List.mem "lib" (String.split_on_char '/' path)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    if List.mem "--rules" args then begin
+      print_rules ();
+      match List.filter (fun a -> a <> "--rules") args with
+      | [] -> exit 0 (* a pure catalogue query: don't fall through to lint *)
+      | rest -> rest
+    end
+    else args
+  in
+  (match List.find_opt (fun a -> String.length a > 0 && a.[0] = '-') args with
+  | Some flag ->
+      Printf.eprintf "xvi_lint: unknown flag %s\n%s\n" flag usage;
+      exit 2
+  | None -> ());
+  let roots = if args = [] then [ "lib"; "bin" ] else args in
+  (match List.find_opt (fun r -> not (Sys.file_exists r)) roots with
+  | Some missing ->
+      Printf.eprintf "xvi_lint: no such file or directory: %s\n" missing;
+      exit 2
+  | None -> ());
+  let files =
+    List.sort String.compare (List.fold_right collect roots [])
+  in
+  let findings = ref [] in
+  let parse_errors = ref 0 in
+  List.iter
+    (fun path ->
+      match Lint.lint_file ~in_lib:(in_lib path) path with
+      | Ok fs -> findings := List.rev_append fs !findings
+      | Error msg ->
+          incr parse_errors;
+          Printf.eprintf "%s: parse error:\n%s\n" path msg)
+    files;
+  let findings = List.sort Lint.compare_finding !findings in
+  List.iter (fun f -> print_endline (Lint.to_string f)) findings;
+  if !parse_errors > 0 then exit 2;
+  match findings with
+  | [] ->
+      Printf.eprintf "xvi_lint: %d file(s) clean\n" (List.length files)
+  | fs ->
+      Printf.eprintf "xvi_lint: %d finding(s) in %d file(s)\n" (List.length fs)
+        (List.length files);
+      exit 1
