@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- --scale=0.02 -- larger documents
 
    Experiment ids: table1, fig9, fig10, fig11, micro, ablation, substr,
-   baseline, queries, query, parallel, wal.
+   baseline, queries, query, parallel, wal, serve.
    --scale=F sets the fraction of the paper's document sizes to generate
    (default 0.01, i.e. the 2 GB Wiki becomes ~20 MB); --reps=N the
    repetitions for timed runs (paper: 3 for creation, 20 for updates;
@@ -1030,7 +1030,11 @@ let wal_bench () =
         List.map
           (fun (name, mode) ->
             let dir = Filename.concat base name in
-            let db = Db.of_xml_exn xml in
+            let db =
+              match Db.of_xml xml with
+              | Ok db -> db
+              | Error e -> failwith (Parser.error_to_string e)
+            in
             let texts = Store.text_nodes (Db.store db) in
             (* scratch dir: a leftover from an interrupted run is fair
                game to overwrite *)
@@ -1057,7 +1061,11 @@ let wal_bench () =
             let w = (Durable.stats t).Durable.writer in
             Durable.close t;
             (* crash-recover the directory and make sure nothing was lost *)
-            let r = Durable.open_exn dir in
+            let r =
+              match Durable.open_ dir with
+              | Ok r -> r
+              | Error m -> failwith (name ^ ": recovery failed: " ^ m)
+            in
             let last =
               Store.text (Db.store (Durable.db r)) texts.(commits mod n)
             in
@@ -1126,6 +1134,235 @@ let wal_bench () =
       print_endline "wrote BENCH_wal.json";
       print_newline ())
 
+(* ==================================================== serve ===== *)
+
+(* Serving-layer experiment: read QPS of snapshot-isolated reader
+   domains against a live engine, and durable commit throughput of
+   concurrent sessions under per-commit fsync vs cross-session group
+   commit. Reader scaling is bounded by the machine's core count — the
+   JSON records [cores] so a 1-core CI box reporting flat QPS is read
+   as what it is, not as a serving-layer defect. The commit half runs
+   in a directory under the working tree, NOT /tmp, for the same
+   reason as the wal experiment: tmpfs fsyncs are free. Results land
+   in BENCH_serve.json. *)
+let serve_bench () =
+  print_endline
+    "== serve: epoch-pinned read QPS and cross-session commit throughput ==";
+  let module Db = Xvi_core.Db in
+  let module Txn = Xvi_txn.Txn in
+  let module Wal = Xvi_wal.Wal in
+  let module Engine = Xvi_serve.Engine in
+  let module Session = Xvi_serve.Session in
+  let cores = Domain.recommended_domain_count () in
+  let factor = if !quick then 0.02 else 0.05 in
+  let xml = Xvi_workload.Xmark.generate ~seed:42 ~factor () in
+  let parse () =
+    match Db.of_xml xml with
+    | Ok db -> db
+    | Error e -> failwith (Parser.error_to_string e)
+  in
+  let client_counts = [ 1; 2; 4; 8 ] in
+
+  (* --- read QPS: N reader domains, each on its own session --- *)
+  let read_duration = if !quick then 0.3 else 1.0 in
+  let probe_values db =
+    (* a few real text values to look up, spread over the document *)
+    let store = Db.store db in
+    let texts = Store.text_nodes store in
+    let n = Array.length texts in
+    Array.init 16 (fun i -> Store.text store texts.(i * (n / 16)))
+  in
+  let read_rows =
+    let db = parse () in
+    let probes = probe_values db in
+    let engine =
+      match Engine.open_ (Engine.Memory db) with
+      | Ok e -> e
+      | Error e -> failwith (Engine.error_to_string e)
+    in
+    Fun.protect
+      ~finally:(fun () -> Engine.close engine)
+      (fun () ->
+        List.map
+          (fun readers ->
+            let deadline = Unix.gettimeofday () +. read_duration in
+            let reader () =
+              let s = Session.create engine in
+              let ops = ref 0 and hits = ref 0 in
+              while Unix.gettimeofday () < deadline do
+                let v = probes.(!ops mod Array.length probes) in
+                hits := !hits + List.length (Session.lookup_string s v);
+                incr ops;
+                (* a live client repins now and then; keep that cost in *)
+                if !ops mod 64 = 0 then ignore (Session.refresh s : Engine.pinned)
+              done;
+              Session.close s;
+              (!ops, !hits)
+            in
+            let doms = List.init readers (fun _ -> Domain.spawn reader) in
+            let ops, hits =
+              List.fold_left
+                (fun (o, h) d ->
+                  let o', h' = Domain.join d in
+                  (o + o', h + h'))
+                (0, 0) doms
+            in
+            let qps = float_of_int ops /. read_duration in
+            if hits = 0 then failwith "read probes never hit";
+            (readers, qps))
+          client_counts)
+  in
+  let qps_of n = snd (List.find (fun (r, _) -> r = n) read_rows) in
+  Table.print
+    ~header:[ "readers"; "lookups/s"; "scaling" ]
+    (List.map
+       (fun (readers, qps) ->
+         [
+           string_of_int readers;
+           Printf.sprintf "%.0f" qps;
+           Printf.sprintf "%.2fx" (qps /. qps_of 1);
+         ])
+       read_rows);
+  Printf.printf "(%d core%s visible to this run)\n" cores
+    (if cores = 1 then "" else "s");
+
+  (* --- commit throughput: N sessions, per-commit fsync vs group --- *)
+  let commits = if !quick then 400 else 2000 in
+  let base = Filename.concat (Sys.getcwd ()) "_bench_serve.tmp" in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+  in
+  let run_mode sync_mode ~durable_acks ~clients =
+    let dir = Filename.concat base "store" in
+    rm_rf dir;
+    let engine =
+      match Engine.init ~sync_mode ~force:true ~dir (parse ()) with
+      | Ok e -> e
+      | Error e -> failwith (Engine.error_to_string e)
+    in
+    let texts = Store.text_nodes (Db.store (Engine.snapshot engine)) in
+    let n = Array.length texts in
+    let per_client = commits / clients in
+    (* client [c] owns the text nodes with index = c mod clients: the
+       write sets are disjoint, so no commit ever conflicts *)
+    let client c () =
+      let s = Session.create engine in
+      for i = 0 to per_client - 1 do
+        (match Session.begin_ s with
+        | Ok () -> ()
+        | Error e -> failwith (Engine.error_to_string e));
+        let node = texts.(((i * clients) + c) mod n) in
+        (match Session.stage s node (Printf.sprintf "serve bench %d.%d" c i) with
+        | Ok () -> ()
+        | Error e -> failwith (Engine.error_to_string e));
+        match Session.commit ~durable:durable_acks s with
+        | Ok (_ : Wal.lsn) -> ()
+        | Error e -> failwith (Engine.error_to_string e)
+      done;
+      Session.close s
+    in
+    let (), ms =
+      Timing.time_ms (fun () ->
+          let doms =
+            List.init clients (fun c -> Domain.spawn (client c))
+          in
+          List.iter Domain.join doms;
+          (* deferred commits are not durable until this closes the
+             last group window — it belongs inside the timed region *)
+          Engine.sync engine)
+    in
+    let st = (Engine.stats engine).Engine.txn in
+    Engine.close engine;
+    (* recover the directory: nothing a client was acked may be lost *)
+    (match Engine.open_ (Engine.Dir dir) with
+    | Ok r ->
+        (match Db.validate (Engine.snapshot r) with
+        | Ok () -> ()
+        | Error e -> failwith ("recovered db invalid: " ^ e));
+        let rc = (Engine.stats r).Engine.commits in
+        ignore rc;
+        Engine.close r
+    | Error e -> failwith (Engine.error_to_string e));
+    rm_rf dir;
+    let tps = float_of_int (clients * per_client) /. (ms /. 1000.) in
+    (tps, st.Txn.wal_deferred)
+  in
+  rm_rf base;
+  Unix.mkdir base 0o755;
+  let commit_rows =
+    Fun.protect
+      ~finally:(fun () ->
+        rm_rf (Filename.concat base "store");
+        rm_rf base)
+      (fun () ->
+        List.map
+          (fun clients ->
+            (* baseline: every commit pays its own fsync for its ack *)
+            let always_tps, _ =
+              run_mode Wal.Always ~durable_acks:true ~clients
+            in
+            (* group commit: sessions defer, windows batch the fsyncs *)
+            let group_tps, deferred =
+              run_mode (Wal.Group 0.002) ~durable_acks:false ~clients
+            in
+            (clients, always_tps, group_tps, deferred))
+          client_counts)
+  in
+  Table.print
+    ~header:[ "sessions"; "always c/s"; "group c/s"; "speedup"; "deferred" ]
+    (List.map
+       (fun (clients, always_tps, group_tps, deferred) ->
+         [
+           string_of_int clients;
+           Printf.sprintf "%.0f" always_tps;
+           Printf.sprintf "%.0f" group_tps;
+           Printf.sprintf "%.1fx" (group_tps /. always_tps);
+           string_of_int deferred;
+         ])
+       commit_rows);
+
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"serve\",\n\
+      \  \"cores\": %d,\n\
+      \  \"xmark_factor\": %.3f,\n\
+      \  \"read_duration_s\": %.2f,\n\
+      \  \"commits\": %d,\n\
+      \  \"read\": [\n%s\n  ],\n\
+      \  \"commit\": [\n%s\n  ]\n\
+       }\n"
+      cores factor read_duration commits
+      (String.concat ",\n"
+         (List.map
+            (fun (readers, qps) ->
+              Printf.sprintf
+                "    { \"readers\": %d, \"lookups_per_s\": %.1f, \
+                 \"scaling_vs_1\": %.2f }"
+                readers qps (qps /. qps_of 1))
+            read_rows))
+      (String.concat ",\n"
+         (List.map
+            (fun (clients, always_tps, group_tps, deferred) ->
+              Printf.sprintf
+                "    { \"clients\": %d, \"always_per_s\": %.1f, \
+                 \"group_per_s\": %.1f, \"group_vs_always\": %.2f, \
+                 \"deferred_commits\": %d }"
+                clients always_tps group_tps (group_tps /. always_tps)
+                deferred)
+            commit_rows))
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_serve.json";
+  print_newline ()
+
 (* ====================================================== main ===== *)
 
 (* [micro] runs first: its OLS estimates are cleanest before the data
@@ -1136,7 +1373,7 @@ let all_experiments =
   [ ("micro", micro); ("table1", table1); ("fig9", fig9); ("fig11", fig11);
     ("fig10", fig10); ("ablation", ablation); ("substr", substr);
     ("baseline", baseline); ("queries", queries); ("query", query_bench);
-    ("parallel", parallel); ("wal", wal_bench) ]
+    ("parallel", parallel); ("wal", wal_bench); ("serve", serve_bench) ]
 
 let () =
   let selected = ref [] in
@@ -1153,8 +1390,8 @@ let () =
         else begin
           Printf.eprintf
             "unknown argument %s (expected: table1 fig9 fig10 fig11 micro \
-             ablation substr baseline queries query parallel wal, --scale=F, \
-             --reps=N, --quick)\n"
+             ablation substr baseline queries query parallel wal serve, \
+             --scale=F, --reps=N, --quick)\n"
             arg;
           exit 2
         end)

@@ -13,8 +13,15 @@
                 under the chosen --sync policy
      recover    crash-recover a durable directory and report the replay
      checkpoint snapshot a durable directory and truncate its log
+     serve      serve a database over a Unix socket: snapshot-isolated
+                readers, single-writer sessions, group commit
+     client     scripted protocol session against a running server
      fuzz       differential-check random traces against the oracle
-     collisions hash-stability histogram of a document (Figure 11)  *)
+     collisions hash-stability histogram of a document (Figure 11)
+
+   Every durable subcommand goes through Xvi_serve.Engine — the unified
+   facade over the in-memory / durable split — rather than constructing
+   Xvi_wal.Durable handles directly.  *)
 
 open Cmdliner
 
@@ -25,6 +32,10 @@ module Table = Xvi_util.Table
 module Txn = Xvi_txn.Txn
 module Wal = Xvi_wal.Wal
 module Durable = Xvi_wal.Durable
+module Engine = Xvi_serve.Engine
+module Server = Xvi_serve.Server
+module Client = Xvi_serve.Client
+module Protocol = Xvi_serve.Protocol
 
 let read_file path =
   let ic = open_in_bin path in
@@ -76,11 +87,11 @@ let sync_mode_arg =
            fsync per commit), $(b,group) or $(b,group:<ms>) (commits inside \
            the window share one fsync), $(b,never) (leave it to the OS).")
 
-let open_durable_or_die ?sync_mode dir =
-  match Durable.open_ ?sync_mode dir with
+let open_engine_or_die ?sync_mode dir =
+  match Engine.open_ ?sync_mode (Engine.Dir dir) with
   | Ok t -> t
-  | Error m ->
-      Printf.eprintf "%s: %s\n" dir m;
+  | Error e ->
+      Printf.eprintf "%s: %s\n" dir (Engine.error_to_string e);
       exit 1
 
 let print_replay_report = function
@@ -98,13 +109,23 @@ let print_replay_report = function
       | Some d -> Printf.printf "recovery: damaged tail detected: %s\n" d
       | None -> ())
 
-let durable_stats_rows t =
-  let st = Durable.stats t in
+let engine_stats_rows t =
+  let st = Engine.stats t in
+  let durable_rows =
+    match st.Engine.durable with
+    | None -> []
+    | Some d ->
+        [
+          [ "WAL length"; Table.fmt_bytes d.Durable.wal_bytes ];
+          [ "next LSN"; string_of_int d.Durable.next_lsn ];
+          [ "last checkpoint LSN"; string_of_int d.Durable.last_checkpoint_lsn ];
+        ]
+  in
   [
-    [ "WAL length"; Table.fmt_bytes st.Durable.wal_bytes ];
-    [ "next LSN"; string_of_int st.Durable.next_lsn ];
-    [ "last checkpoint LSN"; string_of_int st.Durable.last_checkpoint_lsn ];
+    [ "published epoch"; string_of_int st.Engine.epoch ];
+    [ "commits since open"; string_of_int st.Engine.commits ];
   ]
+  @ durable_rows
 
 (* -j/--jobs: 0 means "one per core", the make convention. *)
 let jobs_arg =
@@ -198,20 +219,19 @@ let shred_cmd =
     Printf.printf "shredded and indexed %s in %s (%d jobs)\n" file
       (Table.fmt_ms ms) config.Db.Config.jobs;
     if durable then begin
-      if Durable.is_durable_dir output && not force then begin
-        Printf.eprintf
-          "%s: already a durable directory; --force to overwrite its \
-           committed data\n"
-          output;
-        exit 1
-      end;
+      (* Engine.init carries the refuse-to-overwrite contract *)
       let t, ms =
-        Xvi_util.Timing.time_ms (fun () ->
-            Durable.create ~force ~dir:output db)
+        Xvi_util.Timing.time_ms (fun () -> Engine.init ~force ~dir:output db)
       in
-      Durable.close t;
-      Printf.printf "durable directory %s initialised in %s (snapshot + WAL)\n"
-        output (Table.fmt_ms ms)
+      match t with
+      | Error e ->
+          Printf.eprintf "%s: %s\n" output (Engine.error_to_string e);
+          exit 1
+      | Ok t ->
+          Engine.close t;
+          Printf.printf
+            "durable directory %s initialised in %s (snapshot + WAL)\n" output
+            (Table.fmt_ms ms)
     end
     else begin
       let (), ms =
@@ -232,9 +252,9 @@ let shred_cmd =
 let stats_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let durable_stats dir =
-    let t = open_durable_or_die dir in
-    print_replay_report (Durable.last_replay t);
-    let store = Db.store (Durable.db t) in
+    let t = open_engine_or_die dir in
+    print_replay_report (Engine.last_replay t);
+    let store = Db.store (Engine.snapshot t) in
     Table.print
       ~header:[ "metric"; "value" ]
       ([
@@ -242,8 +262,8 @@ let stats_cmd =
          [ "text nodes"; Table.fmt_int (Store.count_of_kind store Store.Text) ];
          [ "db storage"; Table.fmt_bytes (Store.storage_bytes store) ];
        ]
-      @ durable_stats_rows t);
-    Durable.close t
+      @ engine_stats_rows t);
+    Engine.close t
   in
   let run file jobs =
     if Sys.is_directory file && Durable.is_durable_dir file then
@@ -442,12 +462,14 @@ let update_cmd =
      the commits that paid an inline fsync vs. rode a group window. *)
   let durable_update dir sync_mode count seed =
     let t, open_ms =
-      Xvi_util.Timing.time_ms (fun () ->
-          open_durable_or_die ~sync_mode dir)
+      Xvi_util.Timing.time_ms (fun () -> open_engine_or_die ~sync_mode dir)
     in
-    print_replay_report (Durable.last_replay t);
+    print_replay_report (Engine.last_replay t);
     Printf.printf "recover/open: %s\n" (Table.fmt_ms open_ms);
-    let store = Db.store (Durable.db t) in
+    (* node ids are shared between the published epoch and the master,
+       so targets picked on the snapshot commit cleanly through the
+       engine's writer *)
+    let store = Db.store (Engine.snapshot t) in
     let updates =
       Xvi_workload.Update_workload.random_text_updates ~seed store ~count
     in
@@ -455,28 +477,29 @@ let update_cmd =
       Xvi_util.Timing.time_ms (fun () ->
           List.iter
             (fun (n, v) ->
-              match Durable.update_text t n v with
-              | Ok () -> ()
-              | Error (c : Txn.conflict) ->
-                  Printf.eprintf "commit conflicted: %s\n" c.Txn.reason;
+              match Engine.update_texts t [ (n, v) ] with
+              | Ok _ -> ()
+              | Error e ->
+                  Printf.eprintf "commit failed: %s\n"
+                    (Engine.error_to_string e);
                   exit 1)
             updates)
     in
-    Durable.sync t;
-    let st = Txn.stats (Durable.manager t) in
+    Engine.sync t;
+    let st = Engine.stats t in
     Printf.printf
       "committed %d durable txn(s) in %s under --sync %s (%d fsynced inline, \
        %d group-batched)\n"
-      st.Txn.committed (Table.fmt_ms ms)
+      st.Engine.txn.Txn.committed (Table.fmt_ms ms)
       (Wal.sync_mode_to_string sync_mode)
-      st.Txn.wal_synced st.Txn.wal_deferred;
-    (match Db.validate (Durable.db t) with
+      st.Engine.txn.Txn.wal_synced st.Engine.txn.Txn.wal_deferred;
+    (match Db.validate (Engine.snapshot t) with
     | Ok () -> print_endline "indices validate clean against a rebuild"
     | Error e ->
         Printf.printf "VALIDATION FAILED: %s\n" e;
         exit 1);
-    Table.print ~header:[ "metric"; "value" ] (durable_stats_rows t);
-    Durable.close t
+    Table.print ~header:[ "metric"; "value" ] (engine_stats_rows t);
+    Engine.close t
   in
   let run file count seed sync_mode jobs =
     if Sys.is_directory file && Durable.is_durable_dir file then
@@ -526,18 +549,18 @@ let recover_cmd =
       exit 1
     end;
     let t, ms =
-      Xvi_util.Timing.time_ms (fun () -> open_durable_or_die ~sync_mode dir)
+      Xvi_util.Timing.time_ms (fun () -> open_engine_or_die ~sync_mode dir)
     in
-    print_replay_report (Durable.last_replay t);
+    print_replay_report (Engine.last_replay t);
     Printf.printf "recovered %s in %s\n" dir (Table.fmt_ms ms);
-    (match Db.validate (Durable.db t) with
+    (match Db.validate (Engine.snapshot t) with
     | Ok () -> print_endline "indices validate clean against a rebuild"
     | Error e ->
         Printf.printf "VALIDATION FAILED: %s\n" e;
-        Durable.close t;
+        Engine.close t;
         exit 1);
-    Table.print ~header:[ "metric"; "value" ] (durable_stats_rows t);
-    Durable.close t
+    Table.print ~header:[ "metric"; "value" ] (engine_stats_rows t);
+    Engine.close t
   in
   Cmd.v
     (Cmd.info "recover"
@@ -552,17 +575,30 @@ let checkpoint_cmd =
       Printf.eprintf "%s: not a durable directory (no snapshot.xvi)\n" dir;
       exit 1
     end;
-    let t = open_durable_or_die dir in
-    print_replay_report (Durable.last_replay t);
-    let before = (Durable.stats t).Durable.wal_bytes in
-    let (), ms = Xvi_util.Timing.time_ms (fun () -> Durable.checkpoint t) in
-    let st = Durable.stats t in
-    Printf.printf
-      "checkpoint at LSN %d in %s: log %s -> %s\n"
-      st.Durable.last_checkpoint_lsn (Table.fmt_ms ms)
-      (Table.fmt_bytes before)
-      (Table.fmt_bytes st.Durable.wal_bytes);
-    Durable.close t
+    let t = open_engine_or_die dir in
+    print_replay_report (Engine.last_replay t);
+    let wal_bytes () =
+      match (Engine.stats t).Engine.durable with
+      | Some d -> d.Durable.wal_bytes
+      | None -> 0
+    in
+    let ckpt_lsn () =
+      match (Engine.stats t).Engine.durable with
+      | Some d -> d.Durable.last_checkpoint_lsn
+      | None -> 0
+    in
+    let before = wal_bytes () in
+    let r, ms = Xvi_util.Timing.time_ms (fun () -> Engine.checkpoint t) in
+    (match r with
+    | Ok () -> ()
+    | Error e ->
+        Printf.eprintf "%s: %s\n" dir (Engine.error_to_string e);
+        Engine.close t;
+        exit 1);
+    Printf.printf "checkpoint at LSN %d in %s: log %s -> %s\n" (ckpt_lsn ())
+      (Table.fmt_ms ms) (Table.fmt_bytes before)
+      (Table.fmt_bytes (wal_bytes ()));
+    Engine.close t
   in
   Cmd.v
     (Cmd.info "checkpoint"
@@ -570,6 +606,142 @@ let checkpoint_cmd =
          "Write a fresh LSN-stamped snapshot of a durable directory and \
           truncate its write-ahead log")
     Term.(const run $ dir_arg)
+
+(* --- serve / client --- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"XML document, snapshot, or durable directory to serve.")
+  in
+  let publish_period =
+    Arg.(
+      value & opt float 0.0
+      & info [ "publish-period" ] ~docv:"S"
+          ~doc:
+            "Cut a fresh read epoch at most every $(docv) seconds, so the \
+             copy cost amortises over many commits; 0 publishes at every \
+             durable commit boundary (read-your-writes for sessions that \
+             await durability).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No lifecycle logging.")
+  in
+  let run file socket sync_mode publish_period quiet jobs =
+    let engine =
+      if Sys.is_directory file && Durable.is_durable_dir file then
+        match Engine.open_ ~sync_mode ~publish_period (Engine.Dir file) with
+        | Ok t -> t
+        | Error e ->
+            Printf.eprintf "%s: %s\n" file (Engine.error_to_string e);
+            exit 1
+      else begin
+        let jobs = resolve_jobs jobs in
+        let config =
+          if jobs > 1 then Some { Db.Config.default with jobs } else None
+        in
+        let db = open_db ?config file in
+        match Engine.open_ ~publish_period (Engine.Memory db) with
+        | Ok t -> t
+        | Error e ->
+            Printf.eprintf "%s: %s\n" file (Engine.error_to_string e);
+            exit 1
+      end
+    in
+    (match Engine.last_replay engine with
+    | Some _ as r -> print_replay_report r
+    | None -> ());
+    let log =
+      if quiet then fun (_ : string) -> ()
+      else fun m -> Printf.printf "xvi serve: %s\n%!" m
+    in
+    match Server.create ~log ~engine ~socket () with
+    | Error m ->
+        Printf.eprintf "%s\n" m;
+        Engine.close engine;
+        exit 1
+    | Ok server ->
+        let stop (_ : int) = Server.request_stop server in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Server.run server;
+        Engine.close engine
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a database over a Unix-domain socket: any number of \
+          snapshot-isolated reader connections (lock-free pinned epochs), \
+          writes serialised through one writer with cross-session group \
+          commit. Stop with a $(b,shutdown) request, SIGINT or SIGTERM.")
+    Term.(
+      const run $ file $ socket_arg $ sync_mode_arg $ publish_period $ quiet
+      $ jobs_arg)
+
+let client_cmd =
+  let script =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Protocol requests to send in order (default: read one per line \
+             from stdin). See the README's protocol table; e.g. \
+             $(b,'lookup-string Arthur') or $(b,shutdown).")
+  in
+  let run socket script =
+    match Client.connect ~socket () with
+    | Error m ->
+        Printf.eprintf "%s\n" m;
+        exit 1
+    | Ok c ->
+        let failed = ref false in
+        let send line =
+          let line = String.trim line in
+          if line <> "" then
+            match Protocol.decode_request line with
+            | Error m ->
+                Printf.printf "err %s\n%!" (Protocol.escape m);
+                failed := true
+            | Ok req -> (
+                match Client.request c req with
+                | Ok resp ->
+                    Printf.printf "%s\n%!" (Protocol.encode_response resp);
+                    (* a well-formed error answer still fails the script:
+                       CI smoke runs assert on the exit code *)
+                    (match resp with
+                    | Protocol.Err _ | Protocol.Conflict_r _ -> failed := true
+                    | _ -> ())
+                | Error m ->
+                    Printf.printf "err %s\n%!" (Protocol.escape m);
+                    failed := true)
+        in
+        (match script with
+        | [] -> (
+            try
+              while true do
+                send (input_line stdin)
+              done
+            with End_of_file -> ())
+        | reqs -> List.iter send reqs);
+        Client.close c;
+        if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Run a scripted session against a running $(b,xvi serve): each \
+          REQUEST (or stdin line) is one protocol request; responses print \
+          one per line.")
+    Term.(const run $ socket_arg $ script)
 
 (* --- fuzz --- *)
 
@@ -621,7 +793,15 @@ let fuzz_cmd =
         exit 1);
     if fault then begin
       let rng = Xvi_util.Prng.create seed in
-      let db = Db.of_xml_exn (Xvi_check.Gen.document rng) in
+      let gen_db rng =
+        match Db.of_xml (Xvi_check.Gen.document rng) with
+        | Ok db -> db
+        | Error e ->
+            Printf.eprintf "generated document rejected: %s\n"
+              (Parser.error_to_string e);
+            exit 1
+      in
+      let db = gen_db rng in
       let truncations = if quick then Some 2048 else None in
       let flips = if quick then 256 else 128 in
       (match Xvi_check.Fault.sweep ?truncations ~flips db with
@@ -633,27 +813,72 @@ let fuzz_cmd =
           exit 1);
       (* crash-point sweep: scripted durable commits, then recovery
          checked against the oracle at every simulated crash position *)
-      let wal_db = Db.of_xml_exn (Xvi_check.Gen.document rng) in
+      let wal_db = gen_db rng in
       let texts = Store.text_nodes (Db.store wal_db) in
+      (if Array.length texts = 0 then
+         print_endline "wal sweep skipped: generated document has no text nodes"
+       else begin
+         let n = Array.length texts in
+         let batches =
+           List.init 6 (fun i ->
+               List.init ((i mod 3) + 1) (fun j ->
+                   (texts.((i * 3 + j) mod n), Printf.sprintf "wal-%d-%d" i j)))
+         in
+         let crash_points = if quick then Some 200 else None in
+         match Xvi_check.Fault.wal_sweep ?crash_points wal_db batches with
+         | Ok r ->
+             Printf.printf
+               "wal crash sweep ok: %d crash points, %d byte flips over %d \
+                commits\n"
+               r.Xvi_check.Fault.crash_points r.Xvi_check.Fault.wal_flips
+               r.Xvi_check.Fault.commits
+         | Error m ->
+             prerr_endline ("wal crash sweep: " ^ m);
+             exit 1
+       end);
+      (* snapshot-isolated serving: reader domains raced against the
+         single writer, every pinned epoch digest-checked against the
+         scripted commit prefix, with a mid-commit writer stall *)
+      (match
+         Xvi_check.Runner.run_concurrent ~log:print_endline ~seed ~readers:2
+           ~commits:(if quick then 12 else 40) ()
+       with
+      | Ok o ->
+          Printf.printf
+            "concurrent serve ok: %d readers, %d checked reads over %d \
+             epochs\n"
+            o.Xvi_check.Runner.readers o.Xvi_check.Runner.reads
+            o.Xvi_check.Runner.epochs
+      | Error m ->
+          prerr_endline ("concurrent serve: " ^ m);
+          exit 1);
+      (* group-commit crash sweep: sessions commit deferred, one shared
+         fsync per round, recovery checked at every cut *)
+      let serve_db = gen_db rng in
+      let texts = Store.text_nodes (Db.store serve_db) in
       if Array.length texts = 0 then
-        print_endline "wal sweep skipped: generated document has no text nodes"
+        print_endline
+          "serve sweep skipped: generated document has no text nodes"
       else begin
         let n = Array.length texts in
         let batches =
-          List.init 6 (fun i ->
-              List.init ((i mod 3) + 1) (fun j ->
-                  (texts.((i * 3 + j) mod n), Printf.sprintf "wal-%d-%d" i j)))
+          List.init 9 (fun i ->
+              List.init ((i mod 2) + 1) (fun j ->
+                  (texts.((i * 2 + j) mod n), Printf.sprintf "serve-%d-%d" i j)))
         in
-        let crash_points = if quick then Some 200 else None in
-        match Xvi_check.Fault.wal_sweep ?crash_points wal_db batches with
+        let crash_points = if quick then Some 150 else None in
+        match
+          Xvi_check.Fault.serve_sweep ?crash_points ~sessions:3 serve_db
+            batches
+        with
         | Ok r ->
             Printf.printf
-              "wal crash sweep ok: %d crash points, %d byte flips over %d \
-               commits\n"
-              r.Xvi_check.Fault.crash_points r.Xvi_check.Fault.wal_flips
-              r.Xvi_check.Fault.commits
+              "serve crash sweep ok: %d crash points over %d commits in %d \
+               shared sync(s)\n"
+              r.Xvi_check.Fault.serve_crash_points
+              r.Xvi_check.Fault.serve_commits r.Xvi_check.Fault.syncs
         | Error m ->
-            prerr_endline ("wal crash sweep: " ^ m);
+            prerr_endline ("serve crash sweep: " ^ m);
             exit 1
       end
     end
@@ -712,5 +937,6 @@ let () =
        (Cmd.group info
           [
             generate_cmd; shred_cmd; stats_cmd; query_cmd; update_cmd;
-            recover_cmd; checkpoint_cmd; fuzz_cmd; collisions_cmd;
+            recover_cmd; checkpoint_cmd; serve_cmd; client_cmd; fuzz_cmd;
+            collisions_cmd;
           ]))

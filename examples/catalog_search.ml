@@ -24,7 +24,14 @@ let () =
       substring = true;
     }
   in
-  let db, build_ms = Timing.time_ms (fun () -> Db.of_xml_exn ~config xml) in
+  let db, build_ms =
+    Timing.time_ms (fun () ->
+        match Db.of_xml ~config xml with
+        | Ok db -> db
+        | Error e ->
+            prerr_endline (Xvi_xml.Parser.error_to_string e);
+            exit 1)
+  in
   let store = Db.store db in
   Printf.printf "catalog: %s nodes, indexed in %s\n\n"
     (Table.fmt_int (Store.live_count store))

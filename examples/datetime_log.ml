@@ -22,7 +22,13 @@ let () =
   let config =
     { Db.Config.default with Db.Config.types = [ LT.datetime (); LT.double () ] }
   in
-  let db = Db.of_xml_exn ~config xml in
+  let db =
+    match Db.of_xml ~config xml with
+    | Ok db -> db
+    | Error e ->
+        prerr_endline (Xvi_xml.Parser.error_to_string e);
+        exit 1
+  in
   let store = Db.store db in
   let ti = Option.get (Db.typed_index db "xs:dateTime") in
   let spec = LT.datetime () in

@@ -17,7 +17,13 @@ module Table = Xvi_util.Table
 
 let () =
   let xml = Xvi_workload.Xmark.generate ~seed:7 ~factor:1.0 () in
-  let db = Db.of_xml_exn xml in
+  let db =
+    match Db.of_xml xml with
+    | Ok db -> db
+    | Error e ->
+        prerr_endline (Xvi_xml.Parser.error_to_string e);
+        exit 1
+  in
   let store = Db.store db in
   Printf.printf "document: %s nodes\n\n" (Table.fmt_int (Store.live_count store));
 

@@ -39,7 +39,13 @@ let show store label nodes =
 let () =
   (* One call: parse + build the string equality index and the
      xs:double / xs:dateTime range indices over the whole document. *)
-  let db = Db.of_xml_exn person_xml in
+  let db =
+    match Db.of_xml person_xml with
+    | Ok db -> db
+    | Error e ->
+        prerr_endline (Xvi_xml.Parser.error_to_string e);
+        exit 1
+  in
   let store = Db.store db in
 
   print_endline "-- equality lookups on string values (hash index) --";

@@ -42,9 +42,15 @@ let () =
      every truncation length, plus sampled byte flips over the whole
      file and the full header region *)
   let db =
-    Xvi_core.Db.of_xml_exn
-      "<doc><person age=\"42\">Arthur<weight>73.5</weight></person><entry \
-       ts=\"2009-03-24T12:00:00Z\">measure</entry></doc>"
+    match
+      Xvi_core.Db.of_xml
+        "<doc><person age=\"42\">Arthur<weight>73.5</weight></person><entry \
+         ts=\"2009-03-24T12:00:00Z\">measure</entry></doc>"
+    with
+    | Ok db -> db
+    | Error e ->
+        prerr_endline (Xvi_xml.Parser.error_to_string e);
+        exit 1
   in
   let t1 = Unix.gettimeofday () in
   match Xvi_check.Fault.sweep ~flips:2048 db with

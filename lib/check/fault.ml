@@ -203,7 +203,11 @@ let wal_sweep ?crash_points ?(wal_flips = 128) db batches =
          directory (so the caller's copy is never mutated), and commit
          the scripted operations, recording the log size after each. *)
       Durable.close (Durable.create ~sync_mode:Wal.Always ~dir:base db);
-      let live = Durable.open_exn base in
+      let live =
+        match Durable.open_ base with
+        | Ok t -> t
+        | Error m -> failwith ("wal_sweep: reopen failed: " ^ m)
+      in
       let boundaries = ref [] (* (wal size after commit, op), reversed *) in
       let record op =
         boundaries := ((Durable.stats live).Durable.wal_bytes, op) :: !boundaries
@@ -350,3 +354,222 @@ let wal_sweep ?crash_points ?(wal_flips = 128) db batches =
       | Some m -> Error m
       | None ->
           Ok { crash_points = !points; wal_flips = !flipped; commits })
+
+(* --- crash-point sweep over group commit across sessions ---
+
+   Same oracle discipline as [wal_sweep], but the live run goes through
+   the serving engine: up to [sessions] concurrently open transactions
+   commit deferred under a group window too wide to ever close on its
+   own, so only the explicit engine sync at the end of each round — one
+   shared fsync for the whole round — makes them durable. The WAL size
+   recorded after each commit and at each sync boundary decides,
+   independently of the recovery scanner, what a crash at byte [c] may
+   keep: recovery must land on exactly the committed prefix, and at a
+   sync boundary on exactly the acked set — every acknowledged commit
+   present, no unacked commit visible. *)
+
+module Iset = Set.Make (Int)
+module Engine = Xvi_serve.Engine
+
+type serve_report = {
+  serve_crash_points : int;
+  sessions : int;
+  serve_commits : int;
+  syncs : int;
+}
+
+let serve_sweep ?crash_points ?(sessions = 3) db batches =
+  let batches = List.filter (fun b -> b <> []) batches in
+  let base = fresh_dir "xvi_serve_base" in
+  let crash = fresh_dir "xvi_serve_crash" in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf base;
+      rm_rf crash)
+    (fun () ->
+      (* a window no commit will ever out-wait: only explicit syncs ack *)
+      let window = Wal.Group 3600.0 in
+      (match Engine.init ~sync_mode:window ~dir:base db with
+      | Ok e -> Engine.close e
+      | Error e ->
+          failwith ("serve_sweep: init failed: " ^ Engine.error_to_string e));
+      let engine =
+        match Engine.open_ ~sync_mode:window (Engine.Dir base) with
+        | Ok e -> e
+        | Error e ->
+            failwith ("serve_sweep: open failed: " ^ Engine.error_to_string e)
+      in
+      (* rounds: up to [sessions] pairwise-disjoint batches staged in
+         concurrently open transactions (overlap would make the later
+         commit a legitimate first-committer-wins conflict, which is not
+         what this sweep is about) *)
+      let nodes_of b = Iset.of_list (List.map fst b) in
+      let rounds =
+        let rec pack acc cur cur_nodes n = function
+          | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+          | b :: rest ->
+              let bn = nodes_of b in
+              if n < sessions && Iset.disjoint cur_nodes bn then
+                pack acc (b :: cur) (Iset.union cur_nodes bn) (n + 1) rest
+              else pack (List.rev cur :: acc) [ b ] bn 1 rest
+        in
+        pack [] [] Iset.empty 0 batches
+      in
+      let boundaries = ref [] (* (wal size after commit, op), reversed *) in
+      let sync_points = ref [] (* (wal size at sync, commits acked), reversed *) in
+      let committed = ref 0 in
+      let wal_bytes () =
+        match (Engine.stats engine).Engine.durable with
+        | Some d -> d.Durable.wal_bytes
+        | None -> failwith "serve_sweep: engine is not durable"
+      in
+      List.iter
+        (fun round ->
+          (* every session's transaction is open before any commits, so
+             the log interleaves their records inside one unsynced
+             window *)
+          let txs =
+            List.map
+              (fun b ->
+                let tx = Engine.begin_ engine in
+                List.iter
+                  (fun (n, v) ->
+                    match Txn.update_text tx n v with
+                    | Ok () -> ()
+                    | Error _ -> failwith "serve_sweep: stage rejected")
+                  b;
+                (tx, b))
+              round
+          in
+          List.iter
+            (fun (tx, b) ->
+              match Engine.submit engine tx with
+              | Ok _ ->
+                  incr committed;
+                  boundaries := (wal_bytes (), W_batch b) :: !boundaries
+              | Error e ->
+                  failwith
+                    ("serve_sweep: commit rejected: " ^ Engine.error_to_string e))
+            txs;
+          (* the whole round must still be pending — group commit defers
+             every ack to the shared fsync *)
+          let st = Engine.stats engine in
+          if round <> [] && st.Engine.durable_lsn >= st.Engine.last_lsn then
+            failwith
+              "serve_sweep: deferred commits were acked before the shared sync";
+          Engine.sync engine;
+          let st = Engine.stats engine in
+          if st.Engine.durable_lsn < st.Engine.last_lsn then
+            failwith "serve_sweep: sync left commits unacked";
+          sync_points := (wal_bytes (), !committed) :: !sync_points)
+        rounds;
+      Engine.close engine;
+      let boundaries = List.rev !boundaries in
+      let syncs = List.rev !sync_points in
+      let ops = List.map snd boundaries in
+      let sizes = Array.of_list (List.map fst boundaries) in
+      let commits = Array.length sizes in
+      let wal_all = read_file (Filename.concat base "wal.log") in
+      let snap_bytes = read_file (Filename.concat base "snapshot.xvi") in
+      let wal_size = String.length wal_all in
+      let magic_len = String.length Wal.magic in
+      let oracle = Array.make (commits + 1) None in
+      let oracle_digest k =
+        match oracle.(k) with
+        | Some d -> d
+        | None ->
+            let d = oracle_rebuild (Filename.concat base "snapshot.xvi") ops k in
+            oracle.(k) <- Some d;
+            d
+      in
+      let committed_before cut =
+        let k = ref 0 in
+        Array.iter (fun s -> if s <= cut then incr k) sizes;
+        !k
+      in
+      let failure = ref None in
+      let fail m = if !failure = None then failure := Some m in
+      (* the ack bookkeeping must agree with the recorded boundaries:
+         at a sync point, the durable log holds exactly the acked set *)
+      List.iter
+        (fun (s, acked) ->
+          if committed_before s <> acked then
+            fail
+              (Printf.sprintf
+                 "sync at %d bytes acked %d commits but the log holds %d" s
+                 acked (committed_before s)))
+        syncs;
+      let crash_snap = Filename.concat crash "snapshot.xvi" in
+      let crash_wal = Filename.concat crash "wal.log" in
+      let check_variant ~what ~damaged ~expect =
+        write_file crash_snap snap_bytes;
+        write_file crash_wal damaged;
+        match Durable.open_ crash with
+        | Error m -> fail (Printf.sprintf "recovery failed on %s: %s" what m)
+        | Ok t ->
+            let d1 = db_digest (Durable.db t) in
+            Durable.close t;
+            if d1 <> oracle_digest expect then
+              fail
+                (Printf.sprintf
+                   "recovery diverged from oracle on %s (%d commits expected)"
+                   what expect)
+            else (
+              match Durable.open_ crash with
+              | Error m ->
+                  fail (Printf.sprintf "second recovery failed on %s: %s" what m)
+              | Ok t2 ->
+                  let d2 = db_digest (Durable.db t2) in
+                  Durable.close t2;
+                  if d2 <> d1 then
+                    fail (Printf.sprintf "recovery is not idempotent on %s" what))
+      in
+      let expect_open_error ~what ~damaged =
+        write_file crash_snap snap_bytes;
+        write_file crash_wal damaged;
+        match Durable.open_ crash with
+        | Error _ -> ()
+        | Ok t ->
+            Durable.close t;
+            fail (Printf.sprintf "recovery accepted %s" what)
+      in
+      (* crash positions: every byte length, or [crash_points] evenly
+         spaced ones plus every commit boundary, every sync boundary,
+         and their neighbours *)
+      let lengths =
+        match crash_points with
+        | None -> List.init (wal_size + 1) (fun i -> i)
+        | Some cap ->
+            let spaced = List.init cap (fun i -> i * wal_size / cap) in
+            let edges =
+              (Array.to_list sizes @ List.map fst syncs)
+              |> List.concat_map (fun s -> [ s - 1; s; s + 1 ])
+            in
+            List.sort_uniq Int.compare
+              ((0 :: (magic_len - 1) :: magic_len :: wal_size :: edges) @ spaced)
+            |> List.filter (fun l -> l >= 0 && l <= wal_size)
+      in
+      let points = ref 0 in
+      List.iter
+        (fun len ->
+          if !failure = None then begin
+            incr points;
+            let damaged = String.sub wal_all 0 len in
+            let what =
+              Printf.sprintf "group-commit log torn at byte %d of %d" len
+                wal_size
+            in
+            if len < magic_len then expect_open_error ~what ~damaged
+            else check_variant ~what ~damaged ~expect:(committed_before len)
+          end)
+        lengths;
+      match !failure with
+      | Some m -> Error m
+      | None ->
+          Ok
+            {
+              serve_crash_points = !points;
+              sessions;
+              serve_commits = commits;
+              syncs = List.length syncs;
+            })

@@ -71,3 +71,44 @@ val wal_sweep :
     [128]) bounds the corruption offsets, which always include the
     whole magic header. Batch writes must target text or attribute
     nodes of [db]. *)
+
+(** {1 Crash-point sweep over group commit across sessions}
+
+    {!serve_sweep} replays the same crash discipline against the
+    {!Xvi_serve.Engine} serving path: batches are packed into rounds of
+    up to [sessions] pairwise-disjoint transactions, all open
+    concurrently, committed {e deferred} under a group window too wide
+    to ever close on its own — so only the explicit engine sync closing
+    each round (one shared fsync for every session's commit in it) makes
+    them durable. The live run also asserts the group-commit observable
+    itself: before each round's sync the engine's durable watermark must
+    trail its last LSN, and after it must cover it.
+
+    The crash sweep then cuts the log at torn-tail positions (always
+    including every commit and sync boundary): recovery must land on
+    exactly the committed prefix of the cut, be idempotent, and — at a
+    sync boundary — hold exactly the acked set: every commit whose sync
+    returned before the crash is present, and no unacked commit is
+    visible. *)
+
+type serve_report = {
+  serve_crash_points : int;  (** torn-tail positions exercised *)
+  sessions : int;  (** concurrently open transactions per round *)
+  serve_commits : int;  (** commits in the scripted workload *)
+  syncs : int;  (** shared group-commit fsync boundaries *)
+}
+
+val serve_sweep :
+  ?crash_points:int ->
+  ?sessions:int ->
+  Xvi_core.Db.t ->
+  (Xvi_xml.Store.node * string) list list ->
+  (serve_report, string) result
+(** [serve_sweep db batches] initialises a durable directory from [db]
+    (never mutating the caller's copy), serves it through an engine with
+    an effectively infinite group window, and runs the multi-session
+    deferred-commit workload described above. Batches with overlapping
+    write sets are placed in different rounds — a conflict would abort
+    the round, which is not what this sweep measures. [sessions]
+    defaults to [3]; [crash_points] caps the sweep as in
+    {!wal_sweep}. *)

@@ -460,6 +460,235 @@ let run ?(config = default_config) ?(log = fun _ -> ()) ~seed ~docs ~ops_per_doc
   in
   loop 0
 
+(* --- concurrent readers against a single writer ---------------------
+
+   Readers pin epochs from a serving {!Xvi_serve.Engine} while the
+   writer commits a scripted sequence of text batches. Every pin is
+   checked two ways:
+
+   - bit identity: the pinned database's marshalled bytes must equal
+     those of an oracle replica that replayed exactly the first
+     [pin.commits] scripted batches through the same Txn path, copied
+     and plane-forced the same way publication does — an epoch is the
+     whole committed prefix, never a torn or partial state;
+   - self-consistency: query families answered on the pinned database
+     are compared against {!Oracle} over its own store.
+
+   Midway, the writer stalls inside a commit — holding the writer lock —
+   until every reader has made further progress, which is the lock-free
+   read claim asserted rather than assumed. *)
+
+module Engine = Xvi_serve.Engine
+
+type concurrent_outcome = {
+  readers : int;
+  reads : int;
+  commits : int;
+  epochs : int;
+}
+
+let pub_digest db =
+  (* exactly what publication does: deep copy, force the plane, hash the
+     marshalled bytes — so oracle and epoch digests are comparable *)
+  let c = Db.copy db in
+  ignore (Db.plane c : Xvi_xml.Pre_plane.t);
+  Digest.string (Marshal.to_string c [ Marshal.Closures ])
+
+let run_concurrent ?(config = default_config) ?(log = fun (_ : string) -> ())
+    ~seed ~readers ~commits () =
+  try
+    if readers < 1 then failf "run_concurrent: need at least one reader";
+    if commits < 1 then failf "run_concurrent: need at least one commit";
+    let rng = Prng.create seed in
+    (* a generated document with at least one writable leaf *)
+    let rec pick tries =
+      if tries = 0 then
+        failf "run_concurrent: no generated document had a writable leaf"
+      else
+        match Db.of_xml ~config (Gen.document rng) with
+        | Error _ -> pick (tries - 1)
+        | Ok db ->
+            if Array.length (leaves (Db.store db)) = 0 then pick (tries - 1)
+            else db
+    in
+    let master = pick 50 in
+    let replica = Db.copy master in
+    let ls = leaves (Db.store master) in
+    (* the whole write script is fixed before any domain starts *)
+    let batches =
+      List.init commits (fun k ->
+          let width = 1 + Prng.int rng 3 in
+          List.init width (fun j ->
+              let n = ls.(Prng.int rng (Array.length ls)) in
+              let v =
+                if (k + j) mod 3 = 0 then Printf.sprintf "%d.%d" k j
+                else Printf.sprintf "c%d-w%d" k j
+              in
+              (n, v)))
+    in
+    (* oracle digests for every commit prefix, replayed on the replica
+       through the same Txn path the engine's writer uses *)
+    let expected = Array.make (commits + 1) "" in
+    expected.(0) <- pub_digest replica;
+    let omgr = Txn.manager replica in
+    List.iteri
+      (fun i writes ->
+        let tx = Txn.begin_ omgr in
+        List.iter
+          (fun (n, v) ->
+            match Txn.update_text tx n v with
+            | Ok () -> ()
+            | Error _ -> failf "run_concurrent: oracle stage rejected")
+          writes;
+        (match Txn.commit tx with
+        | Ok () -> ()
+        | Error _ -> failf "run_concurrent: oracle commit conflicted");
+        expected.(i + 1) <- pub_digest replica)
+      batches;
+    let engine =
+      match Engine.open_ (Engine.Memory master) with
+      | Ok e -> e
+      | Error e -> failf "run_concurrent: %s" (Engine.error_to_string e)
+    in
+    let total_reads = Atomic.make 0 in
+    let writer_done = Atomic.make false in
+    let reader idx =
+      let rng = Prng.create (seed + (7919 * (idx + 1))) in
+      let last_epoch = ref (-1) and last_commits = ref (-1) in
+      let seen = ref Iset.empty in
+      let my_reads = ref 0 in
+      let check_pin (pin : Engine.pinned) =
+        if pin.Engine.epoch < !last_epoch then
+          failf "reader %d: epoch went backwards (%d after %d)" idx
+            pin.Engine.epoch !last_epoch;
+        if pin.Engine.commits < !last_commits then
+          failf "reader %d: commit count went backwards (%d after %d)" idx
+            pin.Engine.commits !last_commits;
+        last_epoch := pin.Engine.epoch;
+        last_commits := pin.Engine.commits;
+        seen := Iset.add pin.Engine.epoch !seen;
+        if pin.Engine.commits < 0 || pin.Engine.commits > commits then
+          failf "reader %d: pinned %d commits of a %d-commit script" idx
+            pin.Engine.commits commits;
+        let d =
+          Digest.string (Marshal.to_string pin.Engine.db [ Marshal.Closures ])
+        in
+        if d <> expected.(pin.Engine.commits) then
+          failf "reader %d: epoch %d is not the scripted %d-commit prefix" idx
+            pin.Engine.epoch pin.Engine.commits;
+        let db = pin.Engine.db in
+        let store = Db.store db in
+        let pls = leaves store in
+        if Array.length pls > 0 then begin
+          let probe = Store.text store (Prng.choose rng pls) in
+          compare_lists
+            ~what:(Printf.sprintf "reader %d lookup_string %S" idx probe)
+            (Oracle.lookup_string store probe)
+            (Db.lookup_string db probe)
+        end;
+        let nm = Prng.choose rng Gen.names in
+        compare_lists
+          ~what:(Printf.sprintf "reader %d elements_named %S" idx nm)
+          (Oracle.elements_named store nm)
+          (Db.elements_named db nm);
+        compare_lists
+          ~what:(Printf.sprintf "reader %d lookup_double any" idx)
+          (Oracle.lookup_typed store (Lexical_types.double ()) Db.Range.any)
+          (Db.lookup_double db Db.Range.any);
+        incr my_reads;
+        Atomic.incr total_reads
+      in
+      let rec loop () =
+        let pin = Engine.pin engine in
+        check_pin pin;
+        if not (Atomic.get writer_done) then loop ()
+      in
+      match
+        loop ();
+        (* one last pin so the final epoch is covered too *)
+        check_pin (Engine.pin engine)
+      with
+      | () -> Ok (!my_reads, !seen)
+      | exception Check_failed m -> Error m
+      | exception e ->
+          Error
+            (Printf.sprintf "reader %d escaped exception: %s" idx
+               (Printexc.to_string e))
+    in
+    let doms = List.init readers (fun idx -> Domain.spawn (fun () -> reader idx)) in
+    let stall_failed = ref false in
+    let stall_at = commits / 2 in
+    let writer_commit k writes =
+      let tx = Engine.begin_ engine in
+      List.iter
+        (fun (n, v) ->
+          match Txn.update_text tx n v with
+          | Ok () -> ()
+          | Error _ -> failf "writer: stage of commit %d rejected" k)
+        writes;
+      match Engine.submit engine tx with
+      | Ok _ -> ()
+      | Error e ->
+          failf "writer: commit %d rejected: %s" k (Engine.error_to_string e)
+    in
+    let werr = ref None in
+    (try
+       List.iteri
+         (fun k writes ->
+           if k = stall_at then
+             Engine.set_commit_stall engine
+               (Some
+                  (fun () ->
+                    (* the writer now holds the commit lock; every reader
+                       must still make progress before it lets go *)
+                    let target = Atomic.get total_reads + (2 * readers) in
+                    let deadline = Xvi_util.Timing.now_s () +. 30.0 in
+                    let rec wait () =
+                      if Atomic.get total_reads >= target then ()
+                      else if Xvi_util.Timing.now_s () > deadline then
+                        stall_failed := true
+                      else begin
+                        Unix.sleepf 0.001;
+                        wait ()
+                      end
+                    in
+                    wait ()));
+           writer_commit k writes;
+           if k = stall_at then Engine.set_commit_stall engine None
+           else Unix.sleepf 0.0002)
+         batches
+     with Check_failed m -> werr := Some m);
+    Atomic.set writer_done true;
+    let results = List.map Domain.join doms in
+    Engine.close engine;
+    match !werr with
+    | Some m -> Error m
+    | None ->
+        if !stall_failed then
+          Error
+            "readers made no progress while the writer was stalled \
+             mid-commit — a read blocked on the writer"
+        else begin
+          let rec collect reads seen = function
+            | [] ->
+                let out =
+                  { readers; reads; commits; epochs = Iset.cardinal seen }
+                in
+                log
+                  (Printf.sprintf
+                     "%d readers made %d checked reads over %d epochs while \
+                      %d commits landed"
+                     out.readers out.reads out.epochs out.commits);
+                Ok out
+            | Error m :: _ -> Error m
+            | Ok (r, s) :: rest -> collect (reads + r) (Iset.union seen s) rest
+          in
+          collect 0 Iset.empty results
+        end
+  with
+  | Check_failed m -> Error m
+  | e -> Error (Printf.sprintf "escaped exception: %s" (Printexc.to_string e))
+
 (* --- replayable trace rendering --- *)
 
 let doc_literal doc =

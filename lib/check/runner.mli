@@ -48,3 +48,40 @@ val run :
 val render_trace : failure -> string
 (** The failure as a replayable OCaml program ([run_doc] invocation),
     plus the divergence message in a comment. *)
+
+(** {1 Concurrent readers against a single writer}
+
+    {!run_concurrent} serves a generated document through
+    {!Xvi_serve.Engine} and races [readers] reader domains against the
+    single writer while it commits a scripted sequence of text batches.
+    Each reader repeatedly pins an epoch and checks it two ways: the
+    pinned database's marshalled bytes must be {e bit-identical} to an
+    oracle replica that replayed exactly the first [pin.commits]
+    scripted batches (an epoch is always a whole committed prefix, never
+    torn), and several query families on the pinned database must agree
+    with {!Oracle} over its own store. Epoch and commit counters must
+    never move backwards within a reader.
+
+    Midway through the script the writer {e stalls inside a commit},
+    holding the writer lock, and refuses to continue until every reader
+    has made further progress — so a run that returns [Ok] has
+    witnessed, not assumed, that no read ever blocks on the writer. *)
+
+type concurrent_outcome = {
+  readers : int;  (** reader domains raced *)
+  reads : int;  (** pins fully cross-checked, summed over readers *)
+  commits : int;  (** scripted writer commits applied *)
+  epochs : int;  (** distinct epochs observed by any reader *)
+}
+
+val run_concurrent :
+  ?config:Xvi_core.Db.Config.t ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  readers:int ->
+  commits:int ->
+  unit ->
+  (concurrent_outcome, string) result
+(** Race [readers] domains against a [commits]-batch writer over a
+    document generated from [seed]. [Error] carries the first
+    divergence, ordering violation, or the blocked-reader verdict. *)

@@ -75,6 +75,13 @@ let of_xml ?config src =
   Result.map (fun store -> of_store ?config store) (Parser.parse src)
 
 let of_xml_exn ?config src = of_store ?config (Parser.parse_exn src)
+
+(* A deep, fully independent replica. Marshal round-trip with [Closures]
+   (the typed specs carry parse closures) — the exact byte path
+   [Snapshot] already trusts for persistence, reused here so the serve
+   layer can publish immutable epochs of a live database. *)
+let copy t = (Marshal.from_string (Marshal.to_string t [ Marshal.Closures ]) 0 : t)
+
 let store t = t.store
 let config t = t.config
 let string_index t = t.strings
@@ -227,14 +234,23 @@ let provider t =
 
 (* An unknown type name is a caller bug, not an empty result; surface it
    at compile time rather than from deep inside a scan. *)
-let rec check_types t ir =
+let known_type t name = typed_index t name <> None || spec_named name <> None
+
+let rec first_unknown_type t ir =
   match ir with
-  | Ir.Typed_range (name, _) ->
-      if typed_index t name = None && spec_named name = None then
-        invalid_arg (Printf.sprintf "Db: unknown type %s" name)
-  | Ir.Within (_, p) | Ir.Not p -> check_types t p
-  | Ir.And ps | Ir.Or ps -> List.iter (check_types t) ps
-  | _ -> ()
+  | Ir.Typed_range (name, _) -> if known_type t name then None else Some name
+  | Ir.Within (_, p) | Ir.Not p -> first_unknown_type t p
+  | Ir.And ps | Ir.Or ps ->
+      List.fold_left
+        (fun acc p ->
+          match acc with Some _ -> acc | None -> first_unknown_type t p)
+        None ps
+  | _ -> None
+
+let check_types t ir =
+  match first_unknown_type t ir with
+  | None -> ()
+  | Some name -> invalid_arg (Printf.sprintf "Db: unknown type %s" name)
 
 let compile t ir =
   check_types t ir;
@@ -279,6 +295,27 @@ let lookup_typed t name range =
            keyed)
 
 let lookup_double t range = lookup_typed t "xs:double" range
+
+(* --- Result-typed reads ---
+
+   The only way any read above can escape with an exception is an
+   unknown type name reaching [check_types]; these variants surface that
+   as a value instead, so boundaries that must not raise (the serve
+   engine, the wire protocol) get a total read API. *)
+
+type read_error = [ `Unknown_type of string ]
+
+let read_error_to_string (`Unknown_type name : read_error) =
+  Printf.sprintf "unknown type %s" name
+
+let query_r t ir =
+  match first_unknown_type t ir with
+  | Some name -> Error (`Unknown_type name)
+  | None -> Ok (query t ir)
+
+let lookup_typed_r t name range =
+  if known_type t name then Ok (lookup_typed t name range)
+  else Error (`Unknown_type name)
 
 let lookup_string_within t ~scope s =
   query t (Ir.within ~scope (Ir.string_eq s))

@@ -61,6 +61,17 @@ val of_xml : ?config:Config.t -> string -> (t, Xvi_xml.Parser.error) result
 (** Shred an XML document and index it. *)
 
 val of_xml_exn : ?config:Config.t -> string -> t
+  [@@deprecated
+    "raises through the public boundary; use Db.of_xml (or Xvi_serve.Engine) \
+     and handle the Error case"]
+
+val copy : t -> t
+(** A deep, fully independent replica — store, every index, and the
+    cached plane. Nothing is shared with the original, so one side can
+    be mutated while the other is read from another domain; this is how
+    {!Xvi_serve.Engine} publishes immutable epochs. Cost is a marshal
+    round-trip of the whole database (the same byte path
+    {!Snapshot.save} persists). *)
 
 val store : t -> Xvi_xml.Store.t
 
@@ -167,6 +178,25 @@ val lookup_string_within : t -> scope:node -> string -> node list
     value equals the argument, in document order. *)
 
 val lookup_double_within : t -> scope:node -> Range.t -> node list
+
+(** {2 Result-typed reads}
+
+    The lookup family above is total except for one escape hatch: an
+    unknown type name raises [Invalid_argument] out of {!lookup_typed} /
+    {!query}. Boundaries that must never raise — {!Xvi_serve.Engine},
+    the wire protocol — use these variants, which return the same
+    answers with that failure as a value. *)
+
+type read_error = [ `Unknown_type of string ]
+
+val read_error_to_string : read_error -> string
+
+val query_r : t -> Ir.t -> (node list, read_error) result
+(** {!query} with unknown type names surfaced as [Error] instead of an
+    exception. *)
+
+val lookup_typed_r : t -> string -> Range.t -> (node list, read_error) result
+(** {!lookup_typed}, total. *)
 
 (** {1 Updates}
 

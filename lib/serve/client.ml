@@ -1,0 +1,123 @@
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect ?(wait_s = 5.0) ~socket () =
+  let deadline = Xvi_util.Timing.now_s () +. wait_s in
+  let rec attempt () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> Ok { fd; closed = false }
+    | exception Unix.Unix_error (e, _, _) ->
+        Unix.close fd;
+        if Xvi_util.Timing.now_s () < deadline then begin
+          Unix.sleepf 0.02;
+          attempt ()
+        end
+        else
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" socket
+               (Unix.error_message e))
+  in
+  attempt ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Unix.close t.fd
+  end
+
+let request t req =
+  if t.closed then Error "client is closed"
+  else
+    match Protocol.write_frame t.fd (Protocol.encode_request req) with
+    | () -> (
+        match Protocol.read_frame t.fd with
+        | Ok payload -> Protocol.decode_response payload
+        | Error `Closed -> Error "server closed the connection"
+        | Error (`Malformed m) -> Error ("malformed response frame: " ^ m))
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Unix.error_message e)
+
+(* --- typed round trips --- *)
+
+let reject = function
+  | Protocol.Err m -> Error m
+  | Protocol.Conflict_r { node; reason } ->
+      Error (Printf.sprintf "conflict on node %d: %s" node reason)
+  | r ->
+      Error
+        (Printf.sprintf "unexpected response %S" (Protocol.encode_response r))
+
+let epoch_rt t req =
+  match request t req with
+  | Ok (Protocol.Epoch { epoch; lsn; commits }) -> Ok (epoch, lsn, commits)
+  | Ok r -> reject r
+  | Error _ as e -> e
+
+let hello t = epoch_rt t Protocol.Hello
+let pin t = epoch_rt t Protocol.Pin
+
+let nodes_rt t req =
+  match request t req with
+  | Ok (Protocol.Nodes ids) -> Ok ids
+  | Ok r -> reject r
+  | Error _ as e -> e
+
+let lookup_string t v = nodes_rt t (Protocol.Lookup_string v)
+let lookup_contains t v = nodes_rt t (Protocol.Lookup_contains v)
+let lookup_named t v = nodes_rt t (Protocol.Lookup_named v)
+let lookup_typed t ty lo hi = nodes_rt t (Protocol.Lookup_typed (ty, lo, hi))
+
+let value t n =
+  match request t (Protocol.Value n) with
+  | Ok (Protocol.Value_r v) -> Ok v
+  | Ok r -> reject r
+  | Error _ as e -> e
+
+let unit_rt t req =
+  match request t req with
+  | Ok Protocol.Ok_ -> Ok ()
+  | Ok r -> reject r
+  | Error _ as e -> e
+
+let begin_ t = unit_rt t Protocol.Begin
+let set t n v = unit_rt t (Protocol.Set (n, v))
+let abort t = unit_rt t Protocol.Abort
+let sync t = unit_rt t Protocol.Sync
+
+let lsn_rt t req =
+  match request t req with
+  | Ok (Protocol.Lsn lsn) -> Ok lsn
+  | Ok r -> reject r
+  | Error _ as e -> e
+
+let commit ?(durable = true) t =
+  lsn_rt t (if durable then Protocol.Commit else Protocol.Commit_deferred)
+
+let delete t n = lsn_rt t (Protocol.Delete n)
+
+let insert t ~parent frag =
+  match request t (Protocol.Insert (parent, frag)) with
+  | Ok (Protocol.Nodes_lsn (ids, lsn)) -> Ok (ids, lsn)
+  | Ok r -> reject r
+  | Error _ as e -> e
+
+let stats t =
+  match request t Protocol.Stats with
+  | Ok (Protocol.Stats_r kvs) -> Ok kvs
+  | Ok r -> reject r
+  | Error _ as e -> e
+
+let bye_rt t req =
+  match request t req with
+  | Ok Protocol.Bye ->
+      close t;
+      Ok ()
+  | Ok r ->
+      close t;
+      reject r
+  | Error _ as e ->
+      close t;
+      e
+
+let quit t = bye_rt t Protocol.Quit
+let shutdown t = bye_rt t Protocol.Shutdown

@@ -1,0 +1,53 @@
+(** In-process client for the {!Protocol} — used by the tests, the
+    bench harness, and `xvi client`. Blocking, one request in flight;
+    create one client per domain. *)
+
+type t
+
+val connect : ?wait_s:float -> socket:string -> unit -> (t, string) result
+(** Connect to a server's Unix socket, retrying for up to [wait_s]
+    seconds (default [5.]) while the socket does not exist yet or
+    refuses — so a freshly forked `xvi serve` needs no handshake
+    choreography. *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** One round trip. Any [Err]/[Conflict_r] payload is still [Ok] here —
+    it is a well-formed response; [Error] means the transport or codec
+    failed. *)
+
+val close : t -> unit
+
+(** {1 Typed round trips}
+
+    Thin wrappers that also turn protocol-level [Err]/[Conflict_r]
+    responses and unexpected response shapes into [Error]. *)
+
+val hello : t -> (int * int * int, string) result
+(** [(epoch, lsn, commits)] of the session's pinned epoch. *)
+
+val pin : t -> (int * int * int, string) result
+val lookup_string : t -> string -> (int list, string) result
+val lookup_contains : t -> string -> (int list, string) result
+val lookup_named : t -> string -> (int list, string) result
+
+val lookup_typed :
+  t -> string -> float option -> float option -> (int list, string) result
+
+val value : t -> int -> (string, string) result
+val begin_ : t -> (unit, string) result
+val set : t -> int -> string -> (unit, string) result
+
+val commit : ?durable:bool -> t -> (int, string) result
+(** The committed LSN; [Error] carries a conflict's reason too. *)
+
+val abort : t -> (unit, string) result
+val insert : t -> parent:int -> string -> (int list * int, string) result
+val delete : t -> int -> (int, string) result
+val stats : t -> ((string * string) list, string) result
+val sync : t -> (unit, string) result
+
+val quit : t -> (unit, string) result
+(** Polite hang-up (awaits [bye], then closes). *)
+
+val shutdown : t -> (unit, string) result
+(** Ask the server to stop, await [bye], close. *)

@@ -1,0 +1,302 @@
+type request =
+  | Hello
+  | Pin
+  | Lookup_string of string
+  | Lookup_contains of string
+  | Lookup_element_contains of string
+  | Lookup_named of string
+  | Lookup_typed of string * float option * float option
+  | Value of int
+  | Begin
+  | Set of int * string
+  | Commit
+  | Commit_deferred
+  | Abort
+  | Insert of int * string
+  | Delete of int
+  | Stats
+  | Sync
+  | Quit
+  | Shutdown
+
+type response =
+  | Ok_
+  | Epoch of { epoch : int; lsn : int; commits : int }
+  | Nodes of int list
+  | Nodes_lsn of int list * int
+  | Value_r of string
+  | Lsn of int
+  | Stats_r of (string * string) list
+  | Conflict_r of { node : int; reason : string }
+  | Err of string
+  | Bye
+
+(* --- token escaping --- *)
+
+let must_escape c =
+  let b = Char.code c in
+  b < 0x21 || b = 0x7f || c = '%'
+
+let escape s =
+  if String.for_all (fun c -> not (must_escape c)) s then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if must_escape c then Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+        else Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let unescape s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents buf)
+    else if s.[i] <> '%' then begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+    else if i + 2 >= n then Error "truncated %-escape"
+    else
+      match (hex_val s.[i + 1], hex_val s.[i + 2]) with
+      | Some hi, Some lo ->
+          Buffer.add_char buf (Char.chr ((hi * 16) + lo));
+          go (i + 3)
+      | _ -> Error (Printf.sprintf "bad %%-escape at offset %d" i)
+  in
+  go 0
+
+(* --- tokens --- *)
+
+(* empty tokens are kept: an empty string argument escapes to an empty
+   token (e.g. "lookup-string " is a lookup for ""), so splitting must
+   not swallow it. Encoders never emit doubled spaces. *)
+let split line = if line = "" then [] else String.split_on_char ' ' line
+let join = String.concat " "
+
+let bound_to_token = function
+  | None -> "_"
+  | Some v -> Printf.sprintf "%.17g" v
+
+let bound_of_token = function
+  | "_" -> Ok None
+  | tok -> (
+      match float_of_string_opt tok with
+      | Some v -> Ok (Some v)
+      | None -> Error (Printf.sprintf "bad float %S" tok))
+
+let int_of_token tok =
+  match int_of_string_opt tok with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "bad integer %S" tok)
+
+(* --- requests --- *)
+
+let encode_request = function
+  | Hello -> "hello"
+  | Pin -> "pin"
+  | Lookup_string v -> join [ "lookup-string"; escape v ]
+  | Lookup_contains v -> join [ "lookup-contains"; escape v ]
+  | Lookup_element_contains v -> join [ "lookup-element-contains"; escape v ]
+  | Lookup_named v -> join [ "lookup-named"; escape v ]
+  | Lookup_typed (ty, lo, hi) ->
+      join [ "lookup-typed"; escape ty; bound_to_token lo; bound_to_token hi ]
+  | Value n -> join [ "value"; string_of_int n ]
+  | Begin -> "begin"
+  | Set (n, v) -> join [ "set"; string_of_int n; escape v ]
+  | Commit -> "commit"
+  | Commit_deferred -> "commit-deferred"
+  | Abort -> "abort"
+  | Insert (parent, frag) -> join [ "insert"; string_of_int parent; escape frag ]
+  | Delete n -> join [ "delete"; string_of_int n ]
+  | Stats -> "stats"
+  | Sync -> "sync"
+  | Quit -> "quit"
+  | Shutdown -> "shutdown"
+
+let ( let* ) = Result.bind
+
+let decode_request line =
+  match split line with
+  | [ "hello" ] -> Ok Hello
+  | [ "pin" ] -> Ok Pin
+  | [ "lookup-string"; v ] ->
+      let* v = unescape v in
+      Ok (Lookup_string v)
+  | [ "lookup-contains"; v ] ->
+      let* v = unescape v in
+      Ok (Lookup_contains v)
+  | [ "lookup-element-contains"; v ] ->
+      let* v = unescape v in
+      Ok (Lookup_element_contains v)
+  | [ "lookup-named"; v ] ->
+      let* v = unescape v in
+      Ok (Lookup_named v)
+  | [ "lookup-typed"; ty; lo; hi ] ->
+      let* ty = unescape ty in
+      let* lo = bound_of_token lo in
+      let* hi = bound_of_token hi in
+      Ok (Lookup_typed (ty, lo, hi))
+  | [ "value"; n ] ->
+      let* n = int_of_token n in
+      Ok (Value n)
+  | [ "begin" ] -> Ok Begin
+  | [ "set"; n; v ] ->
+      let* n = int_of_token n in
+      let* v = unescape v in
+      Ok (Set (n, v))
+  | [ "commit" ] -> Ok Commit
+  | [ "commit-deferred" ] -> Ok Commit_deferred
+  | [ "abort" ] -> Ok Abort
+  | [ "insert"; parent; frag ] ->
+      let* parent = int_of_token parent in
+      let* frag = unescape frag in
+      Ok (Insert (parent, frag))
+  | [ "delete"; n ] ->
+      let* n = int_of_token n in
+      Ok (Delete n)
+  | [ "stats" ] -> Ok Stats
+  | [ "sync" ] -> Ok Sync
+  | [ "quit" ] -> Ok Quit
+  | [ "shutdown" ] -> Ok Shutdown
+  | cmd :: _ -> Error (Printf.sprintf "unknown or malformed request %S" cmd)
+  | [] -> Error "empty request"
+
+(* --- responses --- *)
+
+let encode_response = function
+  | Ok_ -> "ok"
+  | Epoch { epoch; lsn; commits } ->
+      join [ "epoch"; string_of_int epoch; string_of_int lsn; string_of_int commits ]
+  | Nodes ids ->
+      join ("nodes" :: string_of_int (List.length ids) :: List.map string_of_int ids)
+  | Nodes_lsn (ids, lsn) ->
+      join
+        ("nodes-lsn" :: string_of_int lsn
+        :: string_of_int (List.length ids)
+        :: List.map string_of_int ids)
+  | Value_r v -> join [ "value"; escape v ]
+  | Lsn lsn -> join [ "lsn"; string_of_int lsn ]
+  | Stats_r kvs ->
+      join ("stats" :: List.map (fun (k, v) -> escape k ^ "=" ^ escape v) kvs)
+  | Conflict_r { node; reason } ->
+      join [ "conflict"; string_of_int node; escape reason ]
+  | Err m -> join [ "err"; escape m ]
+  | Bye -> "bye"
+
+let rec ints_of_tokens acc = function
+  | [] -> Ok (List.rev acc)
+  | tok :: rest ->
+      let* n = int_of_token tok in
+      ints_of_tokens (n :: acc) rest
+
+let decode_response line =
+  match split line with
+  | [ "ok" ] -> Ok Ok_
+  | [ "epoch"; e; l; c ] ->
+      let* epoch = int_of_token e in
+      let* lsn = int_of_token l in
+      let* commits = int_of_token c in
+      Ok (Epoch { epoch; lsn; commits })
+  | "nodes" :: count :: ids ->
+      let* count = int_of_token count in
+      let* ids = ints_of_tokens [] ids in
+      if List.length ids <> count then Error "nodes: count mismatch"
+      else Ok (Nodes ids)
+  | "nodes-lsn" :: lsn :: count :: ids ->
+      let* lsn = int_of_token lsn in
+      let* count = int_of_token count in
+      let* ids = ints_of_tokens [] ids in
+      if List.length ids <> count then Error "nodes-lsn: count mismatch"
+      else Ok (Nodes_lsn (ids, lsn))
+  | [ "value"; v ] ->
+      let* v = unescape v in
+      Ok (Value_r v)
+  | [ "value" ] -> Ok (Value_r "")
+  | [ "lsn"; l ] ->
+      let* lsn = int_of_token l in
+      Ok (Lsn lsn)
+  | "stats" :: kvs ->
+      let* kvs =
+        List.fold_left
+          (fun acc kv ->
+            let* acc = acc in
+            match String.index_opt kv '=' with
+            | None -> Error (Printf.sprintf "stats: bad pair %S" kv)
+            | Some i ->
+                let* k = unescape (String.sub kv 0 i) in
+                let* v =
+                  unescape (String.sub kv (i + 1) (String.length kv - i - 1))
+                in
+                Ok ((k, v) :: acc))
+          (Ok []) kvs
+      in
+      Ok (Stats_r (List.rev kvs))
+  | [ "conflict"; n; reason ] ->
+      let* node = int_of_token n in
+      let* reason = unescape reason in
+      Ok (Conflict_r { node; reason })
+  | [ "err"; m ] ->
+      let* m = unescape m in
+      Ok (Err m)
+  | [ "bye" ] -> Ok Bye
+  | cmd :: _ -> Error (Printf.sprintf "unknown or malformed response %S" cmd)
+  | [] -> Error "empty response"
+
+(* --- framing --- *)
+
+let max_frame = 16 * 1024 * 1024
+
+let write_all fd s =
+  let n = String.length s in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write_substring fd s !written (n - !written)
+  done
+
+let write_frame fd payload =
+  write_all fd (Printf.sprintf "%d\n%s" (String.length payload) payload)
+
+let read_byte fd =
+  let b = Bytes.create 1 in
+  match Unix.read fd b 0 1 with 0 -> None | _ -> Some (Bytes.get b 0)
+
+let read_frame fd =
+  (* length line: a short decimal, then '\n' *)
+  let buf = Buffer.create 12 in
+  let rec read_len () =
+    match read_byte fd with
+    | None -> if Buffer.length buf = 0 then Error `Closed else Error (`Malformed "eof inside frame header")
+    | Some '\n' -> (
+        match int_of_string_opt (Buffer.contents buf) with
+        | Some n when n >= 0 && n <= max_frame -> Ok n
+        | Some n -> Error (`Malformed (Printf.sprintf "frame length %d out of bounds" n))
+        | None -> Error (`Malformed (Printf.sprintf "bad frame header %S" (Buffer.contents buf))))
+    | Some c ->
+        if Buffer.length buf > 10 then Error (`Malformed "frame header too long")
+        else begin
+          Buffer.add_char buf c;
+          read_len ()
+        end
+  in
+  match read_len () with
+  | Error _ as e -> e
+  | Ok len ->
+      let payload = Bytes.create len in
+      let rec fill off =
+        if off >= len then Ok (Bytes.unsafe_to_string payload)
+        else
+          match Unix.read fd payload off (len - off) with
+          | 0 -> Error (`Malformed "eof inside frame payload")
+          | k -> fill (off + k)
+      in
+      fill 0

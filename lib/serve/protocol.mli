@@ -1,0 +1,111 @@
+(** The `xvi serve` wire protocol: length-prefixed frames, one line of
+    space-separated tokens per frame.
+
+    {2 Framing}
+
+    Each frame is the payload's decimal byte length, a newline, then
+    exactly that many payload bytes:
+
+    {v <len-decimal> "\n" <len bytes> v}
+
+    Frames carry one request or one response. String arguments are
+    percent-encoded ([%XX] for bytes [< 0x21], [%], and [0x7F]) so any
+    XML content — spaces, newlines, arbitrary bytes — travels as a
+    single token. An empty argument travels as an empty token (the
+    separating space is still present), so it round-trips too.
+
+    {2 Requests}
+
+    {v
+    hello                          -> epoch
+    pin                            -> epoch        (repin newest epoch)
+    lookup-string <v>              -> nodes
+    lookup-contains <v>            -> nodes
+    lookup-element-contains <v>    -> nodes
+    lookup-named <tag>             -> nodes
+    lookup-typed <type> <lo> <hi>  -> nodes        (bounds: float or "_")
+    value <node>                   -> value        (XDM string value)
+    begin                          -> ok
+    set <node> <v>                 -> ok           (stage a text write)
+    commit                         -> lsn          (durable ack)
+    commit-deferred                -> lsn          (applied, not yet fsynced)
+    abort                          -> ok
+    insert <parent> <fragment>     -> nodes-lsn
+    delete <node>                  -> lsn
+    stats                          -> stats
+    sync                           -> ok
+    quit                           -> bye          (close this connection)
+    shutdown                       -> bye          (stop the whole server)
+    v}
+
+    {2 Responses}
+
+    {v
+    ok
+    epoch <epoch> <lsn> <commits>
+    nodes <count> <id>*
+    nodes-lsn <lsn> <count> <id>*
+    value <v>
+    lsn <lsn>
+    stats <key>=<value>*
+    conflict <node> <reason>
+    err <message>
+    bye
+    v} *)
+
+type request =
+  | Hello
+  | Pin
+  | Lookup_string of string
+  | Lookup_contains of string
+  | Lookup_element_contains of string
+  | Lookup_named of string
+  | Lookup_typed of string * float option * float option
+  | Value of int
+  | Begin
+  | Set of int * string
+  | Commit
+  | Commit_deferred
+  | Abort
+  | Insert of int * string
+  | Delete of int
+  | Stats
+  | Sync
+  | Quit
+  | Shutdown
+
+type response =
+  | Ok_
+  | Epoch of { epoch : int; lsn : int; commits : int }
+  | Nodes of int list
+  | Nodes_lsn of int list * int
+  | Value_r of string
+  | Lsn of int
+  | Stats_r of (string * string) list
+  | Conflict_r of { node : int; reason : string }
+  | Err of string
+  | Bye
+
+(** {1 Codec} — total in both directions; unparsable input is an
+    [Error], never an exception. *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+val escape : string -> string
+val unescape : string -> (string, string) result
+
+(** {1 Framing over a file descriptor} *)
+
+val max_frame : int
+(** Refuse frames larger than this (16 MiB) — a malformed length
+    prefix must not allocate unbounded memory. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** May raise [Unix.Unix_error] (broken pipe etc.) — the server maps
+    that to dropping the connection. *)
+
+val read_frame : Unix.file_descr -> (string, [ `Closed | `Malformed of string ]) result
+(** [`Closed] on clean EOF before any byte of a frame. *)

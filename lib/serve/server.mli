@@ -1,0 +1,35 @@
+(** The `xvi serve` network front end: a Unix-domain socket speaking
+    {!Protocol}, one {!Session} (and one domain) per connection.
+
+    Readers scale by connection count: each connection's session pins
+    epochs lock-free, so queries from N clients run on N domains with no
+    shared state but the epoch cell. All writes funnel into the engine's
+    single writer; concurrent commits share fsyncs through the engine's
+    group-commit machinery.
+
+    Shutdown is cooperative: a client sends [shutdown] (or the embedding
+    process calls {!request_stop}), the accept loop drains, every open
+    connection is joined, and the socket file is removed. *)
+
+type t
+
+val create :
+  ?log:(string -> unit) ->
+  engine:Engine.t ->
+  socket:string ->
+  unit ->
+  (t, string) result
+(** Bind and listen on [socket] (an existing stale socket file is
+    replaced). [log] receives one line per lifecycle event; default
+    silence. The engine is borrowed, not owned — {!run} does not close
+    it. *)
+
+val socket : t -> string
+
+val run : t -> unit
+(** Accept and serve until a [shutdown] request (or {!request_stop})
+    arrives; then join every connection domain, close and unlink the
+    socket, and return. Runs on the calling domain. *)
+
+val request_stop : t -> unit
+(** Ask {!run} to wind down (thread-safe, returns immediately). *)

@@ -1,0 +1,121 @@
+module Store = Xvi_xml.Store
+module Db = Xvi_core.Db
+module Txn = Xvi_txn.Txn
+
+type node = Store.node
+
+type t = {
+  engine : Engine.t;
+  mutable pin : Engine.pinned;
+  mutable txn : Txn.t option;
+}
+
+let create engine = { engine; pin = Engine.pin engine; txn = None }
+let engine t = t.engine
+let pinned t = t.pin
+let db t = t.pin.Engine.db
+
+let refresh t =
+  t.pin <- Engine.pin t.engine;
+  t.pin
+
+(* --- reads: straight off the pinned epoch --- *)
+
+let lookup_string t s = Db.lookup_string (db t) s
+let lookup_contains t pat = Db.lookup_contains (db t) pat
+let lookup_element_contains t pat = Db.lookup_element_contains (db t) pat
+let elements_named t name = Db.elements_named (db t) name
+
+let lookup_typed t name range =
+  match Db.lookup_typed_r (db t) name range with
+  | Ok _ as ok -> ok
+  | Error e -> Error (Engine.Read e)
+
+let query t ir =
+  match Db.query_r (db t) ir with
+  | Ok _ as ok -> ok
+  | Error e -> Error (Engine.Read e)
+
+let string_value t n =
+  let store = Db.store (db t) in
+  if n < 0 || n >= Store.node_range store then
+    Error (Engine.Invalid (Printf.sprintf "node %d out of range" n))
+  else if not (Store.is_live store n) then
+    Error (Engine.Invalid (Printf.sprintf "node %d is deleted" n))
+  else Ok (Store.string_value store n)
+
+(* --- writes --- *)
+
+let in_txn t = t.txn <> None
+
+let begin_ t =
+  match t.txn with
+  | Some _ -> Error (Engine.Invalid "Session.begin_: transaction already open")
+  | None ->
+      t.txn <- Some (Engine.begin_ t.engine);
+      Ok ()
+
+let stage t n v =
+  match t.txn with
+  | None -> Error (Engine.Invalid "Session.stage: no open transaction")
+  | Some tx -> (
+      match Txn.update_text tx n v with
+      | Ok () -> Ok ()
+      | Error `Not_text ->
+          Error
+            (Engine.Invalid
+               (Printf.sprintf "node %d is not a text or attribute node" n))
+      | Error `Finished ->
+          Error (Engine.Invalid "Session.stage: transaction is finished"))
+
+let commit ?(durable = true) t =
+  match t.txn with
+  | None -> Error (Engine.Invalid "Session.commit: no open transaction")
+  | Some tx -> (
+      t.txn <- None;
+      let result =
+        if durable then Engine.submit_durable t.engine tx
+        else Engine.submit t.engine tx
+      in
+      match result with
+      | Ok _ as ok ->
+          ignore (refresh t : Engine.pinned);
+          ok
+      | Error _ as e -> e)
+
+let abort t =
+  match t.txn with
+  | None -> ()
+  | Some tx ->
+      if Txn.is_active tx then Txn.abort tx;
+      t.txn <- None
+
+let insert_xml t ~parent fragment =
+  if in_txn t then
+    Error
+      (Engine.Invalid
+         "Session.insert_xml: finish the open transaction first (structural \
+          operations are single-op transactions)")
+  else
+    match Engine.insert_xml t.engine ~parent fragment with
+    | Ok _ as ok ->
+        (* force publication: structural ops are rare and the client will
+           almost always read the shape it just created *)
+        t.pin <- Engine.refresh t.engine;
+        ok
+    | Error _ as e -> e
+
+let delete_subtree t node =
+  if in_txn t then
+    Error
+      (Engine.Invalid
+         "Session.delete_subtree: finish the open transaction first \
+          (structural operations are single-op transactions)")
+  else
+    match Engine.delete_subtree t.engine node with
+    | Ok _ as ok ->
+        t.pin <- Engine.refresh t.engine;
+        ok
+    | Error _ as e -> e
+
+let close t = abort t

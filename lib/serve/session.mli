@@ -1,0 +1,80 @@
+(** One logical client of an {!Engine}: a pinned read epoch plus at most
+    one open transaction.
+
+    Lifecycle: {!create} pins the newest epoch; every read answers from
+    that pinned database — immutable, lock-free, unaffected by
+    concurrent commits — until the session repins ({!refresh}, or
+    automatically after its own successful commit, so a client reads its
+    own writes). Writes are staged with {!begin_} / {!stage} and
+    serialised through the engine's single writer by {!commit}.
+
+    Sessions multiplex: any number may exist concurrently (the server
+    gives each connection one); a single session is {e not} itself
+    thread-safe — it models one client. *)
+
+type t
+
+type node = Xvi_xml.Store.node
+
+val create : Engine.t -> t
+
+val engine : t -> Engine.t
+
+val pinned : t -> Engine.pinned
+(** The epoch this session currently reads. *)
+
+val db : t -> Xvi_core.Db.t
+(** The pinned database — use any {!Xvi_core.Db} read on it directly. *)
+
+val refresh : t -> Engine.pinned
+(** Repin to the newest published epoch ({!Engine.pin}; lock-free). *)
+
+(** {1 Reads} — all answered at the pinned epoch, never blocking. *)
+
+val lookup_string : t -> string -> node list
+val lookup_contains : t -> string -> node list
+val lookup_element_contains : t -> string -> node list
+val elements_named : t -> string -> node list
+
+val lookup_typed :
+  t -> string -> Xvi_query.Range.t -> (node list, Engine.error) result
+
+val query : t -> Xvi_query.Ir.t -> (node list, Engine.error) result
+
+val string_value : t -> node -> (string, Engine.error) result
+(** XDM string value of a live node of the pinned epoch. *)
+
+(** {1 Writes} *)
+
+val begin_ : t -> (unit, Engine.error) result
+(** Open the session's transaction. [Error (Invalid _)] if one is
+    already open. *)
+
+val in_txn : t -> bool
+
+val stage : t -> node -> string -> (unit, Engine.error) result
+(** Buffer a text/attribute write in the open transaction. *)
+
+val commit : ?durable:bool -> t -> (Xvi_wal.Wal.lsn, Engine.error) result
+(** Commit the open transaction through the engine's writer; [Error
+    (Conflict _)] is the first-committer-wins loss. With [durable] (the
+    default) the call blocks until the commit's log record is fsynced —
+    group commit batches concurrent sessions behind one fsync — and
+    then repins so the session sees its own write (guaranteed when the
+    engine publishes at every durable boundary, i.e. [publish_period =
+    0.]). [durable:false] returns as soon as the commit is applied; the
+    ack promises nothing a crash can't undo. *)
+
+val abort : t -> unit
+(** Drop the open transaction, if any. Never fails. *)
+
+val insert_xml :
+  t -> parent:node -> string -> (node list * Xvi_wal.Wal.lsn, Engine.error) result
+(** Structural write-through (auto-repins on success). Rejected while a
+    transaction is open — structural ops are single-op transactions. *)
+
+val delete_subtree : t -> node -> (Xvi_wal.Wal.lsn, Engine.error) result
+
+val close : t -> unit
+(** Abort any open transaction. The pinned epoch needs no release —
+    epochs are garbage-collected when the last session lets go. *)

@@ -73,7 +73,15 @@ let update_text t node value =
 
 let write_set t = Hashtbl.fold (fun n _ acc -> n :: acc) t.writes []
 
-let commit t =
+let is_active t =
+  match t.status with Active -> true | Committed | Aborted -> false
+
+type commit_info = {
+  durability : [ `Memory | `Synced | `Deferred ];
+  writes : int;
+}
+
+let commit_r t =
   check_active t "commit";
   (* First-committer-wins, checked only on the written leaves — the
      paper's point is precisely that ancestors need no locks and no
@@ -127,12 +135,18 @@ let commit t =
          the sync mode, forced) before any index or store byte changes,
          so a crash between the two replays the commit rather than
          losing it. *)
-      (match t.mgr.durability with
-      | Some d when updates <> [] -> (
-          match d.log_commit updates with
-          | `Synced -> t.mgr.wal_synced <- t.mgr.wal_synced + 1
-          | `Deferred -> t.mgr.wal_deferred <- t.mgr.wal_deferred + 1)
-      | _ -> ());
+      let durability =
+        match t.mgr.durability with
+        | Some d when updates <> [] -> (
+            match d.log_commit updates with
+            | `Synced ->
+                t.mgr.wal_synced <- t.mgr.wal_synced + 1;
+                `Synced
+            | `Deferred ->
+                t.mgr.wal_deferred <- t.mgr.wal_deferred + 1;
+                `Deferred)
+        | _ -> `Memory
+      in
       Db.update_texts t.mgr.db updates;
       List.iter (fun (n, _) -> Hashtbl.replace t.mgr.versions n stamp) updates;
       t.status <- Committed;
@@ -143,7 +157,9 @@ let commit t =
       (match t.mgr.durability with
       | Some d when updates <> [] -> d.committed ()
       | _ -> ());
-      Ok ()
+      Ok { durability; writes = List.length updates }
+
+let commit t = Result.map (fun (_ : commit_info) -> ()) (commit_r t)
 
 let abort t =
   check_active t "abort";

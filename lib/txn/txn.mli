@@ -66,6 +66,26 @@ val update_text :
 
 val write_set : t -> Xvi_xml.Store.node list
 
+val is_active : t -> bool
+(** Neither committed nor aborted yet — the only state {!commit} /
+    {!abort} accept. Boundaries that must not raise (the serve engine)
+    check this instead of catching [Invalid_argument]. *)
+
+type commit_info = {
+  durability : [ `Memory | `Synced | `Deferred ];
+      (** [`Memory]: no durability hook ran (memory-only manager, or an
+          empty write set — nothing reached the log). [`Synced] /
+          [`Deferred]: what the hook reported, see {!durability}. *)
+  writes : int;  (** size of the committed write set *)
+}
+
+val commit_r : t -> (commit_info, conflict) result
+(** {!commit}, but telling the caller what the commit did — whether its
+    log record is already on stable storage and whether it wrote
+    anything at all. The serve engine's group-commit ack tracking needs
+    both: a [`Deferred] commit must not be acked until a later fsync
+    covers its LSN, and an empty commit must not advance any watermark. *)
+
 val commit : t -> (unit, conflict) result
 (** First-committer-wins on each written node; ancestors are never part
     of the conflict check. A written node that a structural delete has

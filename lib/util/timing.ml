@@ -1,4 +1,5 @@
-let now_ms () = Unix.gettimeofday () *. 1000.0
+let now_s () = Unix.gettimeofday ()
+let now_ms () = now_s () *. 1000.0
 
 let time_ms f =
   let t0 = now_ms () in

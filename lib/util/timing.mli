@@ -1,5 +1,11 @@
 (** Wall-clock measurement helpers for the experiment harness. *)
 
+val now_s : unit -> float
+(** Wall-clock seconds since the epoch — the clock every rate
+    computation and group-commit window in this codebase reads, exposed
+    so callers (the serve engine's flush pacing, the bench QPS loops)
+    agree with it. *)
+
 val time_ms : (unit -> 'a) -> 'a * float
 (** [time_ms f] runs [f ()] and returns its result with the elapsed wall
     time in milliseconds. *)

@@ -27,6 +27,8 @@ type t = {
 let db t = t.db
 let dir t = t.dir
 let last_replay t = t.last_replay
+let last_lsn t = Wal.Writer.last_lsn t.writer
+let sync_mode t = Wal.Writer.sync_mode t.writer
 
 let check_open t op =
   if t.closed then

@@ -51,6 +51,9 @@ val open_exn :
   ?auto_checkpoint_bytes:int ->
   string ->
   t
+  [@@deprecated
+    "raises through the public boundary; use Durable.open_ (or \
+     Xvi_serve.Engine.open_) and handle the Error case"]
 
 val is_durable_dir : string -> bool
 (** A directory containing a snapshot — how the CLI tells a durable
@@ -62,6 +65,14 @@ val dir : t -> string
 val last_replay : t -> Wal.replay_report option
 (** What recovery did when this handle was opened with {!open_};
     [None] for {!create} or when there was no log to replay. *)
+
+val last_lsn : t -> Wal.lsn
+(** LSN of the most recently appended record — what a commit that just
+    returned was assigned. Read this under the same serialisation that
+    ordered the commit (the serve engine's writer lock): the writer is
+    not thread-safe. *)
+
+val sync_mode : t -> Wal.sync_mode
 
 val manager : t -> Xvi_txn.Txn.manager
 (** The transaction manager wired to the log: commits through it are

@@ -1,0 +1,712 @@
+(* Serving-layer tests: protocol codec and framing, Engine epoch
+   semantics (memory and durable), Session lifecycle, a real
+   server/client round trip over a Unix socket, the concurrent-reader
+   harness and the multi-session group-commit crash sweep. *)
+
+module Store = Xvi_xml.Store
+module Db = Xvi_core.Db
+module Txn = Xvi_txn.Txn
+module Engine = Xvi_serve.Engine
+module Session = Xvi_serve.Session
+module Protocol = Xvi_serve.Protocol
+module Server = Xvi_serve.Server
+module Client = Xvi_serve.Client
+module Range = Xvi_query.Range
+module Runner = Xvi_check.Runner
+module Fault = Xvi_check.Fault
+
+let small_xml = "<doc><a>alpha</a><b>beta</b><c n=\"7\">gamma</c></doc>"
+
+let nodes = Alcotest.(list int)
+
+let with_dir f =
+  let dir = Filename.temp_file "xvi_serve_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun e ->
+            try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end)
+    (fun () -> f dir)
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Engine.error_to_string e)
+
+let with_mem_engine ?publish_period xml f =
+  let engine =
+    ok_exn "open memory engine"
+      (Engine.open_ ?publish_period (Engine.Memory (Db.of_xml_exn xml)))
+  in
+  Fun.protect ~finally:(fun () -> Engine.close engine) (fun () -> f engine)
+
+let texts_of db = Store.text_nodes (Db.store db)
+
+let first_text db =
+  let texts = texts_of db in
+  if Array.length texts = 0 then Alcotest.fail "no text nodes";
+  texts.(0)
+
+(* --- protocol codec ------------------------------------------------ *)
+
+let nasty_strings =
+  [
+    "";
+    "plain";
+    "two words";
+    "percent % sign";
+    "newline\nand\ttab";
+    "control \x01\x02 bytes";
+    "del \x7f char";
+    "trailing space ";
+    " leading";
+    "utf-8 \xc3\xa9\xe2\x82\xac";
+    "%41 looks pre-escaped";
+  ]
+
+let test_escape_roundtrip () =
+  List.iter
+    (fun s ->
+      match Protocol.unescape (Protocol.escape s) with
+      | Ok s' -> Alcotest.(check string) (Printf.sprintf "escape %S" s) s s'
+      | Error m -> Alcotest.failf "unescape (escape %S) failed: %s" s m)
+    nasty_strings;
+  (* the escaped form must be a single space-free token *)
+  List.iter
+    (fun s ->
+      let e = Protocol.escape s in
+      if String.exists (fun c -> c <= ' ' || c = '\x7f') e then
+        Alcotest.failf "escape %S left raw separator bytes in %S" s e)
+    nasty_strings
+
+let test_unescape_rejects () =
+  List.iter
+    (fun bad ->
+      match Protocol.unescape bad with
+      | Error _ -> ()
+      | Ok v -> Alcotest.failf "unescape %S = Ok %S, wanted Error" bad v)
+    [ "%"; "%4"; "%zz"; "a%G0b" ]
+
+let requests_for_roundtrip =
+  [
+    Protocol.Hello;
+    Protocol.Pin;
+    Protocol.Lookup_string "two words";
+    Protocol.Lookup_contains "needle\n%";
+    Protocol.Lookup_element_contains "";
+    Protocol.Lookup_named "entry";
+    Protocol.Lookup_typed ("xs:double", None, None);
+    Protocol.Lookup_typed ("xs:double", Some (-0.5), None);
+    Protocol.Lookup_typed ("xs:dateTime", None, Some 1e12);
+    Protocol.Lookup_typed ("t", Some 1.25, Some 3.75);
+    Protocol.Value 0;
+    Protocol.Begin;
+    Protocol.Set (42, "a value with spaces");
+    Protocol.Commit;
+    Protocol.Commit_deferred;
+    Protocol.Abort;
+    Protocol.Insert (7, "<a b=\"c\">text &amp; more</a>");
+    Protocol.Delete 9;
+    Protocol.Stats;
+    Protocol.Sync;
+    Protocol.Quit;
+    Protocol.Shutdown;
+  ]
+
+let test_request_roundtrip () =
+  List.iteri
+    (fun i req ->
+      let line = Protocol.encode_request req in
+      match Protocol.decode_request line with
+      | Ok req' ->
+          if req <> req' then
+            Alcotest.failf "request %d changed across codec: %S" i line
+      | Error m -> Alcotest.failf "decode_request %S: %s" line m)
+    requests_for_roundtrip
+
+let responses_for_roundtrip =
+  [
+    Protocol.Ok_;
+    Protocol.Epoch { epoch = 3; lsn = 17; commits = 5 };
+    Protocol.Nodes [];
+    Protocol.Nodes [ 1; 2; 300 ];
+    Protocol.Nodes_lsn ([ 4; 5 ], 99);
+    Protocol.Nodes_lsn ([], 0);
+    Protocol.Value_r "string value\nwith newline";
+    Protocol.Lsn 123456;
+    Protocol.Stats_r [ ("epoch", "4"); ("note", "two words") ];
+    Protocol.Stats_r [];
+    Protocol.Conflict_r { node = 12; reason = "lost to txn 3" };
+    Protocol.Err "something % broke";
+    Protocol.Bye;
+  ]
+
+let test_response_roundtrip () =
+  List.iteri
+    (fun i resp ->
+      let line = Protocol.encode_response resp in
+      match Protocol.decode_response line with
+      | Ok resp' ->
+          if resp <> resp' then
+            Alcotest.failf "response %d changed across codec: %S" i line
+      | Error m -> Alcotest.failf "decode_response %S: %s" line m)
+    responses_for_roundtrip
+
+let test_decode_rejects_garbage () =
+  List.iter
+    (fun bad ->
+      match Protocol.decode_request bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "decode_request %S succeeded" bad)
+    [
+      "";
+      "bogus";
+      "set";
+      "set notanint v";
+      "set 3";
+      "value -";
+      "lookup-typed xs:double nope _";
+      "hello extra";
+      "insert 3";
+    ];
+  List.iter
+    (fun bad ->
+      match Protocol.decode_response bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "decode_response %S succeeded" bad)
+    [ ""; "what"; "nodes"; "nodes two"; "epoch 1 2"; "lsn x" ]
+
+let test_framing () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      let payloads = [ "hello"; ""; "with\nnewline"; String.make 4096 'x' ] in
+      List.iter (fun p -> Protocol.write_frame w p) payloads;
+      List.iter
+        (fun p ->
+          match Protocol.read_frame r with
+          | Ok got -> Alcotest.(check string) "frame payload" p got
+          | Error `Closed -> Alcotest.fail "premature close"
+          | Error (`Malformed m) -> Alcotest.failf "malformed: %s" m)
+        payloads;
+      Unix.close w;
+      (match Protocol.read_frame r with
+      | Error `Closed -> ()
+      | Ok p -> Alcotest.failf "read %S after close" p
+      | Error (`Malformed m) -> Alcotest.failf "malformed at EOF: %s" m))
+
+let test_framing_malformed () =
+  let check_bad raw =
+    let r, w = Unix.pipe () in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close r with Unix.Unix_error _ -> ());
+        try Unix.close w with Unix.Unix_error _ -> ())
+      (fun () ->
+        let n = Unix.write_substring w raw 0 (String.length raw) in
+        Alcotest.(check int) "wrote all" (String.length raw) n;
+        Unix.close w;
+        match Protocol.read_frame r with
+        | Error (`Malformed _) -> ()
+        | Error `Closed -> Alcotest.failf "%S read as clean close" raw
+        | Ok p -> Alcotest.failf "%S read as frame %S" raw p)
+  in
+  check_bad "notalength\npayload";
+  check_bad "-3\nxxx";
+  (* a length beyond [max_frame] must be refused before allocation *)
+  check_bad (string_of_int (Protocol.max_frame + 1) ^ "\n");
+  (* truncated payload: length promises more bytes than arrive *)
+  check_bad "10\nshort"
+
+(* --- engine: memory ------------------------------------------------ *)
+
+let test_engine_pin_immutable () =
+  with_mem_engine small_xml (fun engine ->
+      let pin0 = Engine.pin engine in
+      let t0 = first_text pin0.Engine.db in
+      let lsn =
+        ok_exn "update" (Engine.update_texts engine [ (t0, "replaced") ])
+      in
+      let pin1 = Engine.pin engine in
+      (* the old pin still answers from its own epoch. lookup_string
+         matches by XDM string value, so the text node's parent element
+         matches too — assert membership, not the exact hit list *)
+      if not (List.mem t0 (Db.lookup_string pin0.Engine.db "alpha")) then
+        Alcotest.fail "old epoch lost alpha";
+      Alcotest.(check nodes) "old epoch has no replaced" []
+        (Db.lookup_string pin0.Engine.db "replaced");
+      (* the new pin sees the commit (publish_period defaults to 0) *)
+      if not (List.mem t0 (Db.lookup_string pin1.Engine.db "replaced")) then
+        Alcotest.fail "new epoch missing the committed value";
+      if pin1.Engine.epoch <= pin0.Engine.epoch then
+        Alcotest.failf "epoch did not advance: %d -> %d" pin0.Engine.epoch
+          pin1.Engine.epoch;
+      Alcotest.(check int) "commit counted" (pin0.Engine.commits + 1)
+        pin1.Engine.commits;
+      if pin1.Engine.lsn < lsn then
+        Alcotest.failf "pin lsn %d below committed lsn %d" pin1.Engine.lsn lsn)
+
+let test_engine_conflict () =
+  with_mem_engine small_xml (fun engine ->
+      let t0 = first_text (Engine.snapshot engine) in
+      let tx1 = Engine.begin_ engine in
+      let tx2 = Engine.begin_ engine in
+      (match Txn.update_text tx1 t0 "first" with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "stage tx1 refused");
+      (match Txn.update_text tx2 t0 "second" with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "stage tx2 refused");
+      ignore (ok_exn "first committer" (Engine.submit engine tx1) : int);
+      (match Engine.submit engine tx2 with
+      | Error (Engine.Conflict _) -> ()
+      | Error e ->
+          Alcotest.failf "wanted Conflict, got %s" (Engine.error_to_string e)
+      | Ok _ -> Alcotest.fail "second committer won");
+      (* the loser's value never became visible *)
+      let db = Engine.snapshot engine in
+      if not (List.mem t0 (Db.lookup_string db "first")) then
+        Alcotest.fail "winner's value missing";
+      Alcotest.(check nodes) "loser's value invisible" []
+        (Db.lookup_string db "second"))
+
+let test_engine_empty_commit () =
+  with_mem_engine small_xml (fun engine ->
+      let before = Engine.stats engine in
+      let tx = Engine.begin_ engine in
+      let lsn = ok_exn "empty submit" (Engine.submit engine tx) in
+      let after = Engine.stats engine in
+      Alcotest.(check int) "no LSN consumed" before.Engine.last_lsn lsn;
+      Alcotest.(check int) "no commit counted" before.Engine.commits
+        after.Engine.commits)
+
+let test_engine_invalid_target () =
+  with_mem_engine small_xml (fun engine ->
+      let elem =
+        List.hd (Db.elements_named (Engine.snapshot engine) "a")
+      in
+      (match Engine.update_texts engine [ (elem, "x") ] with
+      | Error (Engine.Invalid _) -> ()
+      | Error e ->
+          Alcotest.failf "wanted Invalid, got %s" (Engine.error_to_string e)
+      | Ok _ -> Alcotest.fail "element accepted as text target");
+      match Engine.insert_xml engine ~parent:elem "<open>" with
+      | Error (Engine.Parse _) -> ()
+      | Error e ->
+          Alcotest.failf "wanted Parse, got %s" (Engine.error_to_string e)
+      | Ok _ -> Alcotest.fail "unbalanced fragment accepted)")
+
+let test_engine_structural () =
+  with_mem_engine small_xml (fun engine ->
+      let elem = List.hd (Db.elements_named (Engine.snapshot engine) "b") in
+      let roots, _lsn =
+        ok_exn "insert" (Engine.insert_xml engine ~parent:elem "<d>delta</d>")
+      in
+      if roots = [] then Alcotest.fail "insert returned no roots";
+      let db1 = Engine.snapshot engine in
+      Alcotest.(check int) "inserted element findable" 1
+        (List.length (Db.elements_named db1 "d"));
+      let delta_hits = Db.lookup_string db1 "delta" in
+      if delta_hits = [] then Alcotest.fail "inserted text not indexed";
+      ignore
+        (ok_exn "delete" (Engine.delete_subtree engine (List.hd roots)) : int);
+      let db2 = Engine.snapshot engine in
+      Alcotest.(check nodes) "deleted subtree gone" []
+        (Db.lookup_string db2 "delta");
+      (* the pre-delete epoch still holds it *)
+      Alcotest.(check nodes) "old epoch unaffected" delta_hits
+        (Db.lookup_string db1 "delta"))
+
+let test_engine_closed () =
+  let engine =
+    ok_exn "open" (Engine.open_ (Engine.Memory (Db.of_xml_exn small_xml)))
+  in
+  let t0 = first_text (Engine.snapshot engine) in
+  Engine.close engine;
+  Engine.close engine;
+  (* idempotent *)
+  match Engine.update_texts engine [ (t0, "ghost") ] with
+  | Error Engine.Closed -> ()
+  | Error e -> Alcotest.failf "wanted Closed, got %s" (Engine.error_to_string e)
+  | Ok _ -> Alcotest.fail "write accepted after close"
+
+(* --- engine: durable ----------------------------------------------- *)
+
+let test_engine_durable_roundtrip () =
+  with_dir (fun root ->
+      let dir = Filename.concat root "store" in
+      let engine =
+        ok_exn "init"
+          (Engine.init ~dir (Db.of_xml_exn small_xml))
+      in
+      let t0 = first_text (Engine.snapshot engine) in
+      ignore (ok_exn "update" (Engine.update_texts engine [ (t0, "durable") ]) : int);
+      (* a second init without force must refuse the populated dir *)
+      (match Engine.init ~dir (Db.of_xml_exn small_xml) with
+      | Error (Engine.Invalid _) -> ()
+      | Error e ->
+          Alcotest.failf "wanted Invalid, got %s" (Engine.error_to_string e)
+      | Ok t ->
+          Engine.close t;
+          Alcotest.fail "init overwrote an existing durable dir");
+      Engine.close engine;
+      let engine2 = ok_exn "reopen" (Engine.open_ (Engine.Dir dir)) in
+      Fun.protect
+        ~finally:(fun () -> Engine.close engine2)
+        (fun () ->
+          Alcotest.(check bool) "durable" true (Engine.is_durable engine2);
+          Alcotest.(check (option string)) "dir" (Some dir) (Engine.dir engine2);
+          if Engine.last_replay engine2 = None then
+            Alcotest.fail "reopen reported no replay";
+          if
+            not
+              (List.mem t0 (Db.lookup_string (Engine.snapshot engine2) "durable"))
+          then Alcotest.fail "recovered commit not visible";
+          (* checkpoint folds the log into the snapshot *)
+          let wal_bytes () =
+            match (Engine.stats engine2).Engine.durable with
+            | Some d -> d.Xvi_wal.Durable.wal_bytes
+            | None -> Alcotest.fail "durable stats missing"
+          in
+          ignore
+            (ok_exn "post-reopen update"
+               (Engine.update_texts engine2 [ (t0, "again" ) ]) : int);
+          let before = wal_bytes () in
+          ok_exn "checkpoint" (Engine.checkpoint engine2);
+          if wal_bytes () >= before then
+            Alcotest.failf "checkpoint did not truncate: %d -> %d" before
+              (wal_bytes ())))
+
+let test_engine_memory_checkpoint_invalid () =
+  with_mem_engine small_xml (fun engine ->
+      match Engine.checkpoint engine with
+      | Error (Engine.Invalid _) -> ()
+      | Error e ->
+          Alcotest.failf "wanted Invalid, got %s" (Engine.error_to_string e)
+      | Ok () -> Alcotest.fail "memory engine accepted checkpoint")
+
+(* --- sessions ------------------------------------------------------ *)
+
+let test_session_lifecycle () =
+  with_mem_engine small_xml (fun engine ->
+      let s = Session.create engine in
+      Fun.protect
+        ~finally:(fun () -> Session.close s)
+        (fun () ->
+          let db = Session.db s in
+          Alcotest.(check nodes) "reads answer from the pin"
+            (Db.lookup_string db "beta")
+            (Session.lookup_string s "beta");
+          let t0 = first_text db in
+          (match Session.stage s t0 "early" with
+          | Error (Engine.Invalid _) -> ()
+          | _ -> Alcotest.fail "stage without begin accepted");
+          (match Session.commit s with
+          | Error (Engine.Invalid _) -> ()
+          | _ -> Alcotest.fail "commit without begin accepted");
+          ok_exn "begin" (Session.begin_ s);
+          Alcotest.(check bool) "in_txn" true (Session.in_txn s);
+          (match Session.begin_ s with
+          | Error (Engine.Invalid _) -> ()
+          | _ -> Alcotest.fail "double begin accepted");
+          ok_exn "stage" (Session.stage s t0 "committed-by-session");
+          (* structural ops are single-op transactions *)
+          (match Session.insert_xml s ~parent:t0 "<x/>" with
+          | Error (Engine.Invalid _) -> ()
+          | _ -> Alcotest.fail "insert inside open txn accepted");
+          let lsn = ok_exn "commit" (Session.commit ~durable:true s) in
+          if lsn < 0 then Alcotest.failf "bad lsn %d" lsn;
+          Alcotest.(check bool) "txn closed by commit" false (Session.in_txn s);
+          (* read-your-writes: commit repinned the session *)
+          if not (List.mem t0 (Session.lookup_string s "committed-by-session"))
+          then Alcotest.fail "session does not see its own write";
+          (match Session.string_value s t0 with
+          | Ok v -> Alcotest.(check string) "string_value" "committed-by-session" v
+          | Error e -> Alcotest.failf "string_value: %s" (Engine.error_to_string e));
+          (match Session.string_value s 999_999 with
+          | Error (Engine.Invalid _) -> ()
+          | _ -> Alcotest.fail "out-of-range node accepted");
+          match Session.lookup_typed s "xs:no-such-type" Range.any with
+          | Error (Engine.Read _) -> ()
+          | Error e ->
+              Alcotest.failf "wanted Read error, got %s"
+                (Engine.error_to_string e)
+          | Ok _ -> Alcotest.fail "unknown type accepted"))
+
+let test_session_abort_and_conflict () =
+  with_mem_engine small_xml (fun engine ->
+      let s1 = Session.create engine and s2 = Session.create engine in
+      Fun.protect
+        ~finally:(fun () ->
+          Session.close s1;
+          Session.close s2)
+        (fun () ->
+          let t0 = first_text (Session.db s1) in
+          (* abort drops the staged write *)
+          ok_exn "begin s1" (Session.begin_ s1);
+          ok_exn "stage s1" (Session.stage s1 t0 "aborted");
+          Session.abort s1;
+          Alcotest.(check bool) "txn gone" false (Session.in_txn s1);
+          ignore (Session.refresh s1 : Engine.pinned);
+          Alcotest.(check nodes) "aborted write invisible" []
+            (Session.lookup_string s1 "aborted");
+          (* two sessions racing for one node: first committer wins *)
+          ok_exn "begin s1" (Session.begin_ s1);
+          ok_exn "begin s2" (Session.begin_ s2);
+          ok_exn "stage s1" (Session.stage s1 t0 "winner");
+          ok_exn "stage s2" (Session.stage s2 t0 "loser");
+          ignore (ok_exn "commit s1" (Session.commit s1) : int);
+          (match Session.commit s2 with
+          | Error (Engine.Conflict _) -> ()
+          | Error e ->
+              Alcotest.failf "wanted Conflict, got %s"
+                (Engine.error_to_string e)
+          | Ok _ -> Alcotest.fail "second committer won");
+          ignore (Session.refresh s2 : Engine.pinned);
+          if not (List.mem t0 (Session.lookup_string s2 "winner")) then
+            Alcotest.fail "winner not visible to loser after refresh"))
+
+(* --- server and client over a real socket -------------------------- *)
+
+let temp_socket () =
+  (* AF_UNIX paths are length-limited (~107 bytes); keep it short *)
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "xvi-%d-%d.sock" (Unix.getpid ()) (Random.int 100000))
+
+let with_server xml f =
+  with_mem_engine xml (fun engine ->
+      let socket = temp_socket () in
+      let server =
+        match Server.create ~engine ~socket () with
+        | Ok s -> s
+        | Error m -> Alcotest.failf "server create: %s" m
+      in
+      let dom = Domain.spawn (fun () -> Server.run server) in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.request_stop server;
+          Domain.join dom)
+        (fun () -> f engine socket))
+
+let connect_exn socket =
+  match Client.connect ~socket () with
+  | Ok c -> c
+  | Error m -> Alcotest.failf "connect: %s" m
+
+let cli what = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "%s: %s" what m
+
+let test_server_roundtrip () =
+  with_server small_xml (fun engine socket ->
+      let c = connect_exn socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let epoch0, _lsn0, commits0 = cli "hello" (Client.hello c) in
+          let db = Engine.snapshot engine in
+          let t0 = first_text db in
+          (* reads over the wire match direct reads on the snapshot *)
+          Alcotest.(check nodes) "lookup-string"
+            (Db.lookup_string db "alpha")
+            (cli "lookup" (Client.lookup_string c "alpha"));
+          Alcotest.(check nodes) "lookup-named"
+            (Db.elements_named db "b")
+            (cli "named" (Client.lookup_named c "b"));
+          Alcotest.(check string) "value" "alpha"
+            (cli "value" (Client.value c t0));
+          (match Client.value c 999_999 with
+          | Error _ -> ()
+          | Ok v -> Alcotest.failf "bogus node answered %S" v);
+          (* a write round trip: begin / set / commit, then repin *)
+          cli "begin" (Client.begin_ c);
+          cli "set" (Client.set c t0 "served value");
+          let lsn = cli "commit" (Client.commit c) in
+          if lsn < 0 then Alcotest.failf "bad lsn %d" lsn;
+          let epoch1, _, commits1 = cli "pin" (Client.pin c) in
+          if epoch1 <= epoch0 then
+            Alcotest.failf "epoch did not advance over the wire: %d -> %d"
+              epoch0 epoch1;
+          Alcotest.(check int) "one more commit" (commits0 + 1) commits1;
+          if
+            not
+              (List.mem t0 (cli "lookup2" (Client.lookup_string c "served value")))
+          then Alcotest.fail "committed value not visible over the wire";
+          (* typed lookup with open bounds *)
+          Alcotest.(check nodes) "typed"
+            (Db.lookup_typed db "xs:double" Range.any)
+            (cli "typed" (Client.lookup_typed c "xs:double" None None));
+          (* structural ops *)
+          let parent = List.hd (Db.elements_named db "c") in
+          let roots, _ =
+            cli "insert" (Client.insert c ~parent "<z>zeta</z>")
+          in
+          if roots = [] then Alcotest.fail "insert returned no roots";
+          if cli "find zeta" (Client.lookup_string c "zeta") = [] then
+            Alcotest.fail "inserted text not served";
+          ignore (cli "delete" (Client.delete c (List.hd roots)) : int);
+          ignore (cli "pin" (Client.pin c) : int * int * int);
+          Alcotest.(check nodes) "deleted over the wire" []
+            (cli "find gone" (Client.lookup_string c "zeta"));
+          (* stats and sync *)
+          let st = cli "stats" (Client.stats c) in
+          Alcotest.(check (option string)) "memory engine stats" (Some "no")
+            (List.assoc_opt "durable" st);
+          if List.assoc_opt "commits" st = None then
+            Alcotest.fail "stats missing commits";
+          cli "sync" (Client.sync c)))
+
+let test_server_conflict_and_quit () =
+  with_server small_xml (fun engine socket ->
+      let c1 = connect_exn socket in
+      let c2 = connect_exn socket in
+      Fun.protect
+        ~finally:(fun () ->
+          Client.close c1;
+          Client.close c2)
+        (fun () ->
+          let t0 = first_text (Engine.snapshot engine) in
+          cli "begin c1" (Client.begin_ c1);
+          cli "begin c2" (Client.begin_ c2);
+          cli "set c1" (Client.set c1 t0 "c1 wins");
+          cli "set c2" (Client.set c2 t0 "c2 loses");
+          ignore (cli "commit c1" (Client.commit c1) : int);
+          (match Client.commit c2 with
+          | Error _ -> ()
+          | Ok lsn -> Alcotest.failf "conflicting commit acked at lsn %d" lsn);
+          cli "abort c2" (Client.abort c2);
+          (* both connections keep serving after the conflict; c2 must
+             repin — its session still reads its pre-conflict epoch *)
+          ignore (cli "pin c2" (Client.pin c2) : int * int * int);
+          if not (List.mem t0 (cli "c2 reread" (Client.lookup_string c2 "c1 wins")))
+          then Alcotest.fail "c2 cannot see the winner after repinning";
+          cli "quit c1" (Client.quit c1)))
+
+let test_server_shutdown_request () =
+  with_mem_engine small_xml (fun engine ->
+      let socket = temp_socket () in
+      let server =
+        match Server.create ~engine ~socket () with
+        | Ok s -> s
+        | Error m -> Alcotest.failf "server create: %s" m
+      in
+      let dom = Domain.spawn (fun () -> Server.run server) in
+      let c = connect_exn socket in
+      cli "shutdown" (Client.shutdown c);
+      (* run must return on its own — no request_stop from this side *)
+      Domain.join dom;
+      Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket))
+
+(* --- the concurrency harness and the serve crash sweep ------------- *)
+
+let test_concurrent_readers () =
+  match Runner.run_concurrent ~seed:7 ~readers:2 ~commits:8 () with
+  | Ok o ->
+      Alcotest.(check int) "readers" 2 o.Runner.readers;
+      Alcotest.(check int) "commits" 8 o.Runner.commits;
+      if o.Runner.reads < 2 then
+        Alcotest.failf "suspiciously few cross-checked reads: %d"
+          o.Runner.reads;
+      if o.Runner.epochs < 1 then Alcotest.fail "no epochs observed"
+  | Error m -> Alcotest.fail m
+
+let qcheck_concurrent =
+  QCheck.Test.make ~count:2 ~name:"concurrent readers bit-identical"
+    QCheck.(make Gen.(int_bound 1000))
+    (fun seed ->
+      match Runner.run_concurrent ~seed ~readers:2 ~commits:6 () with
+      | Ok o -> o.Runner.reads > 0
+      | Error m -> QCheck.Test.fail_report m)
+
+let test_serve_sweep () =
+  let db = Db.of_xml_exn small_xml in
+  let texts = texts_of db in
+  let t i = texts.(i) in
+  let batches =
+    [
+      [ (t 0, "round1-a") ];
+      [ (t 1, "round1-b") ];
+      [ (t 2, "round1-c") ];
+      [ (t 0, "round2-a"); (t 1, "round2-b") ];
+      [ (t 2, "round2-c") ];
+      [ (t 0, "round3-a") ];
+    ]
+  in
+  match Fault.serve_sweep ~crash_points:60 ~sessions:3 db batches with
+  | Ok r ->
+      Alcotest.(check int) "commits" 6 r.Fault.serve_commits;
+      Alcotest.(check int) "sessions" 3 r.Fault.sessions;
+      (* six batches over three texts pack into three disjoint rounds *)
+      Alcotest.(check int) "shared syncs" 3 r.Fault.syncs;
+      if r.Fault.serve_crash_points < 10 then
+        Alcotest.failf "suspiciously few crash points: %d"
+          r.Fault.serve_crash_points
+  | Error m -> Alcotest.fail m
+
+let () =
+  Random.self_init ();
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "escape round trip" `Quick test_escape_roundtrip;
+          Alcotest.test_case "unescape rejects" `Quick test_unescape_rejects;
+          Alcotest.test_case "request round trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response round trip" `Quick
+            test_response_roundtrip;
+          Alcotest.test_case "decode rejects garbage" `Quick
+            test_decode_rejects_garbage;
+          Alcotest.test_case "framing" `Quick test_framing;
+          Alcotest.test_case "framing rejects malformed" `Quick
+            test_framing_malformed;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "pins are immutable epochs" `Quick
+            test_engine_pin_immutable;
+          Alcotest.test_case "first committer wins" `Quick test_engine_conflict;
+          Alcotest.test_case "empty commit is a no-op" `Quick
+            test_engine_empty_commit;
+          Alcotest.test_case "invalid targets rejected" `Quick
+            test_engine_invalid_target;
+          Alcotest.test_case "insert and delete publish" `Quick
+            test_engine_structural;
+          Alcotest.test_case "closed engine refuses writes" `Quick
+            test_engine_closed;
+          Alcotest.test_case "durable init, reopen, checkpoint" `Quick
+            test_engine_durable_roundtrip;
+          Alcotest.test_case "memory checkpoint invalid" `Quick
+            test_engine_memory_checkpoint_invalid;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_session_lifecycle;
+          Alcotest.test_case "abort and conflict" `Quick
+            test_session_abort_and_conflict;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "socket round trip" `Quick test_server_roundtrip;
+          Alcotest.test_case "conflict across connections" `Quick
+            test_server_conflict_and_quit;
+          Alcotest.test_case "shutdown request" `Quick
+            test_server_shutdown_request;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "readers race the writer" `Quick
+            test_concurrent_readers;
+          QCheck_alcotest.to_alcotest qcheck_concurrent;
+        ] );
+      ( "crash sweep",
+        [ Alcotest.test_case "group commit across sessions" `Quick test_serve_sweep ] );
+    ]
