@@ -1363,6 +1363,264 @@ let serve_bench () =
   print_endline "wrote BENCH_serve.json";
   print_newline ()
 
+(* ====================================================== repl ===== *)
+
+(* Replication experiment: what follower count costs the writer and
+   buys the readers. Followers are real [Xvi_repl.Follower]s over the
+   in-process transport — production pull/validate/append/apply code,
+   minus socket latency, so the numbers isolate the replication work
+   itself. Lag half: a write storm on the leader while 0/1/2/4
+   followers pull concurrently; records write throughput, the worst
+   staleness any follower admitted to mid-storm, and how long the
+   fleet took to drain after the last commit. Read half: epoch-pinned
+   lookup QPS of reader domains spread over the follower replicas vs
+   the same domains all on the leader. Reader scaling is bounded by
+   core count ([cores] is recorded); follower directories live under
+   the working tree, not /tmp, for the usual tmpfs-fsync reason.
+   Results land in BENCH_repl.json. *)
+let repl_bench () =
+  print_endline
+    "== repl: replication lag vs write load, follower read scaling ==";
+  let module Db = Xvi_core.Db in
+  let module Wal = Xvi_wal.Wal in
+  let module Engine = Xvi_serve.Engine in
+  let module Session = Xvi_serve.Session in
+  let module Transport = Xvi_repl.Transport in
+  let module Follower = Xvi_repl.Follower in
+  let cores = Domain.recommended_domain_count () in
+  let factor = if !quick then 0.02 else 0.05 in
+  let xml = Xvi_workload.Xmark.generate ~seed:43 ~factor () in
+  let parse () =
+    match Db.of_xml xml with
+    | Ok db -> db
+    | Error e -> failwith (Parser.error_to_string e)
+  in
+  let base = Filename.concat (Sys.getcwd ()) "_bench_repl.tmp" in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+  in
+  rm_rf base;
+  Unix.mkdir base 0o755;
+  let follower_counts = [ 0; 1; 2; 4 ] in
+  let commits = if !quick then 200 else 1000 in
+  let fail_engine e = failwith (Engine.error_to_string e) in
+  let with_leader name f =
+    let dir = Filename.concat base name in
+    rm_rf dir;
+    let engine =
+      match
+        Engine.init ~sync_mode:(Wal.Group 0.002) ~force:true ~dir (parse ())
+      with
+      | Ok e -> e
+      | Error e -> fail_engine e
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Engine.close engine;
+        rm_rf dir)
+      (fun () -> f engine)
+  in
+  let spawn_followers leader n =
+    List.init n (fun i ->
+        let dir = Filename.concat base (Printf.sprintf "f%d" i) in
+        rm_rf dir;
+        match
+          Follower.create ~poll_interval:0.001
+            ~transport:(Transport.of_engine leader) ~dir ()
+        with
+        | Ok f ->
+            Follower.start f;
+            f
+        | Error m -> failwith ("follower: " ^ m))
+  in
+  let close_followers fs =
+    List.iter
+      (fun f ->
+        let dir = Follower.dir f in
+        Follower.close f;
+        rm_rf dir)
+      fs
+  in
+
+  (* --- lag: write storm on the leader, followers pulling live --- *)
+  let lag_rows =
+    List.map
+      (fun followers ->
+        with_leader "leader" (fun leader ->
+            let fs = spawn_followers leader followers in
+            Fun.protect
+              ~finally:(fun () -> close_followers fs)
+              (fun () ->
+                let texts = Store.text_nodes (Db.store (Engine.snapshot leader)) in
+                let n = Array.length texts in
+                let max_stale = ref 0 in
+                let (), ms =
+                  Timing.time_ms (fun () ->
+                      for i = 0 to commits - 1 do
+                        (match
+                           Engine.update_texts leader
+                             [ (texts.(i mod n), Printf.sprintf "repl bench %d" i) ]
+                         with
+                        | Ok (_ : Wal.lsn) -> ()
+                        | Error e -> fail_engine e);
+                        if i mod 16 = 0 then
+                          List.iter
+                            (fun f ->
+                              max_stale := max !max_stale (Follower.staleness f))
+                            fs
+                      done;
+                      Engine.sync leader)
+                in
+                let tps = float_of_int commits /. (ms /. 1000.) in
+                (* drain: how long until every follower serves the tail *)
+                let target = (Engine.stats leader).Engine.durable_lsn in
+                let (), catchup_ms =
+                  Timing.time_ms (fun () ->
+                      let deadline = Unix.gettimeofday () +. 30.0 in
+                      List.iter
+                        (fun f ->
+                          while
+                            Follower.applied_lsn f < target
+                            && Unix.gettimeofday () < deadline
+                          do
+                            Unix.sleepf 0.0005
+                          done)
+                        fs)
+                in
+                List.iter
+                  (fun f ->
+                    if Follower.applied_lsn f < target then
+                      failwith "follower never caught up")
+                  fs;
+                (followers, tps, !max_stale, catchup_ms))))
+      follower_counts
+  in
+  Table.print
+    ~header:[ "followers"; "commits/s"; "max staleness"; "drain ms" ]
+    (List.map
+       (fun (followers, tps, stale, catchup_ms) ->
+         [
+           string_of_int followers;
+           Printf.sprintf "%.0f" tps;
+           string_of_int stale;
+           Printf.sprintf "%.1f" catchup_ms;
+         ])
+       lag_rows);
+
+  (* --- read QPS: reader domains on the replicas vs on the leader --- *)
+  let readers = 4 in
+  let read_duration = if !quick then 0.3 else 1.0 in
+  let read_rows =
+    List.map
+      (fun followers ->
+        with_leader "leader" (fun leader ->
+            let fs = spawn_followers leader followers in
+            Fun.protect
+              ~finally:(fun () -> close_followers fs)
+              (fun () ->
+                (* the probes must exist on the replicas too: make the
+                   state durable, then wait for the fleet to sync *)
+                Engine.sync leader;
+                let target = (Engine.stats leader).Engine.durable_lsn in
+                List.iter
+                  (fun f ->
+                    while Follower.applied_lsn f < target do
+                      Unix.sleepf 0.001
+                    done)
+                  fs;
+                let store = Db.store (Engine.snapshot leader) in
+                let texts = Store.text_nodes store in
+                let n = Array.length texts in
+                let probes =
+                  Array.init 16 (fun i -> Store.text store texts.(i * (n / 16)))
+                in
+                let engines =
+                  match fs with
+                  | [] -> [| leader |]
+                  | fs -> Array.of_list (List.map Follower.engine fs)
+                in
+                let deadline = Unix.gettimeofday () +. read_duration in
+                let reader r () =
+                  (* reader [r] pins the replica [r mod followers] *)
+                  let s = Session.create engines.(r mod Array.length engines) in
+                  let ops = ref 0 and hits = ref 0 in
+                  while Unix.gettimeofday () < deadline do
+                    let v = probes.(!ops mod Array.length probes) in
+                    hits := !hits + List.length (Session.lookup_string s v);
+                    incr ops
+                  done;
+                  Session.close s;
+                  (!ops, !hits)
+                in
+                let doms = List.init readers (fun r -> Domain.spawn (reader r)) in
+                let ops, hits =
+                  List.fold_left
+                    (fun (o, h) d ->
+                      let o', h' = Domain.join d in
+                      (o + o', h + h'))
+                    (0, 0) doms
+                in
+                if hits = 0 then failwith "read probes never hit";
+                (followers, float_of_int ops /. read_duration))))
+      follower_counts
+  in
+  let qps_of n = snd (List.find (fun (f, _) -> f = n) read_rows) in
+  Table.print
+    ~header:[ "followers"; "lookups/s"; "vs leader-only" ]
+    (List.map
+       (fun (followers, qps) ->
+         [
+           string_of_int followers;
+           Printf.sprintf "%.0f" qps;
+           Printf.sprintf "%.2fx" (qps /. qps_of 0);
+         ])
+       read_rows);
+  Printf.printf "(%d reader domains, %d core%s visible to this run)\n" readers
+    cores
+    (if cores = 1 then "" else "s");
+
+  rm_rf base;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"repl\",\n\
+      \  \"cores\": %d,\n\
+      \  \"xmark_factor\": %.3f,\n\
+      \  \"commits\": %d,\n\
+      \  \"readers\": %d,\n\
+      \  \"read_duration_s\": %.2f,\n\
+      \  \"lag\": [\n%s\n  ],\n\
+      \  \"read\": [\n%s\n  ]\n\
+       }\n"
+      cores factor commits readers read_duration
+      (String.concat ",\n"
+         (List.map
+            (fun (followers, tps, stale, catchup_ms) ->
+              Printf.sprintf
+                "    { \"followers\": %d, \"commits_per_s\": %.1f, \
+                 \"max_staleness\": %d, \"drain_ms\": %.1f }"
+                followers tps stale catchup_ms)
+            lag_rows))
+      (String.concat ",\n"
+         (List.map
+            (fun (followers, qps) ->
+              Printf.sprintf
+                "    { \"followers\": %d, \"lookups_per_s\": %.1f, \
+                 \"vs_leader_only\": %.2f }"
+                followers qps (qps /. qps_of 0))
+            read_rows))
+  in
+  let oc = open_out "BENCH_repl.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_repl.json";
+  print_newline ()
+
 (* ====================================================== main ===== *)
 
 (* [micro] runs first: its OLS estimates are cleanest before the data
@@ -1373,7 +1631,8 @@ let all_experiments =
   [ ("micro", micro); ("table1", table1); ("fig9", fig9); ("fig11", fig11);
     ("fig10", fig10); ("ablation", ablation); ("substr", substr);
     ("baseline", baseline); ("queries", queries); ("query", query_bench);
-    ("parallel", parallel); ("wal", wal_bench); ("serve", serve_bench) ]
+    ("parallel", parallel); ("wal", wal_bench); ("serve", serve_bench);
+    ("repl", repl_bench) ]
 
 let () =
   let selected = ref [] in
@@ -1390,7 +1649,7 @@ let () =
         else begin
           Printf.eprintf
             "unknown argument %s (expected: table1 fig9 fig10 fig11 micro \
-             ablation substr baseline queries query parallel wal serve, \
+             ablation substr baseline queries query parallel wal serve repl, \
              --scale=F, --reps=N, --quick)\n"
             arg;
           exit 2

@@ -14,7 +14,9 @@
      recover    crash-recover a durable directory and report the replay
      checkpoint snapshot a durable directory and truncate its log
      serve      serve a database over a Unix socket: snapshot-isolated
-                readers, single-writer sessions, group commit
+                readers, single-writer sessions, group commit; with
+                --follow, run as a replication follower of another server
+     promote    turn a running follower into the leader (failover)
      client     scripted protocol session against a running server
      fuzz       differential-check random traces against the oracle
      collisions hash-stability histogram of a document (Figure 11)
@@ -36,6 +38,9 @@ module Engine = Xvi_serve.Engine
 module Server = Xvi_serve.Server
 module Client = Xvi_serve.Client
 module Protocol = Xvi_serve.Protocol
+module Repl_transport = Xvi_repl.Transport
+module Leader = Xvi_repl.Leader
+module Follower = Xvi_repl.Follower
 
 let read_file path =
   let ic = open_in_bin path in
@@ -619,9 +624,24 @@ let serve_cmd =
   let file =
     Arg.(
       required
-      & pos 0 (some file) None
+      & pos 0 (some string) None
       & info [] ~docv:"FILE"
-          ~doc:"XML document, snapshot, or durable directory to serve.")
+          ~doc:
+            "XML document, snapshot, or durable directory to serve. With \
+             $(b,--follow) this is the follower's own durable directory, \
+             bootstrapped from the leader when missing or empty.")
+  in
+  let follow =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "follow" ] ~docv:"LEADER-SOCKET"
+          ~doc:
+            "Run as a replication follower of the leader serving on \
+             $(docv): pull its WAL frames into FILE (a durable directory) \
+             and serve stale-bounded reads from the replica. Writes answer \
+             $(b,read-only) until a $(b,promote) request turns this node \
+             into the leader.")
   in
   let publish_period =
     Arg.(
@@ -636,45 +656,99 @@ let serve_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No lifecycle logging.")
   in
-  let run file socket sync_mode publish_period quiet jobs =
-    let engine =
-      if Sys.is_directory file && Durable.is_durable_dir file then
-        match Engine.open_ ~sync_mode ~publish_period (Engine.Dir file) with
-        | Ok t -> t
-        | Error e ->
-            Printf.eprintf "%s: %s\n" file (Engine.error_to_string e);
-            exit 1
-      else begin
-        let jobs = resolve_jobs jobs in
-        let config =
-          if jobs > 1 then Some { Db.Config.default with jobs } else None
-        in
-        let db = open_db ?config file in
-        match Engine.open_ ~publish_period (Engine.Memory db) with
-        | Ok t -> t
-        | Error e ->
-            Printf.eprintf "%s: %s\n" file (Engine.error_to_string e);
-            exit 1
-      end
-    in
-    (match Engine.last_replay engine with
-    | Some _ as r -> print_replay_report r
-    | None -> ());
+  let run file socket follow sync_mode publish_period quiet jobs =
     let log =
       if quiet then fun (_ : string) -> ()
       else fun m -> Printf.printf "xvi serve: %s\n%!" m
     in
-    match Server.create ~log ~engine ~socket () with
-    | Error m ->
-        Printf.eprintf "%s\n" m;
-        Engine.close engine;
-        exit 1
-    | Ok server ->
-        let stop (_ : int) = Server.request_stop server in
-        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-        Server.run server;
-        Engine.close engine
+    let install_signals server =
+      let stop (_ : int) = Server.request_stop server in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+    in
+    match follow with
+    | Some leader_socket -> (
+        match Repl_transport.connect ~socket:leader_socket () with
+        | Error m ->
+            Printf.eprintf "xvi serve --follow: %s\n" m;
+            exit 1
+        | Ok transport -> (
+            match
+              Follower.create ~sync_mode ~publish_period
+                ~log:(fun m -> log ("repl: " ^ m))
+                ~transport ~dir:file ()
+            with
+            | Error m ->
+                transport.Repl_transport.close ();
+                Printf.eprintf "xvi serve --follow: %s\n" m;
+                exit 1
+            | Ok f -> (
+                Follower.start f;
+                match
+                  Server.create ~log ~repl:(Follower.handlers f)
+                    ~engine:(Follower.engine f) ~socket ()
+                with
+                | Error m ->
+                    Printf.eprintf "%s\n" m;
+                    Follower.close f;
+                    exit 1
+                | Ok server ->
+                    (* a re-seed (or promotion) swaps the engine; new
+                       connections must follow it *)
+                    Follower.set_on_engine_change f (Server.set_engine server);
+                    log
+                      (Printf.sprintf "following %s into %s" leader_socket
+                         file);
+                    install_signals server;
+                    Server.run server;
+                    (* not promoted: the serving engine is still the
+                       read-only replica and Follower.close owns it;
+                       promoted: the recovered leader engine is ours *)
+                    let final = Server.engine server in
+                    let promoted = not (Engine.read_only final) in
+                    Follower.close f;
+                    if promoted then Engine.close final)))
+    | None ->
+        if not (Sys.file_exists file) then begin
+          Printf.eprintf "%s: no such file or directory\n" file;
+          exit 1
+        end;
+        let durable = Sys.is_directory file && Durable.is_durable_dir file in
+        let engine =
+          if durable then
+            match Engine.open_ ~sync_mode ~publish_period (Engine.Dir file) with
+            | Ok t -> t
+            | Error e ->
+                Printf.eprintf "%s: %s\n" file (Engine.error_to_string e);
+                exit 1
+          else begin
+            let jobs = resolve_jobs jobs in
+            let config =
+              if jobs > 1 then Some { Db.Config.default with jobs } else None
+            in
+            let db = open_db ?config file in
+            match Engine.open_ ~publish_period (Engine.Memory db) with
+            | Ok t -> t
+            | Error e ->
+                Printf.eprintf "%s: %s\n" file (Engine.error_to_string e);
+                exit 1
+          end
+        in
+        (match Engine.last_replay engine with
+        | Some _ as r -> print_replay_report r
+        | None -> ());
+        (* a durable directory can lead followers; memory-backed engines
+           have no log to ship, so replication verbs stay disabled *)
+        let repl = if durable then Some (Leader.handlers engine) else None in
+        (match Server.create ?repl ~log ~engine ~socket () with
+        | Error m ->
+            Printf.eprintf "%s\n" m;
+            Engine.close engine;
+            exit 1
+        | Ok server ->
+            install_signals server;
+            Server.run server;
+            Engine.close engine)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -682,10 +756,37 @@ let serve_cmd =
          "Serve a database over a Unix-domain socket: any number of \
           snapshot-isolated reader connections (lock-free pinned epochs), \
           writes serialised through one writer with cross-session group \
-          commit. Stop with a $(b,shutdown) request, SIGINT or SIGTERM.")
+          commit. A durable directory also answers the replication verbs, \
+          so followers started with $(b,--follow) can pull its log. Stop \
+          with a $(b,shutdown) request, SIGINT or SIGTERM.")
     Term.(
-      const run $ file $ socket_arg $ sync_mode_arg $ publish_period $ quiet
-      $ jobs_arg)
+      const run $ file $ socket_arg $ follow $ sync_mode_arg $ publish_period
+      $ quiet $ jobs_arg)
+
+let promote_cmd =
+  let run socket =
+    match Client.connect ~socket () with
+    | Error m ->
+        Printf.eprintf "%s\n" m;
+        exit 1
+    | Ok c ->
+        let r = Client.promote c in
+        Client.close c;
+        (match r with
+        | Ok () -> print_endline "promoted"
+        | Error m ->
+            Printf.eprintf "xvi promote: %s\n" m;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:
+         "Promote the follower serving on $(b,--socket) to leader: its \
+          pull loop stops and its directory is recovered through the \
+          ordinary crash-recovery path, after which it accepts writes and \
+          can lead followers of its own. Idempotent on a node that is \
+          already the leader.")
+    Term.(const run $ socket_arg)
 
 let client_cmd =
   let script =
@@ -880,6 +981,37 @@ let fuzz_cmd =
         | Error m ->
             prerr_endline ("serve crash sweep: " ^ m);
             exit 1
+      end;
+      (* replication sweep: a real follower driven through a faulty
+         in-process wire — leader crashes, corrupted frames, follower
+         crashes, failover and rejoin, all checked against the oracle *)
+      let repl_db = gen_db rng in
+      let texts = Store.text_nodes (Db.store repl_db) in
+      if Array.length texts = 0 then
+        print_endline "repl sweep skipped: generated document has no text nodes"
+      else begin
+        let n = Array.length texts in
+        let batches =
+          List.init 6 (fun i ->
+              List.init ((i mod 3) + 1) (fun j ->
+                  (texts.((i * 3 + j) mod n), Printf.sprintf "repl-%d-%d" i j)))
+        in
+        let cap v = if quick then Some v else None in
+        match
+          Xvi_check.Fault.repl_sweep ?cut_points:(cap 60)
+            ?stream_flips:(cap 120) ?follower_crashes:(cap 40)
+            ?failovers:(cap 6) repl_db batches
+        with
+        | Ok r ->
+            Printf.printf
+              "repl sweep ok: %d stream cuts, %d corruptions, %d follower \
+               crashes, %d failovers over %d commits\n"
+              r.Xvi_check.Fault.repl_cut_points r.Xvi_check.Fault.stream_flips
+              r.Xvi_check.Fault.follower_crashes
+              r.Xvi_check.Fault.repl_failovers r.Xvi_check.Fault.repl_commits
+        | Error m ->
+            prerr_endline ("repl sweep: " ^ m);
+            exit 1
       end
     end
   in
@@ -937,6 +1069,6 @@ let () =
        (Cmd.group info
           [
             generate_cmd; shred_cmd; stats_cmd; query_cmd; update_cmd;
-            recover_cmd; checkpoint_cmd; serve_cmd; client_cmd; fuzz_cmd;
-            collisions_cmd;
+            recover_cmd; checkpoint_cmd; serve_cmd; promote_cmd; client_cmd;
+            fuzz_cmd; collisions_cmd;
           ]))

@@ -573,3 +573,494 @@ let serve_sweep ?crash_points ?(sessions = 3) db batches =
               serve_commits = commits;
               syncs = List.length syncs;
             })
+
+(* --- replication fault sweep: two nodes, one faulty stream ---
+
+   The leader run and the oracle discipline are exactly [wal_sweep]'s.
+   What is under test here is the replication path: a real
+   [Xvi_repl.Follower] fed by an in-process transport whose "leader" is
+   a byte string we cut, truncate and corrupt at will. The follower's
+   code — batch validation, append-then-apply, rejoin walkback,
+   re-seed, promotion — is the production code, byte for byte; only
+   the wire is fake. *)
+
+module Repl_transport = Xvi_repl.Transport
+module Follower = Xvi_repl.Follower
+
+type repl_report = {
+  repl_cut_points : int;
+  stream_flips : int;
+  follower_crashes : int;
+  repl_failovers : int;
+  repl_commits : int;
+}
+
+let repl_sweep ?cut_points ?stream_flips:flip_cap ?follower_crashes:crash_cap
+    ?failovers:failover_cap db batches =
+  let batches = List.filter (fun b -> b <> []) batches in
+  let base = fresh_dir "xvi_repl_base" in
+  let scratch = fresh_dir "xvi_repl_scratch" in
+  let fdir = Filename.concat scratch "follower" in
+  let golden = Filename.concat scratch "golden" in
+  let old_dir = Filename.concat scratch "rejoin" in
+  let fake_wal = Filename.concat scratch "leader_wal.log" in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf fdir;
+      rm_rf golden;
+      rm_rf old_dir;
+      rm_rf scratch;
+      rm_rf base)
+    (fun () ->
+      (* live leader run: snapshot at LSN 0, every commit fsynced *)
+      Durable.close (Durable.create ~sync_mode:Wal.Always ~dir:base db);
+      let live =
+        match Durable.open_ base with
+        | Ok t -> t
+        | Error m -> failwith ("repl_sweep: reopen failed: " ^ m)
+      in
+      let boundaries = ref [] in
+      let record op =
+        boundaries := ((Durable.stats live).Durable.wal_bytes, op) :: !boundaries
+      in
+      List.iter
+        (fun writes ->
+          match Durable.update_texts live writes with
+          | Ok () -> record (W_batch writes)
+          | Error (c : Txn.conflict) ->
+              failwith ("repl_sweep: live commit conflicted: " ^ c.Txn.reason))
+        batches;
+      let probe = "<repl-probe kind=\"repl-sweep\">probe text</repl-probe>" in
+      (match Durable.insert_xml live ~parent:Store.document probe with
+      | Ok (root :: _) ->
+          record (W_insert { parent = Store.document; fragment = probe });
+          Durable.delete_subtree live root;
+          record (W_delete root)
+      | Ok [] -> failwith "repl_sweep: probe insert returned no roots"
+      | Error e ->
+          failwith
+            ("repl_sweep: probe insert rejected: "
+            ^ Xvi_xml.Parser.error_to_string e));
+      Durable.close live;
+      let boundaries = List.rev !boundaries in
+      let ops = List.map snd boundaries in
+      let sizes = Array.of_list (List.map fst boundaries) in
+      let commits = Array.length sizes in
+      let wal_all = read_file (Filename.concat base "wal.log") in
+      let snap_bytes = read_file (Filename.concat base "snapshot.xvi") in
+      let wal_size = String.length wal_all in
+      let magic_len = String.length Wal.magic in
+      let oracle = Array.make (commits + 1) None in
+      let oracle_digest k =
+        match oracle.(k) with
+        | Some d -> d
+        | None ->
+            let d = oracle_rebuild (Filename.concat base "snapshot.xvi") ops k in
+            oracle.(k) <- Some d;
+            d
+      in
+      let committed_before cut =
+        let k = ref 0 in
+        Array.iter (fun s -> if s <= cut then incr k) sizes;
+        !k
+      in
+      let failure = ref None in
+      let fail m = if !failure = None then failure := Some m in
+      (* the fake leader: serves whatever prefix [visible] holds,
+         through the same Tail code the real leader serves with; one
+         pending corruption flips a byte of the next shipped batch *)
+      let visible = ref wal_all in
+      let corrupt = ref None in
+      let flip s pos =
+        let b = Bytes.of_string s in
+        Bytes.set b pos (Char.chr (Char.code s.[pos] lxor (1 lsl (pos mod 8))));
+        Bytes.to_string b
+      in
+      let leader : Repl_transport.t =
+        {
+          Repl_transport.info = (fun () -> Error "fake leader: no info");
+          snapshot_chunk =
+            (fun ~offset ->
+              let total = String.length snap_bytes in
+              if offset >= total then Ok ("", total)
+              else Ok (String.sub snap_bytes offset (total - offset), total));
+          pull =
+            (fun ~from_lsn ~max_bytes ->
+              write_file fake_wal !visible;
+              match Wal.scan_string !visible with
+              | Error m -> Error m
+              | Ok scan -> (
+                  let durable = scan.Wal.last_lsn in
+                  let tail = Wal.Tail.create ~from_lsn fake_wal in
+                  match Wal.Tail.poll ~upto_lsn:durable ~max_bytes tail with
+                  | Error m -> Error m
+                  | Ok Wal.Tail.Await -> Ok (`Frames ("", durable))
+                  | Ok (Wal.Tail.Snapshot_needed { base }) ->
+                      Ok (`Snapshot_needed base)
+                  | Ok (Wal.Tail.Frames { bytes; _ }) ->
+                      let bytes =
+                        match !corrupt with
+                        | Some pos when pos < String.length bytes ->
+                            corrupt := None;
+                            flip bytes pos
+                        | Some _ | None -> bytes
+                      in
+                      Ok (`Frames (bytes, durable))));
+          frame_digest =
+            (fun ~anchor lsn ->
+              match Wal.scan_string !visible with
+              | Error m -> Error m
+              | Ok scan -> (
+                  if anchor < 1 || lsn < anchor then Ok `Missing
+                  else
+                    match scan.Wal.frames with
+                    | [] -> Ok `Missing
+                    | first :: _ when anchor < first.Wal.lsn ->
+                        Ok (`Snapshot_needed (first.Wal.lsn - 1))
+                    | frames ->
+                        if List.exists (fun f -> f.Wal.lsn = lsn) frames then begin
+                          let buf = Buffer.create 256 in
+                          List.iter
+                            (fun f ->
+                              if anchor <= f.Wal.lsn && f.Wal.lsn <= lsn then
+                                Buffer.add_string buf (Wal.frame_digest f))
+                            frames;
+                          Ok
+                            (`Digest
+                              (Digest.to_hex (Digest.string (Buffer.contents buf))))
+                        end
+                        else Ok `Missing));
+          close = (fun () -> ());
+        }
+      in
+      let drain f =
+        let rec go n =
+          if n > 100_000 then Error "follower did not converge"
+          else
+            match Follower.catch_up f with
+            | Ok `Caught_up -> Ok ()
+            | Ok (`Applied _) | Ok `Resynced -> go (n + 1)
+            | Error _ as e -> e
+        in
+        go 0
+      in
+      let dir_digest dir ~what =
+        match Durable.open_ dir with
+        | Error m -> Error (Printf.sprintf "recovery failed on %s: %s" what m)
+        | Ok t ->
+            let d = db_digest (Durable.db t) in
+            Durable.close t;
+            Ok d
+      in
+      let follower_over transport ~dir =
+        Follower.create ~sync_mode:Wal.Always ~batch_bytes:(1 lsl 30)
+          ~transport ~dir ()
+      in
+      let fresh_follower ~dir =
+        rm_rf dir;
+        follower_over leader ~dir
+      in
+      (* recover the follower's directory and require the oracle of
+         [expect] commits, twice over (promotion = this recovery) *)
+      let check_promoted_dir dir ~what ~expect =
+        match dir_digest dir ~what with
+        | Error m -> fail m
+        | Ok d1 ->
+            if d1 <> oracle_digest expect then
+              fail
+                (Printf.sprintf
+                   "state diverged from oracle on %s (%d commits expected)"
+                   what expect)
+            else (
+              match dir_digest dir ~what:(what ^ ", second recovery") with
+              | Error m -> fail m
+              | Ok d2 ->
+                  if d2 <> d1 then
+                    fail (Printf.sprintf "recovery is not idempotent on %s" what))
+      in
+      (* --- leader-crash sweep: cut the stream at every frame boundary
+         (and just inside each frame); the follower must converge on
+         exactly the committed prefix of the cut *)
+      let frame_ends =
+        let rec go pos acc =
+          match Wal.decode wal_all pos with
+          | Wal.Frame (_, next) -> go next (next :: acc)
+          | Wal.End | Wal.Torn _ -> List.rev acc
+        in
+        go magic_len []
+      in
+      let clamp = List.filter (fun c -> c >= magic_len && c <= wal_size) in
+      let cuts =
+        match cut_points with
+        | None ->
+            List.sort_uniq Int.compare
+              (clamp
+                 (magic_len :: wal_size
+                 :: List.concat_map (fun c -> [ c - 1; c; c + 1 ]) frame_ends))
+        | Some cap ->
+            let spaced =
+              List.init cap (fun i ->
+                  magic_len + (i * (wal_size - magic_len) / cap))
+            in
+            let edges =
+              Array.to_list sizes
+              |> List.concat_map (fun s -> [ s - 1; s; s + 1 ])
+            in
+            List.sort_uniq Int.compare
+              (clamp ((magic_len :: wal_size :: edges) @ spaced))
+      in
+      let cut_count = ref 0 in
+      List.iter
+        (fun c ->
+          if !failure = None then begin
+            incr cut_count;
+            visible := String.sub wal_all 0 c;
+            let what =
+              Printf.sprintf "leader crash at byte %d of %d" c wal_size
+            in
+            match fresh_follower ~dir:fdir with
+            | Error m -> fail (Printf.sprintf "bootstrap on %s: %s" what m)
+            | Ok f -> (
+                match drain f with
+                | Error m ->
+                    Follower.close f;
+                    fail (Printf.sprintf "catch-up on %s: %s" what m)
+                | Ok () ->
+                    Follower.close f;
+                    check_promoted_dir fdir ~what ~expect:(committed_before c))
+          end)
+        cuts;
+      (* --- corruption sweep: flip one byte of the shipped stream; the
+         follower must reject the whole batch with nothing applied, then
+         converge once the wire is clean again *)
+      visible := wal_all;
+      let stream_len = wal_size - magic_len in
+      let flip_positions =
+        match flip_cap with
+        | None -> List.init stream_len (fun i -> i)
+        | Some cap ->
+            let wanted = min cap stream_len in
+            if wanted <= 0 then []
+            else
+              List.sort_uniq Int.compare
+                (List.init wanted (fun i -> i * stream_len / wanted))
+      in
+      let flip_count = ref 0 in
+      List.iter
+        (fun pos ->
+          if !failure = None then begin
+            incr flip_count;
+            match fresh_follower ~dir:fdir with
+            | Error m ->
+                fail (Printf.sprintf "bootstrap before flip at %d: %s" pos m)
+            | Ok f ->
+                corrupt := Some pos;
+                (match Follower.catch_up f with
+                | Ok (`Caught_up | `Applied _ | `Resynced) ->
+                    fail
+                      (Printf.sprintf
+                         "follower accepted a stream with byte %d flipped" pos)
+                | Error _ -> ());
+                corrupt := None;
+                if !failure = None && Follower.applied_lsn f <> 0 then
+                  fail
+                    (Printf.sprintf
+                       "partial batch applied after flip at %d (lsn %d)" pos
+                       (Follower.applied_lsn f));
+                (match drain f with
+                | Error m ->
+                    fail
+                      (Printf.sprintf "no convergence after flip at %d: %s" pos m)
+                | Ok () -> ());
+                Follower.close f;
+                if !failure = None then begin
+                  match
+                    dir_digest fdir
+                      ~what:(Printf.sprintf "retry after flip at %d" pos)
+                  with
+                  | Error m -> fail m
+                  | Ok d ->
+                      if d <> oracle_digest commits then
+                        fail
+                          (Printf.sprintf
+                             "converged state diverged from oracle after flip \
+                              at %d"
+                             pos)
+                end
+          end)
+        flip_positions;
+      (* --- follower-crash sweep: tear the follower's own log at every
+         length; re-creating the follower over the damaged directory
+         must truncate the torn tail (or re-seed from scratch) and
+         converge back to the full oracle *)
+      visible := wal_all;
+      (match fresh_follower ~dir:golden with
+      | Error m -> fail ("golden bootstrap: " ^ m)
+      | Ok f -> (
+          match drain f with
+          | Error m ->
+              Follower.close f;
+              fail ("golden catch-up: " ^ m)
+          | Ok () -> Follower.close f));
+      let crash_count = ref 0 in
+      if !failure = None then begin
+        let golden_wal = read_file (Filename.concat golden "wal.log") in
+        let golden_size = String.length golden_wal in
+        let crash_lengths =
+          match crash_cap with
+          | None -> List.init (golden_size + 1) (fun i -> i)
+          | Some cap ->
+              List.sort_uniq Int.compare
+                (0 :: golden_size
+                :: List.init cap (fun i -> i * golden_size / cap))
+        in
+        List.iter
+          (fun len ->
+            if !failure = None then begin
+              incr crash_count;
+              let what =
+                Printf.sprintf "follower crash at byte %d of %d" len golden_size
+              in
+              rm_rf fdir;
+              Unix.mkdir fdir 0o755;
+              write_file (Filename.concat fdir "snapshot.xvi") snap_bytes;
+              write_file (Filename.concat fdir "wal.log")
+                (String.sub golden_wal 0 len);
+              match follower_over leader ~dir:fdir with
+              | Error m -> fail (Printf.sprintf "rejoin on %s: %s" what m)
+              | Ok f -> (
+                  match drain f with
+                  | Error m ->
+                      Follower.close f;
+                      fail (Printf.sprintf "catch-up on %s: %s" what m)
+                  | Ok () -> (
+                      Follower.close f;
+                      match dir_digest fdir ~what with
+                      | Error m -> fail m
+                      | Ok d ->
+                          if d <> oracle_digest commits then
+                            fail
+                              (Printf.sprintf "state diverged from oracle on %s"
+                                 what)))
+            end)
+          crash_lengths
+      end;
+      (* --- failover rounds: promote the follower at a cut, commit a
+         fresh write on the promoted leader, then let the deposed
+         leader rejoin with its full (now divergent) log — the walkback
+         must truncate its tail at the last common LSN and both
+         directories must recover to bit-identical state *)
+      let failover_cuts =
+        let all =
+          List.sort_uniq Int.compare (magic_len :: Array.to_list sizes)
+        in
+        match failover_cap with
+        | None -> all
+        | Some cap ->
+            let arr = Array.of_list all in
+            let n = Array.length arr in
+            if n <= cap then all
+            else List.init cap (fun i -> arr.(i * n / cap))
+      in
+      let failover_count = ref 0 in
+      List.iter
+        (fun c ->
+          if !failure = None then begin
+            incr failover_count;
+            visible := String.sub wal_all 0 c;
+            let what = Printf.sprintf "failover at cut %d" c in
+            let round () =
+              match fresh_follower ~dir:fdir with
+              | Error m -> Error ("bootstrap: " ^ m)
+              | Ok f -> (
+                  match drain f with
+                  | Error m ->
+                      Follower.close f;
+                      Error ("catch-up: " ^ m)
+                  | Ok () -> (
+                      match Follower.promote f with
+                      | Error m ->
+                          Follower.close f;
+                          Error ("promote: " ^ m)
+                      | Ok (promoted, _handlers) ->
+                          Fun.protect
+                            ~finally:(fun () ->
+                              Follower.close f;
+                              Engine.close promoted)
+                            (fun () ->
+                              let frag =
+                                Printf.sprintf
+                                  "<failover cut=\"%d\">fresh write</failover>"
+                                  c
+                              in
+                              match
+                                Engine.insert_xml promoted
+                                  ~parent:Store.document frag
+                              with
+                              | Error e ->
+                                  Error
+                                    ("failover write: "
+                                    ^ Engine.error_to_string e)
+                              | Ok _ -> (
+                                  Engine.sync promoted;
+                                  rm_rf old_dir;
+                                  Unix.mkdir old_dir 0o755;
+                                  write_file
+                                    (Filename.concat old_dir "snapshot.xvi")
+                                    snap_bytes;
+                                  write_file
+                                    (Filename.concat old_dir "wal.log")
+                                    wal_all;
+                                  match
+                                    follower_over
+                                      (Repl_transport.of_engine promoted)
+                                      ~dir:old_dir
+                                  with
+                                  | Error m -> Error ("rejoin: " ^ m)
+                                  | Ok old -> (
+                                      match drain old with
+                                      | Error m ->
+                                          Follower.close old;
+                                          Error ("rejoin catch-up: " ^ m)
+                                      | Ok () ->
+                                          let a = Follower.applied_lsn old in
+                                          let b =
+                                            (Engine.pin promoted).Engine.lsn
+                                          in
+                                          Follower.close old;
+                                          if a <> b then
+                                            Error
+                                              (Printf.sprintf
+                                                 "rejoined node stopped at \
+                                                  lsn %d, leader at %d"
+                                                 a b)
+                                          else Ok ())))))
+            in
+            match round () with
+            | Error m -> fail (Printf.sprintf "%s: %s" what m)
+            | Ok () -> (
+                match
+                  ( dir_digest fdir ~what:(what ^ ", promoted"),
+                    dir_digest old_dir ~what:(what ^ ", rejoined") )
+                with
+                | Error m, _ | _, Error m -> fail m
+                | Ok d1, Ok d2 ->
+                    if d1 <> d2 then
+                      fail
+                        (Printf.sprintf
+                           "rejoined node did not converge to the promoted \
+                            leader on %s"
+                           what))
+          end)
+        failover_cuts;
+      match !failure with
+      | Some m -> Error m
+      | None ->
+          Ok
+            {
+              repl_cut_points = !cut_count;
+              stream_flips = !flip_count;
+              follower_crashes = !crash_count;
+              repl_failovers = !failover_count;
+              repl_commits = commits;
+            })

@@ -112,3 +112,51 @@ val serve_sweep :
     the round, which is not what this sweep measures. [sessions]
     defaults to [3]; [crash_points] caps the sweep as in
     {!wal_sweep}. *)
+
+(** {1 Replication fault sweep}
+
+    {!repl_sweep} runs the same scripted workload as {!wal_sweep} on a
+    leader, then drives a {e real} {!Xvi_repl.Follower} — production
+    bootstrap, pull, validation, append-then-apply, rejoin and
+    promotion code — through an in-process transport whose leader side
+    is a byte string the sweep cuts, tears and corrupts:
+
+    - {e leader crash}: the stream is cut at every WAL frame boundary
+      (and just inside each frame). The follower must converge on
+      exactly the committed prefix of the cut, and promoting it —
+      recovering its directory — must yield marshalled bytes identical
+      to the {!wal_sweep} oracle for that prefix, twice over.
+    - {e in-transit corruption}: every byte of the shipped stream is
+      flipped once. The follower must reject the whole batch with
+      nothing applied (the WAL digest framing is the only checksum
+      layer), then converge to the full oracle once the wire is clean.
+    - {e follower crash}: a fully synced follower's own log is torn at
+      every length; re-creating the follower over the damaged
+      directory must truncate the torn tail (or re-seed) and converge
+      back to the full oracle.
+    - {e failover and rejoin}: at each commit-boundary cut the
+      follower is promoted and commits a fresh write; the deposed
+      leader then rejoins with its full — now divergent — log. The
+      digest walkback must truncate its tail at the last common LSN,
+      and both directories must recover to bit-identical state. *)
+
+type repl_report = {
+  repl_cut_points : int;  (** leader-crash stream cuts exercised *)
+  stream_flips : int;  (** in-transit corruptions exercised *)
+  follower_crashes : int;  (** follower-log tear positions exercised *)
+  repl_failovers : int;  (** promote-and-rejoin rounds exercised *)
+  repl_commits : int;  (** committed transactions in the workload *)
+}
+
+val repl_sweep :
+  ?cut_points:int ->
+  ?stream_flips:int ->
+  ?follower_crashes:int ->
+  ?failovers:int ->
+  Xvi_core.Db.t ->
+  (Xvi_xml.Store.node * string) list list ->
+  (repl_report, string) result
+(** [repl_sweep db batches] — workload shape as in {!wal_sweep} (each
+    batch one committed transaction, plus a probe insert and delete).
+    Each optional cap bounds its sweep to that many evenly spaced
+    points (commit edges always included); default is the full sweep. *)

@@ -1,0 +1,498 @@
+module Engine = Xvi_serve.Engine
+module Protocol = Xvi_serve.Protocol
+module Server = Xvi_serve.Server
+module Wal = Xvi_wal.Wal
+module Durable = Xvi_wal.Durable
+
+(* --- filesystem helpers --- *)
+
+let close_fd_quiet fd =
+  try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+
+let wipe dir =
+  Array.iter (fun n -> rm_rf (Filename.concat dir n)) (Sys.readdir dir)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring fd s off (len - off))
+  in
+  go 0
+
+let write_file_durable path data =
+  match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> close_fd_quiet fd)
+          (fun () ->
+            write_all fd data;
+            Unix.fsync fd)
+      with
+      | () -> Ok ()
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | data -> Ok data
+      | exception Sys_error m -> Error m
+      | exception End_of_file -> Error (path ^ ": unexpected end of file"))
+
+let truncate_durable path size =
+  match Unix.openfile path [ Unix.O_WRONLY ] 0o644 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> close_fd_quiet fd)
+          (fun () ->
+            Unix.ftruncate fd size;
+            Unix.fsync fd)
+      with
+      | () -> Ok ()
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+(* --- bootstrap: fetch the leader's snapshot, start an empty log --- *)
+
+let fetch_snapshot (transport : Transport.t) dir =
+  let buf = Buffer.create (1 lsl 20) in
+  let rec go offset =
+    match transport.snapshot_chunk ~offset with
+    | Error _ as e -> e
+    | Ok (data, total) ->
+        Buffer.add_string buf data;
+        let got = offset + String.length data in
+        if got >= total then Ok ()
+        else if String.length data = 0 then Error "snapshot transfer stalled"
+        else go got
+  in
+  match go 0 with
+  | Error _ as e -> e
+  | Ok () -> write_file_durable (Durable.snapshot_path dir) (Buffer.contents buf)
+
+let fetch_into transport dir =
+  match fetch_snapshot transport dir with
+  | Error _ as e -> e
+  | Ok () -> write_file_durable (Durable.wal_path dir) Wal.magic
+
+let prepare_dir dir =
+  if Sys.file_exists dir then
+    if not (Sys.is_directory dir) then Error (dir ^ " is not a directory")
+    else if Array.length (Sys.readdir dir) > 0 then
+      Error (dir ^ " exists, is not empty, and is not a durable directory")
+    else Ok ()
+  else
+    match Unix.mkdir dir 0o755 with
+    | () -> Ok ()
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+(* --- rejoin: find the last common LSN, drop the divergent tail --- *)
+
+(* Every Commit/Abort/Checkpoint frame in the local log, newest first,
+   with the byte offset just past it (the truncation point that keeps
+   it) and the chain digest over the local frames from the log's first
+   LSN (the anchor) up to and including the boundary — the same chain
+   {!Leader.frame_digest} computes, so equal digests mean both
+   histories agree on the whole range, not merely on one boundary
+   frame. A torn local tail just ends the walk — the boundaries before
+   it are intact. *)
+let local_boundaries data =
+  let magic_len = String.length Wal.magic in
+  if
+    String.length data < magic_len
+    || not (String.equal (String.sub data 0 magic_len) Wal.magic)
+  then None
+  else
+    let chain = Buffer.create 256 in
+    let anchor = ref 0 in
+    let rec go pos acc =
+      match Wal.decode data pos with
+      | Wal.Frame (f, next) ->
+          if !anchor = 0 then anchor := f.Wal.lsn;
+          Buffer.add_string chain (Wal.frame_digest f);
+          let acc =
+            match f.Wal.record with
+            | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ ->
+                ( f.Wal.lsn,
+                  next,
+                  Digest.to_hex (Digest.string (Buffer.contents chain)) )
+                :: acc
+            | Wal.Begin _ | Wal.Update_text _ | Wal.Insert _ | Wal.Delete _ ->
+                acc
+          in
+          go next acc
+      | Wal.End | Wal.Torn _ -> acc
+    in
+    let boundaries = go magic_len [] in
+    Some (!anchor, boundaries)
+
+let rejoin ~log (transport : Transport.t) dir =
+  let path = Durable.wal_path dir in
+  match read_file path with
+  | Error m -> Error m
+  | Ok data -> (
+      match local_boundaries data with
+      | None ->
+          log "rejoin: local log header unreadable; reseeding";
+          Ok `Reseed
+      | Some (_, []) ->
+          (* no complete commit survives locally; drop any partial or
+             torn bytes after the header so appends resume on a clean
+             log — O_APPEND would otherwise write new frames after the
+             garbage and poison every later recovery *)
+          let magic_len = String.length Wal.magic in
+          if String.length data = magic_len then Ok `Kept
+          else (
+            log "rejoin: no local commit boundary; truncating to header";
+            match truncate_durable path magic_len with
+            | Ok () -> Ok `Kept
+            | Error _ as e -> e)
+      | Some (anchor, (_ :: _ as boundaries)) ->
+          let rec walk = function
+            | [] ->
+                log "rejoin: no common commit boundary; reseeding";
+                Ok `Reseed
+            | (lsn, end_off, hex) :: older -> (
+                match transport.frame_digest ~anchor lsn with
+                | Error _ as e -> e
+                | Ok (`Snapshot_needed _) ->
+                    log "rejoin: leader checkpointed past us; reseeding";
+                    Ok `Reseed
+                | Ok `Missing -> walk older
+                | Ok (`Digest h) ->
+                    if String.equal h hex then
+                      if end_off = String.length data then Ok `Kept
+                      else (
+                        log
+                          (Printf.sprintf
+                             "rejoin: truncating divergent tail after lsn %d"
+                             lsn);
+                        match truncate_durable path end_off with
+                        | Ok () -> Ok `Kept
+                        | Error _ as e -> e)
+                    else walk older)
+          in
+          walk boundaries)
+
+(* --- the follower --- *)
+
+type state = { engine : Engine.t; wal_fd : Unix.file_descr }
+
+type t = {
+  dir : string;
+  transport : Transport.t;
+  config : Xvi_core.Db.Config.t option;
+  sync_mode : Wal.sync_mode option;
+  auto_checkpoint_bytes : int option;
+  publish_period : float option;
+  batch_bytes : int;
+  poll_interval : float;
+  log : string -> unit;
+  lock : Mutex.t;
+  mutable state : state option;
+      (** [None] once promoted or after a failed reseed *)
+  engine_cell : Engine.t Atomic.t;  (** last good engine, lock-free reads *)
+  leader_durable : int Atomic.t;
+  stop_flag : bool Atomic.t;
+  mutable dom : unit Domain.t option;
+  mutable promoted : bool;
+  mutable on_engine_change : Engine.t -> unit;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let engine t = Atomic.get t.engine_cell
+let applied_lsn t = (Engine.pin (engine t)).Engine.lsn
+let leader_lsn t = Atomic.get t.leader_durable
+let staleness t = max 0 (leader_lsn t - applied_lsn t)
+let dir t = t.dir
+let set_on_engine_change t f = with_lock t (fun () -> t.on_engine_change <- f)
+
+let open_wal_fd dir =
+  match
+    (Unix.openfile (Durable.wal_path dir) [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644
+    [@xvi.lint.allow
+      "R4: held open for the follower's whole life; closed in \
+       close/promote/reseed"])
+  with
+  | fd -> Ok fd
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let open_replica ?config ?publish_period dir =
+  match Engine.open_ ?config ?publish_period (Engine.Replica dir) with
+  | Error e -> Error (Engine.error_to_string e)
+  | Ok eng -> (
+      match open_wal_fd dir with
+      | Error m ->
+          Engine.close eng;
+          Error m
+      | Ok fd -> Ok { engine = eng; wal_fd = fd })
+
+let open_state t =
+  match
+    open_replica ?config:t.config ?publish_period:t.publish_period t.dir
+  with
+  | Error _ as e -> e
+  | Ok st ->
+      t.state <- Some st;
+      Atomic.set t.engine_cell st.engine;
+      t.on_engine_change st.engine;
+      Ok ()
+
+let drop_state t =
+  match t.state with
+  | None -> ()
+  | Some st ->
+      Engine.close st.engine;
+      close_fd_quiet st.wal_fd;
+      t.state <- None
+
+let reseed_locked t =
+  t.log "reseed: fetching a fresh snapshot from the leader";
+  drop_state t;
+  match wipe t.dir with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | exception Sys_error m -> Error m
+  | () -> (
+      match fetch_into t.transport t.dir with
+      | Error _ as e -> e
+      | Ok () -> open_state t)
+
+(* A batch is applied all-or-nothing: every frame must decode (the WAL
+   digest framing catches in-transit corruption exactly as recovery
+   catches torn logs), LSNs must continue the local log without a gap,
+   and the batch must end on a commit boundary. Any violation rejects
+   the whole batch before a byte lands in the local log; the next pull
+   re-reads clean bytes from the leader's disk. *)
+let validate_batch ~applied data =
+  let len = String.length data in
+  let rec go pos prev acc =
+    if pos = len then
+      match acc with
+      | { Wal.record = Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _; _ } :: _
+        ->
+          Ok (List.rev acc)
+      | _ -> Error "batch does not end on a commit boundary"
+    else
+      match Wal.decode data pos with
+      | Wal.Frame (f, next) ->
+          if f.Wal.lsn <> prev + 1 then
+            Error
+              (Printf.sprintf "lsn gap: expected %d, got %d" (prev + 1)
+                 f.Wal.lsn)
+          else go next f.Wal.lsn (f :: acc)
+      | Wal.End -> Error "empty batch"
+      | Wal.Torn m -> Error ("damaged frame: " ^ m)
+  in
+  go 0 applied []
+
+let append_fsync fd data =
+  let before = (Unix.fstat fd).Unix.st_size in
+  match
+    write_all fd data;
+    Unix.fsync fd
+  with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      (* keep the local log at a clean boundary so a retry's re-append
+         cannot leave a half batch in the middle *)
+      (match Unix.ftruncate fd before with
+      | () -> ()
+      | exception Unix.Unix_error (_, _, _) -> ());
+      Error (Unix.error_message e)
+
+let catch_up_locked t =
+  match t.state with
+  | None ->
+      if t.promoted then Error "follower was promoted"
+      else (
+        (* a previous reseed failed mid-way; try again *)
+        match reseed_locked t with
+        | Ok () -> Ok `Resynced
+        | Error _ as e -> e)
+  | Some st -> (
+      let applied = (Engine.pin st.engine).Engine.lsn in
+      match t.transport.pull ~from_lsn:applied ~max_bytes:t.batch_bytes with
+      | Error _ as e -> e
+      | Ok (`Snapshot_needed _) -> (
+          match reseed_locked t with
+          | Ok () -> Ok `Resynced
+          | Error _ as e -> e)
+      | Ok (`Frames (data, leader_durable)) -> (
+          Atomic.set t.leader_durable leader_durable;
+          if String.length data = 0 then Ok `Caught_up
+          else
+            match validate_batch ~applied data with
+            | Error m -> Error ("rejected batch: " ^ m)
+            | Ok frames -> (
+                match append_fsync st.wal_fd data with
+                | Error _ as e -> e
+                | Ok () -> (
+                    match Engine.replica_apply st.engine frames with
+                    | Error e -> Error (Engine.error_to_string e)
+                    | Ok lsn -> Ok (`Applied lsn)))))
+
+let catch_up t = with_lock t (fun () -> catch_up_locked t)
+
+let run_loop t =
+  while not (Atomic.get t.stop_flag) do
+    match catch_up t with
+    | Ok (`Applied _) -> ()  (* drain eagerly: more may already be durable *)
+    | Ok `Caught_up | Ok `Resynced -> Unix.sleepf t.poll_interval
+    | Error m ->
+        t.log ("pull: " ^ m);
+        Unix.sleepf t.poll_interval
+  done
+
+let start t =
+  with_lock t (fun () ->
+      match t.dom with
+      | Some _ -> ()
+      | None ->
+          Atomic.set t.stop_flag false;
+          t.dom <- Some (Domain.spawn (fun () -> run_loop t)))
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  let dom =
+    with_lock t (fun () ->
+        let d = t.dom in
+        t.dom <- None;
+        d)
+  in
+  match dom with Some d -> Domain.join d | None -> ()
+
+let promote t =
+  stop t;
+  with_lock t (fun () ->
+      if t.promoted then Error "already promoted"
+      else
+        match t.state with
+        | None -> Error "follower is not live (reseed pending); cannot promote"
+        | Some st -> (
+            Engine.close st.engine;
+            close_fd_quiet st.wal_fd;
+            t.state <- None;
+            t.promoted <- true;
+            t.transport.close ();
+            (* the ordinary recovery path: snapshot + replay + torn-tail
+               truncation — exactly what a restart after a crash does *)
+            match
+              Engine.open_ ?config:t.config ?sync_mode:t.sync_mode
+                ?auto_checkpoint_bytes:t.auto_checkpoint_bytes
+                ?publish_period:t.publish_period (Engine.Dir t.dir)
+            with
+            | Error e ->
+                Error
+                  (Printf.sprintf "recovering %s: %s" t.dir
+                     (Engine.error_to_string e))
+            | Ok e ->
+                Atomic.set t.engine_cell e;
+                t.on_engine_change e;
+                t.log "promoted: recovered local directory as leader";
+                Ok (e, Leader.handlers e)))
+
+let handlers t =
+  let applied () = applied_lsn t in
+  {
+    Server.role = "follower";
+    info =
+      (fun () ->
+        let s = Engine.stats (engine t) in
+        Protocol.Repl_info_r
+          {
+            role = "follower";
+            last_lsn = s.Engine.last_lsn;
+            durable_lsn = s.Engine.durable_lsn;
+            checkpoint_lsn = 0;
+            applied_lsn = s.Engine.last_lsn;
+            leader_lsn = leader_lsn t;
+          });
+    (* a follower serves the same verbs from its own directory, so a
+       downstream follower can chain off it (cascading replication) *)
+    snapshot_chunk = (fun ~offset -> Leader.snapshot_chunk (engine t) ~offset);
+    pull =
+      (fun ~from_lsn ~max_bytes -> Leader.pull (engine t) ~from_lsn ~max_bytes);
+    frame_digest = (fun ~anchor lsn -> Leader.frame_digest (engine t) ~anchor lsn);
+    promote =
+      (fun () ->
+        match promote t with
+        | Error _ as e -> e
+        | Ok (e, r) -> Ok (Some (e, r)));
+    stats_extra =
+      (fun () ->
+        [
+          ("applied_lsn", string_of_int (applied ()));
+          ("leader_lsn", string_of_int (leader_lsn t));
+          ("staleness", string_of_int (staleness t));
+        ]);
+  }
+
+let close t =
+  stop t;
+  with_lock t (fun () ->
+      drop_state t;
+      t.transport.close ())
+
+let create ?config ?sync_mode ?auto_checkpoint_bytes ?publish_period
+    ?(batch_bytes = 1 lsl 20) ?(poll_interval = 0.02)
+    ?(log = fun (_ : string) -> ()) ~transport ~dir () =
+  let boot =
+    if Durable.is_durable_dir dir then
+      match rejoin ~log transport dir with
+      | Error _ as e -> e
+      | Ok `Kept -> Ok ()
+      | Ok `Reseed -> (
+          match wipe dir with
+          | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+          | exception Sys_error m -> Error m
+          | () -> fetch_into transport dir)
+    else
+      match prepare_dir dir with
+      | Error _ as e -> e
+      | Ok () -> fetch_into transport dir
+  in
+  match boot with
+  | Error _ as e -> e
+  | Ok () -> (
+      match open_replica ?config ?publish_period dir with
+      | Error _ as e -> e
+      | Ok st ->
+          Ok
+            {
+              dir;
+              transport;
+              config;
+              sync_mode;
+              auto_checkpoint_bytes;
+              publish_period;
+              batch_bytes;
+              poll_interval;
+              log;
+              lock = Mutex.create ();
+              state = Some st;
+              engine_cell = Atomic.make st.engine;
+              leader_durable = Atomic.make 0;
+              stop_flag = Atomic.make false;
+              dom = None;
+              promoted = false;
+              on_engine_change = (fun (_ : Engine.t) -> ());
+            })

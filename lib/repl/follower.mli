@@ -1,0 +1,124 @@
+(** A replication follower: a read-only {!Xvi_serve.Engine} replica fed
+    by pulling the leader's WAL frames through a {!Transport}.
+
+    {2 The replication loop}
+
+    Each {!catch_up} round pulls the frames past the locally applied
+    LSN, validates the batch all-or-nothing — every frame must pass the
+    WAL's digest check, LSNs must continue the local log without a gap,
+    and the batch must end on a commit boundary — then appends it to
+    the follower's {e own} WAL, fsyncs, and only then applies it through
+    {!Xvi_serve.Engine.replica_apply}. Shipped bytes are the leader's
+    on-disk bytes bit for bit, so the follower's log grows into a
+    prefix-identical copy of the leader's, and in-transit corruption is
+    rejected by exactly the code that rejects torn logs at recovery; the
+    next pull re-reads clean bytes and converges.
+
+    Append-then-apply preserves the engine's core invariant on the
+    follower: no published epoch can contain state a local crash would
+    take back. Restarting a crashed follower is therefore just
+    {!create} over the same directory — recovery replays its local log
+    and pulling resumes from the applied watermark.
+
+    {2 Staleness}
+
+    Reads served from a follower are {e stale-bounded}: every pull
+    reply carries the leader's durable LSN, and
+    [{!staleness} = leader durable LSN - follower applied LSN] is the
+    number of durable commits the replica has not yet applied (0 =
+    fully caught up at last contact).
+
+    {2 Failover}
+
+    {!promote} stops the pull loop, closes the replica, and re-opens
+    the directory through the ordinary recovery path — the follower
+    {e is} a valid durable directory at every instant, so promotion
+    needs no state conversion at all. A deposed leader rejoins as a
+    follower via {!create} over its old directory: it walks its commit
+    boundaries newest-first, asks the new leader for the {e chain}
+    digest of the whole log prefix up to each boundary (a single
+    frame's digest would be unsound — commit records do not commit to
+    the history before them), truncates its divergent tail at the last
+    LSN where both histories agree, and resumes pulling (or re-seeds
+    from a snapshot when no common prefix survives). *)
+
+type t
+
+val create :
+  ?config:Xvi_core.Db.Config.t ->
+  ?sync_mode:Xvi_wal.Wal.sync_mode ->
+  ?auto_checkpoint_bytes:int ->
+  ?publish_period:float ->
+  ?batch_bytes:int ->
+  ?poll_interval:float ->
+  ?log:(string -> unit) ->
+  transport:Transport.t ->
+  dir:string ->
+  unit ->
+  (t, string) result
+(** Bootstrap or rejoin, then open [dir] as a read-only replica.
+
+    A missing or empty [dir] bootstraps: the leader's snapshot is
+    fetched in {!Leader.chunk_bytes} slices and an empty local log is
+    started. An existing durable [dir] rejoins as described above. A
+    non-empty [dir] that is not a durable directory is refused.
+
+    [sync_mode] and [auto_checkpoint_bytes] take effect only on
+    {!promote} (a replica never writes its own frames); [batch_bytes]
+    caps one pull (default 1 MiB); [poll_interval] is the idle polling
+    period of {!start}'s loop (default 20 ms). *)
+
+val engine : t -> Xvi_serve.Engine.t
+(** The engine to serve reads from — the replica, or after {!promote}
+    the recovered leader engine. Sessions pin its epochs as usual. *)
+
+val dir : t -> string
+
+val applied_lsn : t -> int
+(** Highest LSN applied to (and durable in) the replica. *)
+
+val leader_lsn : t -> int
+(** The leader's durable LSN as of the last successful pull. *)
+
+val staleness : t -> int
+(** [max 0 (leader_lsn - applied_lsn)]. *)
+
+val catch_up :
+  t -> ([ `Applied of int | `Caught_up | `Resynced ], string) result
+(** One pull round. [`Applied lsn]: a batch landed (call again — more
+    may be waiting). [`Caught_up]: nothing new. [`Resynced]: the leader
+    checkpointed past us and the replica re-seeded from a fresh
+    snapshot. [Error] leaves the replica unchanged — a rejected batch
+    or unreachable leader is retried on the next round. *)
+
+val start : t -> unit
+(** Spawn the pull domain: {!catch_up} continuously, sleeping
+    [poll_interval] when caught up or erroring. Idempotent. *)
+
+val stop : t -> unit
+(** Stop and join the pull domain (no-op when not running). *)
+
+val promote : t -> (Xvi_serve.Engine.t * Xvi_serve.Server.repl, string) result
+(** Become the leader: {!stop}, close the replica, recover [dir] as a
+    writable engine (with [create]'s [sync_mode] and
+    [auto_checkpoint_bytes]), and return it with leader handlers for
+    {!Xvi_serve.Server.set_repl}. The follower object is spent
+    afterwards; the caller owns closing the returned engine. *)
+
+val handlers : t -> Xvi_serve.Server.repl
+(** Routing record for a server fronting this follower: [repl-info]
+    reports role ["follower"] and both watermarks; the snapshot / pull /
+    digest verbs serve from the follower's own directory so further
+    followers can chain off it; [promote] runs {!promote} and hands the
+    server the new engine and leader handlers; [stats] rows gain
+    [applied_lsn], [leader_lsn] and [staleness]. *)
+
+val set_on_engine_change : t -> (Xvi_serve.Engine.t -> unit) -> unit
+(** Called with the replacement engine whenever the follower swaps it —
+    a re-seed after [snapshot-needed], or a promotion. A server embeds
+    this as {!Xvi_serve.Server.set_engine} so new connections follow. *)
+
+val close : t -> unit
+(** Stop pulling, close the replica engine and local log, close the
+    transport. After {!promote} this only closes the transport — the
+    promoted engine belongs to the caller. *)

@@ -1,0 +1,117 @@
+module Engine = Xvi_serve.Engine
+module Protocol = Xvi_serve.Protocol
+module Server = Xvi_serve.Server
+module Wal = Xvi_wal.Wal
+module Durable = Xvi_wal.Durable
+
+let chunk_bytes = 1 lsl 20
+
+(* Protocol frames cap at [Protocol.max_frame] (16 MiB) and escaping can
+   triple a byte, so raw payloads handed to the codec must stay under a
+   third of that. 4 MiB leaves headroom for the surrounding tokens. *)
+let max_raw_bytes = 4 * 1024 * 1024
+
+let no_dir = Protocol.Err "replication source has no durable directory"
+
+let checkpoint_lsn_of (s : Engine.stats) =
+  match s.Engine.durable with
+  | Some d -> d.Durable.last_checkpoint_lsn
+  | None -> 0
+
+let info e =
+  let s = Engine.stats e in
+  Protocol.Repl_info_r
+    {
+      role = "leader";
+      last_lsn = s.Engine.last_lsn;
+      durable_lsn = s.Engine.durable_lsn;
+      checkpoint_lsn = checkpoint_lsn_of s;
+      applied_lsn = s.Engine.last_lsn;
+      leader_lsn = s.Engine.durable_lsn;
+    }
+
+let snapshot_chunk e ~offset =
+  match Engine.dir e with
+  | None -> no_dir
+  | Some dir -> (
+      let path = Durable.snapshot_path dir in
+      match open_in_bin path with
+      | exception Sys_error m -> Protocol.Err m
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              let total = in_channel_length ic in
+              if offset < 0 then Protocol.Err "negative offset"
+              else if offset >= total then Protocol.Chunk { total; data = "" }
+              else begin
+                seek_in ic offset;
+                let n = min chunk_bytes (total - offset) in
+                match really_input_string ic n with
+                | data -> Protocol.Chunk { total; data }
+                | exception End_of_file ->
+                    (* the file shrank under us — a checkpoint replaced
+                       it; the follower's snapshot digest check catches
+                       the mix and it restarts the transfer *)
+                    Protocol.Err "snapshot changed during transfer"
+              end))
+
+let pull e ~from_lsn ~max_bytes =
+  match Engine.dir e with
+  | None -> no_dir
+  | Some dir -> (
+      let durable_lsn = (Engine.stats e).Engine.durable_lsn in
+      let max_bytes = max 1 (min max_bytes max_raw_bytes) in
+      let tail = Wal.Tail.create ~from_lsn (Durable.wal_path dir) in
+      match Wal.Tail.poll ~upto_lsn:durable_lsn ~max_bytes tail with
+      | Error m -> Protocol.Err m
+      | Ok (Wal.Tail.Frames { bytes; _ }) ->
+          Protocol.Frames_r { durable_lsn; data = bytes }
+      | Ok Wal.Tail.Await -> Protocol.Frames_r { durable_lsn; data = "" }
+      | Ok (Wal.Tail.Snapshot_needed { base }) -> Protocol.Snapshot_needed_r base)
+
+(* Digest over the digests of every frame in [anchor..lsn], in LSN
+   order. A single frame's digest would be unsound for the rejoin
+   walkback: a commit record carries only a transaction counter, so two
+   diverged logs routinely hold byte-identical commit frames at the
+   same LSN. The chain commits to the whole range. *)
+let chain_digest frames ~anchor ~lsn =
+  let buf = Buffer.create ((lsn - anchor + 1) * 16) in
+  List.iter
+    (fun f ->
+      if anchor <= f.Wal.lsn && f.Wal.lsn <= lsn then
+        Buffer.add_string buf (Wal.frame_digest f))
+    frames;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let frame_digest e ~anchor lsn =
+  match Engine.dir e with
+  | None -> no_dir
+  | Some dir -> (
+      match Wal.scan_file (Durable.wal_path dir) with
+      | Error m -> Protocol.Err m
+      | Ok scan -> (
+          if anchor < 1 || lsn < anchor then Protocol.Digest_r None
+          else
+            match scan.Wal.frames with
+            | [] -> Protocol.Digest_r None
+            | first :: _ when anchor < first.Wal.lsn ->
+                (* checkpointed away: only a snapshot covers it now *)
+                Protocol.Snapshot_needed_r (first.Wal.lsn - 1)
+            | frames ->
+                (* LSNs are strictly contiguous, so the log spans
+                   [anchor..lsn] iff it contains the endpoint *)
+                if List.exists (fun f -> f.Wal.lsn = lsn) frames then
+                  Protocol.Digest_r (Some (chain_digest frames ~anchor ~lsn))
+                else Protocol.Digest_r None))
+
+let handlers e =
+  {
+    Server.role = "leader";
+    info = (fun () -> info e);
+    snapshot_chunk = (fun ~offset -> snapshot_chunk e ~offset);
+    pull = (fun ~from_lsn ~max_bytes -> pull e ~from_lsn ~max_bytes);
+    frame_digest = (fun ~anchor lsn -> frame_digest e ~anchor lsn);
+    promote = (fun () -> Ok None);
+    stats_extra = (fun () -> []);
+  }

@@ -1,0 +1,52 @@
+(** The leader's side of log shipping: stateless answers to the
+    replication verbs, computed from the engine's durable directory.
+
+    The leader keeps {e no} per-follower state — a pull request names
+    the LSN it wants to resume from, the answer re-reads the WAL through
+    {!Xvi_wal.Wal.Tail}, and {!Xvi_wal.Wal.encode_frames} guarantees the
+    shipped bytes are bit-identical to the on-disk frames. A follower
+    (or a hundred) can therefore connect, vanish and resume at any time
+    without the leader tracking anything, and a follower can serve these
+    same verbs to its own downstream (cascading replication): every
+    function here only needs an engine with a directory.
+
+    Only {e durable} frames ship: {!pull} caps the tail at the engine's
+    fsync watermark, so nothing a leader crash could take back ever
+    reaches a follower. *)
+
+val chunk_bytes : int
+(** Snapshot transfer slice size (1 MiB). *)
+
+val info : Xvi_serve.Engine.t -> Xvi_serve.Protocol.response
+(** [repl-info] with [role = "leader"] and the engine's watermarks. *)
+
+val snapshot_chunk :
+  Xvi_serve.Engine.t -> offset:int -> Xvi_serve.Protocol.response
+(** One {!chunk_bytes} slice of the snapshot file. A checkpoint racing
+    the transfer can hand the follower mixed bytes; the snapshot's own
+    digest framing rejects them at load and the follower re-bootstraps. *)
+
+val pull :
+  Xvi_serve.Engine.t ->
+  from_lsn:int ->
+  max_bytes:int ->
+  Xvi_serve.Protocol.response
+(** Durable committed groups past [from_lsn]: [frames] (empty = caught
+    up, retry later), or [snapshot-needed] after a checkpoint truncated
+    them away. [max_bytes] is clamped so the escaped response stays
+    under {!Xvi_serve.Protocol.max_frame}. *)
+
+val frame_digest :
+  Xvi_serve.Engine.t -> anchor:int -> int -> Xvi_serve.Protocol.response
+(** The chain digest over the log prefix [anchor..lsn]: the digest of
+    every frame's digest in that range, in LSN order. A rejoining node
+    walks its own commit boundaries newest-first through this verb to
+    find the last LSN at which both {e histories} — not just both
+    boundary frames — agree; a single frame's digest would be unsound
+    because commit records do not commit to what precedes them.
+    [digest _] (none) when the log does not reach [lsn];
+    [snapshot-needed] when a checkpoint truncated [anchor] away. *)
+
+val handlers : Xvi_serve.Engine.t -> Xvi_serve.Server.repl
+(** The {!Xvi_serve.Server} routing record for a leader; [promote] is
+    an idempotent no-op ([Ok None]). *)

@@ -1,0 +1,52 @@
+module Client = Xvi_serve.Client
+
+type replica = { client : Client.t; mutable stale : int; mutable reads : int }
+
+type t = {
+  leader : Client.t;
+  replicas : replica array;
+  mutable next : int;
+  refresh_every : int;
+}
+
+let refresh r =
+  match Client.repl_info r.client with
+  | Ok i -> r.stale <- max 0 (i.Client.leader_lsn - i.Client.applied_lsn)
+  | Error _ ->
+      (* unreachable replica: infinitely stale, never picked under a
+         bound; re-probed after the next refresh_every reads *)
+      r.stale <- max_int
+
+let create ?(refresh_every = 64) ~leader ~followers () =
+  let replicas =
+    Array.of_list
+      (List.map (fun client -> { client; stale = 0; reads = 0 }) followers)
+  in
+  { leader; replicas; next = 0; refresh_every }
+
+let leader t = t.leader
+let followers t = Array.to_list (Array.map (fun r -> r.client) t.replicas)
+let write t f = f t.leader
+
+let read ?max_staleness t f =
+  let n = Array.length t.replicas in
+  if n = 0 then f t.leader
+  else begin
+    let start = t.next in
+    t.next <- (t.next + 1) mod n;
+    let rec pick i =
+      if i >= n then f t.leader (* every replica too stale: read upstream *)
+      else begin
+        let r = t.replicas.((start + i) mod n) in
+        match max_staleness with
+        | None ->
+            r.reads <- r.reads + 1;
+            f r.client
+        | Some bound ->
+            if r.reads mod t.refresh_every = 0 then refresh r;
+            r.reads <- r.reads + 1;
+            if r.stale <= bound then f r.client else pick (i + 1)
+      end
+    in
+    pick 0
+  end

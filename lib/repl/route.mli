@@ -1,0 +1,44 @@
+(** Client-side read routing across a leader and its followers.
+
+    Writes always go to the leader (followers answer them with
+    [Read_only]); reads round-robin across the followers, falling back
+    to the leader when every follower exceeds the staleness bound. This
+    is how the bench harness measures follower read scaling, and the
+    pattern an application embeds for stale-bounded reads.
+
+    Staleness is polled, not tracked per read: each follower's
+    [repl-info] is re-fetched every [refresh_every] reads (only when a
+    bound is requested), so the bound is {e approximate} — a follower
+    can fall behind between polls by however much the leader commits in
+    that window. An exact bound would cost one extra round trip per
+    read, which is the entire follower-read advantage.
+
+    Not domain-safe: clients carry one request in flight, so give each
+    domain its own router over its own connections. *)
+
+type t
+
+val create :
+  ?refresh_every:int ->
+  leader:Xvi_serve.Client.t ->
+  followers:Xvi_serve.Client.t list ->
+  unit ->
+  t
+(** Borrow the connections (closing them stays the caller's job).
+    [refresh_every] defaults to 64 reads per follower. *)
+
+val leader : t -> Xvi_serve.Client.t
+val followers : t -> Xvi_serve.Client.t list
+
+val read :
+  ?max_staleness:int ->
+  t ->
+  (Xvi_serve.Client.t -> ('a, string) result) ->
+  ('a, string) result
+(** Run a read against the next follower whose last-polled staleness is
+    within [max_staleness] (commits behind the leader; default: any).
+    Falls back to the leader when none qualifies. *)
+
+val write :
+  t -> (Xvi_serve.Client.t -> ('a, string) result) -> ('a, string) result
+(** Run against the leader. *)

@@ -1,0 +1,86 @@
+module Client = Xvi_serve.Client
+
+type pull_reply =
+  [ `Frames of string * int  (** raw frame bytes, leader durable LSN *)
+  | `Snapshot_needed of int ]
+
+type digest_reply =
+  [ `Digest of string | `Missing | `Snapshot_needed of int ]
+
+type t = {
+  info : unit -> (Client.repl_info, string) result;
+  snapshot_chunk : offset:int -> (string * int, string) result;
+  pull : from_lsn:int -> max_bytes:int -> (pull_reply, string) result;
+  frame_digest : anchor:int -> int -> (digest_reply, string) result;
+  close : unit -> unit;
+}
+
+let of_client c =
+  {
+    info = (fun () -> Client.repl_info c);
+    snapshot_chunk = (fun ~offset -> Client.repl_snapshot c ~offset);
+    pull = (fun ~from_lsn ~max_bytes -> Client.repl_pull c ~from_lsn ~max_bytes);
+    frame_digest = (fun ~anchor lsn -> Client.repl_digest c ~anchor lsn);
+    close = (fun () -> Client.close c);
+  }
+
+let connect ?wait_s ~socket () =
+  (* the pull loop writes to a leader that may die at any instant; that
+     must surface as an [Error] from the request (EPIPE), not kill the
+     follower process with SIGPIPE. One-shot CLI clients deliberately
+     keep the default disposition — a closed stdout pipe should end
+     them the way it ends any Unix filter. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match Client.connect ?wait_s ~socket () with
+  | Error _ as e -> e
+  | Ok c -> Ok (of_client c)
+
+(* A transport straight onto an engine in this process — the leader's
+   serving functions without the socket between. The fault harness and
+   the bench use it to run real follower code against a local leader. *)
+let of_engine e =
+  let module P = Xvi_serve.Protocol in
+  let unexpected r =
+    Error ("unexpected repl response " ^ P.encode_response r)
+  in
+  {
+    info =
+      (fun () ->
+        match Leader.info e with
+        | P.Repl_info_r
+            { role; last_lsn; durable_lsn; checkpoint_lsn; applied_lsn; leader_lsn }
+          ->
+            Ok
+              {
+                Client.role;
+                last_lsn;
+                durable_lsn;
+                checkpoint_lsn;
+                applied_lsn;
+                leader_lsn;
+              }
+        | P.Err m -> Error m
+        | r -> unexpected r);
+    snapshot_chunk =
+      (fun ~offset ->
+        match Leader.snapshot_chunk e ~offset with
+        | P.Chunk { total; data } -> Ok (data, total)
+        | P.Err m -> Error m
+        | r -> unexpected r);
+    pull =
+      (fun ~from_lsn ~max_bytes ->
+        match Leader.pull e ~from_lsn ~max_bytes with
+        | P.Frames_r { durable_lsn; data } -> Ok (`Frames (data, durable_lsn))
+        | P.Snapshot_needed_r base -> Ok (`Snapshot_needed base)
+        | P.Err m -> Error m
+        | r -> unexpected r);
+    frame_digest =
+      (fun ~anchor lsn ->
+        match Leader.frame_digest e ~anchor lsn with
+        | P.Digest_r (Some h) -> Ok (`Digest h)
+        | P.Digest_r None -> Ok `Missing
+        | P.Snapshot_needed_r base -> Ok (`Snapshot_needed base)
+        | P.Err m -> Error m
+        | r -> unexpected r);
+    close = (fun () -> ());
+  }

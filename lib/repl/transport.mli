@@ -1,0 +1,46 @@
+(** How a follower reaches its leader — the four replication round
+    trips as a record of closures.
+
+    The production transport ({!connect}) speaks {!Xvi_serve.Protocol}
+    over the leader's Unix socket. The fault-injection harness
+    ({!Xvi_check.Fault}) substitutes in-process transports that cut,
+    truncate or corrupt the stream at chosen points while the follower
+    code under test stays byte-for-byte the production code — that
+    substitution is the whole reason this indirection exists. *)
+
+type pull_reply =
+  [ `Frames of string * int
+    (** raw {!Xvi_wal.Wal} frame bytes (complete committed groups;
+        empty = caught up), and the leader's durable LSN *)
+  | `Snapshot_needed of int
+    (** the leader checkpointed the requested frames away; records
+        [<= base] are only available via a snapshot *) ]
+
+type digest_reply =
+  [ `Digest of string  (** chain digest over [anchor..lsn], hex *)
+  | `Missing  (** the leader's log does not reach [lsn] *)
+  | `Snapshot_needed of int
+    (** the leader's log no longer reaches back to [anchor] *) ]
+
+type t = {
+  info : unit -> (Xvi_serve.Client.repl_info, string) result;
+  snapshot_chunk : offset:int -> (string * int, string) result;
+      (** [(data, total)]: one slice of the leader's snapshot file *)
+  pull : from_lsn:int -> max_bytes:int -> (pull_reply, string) result;
+  frame_digest : anchor:int -> int -> (digest_reply, string) result;
+  close : unit -> unit;
+}
+
+val of_client : Xvi_serve.Client.t -> t
+(** Wrap a connected client; {!t.close} closes it. The client must not
+    be shared with other request traffic (one request in flight). *)
+
+val connect : ?wait_s:float -> socket:string -> unit -> (t, string) result
+(** Connect to a leader's socket ({!Xvi_serve.Client.connect}
+    semantics: retries while the socket is still appearing). *)
+
+val of_engine : Xvi_serve.Engine.t -> t
+(** A transport straight onto an engine in this process — {!Leader}'s
+    serving functions with no socket between. The engine must have a
+    durable directory. {!t.close} is a no-op; the engine stays the
+    caller's to close. *)

@@ -107,6 +107,50 @@ let stats t =
   | Ok r -> reject r
   | Error _ as e -> e
 
+(* --- replication round trips --- *)
+
+type repl_info = {
+  role : string;
+  last_lsn : int;
+  durable_lsn : int;
+  checkpoint_lsn : int;
+  applied_lsn : int;
+  leader_lsn : int;
+}
+
+let repl_info t =
+  match request t Protocol.Repl_info with
+  | Ok
+      (Protocol.Repl_info_r
+         { role; last_lsn; durable_lsn; checkpoint_lsn; applied_lsn; leader_lsn })
+    ->
+      Ok { role; last_lsn; durable_lsn; checkpoint_lsn; applied_lsn; leader_lsn }
+  | Ok r -> reject r
+  | Error _ as e -> e
+
+let repl_snapshot t ~offset =
+  match request t (Protocol.Repl_snapshot offset) with
+  | Ok (Protocol.Chunk { total; data }) -> Ok (data, total)
+  | Ok r -> reject r
+  | Error _ as e -> e
+
+let repl_pull t ~from_lsn ~max_bytes =
+  match request t (Protocol.Repl_pull { from_lsn; max_bytes }) with
+  | Ok (Protocol.Frames_r { durable_lsn; data }) -> Ok (`Frames (data, durable_lsn))
+  | Ok (Protocol.Snapshot_needed_r base) -> Ok (`Snapshot_needed base)
+  | Ok r -> reject r
+  | Error _ as e -> e
+
+let repl_digest t ~anchor lsn =
+  match request t (Protocol.Repl_digest { anchor; lsn }) with
+  | Ok (Protocol.Digest_r (Some hex)) -> Ok (`Digest hex)
+  | Ok (Protocol.Digest_r None) -> Ok `Missing
+  | Ok (Protocol.Snapshot_needed_r base) -> Ok (`Snapshot_needed base)
+  | Ok r -> reject r
+  | Error _ as e -> e
+
+let promote t = unit_rt t Protocol.Promote
+
 let bye_rt t req =
   match request t req with
   | Ok Protocol.Bye ->

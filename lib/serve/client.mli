@@ -46,6 +46,49 @@ val delete : t -> int -> (int, string) result
 val stats : t -> ((string * string) list, string) result
 val sync : t -> (unit, string) result
 
+(** {1 Replication round trips} *)
+
+type repl_info = {
+  role : string;  (** ["leader"] or ["follower"] *)
+  last_lsn : int;
+  durable_lsn : int;
+  checkpoint_lsn : int;
+  applied_lsn : int;
+  leader_lsn : int;
+}
+
+val repl_info : t -> (repl_info, string) result
+
+val repl_snapshot : t -> offset:int -> (string * int, string) result
+(** [(data, total)] — one slice of the snapshot file starting at
+    [offset]; [total] is the file's full size (loop until covered). *)
+
+val repl_pull :
+  t ->
+  from_lsn:int ->
+  max_bytes:int ->
+  ([ `Frames of string * int | `Snapshot_needed of int ], string) result
+(** [`Frames (bytes, leader_durable_lsn)] — raw WAL frames past
+    [from_lsn] (empty when caught up); [`Snapshot_needed base] when the
+    leader checkpointed them away. *)
+
+val repl_digest :
+  t ->
+  anchor:int ->
+  int ->
+  ( [ `Digest of string | `Missing | `Snapshot_needed of int ],
+    string )
+  result
+(** The leader-side chain digest over the log prefix [anchor..lsn] —
+    how a rejoining node locates the last common LSN before truncating
+    its divergent tail. [`Missing] when the leader's log does not reach
+    [lsn]; [`Snapshot_needed] when it no longer reaches back to
+    [anchor]. *)
+
+val promote : t -> (unit, string) result
+(** Ask a follower to become the leader (stop pulling, recover its
+    local directory, serve writes). *)
+
 val quit : t -> (unit, string) result
 (** Polite hang-up (awaits [bye], then closes). *)
 

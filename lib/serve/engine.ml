@@ -14,6 +14,7 @@ type error =
   | Read of Db.read_error
   | Conflict of Txn.conflict
   | Invalid of string
+  | Read_only
   | Closed
 
 let error_to_string = function
@@ -24,11 +25,12 @@ let error_to_string = function
       Printf.sprintf "serialisation conflict on node %d: %s" c.Txn.node
         c.Txn.reason
   | Invalid m -> m
+  | Read_only -> "engine is a read-only replica; writes go to the leader"
   | Closed -> "engine is closed"
 
 type pinned = { epoch : int; lsn : Wal.lsn; commits : int; db : Db.t }
 
-type backend = Mem | Disk of Durable.t
+type backend = Mem | Disk of Durable.t | Rep of string  (** replica: dir *)
 
 type flusher = { fdomain : unit Domain.t; stop : bool Atomic.t }
 
@@ -84,7 +86,7 @@ let acked_locked t lsn =
   Condition.broadcast t.flushed
 
 let sync_locked t =
-  (match t.backend with Disk d -> Durable.sync d | Mem -> ());
+  (match t.backend with Disk d -> Durable.sync d | Mem | Rep _ -> ());
   if t.last_lsn > t.durable_upto then t.durable_upto <- t.last_lsn;
   publish_locked t (Timing.now_s ());
   Condition.broadcast t.flushed
@@ -123,7 +125,7 @@ let flusher_loop t window stop =
 let make ?(publish_period = 0.0) ~backend ~master ~last_lsn () =
   let mgr =
     match backend with
-    | Mem -> Txn.manager master
+    | Mem | Rep _ -> Txn.manager master
     | Disk d -> Durable.manager d
   in
   let now = Timing.now_s () in
@@ -161,10 +163,40 @@ let make ?(publish_period = 0.0) ~backend ~master ~last_lsn () =
           let fdomain = Domain.spawn (fun () -> flusher_loop t window stop) in
           t.flusher <- Some { fdomain; stop }
       | Wal.Always | Wal.Never -> ())
-  | Mem -> ());
+  | Mem | Rep _ -> ());
   t
 
-type target = Memory of Db.t | Dir of string
+type target = Memory of Db.t | Dir of string | Replica of string
+
+(* A replica open is recovery minus its side effects: snapshot +
+   committed-prefix replay, but nothing is truncated and no writer is
+   attached — the follower owns the directory's bytes and this engine
+   only ever learns of new frames through [replica_apply]. *)
+let open_replica ?config ?publish_period dir =
+  let module Snapshot = Xvi_core.Snapshot in
+  match Snapshot.load_with_lsn ?config (Durable.snapshot_path dir) with
+  | Error e ->
+      Error
+        (Io
+           (Printf.sprintf "%s: %s"
+              (Durable.snapshot_path dir)
+              (Snapshot.error_to_string e)))
+  | Ok (db, snap_lsn) -> (
+      let wpath = Durable.wal_path dir in
+      if not (Sys.file_exists wpath) then
+        Ok
+          (make ?publish_period ~backend:(Rep dir) ~master:db
+             ~last_lsn:snap_lsn ())
+      else
+        match Wal.scan_file wpath with
+        | Error m -> Error (Io (Printf.sprintf "%s: %s" wpath m))
+        | Ok scan -> (
+            match Wal.apply ~from_lsn:snap_lsn db scan.Wal.frames with
+            | Error m -> Error (Io (Printf.sprintf "%s: replay: %s" wpath m))
+            | Ok (_ : Wal.apply_stats) ->
+                Ok
+                  (make ?publish_period ~backend:(Rep dir) ~master:db
+                     ~last_lsn:(max scan.Wal.last_lsn snap_lsn) ())))
 
 let open_ ?config ?sync_mode ?auto_checkpoint_bytes ?publish_period target =
   match target with
@@ -177,6 +209,7 @@ let open_ ?config ?sync_mode ?auto_checkpoint_bytes ?publish_period target =
           Ok
             (make ?publish_period ~backend:(Disk d) ~master:(Durable.db d)
                ~last_lsn:(Durable.last_lsn d) ()))
+  | Replica dir -> open_replica ?config ?publish_period dir
 
 let init ?sync_mode ?auto_checkpoint_bytes ?publish_period ?(force = false)
     ~dir db =
@@ -203,11 +236,18 @@ let init ?sync_mode ?auto_checkpoint_bytes ?publish_period ?(force = false)
         Error (Io (Printf.sprintf "%s: %s(%s)" (Unix.error_message e) fn arg))
     | exception Sys_error m -> Error (Io m)
 
-let is_durable t = match t.backend with Disk _ -> true | Mem -> false
-let dir t = match t.backend with Disk d -> Some (Durable.dir d) | Mem -> None
+let is_durable t = match t.backend with Disk _ -> true | Mem | Rep _ -> false
+
+let dir t =
+  match t.backend with
+  | Disk d -> Some (Durable.dir d)
+  | Rep dir -> Some dir
+  | Mem -> None
+
+let read_only t = match t.backend with Rep _ -> true | Mem | Disk _ -> false
 
 let last_replay t =
-  match t.backend with Disk d -> Durable.last_replay d | Mem -> None
+  match t.backend with Disk d -> Durable.last_replay d | Mem | Rep _ -> None
 
 (* --- reading --- *)
 
@@ -226,7 +266,7 @@ let group_window t =
   match t.backend with
   | Disk d -> (
       match Durable.sync_mode d with Wal.Group w -> Some w | _ -> None)
-  | Mem -> None
+  | Mem | Rep _ -> None
 
 let submit t tx =
   if not (Txn.is_active tx) then
@@ -234,6 +274,10 @@ let submit t tx =
   else
     with_lock t (fun () ->
         if t.closed then Error Closed
+        else if read_only t then begin
+          Txn.abort tx;
+          Error Read_only
+        end
         else begin
           (match t.stall with Some f -> f () | None -> ());
           let had_tail = t.durable_upto < t.last_lsn in
@@ -244,7 +288,7 @@ let submit t tx =
               t.commits <- t.commits + 1;
               let lsn =
                 match t.backend with
-                | Mem -> t.last_lsn + 1
+                | Mem | Rep _ -> t.last_lsn + 1
                 | Disk d -> Durable.last_lsn d
               in
               t.last_lsn <- lsn;
@@ -337,12 +381,14 @@ let check_delete_target db node =
 let structural_committed t ~had_tail =
   t.commits <- t.commits + 1;
   let lsn =
-    match t.backend with Mem -> t.last_lsn + 1 | Disk d -> Durable.last_lsn d
+    match t.backend with
+    | Mem | Rep _ -> t.last_lsn + 1
+    | Disk d -> Durable.last_lsn d
   in
   t.last_lsn <- lsn;
   t.dirty <- true;
   (match t.backend with
-  | Mem -> acked_locked t lsn
+  | Mem | Rep _ -> acked_locked t lsn
   | Disk d -> (
       match Durable.sync_mode d with
       | Wal.Always | Wal.Never -> acked_locked t lsn
@@ -353,6 +399,7 @@ let structural_committed t ~had_tail =
 let insert_xml t ~parent fragment =
   with_lock t (fun () ->
       if t.closed then Error Closed
+      else if read_only t then Error Read_only
       else
         match check_insert_parent t.master parent with
         | Error _ as e -> e
@@ -362,6 +409,7 @@ let insert_xml t ~parent fragment =
               match t.backend with
               | Mem -> Db.insert_xml t.master ~parent fragment
               | Disk d -> Durable.insert_xml d ~parent fragment
+              | Rep _ -> assert false (* rejected by the read_only guard *)
             in
             match inserted with
             | Error e -> Error (Parse e)
@@ -370,6 +418,7 @@ let insert_xml t ~parent fragment =
 let delete_subtree t node =
   with_lock t (fun () ->
       if t.closed then Error Closed
+      else if read_only t then Error Read_only
       else
         match check_delete_target t.master node with
         | Error _ as e -> e
@@ -377,16 +426,47 @@ let delete_subtree t node =
             let had_tail = t.durable_upto < t.last_lsn in
             (match t.backend with
             | Mem -> Db.delete_subtree t.master node
-            | Disk d -> Durable.delete_subtree d node);
+            | Disk d -> Durable.delete_subtree d node
+            | Rep _ -> assert false (* rejected by the read_only guard *));
             Ok (structural_committed t ~had_tail))
 
 let sync t = with_lock t (fun () -> if not t.closed then sync_locked t)
+
+(* Frames arrive in committed groups ([Wal.Tail.poll] delimits them the
+   way recovery would); [Wal.apply]'s [from_lsn] watermark makes
+   re-delivery a no-op, so the follower can replay the same batch after
+   a retry without diverging. The applied LSN doubles as the durable
+   watermark — the caller fsynced the bytes before handing them over —
+   which is exactly the condition [publish_locked] requires. *)
+let replica_apply t frames =
+  with_lock t (fun () ->
+      if t.closed then Error Closed
+      else
+        match t.backend with
+        | Mem | Disk _ -> Error Read_only
+        | Rep _ -> (
+            match Wal.apply ~from_lsn:t.last_lsn t.master frames with
+            | Error m -> Error (Invalid m)
+            | Ok stats ->
+                let lsn =
+                  List.fold_left
+                    (fun acc f -> max acc f.Wal.lsn)
+                    t.last_lsn frames
+                in
+                t.commits <- t.commits + stats.Wal.applied_txns;
+                t.last_lsn <- lsn;
+                t.durable_upto <- lsn;
+                if stats.Wal.applied_txns > 0 then t.dirty <- true;
+                publish_locked t (Timing.now_s ());
+                Condition.broadcast t.flushed;
+                Ok lsn))
 
 let checkpoint t =
   with_lock t (fun () ->
       if t.closed then Error Closed
       else
         match t.backend with
+        | Rep _ -> Error Read_only
         | Mem -> Error (Invalid "checkpoint: engine is not durable")
         | Disk d ->
             Durable.checkpoint d;
@@ -418,7 +498,7 @@ let stats t =
         durable =
           (match t.backend with
           | Disk d -> Some (Durable.stats d)
-          | Mem -> None);
+          | Mem | Rep _ -> None);
       })
 
 let close t =
@@ -434,7 +514,7 @@ let close t =
             if t.last_lsn > t.durable_upto then t.durable_upto <- t.last_lsn;
             publish_locked t (Timing.now_s ());
             Durable.close d
-        | Mem -> publish_locked t (Timing.now_s ()));
+        | Mem | Rep _ -> publish_locked t (Timing.now_s ()));
         t.closed <- true;
         Condition.broadcast t.flushed
       end);

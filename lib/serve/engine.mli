@@ -43,6 +43,7 @@ type error =
   | Read of Xvi_core.Db.read_error  (** unknown type name in a query *)
   | Conflict of Xvi_txn.Txn.conflict  (** first-committer-wins loss *)
   | Invalid of string  (** bad target node, finished transaction, misuse *)
+  | Read_only  (** a write reached a replica; writes go to the leader *)
   | Closed  (** the engine was {!close}d *)
 
 val error_to_string : error -> string
@@ -53,6 +54,14 @@ type target =
   | Memory of Xvi_core.Db.t
       (** serve an already-built database; no durability *)
   | Dir of string  (** recover and serve a {!Xvi_wal.Durable} directory *)
+  | Replica of string
+      (** serve a durable directory {e read-only}: snapshot + committed
+          log replayed as in recovery, but with no torn-tail truncation,
+          no writer attached, and every write entry point returning
+          [Error Read_only]. A replication follower owns the directory's
+          bytes itself (it appends shipped frames) and feeds the engine
+          through {!replica_apply}; promotion is simply {!close} followed
+          by [open_ (Dir d)] — the ordinary recovery path. *)
 
 val open_ :
   ?config:Xvi_core.Db.Config.t ->
@@ -90,6 +99,9 @@ val init :
 
 val is_durable : t -> bool
 val dir : t -> string option
+
+val read_only : t -> bool
+(** [true] exactly for [Replica] targets. *)
 
 val last_replay : t -> Xvi_wal.Wal.replay_report option
 (** What recovery did, for [Dir] targets opened over an existing log. *)
@@ -157,6 +169,18 @@ val delete_subtree : t -> node -> (Xvi_wal.Wal.lsn, error) result
 
 val sync : t -> unit
 (** Fsync any deferred commits, publish, and wake waiters. *)
+
+val replica_apply :
+  t -> Xvi_wal.Wal.framed list -> (Xvi_wal.Wal.lsn, error) result
+(** Apply committed transaction groups (as delivered by
+    {!Xvi_wal.Wal.Tail.poll}) to a [Replica] engine's master and publish
+    a fresh epoch; returns the new applied LSN. Frames at or below the
+    current applied LSN are skipped — replay stays idempotent under
+    re-delivery. The caller must have made the frames locally durable
+    first (the follower appends + fsyncs before applying), preserving
+    the "no epoch a crash can take back" invariant. [Error Read_only]
+    on non-replica engines (it is the only write that goes the other
+    way). *)
 
 val checkpoint : t -> (unit, error) result
 (** Snapshot + truncate the log ({!Xvi_wal.Durable.checkpoint});

@@ -18,6 +18,12 @@ type request =
   | Sync
   | Quit
   | Shutdown
+  | Repl_info
+  | Repl_snapshot of int  (** byte offset into the snapshot file *)
+  | Repl_pull of { from_lsn : int; max_bytes : int }
+  | Repl_digest of { anchor : int; lsn : int }
+      (** chain digest over the log prefix [anchor..lsn] *)
+  | Promote
 
 type response =
   | Ok_
@@ -30,12 +36,27 @@ type response =
   | Conflict_r of { node : int; reason : string }
   | Err of string
   | Bye
+  | Repl_info_r of {
+      role : string;
+      last_lsn : int;
+      durable_lsn : int;
+      checkpoint_lsn : int;
+      applied_lsn : int;
+      leader_lsn : int;
+    }
+  | Chunk of { total : int; data : string }
+  | Frames_r of { durable_lsn : int; data : string }
+  | Digest_r of string option
+      (** chain digest in hex; [None] = log does not span the range *)
+  | Snapshot_needed_r of int  (** records [<= base] only exist in a snapshot *)
 
 (* --- token escaping --- *)
 
+(* '=' is structural: stats pairs are spelled <key>=<value> and decoded
+   at the first raw '=', so escaped tokens must never contain one *)
 let must_escape c =
   let b = Char.code c in
-  b < 0x21 || b = 0x7f || c = '%'
+  b < 0x21 || b = 0x7f || c = '%' || c = '='
 
 let escape s =
   if String.for_all (fun c -> not (must_escape c)) s then s
@@ -122,6 +143,13 @@ let encode_request = function
   | Sync -> "sync"
   | Quit -> "quit"
   | Shutdown -> "shutdown"
+  | Repl_info -> "repl-info"
+  | Repl_snapshot offset -> join [ "repl-snapshot"; string_of_int offset ]
+  | Repl_pull { from_lsn; max_bytes } ->
+      join [ "repl-pull"; string_of_int from_lsn; string_of_int max_bytes ]
+  | Repl_digest { anchor; lsn } ->
+      join [ "repl-digest"; string_of_int anchor; string_of_int lsn ]
+  | Promote -> "promote"
 
 let ( let* ) = Result.bind
 
@@ -168,6 +196,19 @@ let decode_request line =
   | [ "sync" ] -> Ok Sync
   | [ "quit" ] -> Ok Quit
   | [ "shutdown" ] -> Ok Shutdown
+  | [ "repl-info" ] -> Ok Repl_info
+  | [ "repl-snapshot"; off ] ->
+      let* off = int_of_token off in
+      Ok (Repl_snapshot off)
+  | [ "repl-pull"; from_lsn; max_bytes ] ->
+      let* from_lsn = int_of_token from_lsn in
+      let* max_bytes = int_of_token max_bytes in
+      Ok (Repl_pull { from_lsn; max_bytes })
+  | [ "repl-digest"; anchor; lsn ] ->
+      let* anchor = int_of_token anchor in
+      let* lsn = int_of_token lsn in
+      Ok (Repl_digest { anchor; lsn })
+  | [ "promote" ] -> Ok Promote
   | cmd :: _ -> Error (Printf.sprintf "unknown or malformed request %S" cmd)
   | [] -> Error "empty request"
 
@@ -192,6 +233,19 @@ let encode_response = function
       join [ "conflict"; string_of_int node; escape reason ]
   | Err m -> join [ "err"; escape m ]
   | Bye -> "bye"
+  | Repl_info_r { role; last_lsn; durable_lsn; checkpoint_lsn; applied_lsn; leader_lsn } ->
+      join
+        [
+          "repl-info"; escape role; string_of_int last_lsn;
+          string_of_int durable_lsn; string_of_int checkpoint_lsn;
+          string_of_int applied_lsn; string_of_int leader_lsn;
+        ]
+  | Chunk { total; data } -> join [ "chunk"; string_of_int total; escape data ]
+  | Frames_r { durable_lsn; data } ->
+      join [ "frames"; string_of_int durable_lsn; escape data ]
+  | Digest_r None -> join [ "digest"; "_" ]
+  | Digest_r (Some hex) -> join [ "digest"; escape hex ]
+  | Snapshot_needed_r base -> join [ "snapshot-needed"; string_of_int base ]
 
 let rec ints_of_tokens acc = function
   | [] -> Ok (List.rev acc)
@@ -249,6 +303,31 @@ let decode_response line =
       let* m = unescape m in
       Ok (Err m)
   | [ "bye" ] -> Ok Bye
+  | [ "repl-info"; role; last; durable; ckpt; applied; leader ] ->
+      let* role = unescape role in
+      let* last_lsn = int_of_token last in
+      let* durable_lsn = int_of_token durable in
+      let* checkpoint_lsn = int_of_token ckpt in
+      let* applied_lsn = int_of_token applied in
+      let* leader_lsn = int_of_token leader in
+      Ok
+        (Repl_info_r
+           { role; last_lsn; durable_lsn; checkpoint_lsn; applied_lsn; leader_lsn })
+  | [ "chunk"; total; data ] ->
+      let* total = int_of_token total in
+      let* data = unescape data in
+      Ok (Chunk { total; data })
+  | [ "frames"; durable_lsn; data ] ->
+      let* durable_lsn = int_of_token durable_lsn in
+      let* data = unescape data in
+      Ok (Frames_r { durable_lsn; data })
+  | [ "digest"; "_" ] -> Ok (Digest_r None)
+  | [ "digest"; hex ] ->
+      let* hex = unescape hex in
+      Ok (Digest_r (Some hex))
+  | [ "snapshot-needed"; base ] ->
+      let* base = int_of_token base in
+      Ok (Snapshot_needed_r base)
   | cmd :: _ -> Error (Printf.sprintf "unknown or malformed response %S" cmd)
   | [] -> Error "empty response"
 

@@ -38,6 +38,27 @@
     shutdown                       -> bye          (stop the whole server)
     v}
 
+    {2 Replication}
+
+    Followers drive replication entirely through the same
+    request/response frames — the stream is a pull loop, so a follower
+    at any LSN can resume after either side restarts:
+
+    {v
+    repl-info                      -> repl-info    (role and watermarks)
+    repl-snapshot <offset>         -> chunk        (bootstrap transfer)
+    repl-pull <from-lsn> <max>     -> frames | snapshot-needed
+    repl-digest <anchor> <lsn>     -> digest | snapshot-needed
+    promote                        -> ok           (follower becomes leader)
+    v}
+
+    [frames] carries raw {!Xvi_wal.Wal} frame bytes — already
+    length+digest framed, so in-transit corruption is detected by the
+    follower exactly as recovery detects torn logs, with no second
+    checksum layer. [snapshot-needed] means the leader checkpointed the
+    requested records away; only a fresh snapshot can re-seed the
+    follower.
+
     {2 Responses}
 
     {v
@@ -73,6 +94,13 @@ type request =
   | Sync
   | Quit
   | Shutdown
+  | Repl_info
+  | Repl_snapshot of int  (** byte offset into the snapshot file *)
+  | Repl_pull of { from_lsn : int; max_bytes : int }
+  | Repl_digest of { anchor : int; lsn : int }
+      (** chain digest over the log prefix [anchor..lsn] — see
+          {!Digest_r} *)
+  | Promote
 
 type response =
   | Ok_
@@ -85,6 +113,29 @@ type response =
   | Conflict_r of { node : int; reason : string }
   | Err of string
   | Bye
+  | Repl_info_r of {
+      role : string;  (** ["leader"] or ["follower"] *)
+      last_lsn : int;
+      durable_lsn : int;
+      checkpoint_lsn : int;
+      applied_lsn : int;  (** follower: highest locally applied LSN *)
+      leader_lsn : int;  (** follower: last observed leader durable LSN *)
+    }
+  | Chunk of { total : int; data : string }
+      (** one slice of the snapshot file; [total] is its full size *)
+  | Frames_r of { durable_lsn : int; data : string }
+      (** raw WAL frame bytes (complete committed groups); empty [data]
+          means the follower is caught up to [durable_lsn] *)
+  | Digest_r of string option
+      (** hex digest over the digests of every frame in [anchor..lsn],
+          in LSN order; [None] = the leader's log does not span that
+          range. A single frame's digest would be unsound for the rejoin
+          walkback — a commit record does not commit to the history
+          before it, so two diverged logs can carry byte-identical
+          commit frames at the same LSN. Equal {e chain} digests attest
+          the whole range. *)
+  | Snapshot_needed_r of int
+      (** records [<= base] were checkpointed away *)
 
 (** {1 Codec} — total in both directions; unparsable input is an
     [Error], never an exception. *)

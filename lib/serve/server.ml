@@ -8,20 +8,44 @@ type client = {
           when it must wake a handler blocked in a read *)
 }
 
+(* Replication is served through the same request loop, but its logic
+   lives a layer up (Xvi_repl) — the server only routes. [promote]
+   returns the replacement engine when a follower becomes the leader;
+   the server publishes it so every *new* connection serves writable
+   sessions, while connections opened against the replica keep their
+   (read-only, still valid) pins. *)
+type repl = {
+  role : string;  (** "leader" or "follower", for logs and stats *)
+  info : unit -> Protocol.response;
+  snapshot_chunk : offset:int -> Protocol.response;
+  pull : from_lsn:int -> max_bytes:int -> Protocol.response;
+  frame_digest : anchor:int -> int -> Protocol.response;
+  promote : unit -> ((Engine.t * repl) option, string) result;
+  stats_extra : unit -> (string * string) list;
+}
+
 type t = {
-  engine : Engine.t;
+  engine : Engine.t Atomic.t;
   socket_path : string;
   listen_fd : Unix.file_descr;
   stop : bool Atomic.t;
   log : string -> unit;
   clients_lock : Mutex.t;
   mutable clients : client list;
+  mutable repl : repl option;
 }
 
 let socket t = t.socket_path
+let engine t = Atomic.get t.engine
 let request_stop t = Atomic.set t.stop true
+let set_repl t repl = t.repl <- repl
+let set_engine t e = Atomic.set t.engine e
 
-let create ?(log = fun (_ : string) -> ()) ~engine ~socket () =
+let create ?(log = fun (_ : string) -> ()) ?repl ~engine ~socket () =
+  (* a peer that dies mid-frame must surface as EPIPE on the write —
+     not as a process-killing SIGPIPE; every socket program in this
+     process shares the disposition, which is the posture they all want *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match
     (* a stale socket file from a crashed server would fail the bind *)
@@ -33,13 +57,14 @@ let create ?(log = fun (_ : string) -> ()) ~engine ~socket () =
       log (Printf.sprintf "listening on %s" socket);
       Ok
         {
-          engine;
+          engine = Atomic.make engine;
           socket_path = socket;
           listen_fd = fd;
           stop = Atomic.make false;
           log;
           clients_lock = Mutex.create ();
           clients = [];
+          repl;
         }
   | exception Unix.Unix_error (e, fn, _) ->
       Unix.close fd;
@@ -66,7 +91,7 @@ let error_response = function
   | e -> Protocol.Err (Engine.error_to_string e)
 
 let stats_pairs t =
-  let s = Engine.stats t.engine in
+  let s = Engine.stats (engine t) in
   let base =
     [
       ("epoch", string_of_int s.Engine.epoch);
@@ -77,16 +102,21 @@ let stats_pairs t =
       ("txn_conflicts", string_of_int s.Engine.txn.Xvi_txn.Txn.conflicts);
     ]
   in
-  match s.Engine.durable with
-  | None -> base @ [ ("durable", "no") ]
-  | Some d ->
-      base
-      @ [
-          ("durable", "yes");
-          ("wal_bytes", string_of_int d.Xvi_wal.Durable.wal_bytes);
-          ( "last_checkpoint_lsn",
-            string_of_int d.Xvi_wal.Durable.last_checkpoint_lsn );
-        ]
+  let base =
+    match s.Engine.durable with
+    | None -> base @ [ ("durable", "no") ]
+    | Some d ->
+        base
+        @ [
+            ("durable", "yes");
+            ("wal_bytes", string_of_int d.Xvi_wal.Durable.wal_bytes);
+            ( "last_checkpoint_lsn",
+              string_of_int d.Xvi_wal.Durable.last_checkpoint_lsn );
+          ]
+  in
+  match t.repl with
+  | None -> base
+  | Some r -> base @ (("role", r.role) :: r.stats_extra ())
 
 let exec t session req =
   let nodes_of = function
@@ -139,13 +169,41 @@ let exec t session req =
       | Error e -> (error_response e, `Continue))
   | Protocol.Stats -> (Protocol.Stats_r (stats_pairs t), `Continue)
   | Protocol.Sync ->
-      Engine.sync t.engine;
+      Engine.sync (engine t);
       (Protocol.Ok_, `Continue)
+  | Protocol.Repl_info -> (
+      match t.repl with
+      | None -> (Protocol.Err "replication not enabled", `Continue)
+      | Some r -> (r.info (), `Continue))
+  | Protocol.Repl_snapshot offset -> (
+      match t.repl with
+      | None -> (Protocol.Err "replication not enabled", `Continue)
+      | Some r -> (r.snapshot_chunk ~offset, `Continue))
+  | Protocol.Repl_pull { from_lsn; max_bytes } -> (
+      match t.repl with
+      | None -> (Protocol.Err "replication not enabled", `Continue)
+      | Some r -> (r.pull ~from_lsn ~max_bytes, `Continue))
+  | Protocol.Repl_digest { anchor; lsn } -> (
+      match t.repl with
+      | None -> (Protocol.Err "replication not enabled", `Continue)
+      | Some r -> (r.frame_digest ~anchor lsn, `Continue))
+  | Protocol.Promote -> (
+      match t.repl with
+      | None -> (Protocol.Err "replication not enabled", `Continue)
+      | Some r -> (
+          match r.promote () with
+          | Error m -> (Protocol.Err m, `Continue)
+          | Ok None -> (Protocol.Ok_, `Continue)
+          | Ok (Some (e, r')) ->
+              Atomic.set t.engine e;
+              t.repl <- Some r';
+              t.log "promoted: serving as leader";
+              (Protocol.Ok_, `Continue)))
   | Protocol.Quit -> (Protocol.Bye, `Quit)
   | Protocol.Shutdown -> (Protocol.Bye, `Shutdown)
 
 let serve_connection t fd alive =
-  let session = Session.create t.engine in
+  let session = Session.create (engine t) in
   let respond r = Protocol.write_frame fd (Protocol.encode_response r) in
   let rec loop () =
     match Protocol.read_frame fd with

@@ -13,8 +13,29 @@
 
 type t
 
+type repl = {
+  role : string;  (** ["leader"] or ["follower"], for logs and stats *)
+  info : unit -> Protocol.response;
+  snapshot_chunk : offset:int -> Protocol.response;
+  pull : from_lsn:int -> max_bytes:int -> Protocol.response;
+  frame_digest : anchor:int -> int -> Protocol.response;
+  promote : unit -> ((Engine.t * repl) option, string) result;
+      (** [Ok (Some (e, r))]: install [e] as the serving engine and [r]
+          as the replication handler — a follower just became the
+          leader. New connections see the new engine; connections opened
+          against the replica keep their read-only pins. [Ok None]: the
+          node already was the leader (idempotent). *)
+  stats_extra : unit -> (string * string) list;
+}
+(** How replication requests are answered. The server only routes; the
+    logic (tailing, chunking, watermark accounting) is provided by the
+    replication layer ({!Xvi_repl}) so [lib/serve] stays free of any
+    dependency on it. Without a handler every repl verb answers
+    [err replication not enabled]. *)
+
 val create :
   ?log:(string -> unit) ->
+  ?repl:repl ->
   engine:Engine.t ->
   socket:string ->
   unit ->
@@ -22,9 +43,27 @@ val create :
 (** Bind and listen on [socket] (an existing stale socket file is
     replaced). [log] receives one line per lifecycle event; default
     silence. The engine is borrowed, not owned — {!run} does not close
-    it. *)
+    it (after a promotion {!engine} returns the handle the caller must
+    close instead). *)
 
 val socket : t -> string
+
+val engine : t -> Engine.t
+(** The engine currently serving new connections — the one {!create}
+    received, or the one the last successful promotion installed. *)
+
+val set_repl : t -> repl option -> unit
+(** Swap the replication handler (a promotion turns a follower's
+    handler into a leader's). Takes effect on the next request. *)
+
+val set_engine : t -> Engine.t -> unit
+(** Point new connections at a replacement engine. {!Protocol.Promote}
+    does this itself through the [repl.promote] return value; this entry
+    point exists for engine swaps that originate outside a request —
+    e.g. a follower re-seeding itself from a fresh snapshot after the
+    leader checkpointed away the frames it still needed. Existing
+    connections keep their pins on the old engine; the caller owns
+    closing it once they drain. *)
 
 val run : t -> unit
 (** Accept and serve until a [shutdown] request (or {!request_stop})

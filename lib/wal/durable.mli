@@ -59,6 +59,13 @@ val is_durable_dir : string -> bool
 (** A directory containing a snapshot — how the CLI tells a durable
     directory from a bare snapshot file. *)
 
+val snapshot_path : string -> string
+(** [dir/snapshot.xvi] — exposed for the replication layer, which reads
+    and writes a follower directory's files itself. *)
+
+val wal_path : string -> string
+(** [dir/wal.log]. *)
+
 val db : t -> Xvi_core.Db.t
 val dir : t -> string
 

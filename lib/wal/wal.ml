@@ -409,6 +409,115 @@ let replay ?from_lsn db path =
               damage = scan.damage;
             })
 
+(* --- tailing ---
+
+   A follower consumes the log as a stream of complete committed
+   transaction groups. Delivery is by LSN, not byte offset: every poll
+   rescans from the header and skips groups at or below the last
+   delivered boundary. That makes truncation-under-the-tailer
+   detectable by pure arithmetic — the writer assigns contiguous LSNs,
+   so the first fresh frame must sit at [last + 1]; anything further
+   out means records the tailer never saw were checkpointed away, and
+   only a snapshot can re-seed it. *)
+
+let encode_frames frames =
+  String.concat "" (List.map (fun f -> encode ~lsn:f.lsn f.record) frames)
+
+let frame_digest f = Digest.string (encode ~lsn:f.lsn f.record)
+
+module Tail = struct
+  type event =
+    | Frames of { frames : framed list; bytes : string }
+    | Await
+    | Snapshot_needed of { base : lsn }
+
+  type t = { path : string; mutable last : lsn }
+
+  let create ?(from_lsn = 0) path = { path; last = from_lsn }
+  let last_lsn t = t.last
+
+  (* Committed groups of the log body, in order: each group is the
+     frames up to and including one Commit/Abort/Checkpoint boundary.
+     Stops at a torn tail or an LSN discontinuity — both look like "no
+     more complete groups yet" to a live tailer. *)
+  let groups_of s =
+    let groups = ref [] and cur = ref [] in
+    let rec go pos prev =
+      match decode s pos with
+      | End | Torn _ -> ()
+      | Frame (fr, next) ->
+          if prev > 0 && fr.lsn <> prev + 1 then ()
+          else begin
+            cur := fr :: !cur;
+            (match fr.record with
+            | Commit _ | Abort _ | Checkpoint _ ->
+                groups := List.rev !cur :: !groups;
+                cur := []
+            | Begin _ | Update_text _ | Insert _ | Delete _ -> ());
+            go next fr.lsn
+          end
+    in
+    go (String.length magic) 0;
+    List.rev !groups
+
+  let boundary_lsn group =
+    List.fold_left (fun acc f -> max acc f.lsn) 0 group
+
+  let poll ?upto_lsn ?max_bytes t =
+    match read_file t.path with
+    | exception Sys_error m -> Error m
+    | s ->
+        let mlen = String.length magic in
+        if
+          String.length s < mlen || not (String.equal (String.sub s 0 mlen) magic)
+        then Error "not an xvi write-ahead log (bad magic)"
+        else begin
+          let fresh =
+            List.filter (fun g -> boundary_lsn g > t.last) (groups_of s)
+          in
+          let fresh =
+            match upto_lsn with
+            | None -> fresh
+            | Some cap -> List.filter (fun g -> boundary_lsn g <= cap) fresh
+          in
+          match fresh with
+          | [] -> Ok Await
+          | first :: _ -> (
+              match first with
+              | [] -> Ok Await
+              | head :: _ when head.lsn > t.last + 1 ->
+                  (* records between [t.last] and this frame were
+                     truncated away by a checkpoint *)
+                  let base =
+                    match head.record with
+                    | Checkpoint { base } -> base
+                    | _ -> head.lsn - 1
+                  in
+                  Ok (Snapshot_needed { base })
+              | _ ->
+                  let take =
+                    match max_bytes with
+                    | None -> fresh
+                    | Some cap ->
+                        let rec go budget = function
+                          | [] -> []
+                          | g :: rest ->
+                              let sz = String.length (encode_frames g) in
+                              if budget - sz < 0 then []
+                              else g :: go (budget - sz) rest
+                        in
+                        (* always deliver at least one group, or a
+                           too-small cap livelocks the stream *)
+                        (match go cap fresh with
+                        | [] -> [ first ]
+                        | gs -> gs)
+                  in
+                  let frames = List.concat take in
+                  t.last <- boundary_lsn frames;
+                  Ok (Frames { frames; bytes = encode_frames frames }))
+        end
+end
+
 (* --- sync modes --- *)
 
 type sync_mode = Always | Group of float | Never

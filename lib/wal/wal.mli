@@ -136,6 +136,61 @@ val replay :
     recovery report. Idempotent given the same [from_lsn] watermark
     discipline: {!Durable.open_} twice yields bit-identical databases. *)
 
+(** {1 Tailing}
+
+    A replication follower consumes the log as a stream: complete
+    committed transaction groups, in log order, delimited exactly as
+    recovery would delimit them. The tailer never advances past a torn
+    tail (an append in flight looks identical to one) — it reports
+    {!Tail.Await} and the caller retries. A checkpoint that truncates
+    the log underneath a live tailer surfaces as a typed
+    {!Tail.Snapshot_needed}: the records the tailer still needed are
+    gone and only a fresh snapshot can re-seed it. *)
+
+val encode_frames : framed list -> string
+(** Re-encode frames back to their on-disk bytes. [encode] is a pure
+    function of [(lsn, record)], so this reproduces the original log
+    bytes bit for bit — the property log shipping rests on. *)
+
+val frame_digest : framed -> string
+(** MD5 of the frame's encoded bytes; leader and follower compute it
+    independently to locate their last common LSN after a failover. *)
+
+module Tail : sig
+  type t
+  (** A position in a growing log: the boundary LSN of the last
+      transaction group delivered. Polling is stateless with respect to
+      byte offsets — every poll rescans from the header — so a
+      checkpoint truncation between polls is detected by LSN
+      continuity, never by guessing at file offsets. *)
+
+  type event =
+    | Frames of { frames : framed list; bytes : string }
+        (** newly committed transaction groups, in log order; [bytes]
+            is their exact on-disk encoding ({!encode_frames}) *)
+    | Await
+        (** nothing new past the last delivered boundary — the tail may
+            be torn by an append in flight; retry later *)
+    | Snapshot_needed of { base : lsn }
+        (** the log no longer contains the records after this tail's
+            position (checkpoint truncation); records [<= base] are only
+            available via a snapshot *)
+
+  val create : ?from_lsn:lsn -> string -> t
+  (** Tail the log at [path], starting just past [from_lsn]
+      (default [0] = from the beginning). *)
+
+  val poll : ?upto_lsn:lsn -> ?max_bytes:int -> t -> (event, string) result
+  (** Deliver the next committed groups. [upto_lsn] withholds groups
+      whose boundary LSN exceeds it (a leader ships only durable
+      frames); [max_bytes] caps the batch, always delivering at least
+      one group. [Error] only on an unreadable file or bad magic. *)
+
+  val last_lsn : t -> lsn
+  (** Boundary LSN of the last group delivered (or the [from_lsn] this
+      tail was created at). *)
+end
+
 (** {1 Writing} *)
 
 type sync_mode =

@@ -116,6 +116,12 @@ let requests_for_roundtrip =
     Protocol.Sync;
     Protocol.Quit;
     Protocol.Shutdown;
+    Protocol.Repl_info;
+    Protocol.Repl_snapshot 0;
+    Protocol.Repl_snapshot 1048576;
+    Protocol.Repl_pull { from_lsn = 1; max_bytes = 65536 };
+    Protocol.Repl_digest { anchor = 1; lsn = 42 };
+    Protocol.Promote;
   ]
 
 let test_request_roundtrip () =
@@ -144,6 +150,22 @@ let responses_for_roundtrip =
     Protocol.Conflict_r { node = 12; reason = "lost to txn 3" };
     Protocol.Err "something % broke";
     Protocol.Bye;
+    Protocol.Repl_info_r
+      {
+        role = "follower";
+        last_lsn = 40;
+        durable_lsn = 40;
+        checkpoint_lsn = 12;
+        applied_lsn = 38;
+        leader_lsn = 41;
+      };
+    Protocol.Chunk { total = 0; data = "" };
+    Protocol.Chunk { total = 9; data = "raw\x00%\nbytes" };
+    Protocol.Frames_r { durable_lsn = 17; data = "" };
+    Protocol.Frames_r { durable_lsn = 17; data = "\x01\x02 frame % bytes" };
+    Protocol.Digest_r None;
+    Protocol.Digest_r (Some "d41d8cd98f00b204e9800998ecf8427e");
+    Protocol.Snapshot_needed_r 23;
   ]
 
 let test_response_roundtrip () =
@@ -225,6 +247,136 @@ let test_framing_malformed () =
   check_bad (string_of_int (Protocol.max_frame + 1) ^ "\n");
   (* truncated payload: length promises more bytes than arrive *)
   check_bad "10\nshort"
+
+(* --- protocol codec properties ------------------------------------- *)
+
+(* Arbitrary byte strings — empty, '%', separators, control bytes,
+   non-ASCII — everything the escaper must make wire-safe. *)
+let gen_bytes =
+  QCheck2.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 48))
+
+(* Finite floats that [%.17g] renders exactly; NaN is excluded because
+   structural equality on it is false, not because the codec loses it. *)
+let gen_float =
+  QCheck2.Gen.(
+    map
+      (fun (m, e) -> Float.ldexp (float_of_int m) e)
+      (pair (int_range (-1_000_000) 1_000_000) (int_range (-40) 40)))
+
+let gen_nat = QCheck2.Gen.int_bound 1_000_000
+let gen_hex = QCheck2.Gen.map Digest.to_hex (QCheck2.Gen.map Digest.string gen_bytes)
+
+let gen_request =
+  let open QCheck2.Gen in
+  let bytes = gen_bytes and fo = option gen_float in
+  oneof
+    [
+      return Protocol.Hello;
+      return Protocol.Pin;
+      map (fun s -> Protocol.Lookup_string s) bytes;
+      map (fun s -> Protocol.Lookup_contains s) bytes;
+      map (fun s -> Protocol.Lookup_element_contains s) bytes;
+      map (fun s -> Protocol.Lookup_named s) bytes;
+      map
+        (fun ((t, lo), hi) -> Protocol.Lookup_typed (t, lo, hi))
+        (pair (pair bytes fo) fo);
+      map (fun n -> Protocol.Value n) gen_nat;
+      return Protocol.Begin;
+      map (fun (n, s) -> Protocol.Set (n, s)) (pair gen_nat bytes);
+      return Protocol.Commit;
+      return Protocol.Commit_deferred;
+      return Protocol.Abort;
+      map (fun (n, s) -> Protocol.Insert (n, s)) (pair gen_nat bytes);
+      map (fun n -> Protocol.Delete n) gen_nat;
+      return Protocol.Stats;
+      return Protocol.Sync;
+      return Protocol.Quit;
+      return Protocol.Shutdown;
+      return Protocol.Repl_info;
+      map (fun n -> Protocol.Repl_snapshot n) gen_nat;
+      map
+        (fun (from_lsn, max_bytes) -> Protocol.Repl_pull { from_lsn; max_bytes })
+        (pair gen_nat gen_nat);
+      map
+        (fun (anchor, lsn) -> Protocol.Repl_digest { anchor; lsn })
+        (pair gen_nat gen_nat);
+      return Protocol.Promote;
+    ]
+
+let gen_response =
+  let open QCheck2.Gen in
+  let bytes = gen_bytes in
+  let ids = list_size (int_bound 8) gen_nat in
+  oneof
+    [
+      return Protocol.Ok_;
+      map
+        (fun ((epoch, lsn), commits) -> Protocol.Epoch { epoch; lsn; commits })
+        (pair (pair gen_nat gen_nat) gen_nat);
+      map (fun l -> Protocol.Nodes l) ids;
+      map (fun (l, lsn) -> Protocol.Nodes_lsn (l, lsn)) (pair ids gen_nat);
+      map (fun s -> Protocol.Value_r s) bytes;
+      map (fun n -> Protocol.Lsn n) gen_nat;
+      (* keys are escaped like any token, so arbitrary bytes are fair *)
+      map
+        (fun kvs -> Protocol.Stats_r kvs)
+        (list_size (int_bound 6) (pair bytes bytes));
+      map
+        (fun (node, reason) -> Protocol.Conflict_r { node; reason })
+        (pair gen_nat bytes);
+      map (fun m -> Protocol.Err m) bytes;
+      return Protocol.Bye;
+      map
+        (fun
+          (((role, last_lsn), (durable_lsn, checkpoint_lsn)),
+           (applied_lsn, leader_lsn))
+        ->
+          Protocol.Repl_info_r
+            {
+              role;
+              last_lsn;
+              durable_lsn;
+              checkpoint_lsn;
+              applied_lsn;
+              leader_lsn;
+            })
+        (pair
+           (pair (pair bytes gen_nat) (pair gen_nat gen_nat))
+           (pair gen_nat gen_nat));
+      map
+        (fun (total, data) -> Protocol.Chunk { total; data })
+        (pair gen_nat bytes);
+      map
+        (fun (durable_lsn, data) -> Protocol.Frames_r { durable_lsn; data })
+        (pair gen_nat bytes);
+      (* hex digests only: the wire spells [None] as the token "_", so a
+         Some-digest must never itself be that token — real chain
+         digests are 32 hex chars and cannot collide with it *)
+      map (fun h -> Protocol.Digest_r (Some h)) gen_hex;
+      return (Protocol.Digest_r None);
+      map (fun n -> Protocol.Snapshot_needed_r n) gen_nat;
+    ]
+
+let prop_escape_roundtrip =
+  QCheck2.Test.make ~name:"unescape (escape s) = s" ~count:2000 gen_bytes
+    (fun s ->
+      match Protocol.unescape (Protocol.escape s) with
+      | Ok s' -> String.equal s s'
+      | Error _ -> false)
+
+let prop_request_roundtrip =
+  QCheck2.Test.make ~name:"decode (encode request) = request" ~count:2000
+    gen_request (fun req ->
+      match Protocol.decode_request (Protocol.encode_request req) with
+      | Ok req' -> req = req'
+      | Error _ -> false)
+
+let prop_response_roundtrip =
+  QCheck2.Test.make ~name:"decode (encode response) = response" ~count:2000
+    gen_response (fun resp ->
+      match Protocol.decode_response (Protocol.encode_response resp) with
+      | Ok resp' -> resp = resp'
+      | Error _ -> false)
 
 (* --- engine: memory ------------------------------------------------ *)
 
@@ -476,26 +628,46 @@ let test_session_abort_and_conflict () =
 
 (* --- server and client over a real socket -------------------------- *)
 
-let temp_socket () =
-  (* AF_UNIX paths are length-limited (~107 bytes); keep it short *)
-  Filename.concat
-    (Filename.get_temp_dir_name ())
-    (Printf.sprintf "xvi-%d-%d.sock" (Unix.getpid ()) (Random.int 100000))
+(* Every socket test gets its own fresh directory for its socket path
+   (AF_UNIX paths are length-limited to ~107 bytes, so mkdtemp under
+   the system temp dir keeps them short), and the test asserts the
+   server left it empty — a leaked socket file is a failure, not
+   something the next test silently trips over. *)
+let with_socket_dir f =
+  let dir = Filename.temp_file "xvi-sock" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun e ->
+            try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end)
+    (fun () -> f dir (Filename.concat dir "xvi.sock"))
+
+let assert_socket_dir_clean dir =
+  Alcotest.(check (list string))
+    "server unlinked its socket; directory left clean" []
+    (Array.to_list (Sys.readdir dir))
 
 let with_server xml f =
   with_mem_engine xml (fun engine ->
-      let socket = temp_socket () in
-      let server =
-        match Server.create ~engine ~socket () with
-        | Ok s -> s
-        | Error m -> Alcotest.failf "server create: %s" m
-      in
-      let dom = Domain.spawn (fun () -> Server.run server) in
-      Fun.protect
-        ~finally:(fun () ->
-          Server.request_stop server;
-          Domain.join dom)
-        (fun () -> f engine socket))
+      with_socket_dir (fun dir socket ->
+          let server =
+            match Server.create ~engine ~socket () with
+            | Ok s -> s
+            | Error m -> Alcotest.failf "server create: %s" m
+          in
+          let dom = Domain.spawn (fun () -> Server.run server) in
+          Fun.protect
+            ~finally:(fun () ->
+              Server.request_stop server;
+              Domain.join dom)
+            (fun () -> f engine socket);
+          assert_socket_dir_clean dir))
 
 let connect_exn socket =
   match Client.connect ~socket () with
@@ -593,18 +765,20 @@ let test_server_conflict_and_quit () =
 
 let test_server_shutdown_request () =
   with_mem_engine small_xml (fun engine ->
-      let socket = temp_socket () in
-      let server =
-        match Server.create ~engine ~socket () with
-        | Ok s -> s
-        | Error m -> Alcotest.failf "server create: %s" m
-      in
-      let dom = Domain.spawn (fun () -> Server.run server) in
-      let c = connect_exn socket in
-      cli "shutdown" (Client.shutdown c);
-      (* run must return on its own — no request_stop from this side *)
-      Domain.join dom;
-      Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket))
+      with_socket_dir (fun dir socket ->
+          let server =
+            match Server.create ~engine ~socket () with
+            | Ok s -> s
+            | Error m -> Alcotest.failf "server create: %s" m
+          in
+          let dom = Domain.spawn (fun () -> Server.run server) in
+          let c = connect_exn socket in
+          cli "shutdown" (Client.shutdown c);
+          (* run must return on its own — no request_stop from this side *)
+          Domain.join dom;
+          Alcotest.(check bool) "socket file removed" false
+            (Sys.file_exists socket);
+          assert_socket_dir_clean dir))
 
 (* --- the concurrency harness and the serve crash sweep ------------- *)
 
@@ -668,6 +842,9 @@ let () =
           Alcotest.test_case "framing" `Quick test_framing;
           Alcotest.test_case "framing rejects malformed" `Quick
             test_framing_malformed;
+          QCheck_alcotest.to_alcotest prop_escape_roundtrip;
+          QCheck_alcotest.to_alcotest prop_request_roundtrip;
+          QCheck_alcotest.to_alcotest prop_response_roundtrip;
         ] );
       ( "engine",
         [

@@ -192,6 +192,154 @@ let test_torn_tail_every_offset () =
           (List.length sc.Wal.frames)
   done
 
+(* --- tailing: the replication read path ---------------------------- *)
+
+let append_group w ~txn updates =
+  ignore (Wal.Writer.append w (Wal.Begin { txn }) : int);
+  List.iter
+    (fun (node, value) ->
+      ignore (Wal.Writer.append w (Wal.Update_text { txn; node; value }) : int))
+    updates;
+  fst (Wal.Writer.log_commit w ~txn)
+
+let poll_exn ?upto_lsn ?max_bytes what tail =
+  match Wal.Tail.poll ?upto_lsn ?max_bytes tail with
+  | Ok ev -> ev
+  | Error m -> Alcotest.failf "%s: poll failed: %s" what m
+
+let test_tail_stream () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.Writer.create ~sync_mode:Wal.Always path in
+      Fun.protect
+        ~finally:(fun () -> Wal.Writer.close w)
+        (fun () ->
+          let l1 = append_group w ~txn:1 [ (1, "one") ] in
+          let l2 = append_group w ~txn:2 [ (2, "two"); (3, "three") ] in
+          let tail = Wal.Tail.create path in
+          (match poll_exn "first poll" tail with
+          | Wal.Tail.Frames { frames; bytes } ->
+              (* both groups arrive in log order, as the exact on-disk
+                 byte suffix after the magic header *)
+              let file = read_file path in
+              let magic_len = String.length Wal.magic in
+              Alcotest.(check string) "bytes are the on-disk frames"
+                (String.sub file magic_len (String.length file - magic_len))
+                bytes;
+              (match List.rev frames with
+              | last :: _ -> Alcotest.(check int) "ends at l2" l2 last.Wal.lsn
+              | [] -> Alcotest.fail "no frames delivered");
+              Alcotest.(check int) "tail position" l2 (Wal.Tail.last_lsn tail)
+          | Wal.Tail.Await -> Alcotest.fail "tail had frames but said Await"
+          | Wal.Tail.Snapshot_needed _ ->
+              Alcotest.fail "contiguous log reported snapshot-needed");
+          (match poll_exn "drained poll" tail with
+          | Wal.Tail.Await -> ()
+          | _ -> Alcotest.fail "drained tail must Await");
+          (* a durability watermark withholds groups past it: the next
+             group exists on disk but must not ship until upto_lsn
+             covers its boundary *)
+          let l3 = append_group w ~txn:3 [ (1, "third") ] in
+          (match poll_exn ~upto_lsn:l2 "withheld poll" tail with
+          | Wal.Tail.Await -> ()
+          | _ -> Alcotest.fail "group past upto_lsn must be withheld");
+          (match poll_exn ~upto_lsn:l3 "released poll" tail with
+          | Wal.Tail.Frames { frames; _ } ->
+              (match List.rev frames with
+              | last :: _ -> Alcotest.(check int) "ends at l3" l3 last.Wal.lsn
+              | [] -> Alcotest.fail "released poll empty")
+          | _ -> Alcotest.fail "released group did not ship");
+          (* max_bytes caps a batch but always delivers one whole group *)
+          let tiny = Wal.Tail.create path in
+          (match poll_exn ~max_bytes:1 "capped poll" tiny with
+          | Wal.Tail.Frames { frames; _ } -> (
+              match List.rev frames with
+              | last :: _ ->
+                  Alcotest.(check int) "exactly the first group" l1
+                    last.Wal.lsn
+              | [] -> Alcotest.fail "capped poll empty")
+          | _ -> Alcotest.fail "capped poll must still deliver one group");
+          ignore (l1 : int)))
+
+let test_tail_torn_tail_awaits () =
+  (* An append in flight tears the tail: at every torn prefix of the
+     last group the tailer must deliver exactly the committed groups
+     before it and then Await — never mis-frame the torn bytes, never
+     error. *)
+  with_dir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.Writer.create ~sync_mode:Wal.Always path in
+      let l1 = append_group w ~txn:1 [ (1, "committed") ] in
+      let boundary = Wal.Writer.size w in
+      let _l2 = append_group w ~txn:2 [ (2, "torn away") ] in
+      Wal.Writer.close w;
+      let full = read_file path in
+      let torn_path = Filename.concat dir "torn.log" in
+      for cut = boundary to String.length full - 1 do
+        write_file torn_path (String.sub full 0 cut);
+        let tail = Wal.Tail.create torn_path in
+        (match poll_exn (Printf.sprintf "cut %d" cut) tail with
+        | Wal.Tail.Frames { frames; _ } -> (
+            match List.rev frames with
+            | last :: _ ->
+                Alcotest.(check int)
+                  (Printf.sprintf "only the committed group at cut %d" cut)
+                  l1 last.Wal.lsn
+            | [] -> Alcotest.fail "empty Frames")
+        | Wal.Tail.Await ->
+            Alcotest.failf "cut %d: committed group not delivered" cut
+        | Wal.Tail.Snapshot_needed _ ->
+            Alcotest.failf "cut %d: torn tail misread as truncation" cut);
+        match poll_exn (Printf.sprintf "cut %d again" cut) tail with
+        | Wal.Tail.Await -> ()
+        | Wal.Tail.Frames _ ->
+            Alcotest.failf "cut %d: torn bytes shipped as frames" cut
+        | Wal.Tail.Snapshot_needed _ ->
+            Alcotest.failf "cut %d: torn tail misread as truncation" cut
+      done)
+
+let test_tail_checkpoint_truncation () =
+  (* A checkpoint truncates the log under a live tailer. The tailer
+     must detect the LSN discontinuity and report a typed
+     [Snapshot_needed] — not an error, and never silently skip the
+     missing records. *)
+  with_dir (fun dir ->
+      let path = Filename.concat dir "wal.log" in
+      let w = Wal.Writer.create ~sync_mode:Wal.Always path in
+      let l1 = append_group w ~txn:1 [ (1, "one") ] in
+      let _l2 = append_group w ~txn:2 [ (2, "two") ] in
+      let last = Wal.Writer.last_lsn w in
+      (* a tailer that only consumed the first group... *)
+      let tail = Wal.Tail.create path in
+      (match poll_exn ~upto_lsn:l1 "consume first group" tail with
+      | Wal.Tail.Frames _ -> ()
+      | _ -> Alcotest.fail "first group not delivered");
+      (* ...while the writer checkpoints everything away *)
+      Wal.Writer.truncate_to_checkpoint w ~base:last;
+      let l3 = append_group w ~txn:3 [ (1, "after checkpoint") ] in
+      Wal.Writer.close w;
+      (match poll_exn "poll after truncation" tail with
+      | Wal.Tail.Snapshot_needed { base } ->
+          Alcotest.(check int) "snapshot covers the checkpoint base" last base
+      | Wal.Tail.Frames _ ->
+          Alcotest.fail "tailer skipped the checkpointed records"
+      | Wal.Tail.Await -> Alcotest.fail "truncation misread as quiet tail");
+      (* a fresh tailer from the beginning is in the same position *)
+      let fresh = Wal.Tail.create path in
+      (match poll_exn "fresh tail" fresh with
+      | Wal.Tail.Snapshot_needed { base } ->
+          Alcotest.(check int) "fresh tail needs the snapshot too" last base
+      | _ -> Alcotest.fail "fresh tail must report snapshot-needed");
+      (* but a tailer already past the checkpoint streams on *)
+      let caught_up = Wal.Tail.create ~from_lsn:last path in
+      match poll_exn "caught-up tail" caught_up with
+      | Wal.Tail.Frames { frames; _ } -> (
+          match List.rev frames with
+          | last_f :: _ ->
+              Alcotest.(check int) "post-checkpoint group" l3 last_f.Wal.lsn
+          | [] -> Alcotest.fail "post-checkpoint group missing")
+      | _ -> Alcotest.fail "tail past the checkpoint must keep streaming")
+
 let test_sync_mode_strings () =
   let check s expect =
     match (Wal.sync_mode_of_string s, expect) with
@@ -553,6 +701,12 @@ let () =
           Alcotest.test_case "non-monotonic lsn" `Quick
             test_scan_rejects_non_monotonic;
           Alcotest.test_case "bad magic" `Quick test_scan_bad_magic;
+          Alcotest.test_case "tail streams committed groups" `Quick
+            test_tail_stream;
+          Alcotest.test_case "tail awaits on torn tail" `Quick
+            test_tail_torn_tail_awaits;
+          Alcotest.test_case "tail detects checkpoint truncation" `Quick
+            test_tail_checkpoint_truncation;
           Alcotest.test_case "torn tail at every offset" `Quick
             test_torn_tail_every_offset;
         ] );
