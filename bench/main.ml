@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- --scale=0.02 -- larger documents
 
    Experiment ids: table1, fig9, fig10, fig11, micro, ablation, substr,
-   baseline, queries, query, parallel, wal, serve.
+   baseline, queries, query, parallel, wal, serve, repl, storage.
    --scale=F sets the fraction of the paper's document sizes to generate
    (default 0.01, i.e. the 2 GB Wiki becomes ~20 MB); --reps=N the
    repetitions for timed runs (paper: 3 for creation, 20 for updates;
@@ -882,10 +882,17 @@ let query_bench () =
       let planned_hits = Db.query db ir in
       let naive_hits = naive () in
       assert (planned_hits = naive_hits);
-      let planned_ms =
-        Timing.repeat_ms reps (fun () -> ignore (Db.query db ir))
-      in
-      let naive_ms = Timing.repeat_ms reps (fun () -> ignore (naive ())) in
+      (* Alternate the two measurement blocks and keep each side's best:
+         at tens of microseconds per query, scheduler jitter between two
+         sequential blocks otherwise dominates the comparison. *)
+      let planned_ms = ref infinity and naive_ms = ref infinity in
+      for _ = 1 to 5 do
+        let p = Timing.repeat_ms reps (fun () -> ignore (Db.query db ir)) in
+        let n = Timing.repeat_ms reps (fun () -> ignore (naive ())) in
+        if p < !planned_ms then planned_ms := p;
+        if n < !naive_ms then naive_ms := n
+      done;
+      let planned_ms = !planned_ms and naive_ms = !naive_ms in
       rows :=
         [
           label;
@@ -1621,6 +1628,315 @@ let repl_bench () =
   print_endline "wrote BENCH_repl.json";
   print_newline ()
 
+(* ====================================================== storage ===== *)
+
+(* The off-heap columnar storage experiment: the B+tree key
+   representations this PR introduced (order-preserving byte strings for
+   typed keys, packed unboxed ints for postings) raced against the
+   boxed-tuple trees they replaced, on real XMark data; the GC cost of
+   building each; the store's off-heap/GC-heap split; a migration check
+   (query answers over a Codec round-trip of the store must be
+   identical); and the planner's cursor-vs-native per-element
+   calibration that sets the constants in [Xvi_query.Plan]. Results land
+   in BENCH_storage.json. *)
+let storage_bench () =
+  print_endline "== Off-heap columnar storage and byte-ordered keys ==";
+  let module Db = Xvi_core.Db in
+  let module Enc = Xvi_btree.Encoding in
+  let module BT = Xvi_btree.Btree in
+  let module FP = BT.Make (BT.Float_pair_key) in
+  let module BK = BT.Bytes in
+  let module IP = BT.Make (BT.Int_pair_key) in
+  let module IK = BT.Make (BT.Int_key) in
+  let factor = if !quick then 0.05 else Float.max 1.0 (!scale *. 100.0) in
+  let reps = if !quick then 1 else !reps in
+  let xml = Xvi_workload.Xmark.generate ~seed:42 ~factor () in
+  let store = Parser.parse_exn xml in
+  let db = Db.of_store store in
+  Printf.printf "XMark factor %.2f: %s nodes\n%!" factor
+    (Table.fmt_int (Store.live_count store));
+
+  (* --- the store's storage split --- *)
+  let offheap = Store.offheap_bytes store and heap = Store.heap_bytes store in
+  Printf.printf "store: %s off-heap columns + %s GC heap (name pool)\n"
+    (Table.fmt_bytes offheap) (Table.fmt_bytes heap);
+
+  (* --- typed keys: boxed (float, node) tuples vs 16-byte encoded --- *)
+  let doubles =
+    let acc = ref [] in
+    Store.iter_pre store (fun n ->
+        if Store.kind store n = Store.Text then
+          match float_of_string_opt (String.trim (Store.text store n)) with
+          | Some v when not (Float.is_nan v) -> acc := (v, n) :: !acc
+          | _ -> ());
+    List.sort
+      (fun (a, m) (b, n) ->
+        match Float.compare a b with 0 -> Int.compare m n | c -> c)
+      !acc
+  in
+  let dbl_n = List.length doubles in
+  (* Words the built structure adds to the live major heap — the set
+     every major collection must mark. This, not allocation traffic, is
+     the recurring GC cost a resident tree imposes. *)
+  let gc_words f =
+    Gc.full_major ();
+    let s0 = Gc.stat () in
+    let r = f () in
+    Gc.full_major ();
+    let s1 = Gc.stat () in
+    (r, float_of_int (s1.Gc.live_words - s0.Gc.live_words))
+  in
+  (* Trees are grown through the update path — single inserts in a
+     shuffled order — as they would be after a life of maintenance, not
+     through the bulk loader: bulk loading lays boxed keys out in scan
+     order, an accident of allocation that hides the pointer-chasing
+     cost real updated trees pay on every descent and every extraction.
+     Both representations get the same treatment. *)
+  let shuffled l =
+    let a = Array.of_list l in
+    Prng.shuffle (Prng.create 11) a;
+    a
+  in
+  let dbl_shuffled = shuffled doubles in
+  let old_typed, old_typed_words =
+    gc_words (fun () ->
+        let t = FP.create () in
+        Array.iter (fun (v, n) -> FP.insert t (v, n) ()) dbl_shuffled;
+        t)
+  in
+  let new_typed, new_typed_words =
+    gc_words (fun () ->
+        let t = BK.create () in
+        Array.iter (fun (v, n) -> BK.insert t (Enc.float_int_key v n) ()) dbl_shuffled;
+        t)
+  in
+  (* bounded range scans over value windows, extracting the node from
+     each hit — the [Typed_index.range] / [lookup_double] pattern *)
+  let windows =
+    let values = Array.of_list (List.map fst doubles) in
+    let m = Array.length values in
+    List.init 256 (fun i ->
+        let lo = values.((i * 131) mod max 1 m) in
+        (lo, lo +. Float.abs lo *. 0.05 +. 1.0))
+  in
+  let sink = ref 0 in
+  let count = ref 0 in
+  let old_typed_ms =
+    Timing.median_ms (max 5 reps) (fun () ->
+        List.iter
+          (fun (lo, hi) ->
+            FP.iter_range ~lo:(lo, min_int) ~hi:(hi, max_int)
+              (fun (_, n) () ->
+                sink := !sink + n;
+                incr count)
+              old_typed)
+          windows)
+  in
+  let old_scanned = !count in
+  count := 0;
+  let new_typed_ms =
+    Timing.median_ms (max 5 reps) (fun () ->
+        List.iter
+          (fun (lo, hi) ->
+            BK.iter_range
+              ~lo:(Enc.float_int_key lo min_int)
+              ~hi:(Enc.float_int_key hi max_int)
+              (fun k () ->
+                sink := !sink + Enc.decode_int k 8;
+                incr count)
+              new_typed)
+          windows)
+  in
+  assert (old_scanned = !count);
+
+  (* --- postings: boxed (hash, node) tuples vs one packed int --- *)
+  let postings =
+    let acc = ref [] in
+    Store.iter_pre store (fun n ->
+        match Store.kind store n with
+        | Store.Element | Store.Text | Store.Attribute | Store.Document ->
+            acc :=
+              (Hash.to_int (Hash.hash (Store.string_value store n)), n) :: !acc
+        | _ -> ());
+    List.sort
+      (fun (a, m) (b, n) ->
+        match Int.compare a b with 0 -> Int.compare m n | c -> c)
+      !acc
+  in
+  let post_n = List.length postings in
+  let post_shuffled = shuffled postings in
+  let old_post, old_post_words =
+    gc_words (fun () ->
+        let t = IP.create () in
+        Array.iter (fun (h, n) -> IP.insert t (h, n) ()) post_shuffled;
+        t)
+  in
+  let new_post, new_post_words =
+    gc_words (fun () ->
+        let t = IK.create () in
+        Array.iter (fun (h, n) -> IK.insert t ((h lsl 30) lor n) ()) post_shuffled;
+        t)
+  in
+  (* per-bucket scans extracting the node — [candidates_of_hash] *)
+  let node_mask = 0x3FFF_FFFF in
+  let buckets =
+    List.filteri (fun i _ -> i mod 97 = 0) (List.map fst postings)
+  in
+  count := 0;
+  let old_post_ms =
+    Timing.median_ms (max 5 reps) (fun () ->
+        List.iter
+          (fun h ->
+            IP.iter_range ~lo:(h, 0) ~hi:(h, node_mask)
+              (fun (_, n) () ->
+                sink := !sink + n;
+                incr count)
+              old_post)
+          buckets)
+  in
+  let old_post_scanned = !count in
+  count := 0;
+  let new_post_ms =
+    Timing.median_ms (max 5 reps) (fun () ->
+        List.iter
+          (fun h ->
+            IK.iter_range
+              ~lo:((h lsl 30) lor 0)
+              ~hi:((h lsl 30) lor node_mask)
+              (fun k () ->
+                sink := !sink + (k land node_mask);
+                incr count)
+              new_post)
+          buckets)
+  in
+  assert (old_post_scanned = !count);
+  ignore (Sys.opaque_identity !sink);
+  Table.print
+    ~header:
+      [ "tree"; "entries"; "boxed keys"; "this PR"; "speedup"; "live words" ]
+    [
+      [
+        "typed (float,node) range scans";
+        Table.fmt_int dbl_n;
+        Table.fmt_ms old_typed_ms;
+        Table.fmt_ms new_typed_ms;
+        Printf.sprintf "%.2fx" (old_typed_ms /. new_typed_ms);
+        Printf.sprintf "%.0f -> %.0f" old_typed_words new_typed_words;
+      ];
+      [
+        "posting (hash,node) bucket scans";
+        Table.fmt_int post_n;
+        Table.fmt_ms old_post_ms;
+        Table.fmt_ms new_post_ms;
+        Printf.sprintf "%.2fx" (old_post_ms /. new_post_ms);
+        Printf.sprintf "%.0f -> %.0f" old_post_words new_post_words;
+      ];
+    ];
+
+  (* --- migration check: a Codec round-trip answers identically --- *)
+  let blob = Store.Codec.encode store in
+  let db2 = Db.of_store (Store.Codec.decode blob) in
+  let range = Db.Range.between 100.0 200.0 in
+  let probes =
+    [
+      Db.Ir.named "initial";
+      Db.Ir.typed_range "xs:double" range;
+      Db.Ir.conj [ Db.Ir.named "initial"; Db.Ir.typed_range "xs:double" range ];
+      Db.Ir.string_eq "Creditcard";
+    ]
+  in
+  let migration_ok =
+    List.for_all (fun ir -> Db.query db ir = Db.query db2 ir) probes
+  in
+  if not migration_ok then failwith "codec round-trip changed query answers";
+  Printf.printf
+    "migration: %d probe queries identical over a %s codec round-trip\n"
+    (List.length probes)
+    (Table.fmt_bytes (String.length blob));
+
+  (* --- planner calibration: the two [run_list] strategies for an
+         all-leaf intersection on the production shape. The streaming
+         path pulls every element of every input through the leapfrog
+         merge, including the node-order sort a value-ordered leaf
+         performs on first pull (see [Typed_index.cursor]); the
+         probe-driven path walks only the driving input and probes each
+         candidate against the other leaves' membership checks — modeled
+         here as a pre-built hashtable, matching the node->value column
+         a typed leaf's [check] consults. --- *)
+  let n_cal = if !quick then 50_000 else 400_000 in
+  let la = List.init n_cal (fun i -> 2 * i) in
+  let lb_value_order =
+    (* value order: node ids permuted deterministically *)
+    let a = Array.init n_cal (fun i -> 3 * i) in
+    Prng.shuffle (Prng.create 7) a;
+    Array.to_list a
+  in
+  let total = float_of_int (2 * n_cal) in
+  let cursor_ms =
+    Timing.repeat_ms (max 3 reps) (fun () ->
+        ignore
+          (Xvi_query.Cursor.to_list
+             (Xvi_query.Cursor.inter
+                [
+                  Xvi_query.Cursor.of_sorted_list la;
+                  Xvi_query.Cursor.of_lazy_list (fun () ->
+                      List.sort Int.compare lb_value_order);
+                ])))
+  in
+  let check_ms =
+    (* the probed column exists before the query runs, so its
+       construction is not part of the per-query cost *)
+    let h = Hashtbl.create n_cal in
+    List.iter (fun n -> Hashtbl.replace h n ()) lb_value_order;
+    Timing.repeat_ms (max 3 reps) (fun () ->
+        ignore
+          (List.sort_uniq Int.compare (List.filter (Hashtbl.mem h) la)))
+  in
+  let cursor_step_ns = cursor_ms *. 1e6 /. total in
+  let check_step_ns = check_ms *. 1e6 /. float_of_int n_cal in
+  Printf.printf
+    "planner calibration: %.1f ns/element through the leapfrog merge (incl. \
+     the value-ordered leaf's node-order sort) vs %.1f ns/probe driving the \
+     cheapest leaf (constants in lib/query/plan.ml)\n"
+    cursor_step_ns check_step_ns;
+
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"storage\",\n\
+      \  \"xmark_factor\": %.3f,\n\
+      \  \"nodes\": %d,\n\
+      \  \"reps\": %d,\n\
+      \  \"store\": { \"offheap_bytes\": %d, \"gc_heap_bytes\": %d },\n\
+      \  \"scans\": [\n\
+      \    { \"tree\": \"typed_range\", \"entries\": %d, \"old_ms\": %.4f, \
+       \"new_ms\": %.4f, \"speedup\": %.2f, \"live_major_words_old\": %.0f, \
+       \"live_major_words_new\": %.0f },\n\
+      \    { \"tree\": \"posting_bucket\", \"entries\": %d, \"old_ms\": %.4f, \
+       \"new_ms\": %.4f, \"speedup\": %.2f, \"live_major_words_old\": %.0f, \
+       \"live_major_words_new\": %.0f }\n\
+      \  ],\n\
+      \  \"range_scan_speedup\": %.2f,\n\
+      \  \"migration_identical\": %b,\n\
+      \  \"calibration\": { \"cursor_step_ns\": %.1f, \"check_step_ns\": \
+       %.1f }\n\
+       }\n"
+      factor
+      (Store.live_count store)
+      reps offheap heap dbl_n old_typed_ms new_typed_ms
+      (old_typed_ms /. new_typed_ms)
+      old_typed_words new_typed_words post_n old_post_ms new_post_ms
+      (old_post_ms /. new_post_ms)
+      old_post_words new_post_words
+      (old_post_ms /. new_post_ms)
+      migration_ok cursor_step_ns check_step_ns
+  in
+  let oc = open_out "BENCH_storage.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_storage.json";
+  print_newline ()
+
 (* ====================================================== main ===== *)
 
 (* [micro] runs first: its OLS estimates are cleanest before the data
@@ -1632,7 +1948,7 @@ let all_experiments =
     ("fig10", fig10); ("ablation", ablation); ("substr", substr);
     ("baseline", baseline); ("queries", queries); ("query", query_bench);
     ("parallel", parallel); ("wal", wal_bench); ("serve", serve_bench);
-    ("repl", repl_bench) ]
+    ("repl", repl_bench); ("storage", storage_bench) ]
 
 let () =
   let selected = ref [] in
@@ -1649,8 +1965,8 @@ let () =
         else begin
           Printf.eprintf
             "unknown argument %s (expected: table1 fig9 fig10 fig11 micro \
-             ablation substr baseline queries query parallel wal serve repl, \
-             --scale=F, --reps=N, --quick)\n"
+             ablation substr baseline queries query parallel wal serve repl \
+             storage, --scale=F, --reps=N, --quick)\n"
             arg;
           exit 2
         end)

@@ -266,6 +266,8 @@ let stats_cmd =
          [ "total nodes"; Table.fmt_int (Store.live_count store - 1) ];
          [ "text nodes"; Table.fmt_int (Store.count_of_kind store Store.Text) ];
          [ "db storage"; Table.fmt_bytes (Store.storage_bytes store) ];
+         [ "  off-heap (columns)"; Table.fmt_bytes (Store.offheap_bytes store) ];
+         [ "  GC heap (name pool)"; Table.fmt_bytes (Store.heap_bytes store) ];
        ]
       @ engine_stats_rows t);
     Engine.close t
@@ -309,6 +311,8 @@ let stats_cmd =
         [ "double text nodes"; Table.fmt_int st.Xvi_core.Typed_index.complete_text_nodes ];
         [ "double non-leaf nodes"; Table.fmt_int st.Xvi_core.Typed_index.complete_non_leaves ];
         [ "db storage"; Table.fmt_bytes (Store.storage_bytes store) ];
+        [ "  off-heap (columns)"; Table.fmt_bytes (Store.offheap_bytes store) ];
+        [ "  GC heap (name pool)"; Table.fmt_bytes (Store.heap_bytes store) ];
         [ "double index storage"; Table.fmt_bytes (Xvi_core.Typed_index.storage_bytes ti) ];
       ]
     end

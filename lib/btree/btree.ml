@@ -3,7 +3,11 @@ module type ORDERED = sig
 
   val compare : t -> t -> int
   val to_string : t -> string
-  val size_bytes : int
+
+  val size_bytes : t -> int
+  (* Per-key storage charge. Taking the key lets variable-width keys
+     (encoded byte strings) report their actual length instead of a flat
+     estimate. *)
 end
 
 module type S = sig
@@ -452,30 +456,46 @@ module Make (K : ORDERED) = struct
         let i = upper_bound nd.ikeys (nd.kn - 1) key in
         seek_leaf nd.kids.(i) key
 
-  exception Stop
-
   let iter_range ?lo ?hi f t =
     match t.root with
     | None -> ()
-    | Some root -> (
+    | Some root ->
         let start =
           match lo with None -> leftmost_leaf root | Some k -> seek_leaf root k
         in
-        let above_lo k =
-          match lo with None -> true | Some b -> K.compare k b >= 0
+        (* Binary-search the start slot once instead of filtering every
+           leading key through an [above_lo] test. *)
+        let i0 =
+          match lo with
+          | None -> 0
+          | Some k -> lower_bound start.lkeys start.ln k
         in
         let below_hi k =
           match hi with None -> true | Some b -> K.compare k b <= 0
         in
-        let rec walk l =
-          for i = 0 to l.ln - 1 do
-            let k = l.lkeys.(i) in
-            if above_lo k then
-              if below_hi k then f k l.lvals.(i) else raise Stop
-          done;
-          match l.next with None -> () | Some next -> walk next
+        (* The leaf chain is ascending, so one compare against a leaf's
+           last key decides the whole leaf: emit it compare-free and move
+           on, or finish inside it with per-key checks. Range scans thus
+           cost two descents plus one compare per *leaf*, not two
+           compares per *key*. *)
+        let rec walk l i =
+          if i >= l.ln then
+            match l.next with None -> () | Some next -> walk next 0
+          else if below_hi l.lkeys.(l.ln - 1) then begin
+            for j = i to l.ln - 1 do
+              f l.lkeys.(j) l.lvals.(j)
+            done;
+            match l.next with None -> () | Some next -> walk next 0
+          end
+          else begin
+            let j = ref i in
+            while !j < l.ln && below_hi l.lkeys.(!j) do
+              f l.lkeys.(!j) l.lvals.(!j);
+              incr j
+            done
+          end
         in
-        try walk start with Stop -> ())
+        walk start i0
 
   let range ?lo ?hi t =
     let acc = ref [] in
@@ -513,12 +533,42 @@ module Make (K : ORDERED) = struct
         pull true start 0
 
   let count_range ?lo ?hi t =
-    match (lo, hi) with
-    | None, None -> t.count
-    | _ ->
-        let n = ref 0 in
-        iter_range ?lo ?hi (fun _ _ -> incr n) t;
-        !n
+    match (lo, hi, t.root) with
+    | None, None, _ -> t.count
+    | _, _, None -> 0
+    | _, _, Some root ->
+        (* Whole leaves inside the range are counted by their fill, so
+           the cost is one compare per leaf plus two binary searches —
+           O(log n + leaves), not O(keys in range). *)
+        let start =
+          match lo with None -> leftmost_leaf root | Some k -> seek_leaf root k
+        in
+        let i0 =
+          match lo with
+          | None -> 0
+          | Some k -> lower_bound start.lkeys start.ln k
+        in
+        let rec walk l i acc =
+          if i >= l.ln then
+            match l.next with None -> acc | Some next -> walk next 0 acc
+          else
+            let whole =
+              match hi with
+              | None -> true
+              | Some b -> K.compare l.lkeys.(l.ln - 1) b <= 0
+            in
+            if whole then
+              let acc = acc + (l.ln - i) in
+              match l.next with None -> acc | Some next -> walk next 0 acc
+            else
+              let stop =
+                match hi with
+                | None -> l.ln
+                | Some b -> upper_bound l.lkeys l.ln b
+              in
+              acc + max 0 (stop - i)
+        in
+        walk start i0 0
 
   let min_binding t =
     match t.root with
@@ -555,14 +605,23 @@ module Make (K : ORDERED) = struct
 
   let memory_bytes ~value_bytes t =
     let header = 40 in
+    (* Occupied slots are charged their actual key size; unoccupied
+       slots still hold a word-sized pointer each. *)
+    let key_bytes keys n =
+      let total = ref 0 in
+      for i = 0 to n - 1 do
+        total := !total + K.size_bytes keys.(i)
+      done;
+      !total + ((Array.length keys - n) * 8)
+    in
     let rec bytes = function
       | Leaf l ->
-          header + ((Array.length l.lkeys) * (K.size_bytes + value_bytes))
+          header + key_bytes l.lkeys l.ln + (Array.length l.lvals * value_bytes)
       | Internal nd ->
           let total =
             ref
               (header
-              + (Array.length nd.ikeys * K.size_bytes)
+              + key_bytes nd.ikeys (nd.kn - 1)
               + (Array.length nd.kids * 8))
           in
           for i = 0 to nd.kn - 1 do
@@ -652,7 +711,7 @@ module Int_key = struct
 
   let compare = Int.compare
   let to_string = string_of_int
-  let size_bytes = 8
+  let size_bytes _ = 8
 end
 
 module Int_pair_key = struct
@@ -663,7 +722,7 @@ module Int_pair_key = struct
     if c <> 0 then c else Int.compare b1 b2
 
   let to_string (a, b) = Printf.sprintf "(%d,%d)" a b
-  let size_bytes = 16
+  let size_bytes _ = 16
 end
 
 module Float_pair_key = struct
@@ -683,7 +742,7 @@ module Float_pair_key = struct
     if c <> 0 then c else Int.compare b1 b2
 
   let to_string (a, b) = Printf.sprintf "(%g,%d)" a b
-  let size_bytes = 16
+  let size_bytes _ = 16
 end
 
 module String_key = struct
@@ -691,5 +750,17 @@ module String_key = struct
 
   let compare = String.compare
   let to_string s = s
-  let size_bytes = 24 (* header + average short-string payload estimate *)
+  let size_bytes s = 24 + String.length s (* header + payload *)
 end
+
+module Bytes_key = struct
+  type t = string
+
+  (* Order-preserving encoded byte strings ([Encoding]); the key order
+     IS the byte order, so comparisons are flat memcmp. *)
+  let compare = String.compare
+  let to_string = String.escaped
+  let size_bytes s = String.length s
+end
+
+module Bytes = Make (Bytes_key)

@@ -19,8 +19,10 @@ module type ORDERED = sig
   val to_string : t -> string
   (** For diagnostics and invariant-violation messages only. *)
 
-  val size_bytes : int
-  (** Bytes charged per key by {!S.memory_bytes}. *)
+  val size_bytes : t -> int
+  (** Bytes charged for this key by {!S.memory_bytes}. Per-key (not a
+      flat constant) so variable-width keys — encoded byte strings —
+      report their actual length. *)
 end
 
 module type S = sig
@@ -89,8 +91,8 @@ module type S = sig
 
   val memory_bytes : value_bytes:int -> 'a t -> int
   (** Approximate heap footprint assuming [value_bytes] per stored value
-      and {!ORDERED.size_bytes} per key slot, charging allocated capacity
-      (i.e. including fill-factor slack, as a disk-resident index would).
+      and {!ORDERED.size_bytes} per occupied key, plus one word per slot
+      of fill-factor slack (as a disk-resident index would charge).
       Used by the Figure 9 storage experiment. *)
 
   val check_invariants : 'a t -> (unit, string) result
@@ -113,3 +115,12 @@ module Float_pair_key : ORDERED with type t = float * int
     Total order with NaN sorted after all numbers. *)
 
 module String_key : ORDERED with type t = string
+
+module Bytes_key : ORDERED with type t = string
+(** Order-preserving encoded byte strings (see {!Encoding}): comparison
+    is plain [String.compare], i.e. flat memcmp, and [size_bytes] is the
+    actual encoded length. *)
+
+module Bytes : S with type key = string
+(** The byte-key B+tree: [Make (Bytes_key)]. Callers build keys with
+    {!Encoding} so that byte order equals logical order. *)

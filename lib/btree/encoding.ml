@@ -1,0 +1,56 @@
+(* Order-preserving byte encodings (see the .mli for the scheme). All
+   multi-byte fields are big-endian so String.compare sees the most
+   significant byte first. *)
+
+let int_key v =
+  let b = Bytes.create 8 in
+  (* bias: flipping the sign bit maps min_int..max_int onto an unsigned
+     range in order *)
+  Bytes.set_int64_be b 0 (Int64.of_int (v lxor min_int));
+  Bytes.unsafe_to_string b
+
+let decode_int s off =
+  Int64.to_int (String.get_int64_be s off) lxor min_int
+
+(* NaN sorts after every number (the convention Float_pair_key already
+   uses). The sentinel cannot collide with a real float: a negative
+   input has its sign bit set, so its complement never has all bits set,
+   and a non-negative input would need the NaN bit pattern
+   0x7FF..FF to reach all-ones — excluded by the is_nan test. *)
+let nan_sentinel = 0xFFFF_FFFF_FFFF_FFFFL
+
+let float_key v =
+  let b = Bytes.create 8 in
+  let bits =
+    if Float.is_nan v then nan_sentinel
+    else
+      (* +. 0. collapses -0. into 0. and is the identity elsewhere *)
+      let bits = Int64.bits_of_float (v +. 0.) in
+      if Int64.compare bits 0L < 0 then Int64.lognot bits
+      else Int64.logor bits Int64.min_int
+  in
+  Bytes.set_int64_be b 0 bits;
+  Bytes.unsafe_to_string b
+
+let decode_float s off =
+  let enc = String.get_int64_be s off in
+  if Int64.equal enc nan_sentinel then Float.nan
+  else if Int64.compare enc 0L < 0 then
+    Int64.float_of_bits (Int64.logxor enc Int64.min_int)
+  else Int64.float_of_bits (Int64.lognot enc)
+
+let string_key s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      Buffer.add_char buf c;
+      if c = '\x00' then Buffer.add_char buf '\xFF')
+    s;
+  Buffer.add_string buf "\x00\x00";
+  Buffer.contents buf
+
+let float_int_key v n =
+  let b = Bytes.create 16 in
+  Bytes.blit_string (float_key v) 0 b 0 8;
+  Bytes.blit_string (int_key n) 0 b 8 8;
+  Bytes.unsafe_to_string b

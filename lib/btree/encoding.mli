@@ -1,0 +1,40 @@
+(** Order-preserving byte encodings for B+tree keys.
+
+    Each encoder maps a value to a byte string such that
+    [String.compare (enc a) (enc b)] equals the logical comparison of
+    [a] and [b] — so the byte-key tree ({!Btree.Bytes}) can compare any
+    key with flat memcmp, and a composite key is just concatenation of
+    fixed-width encoded fields.
+
+    Encodings (all big-endian so the most significant byte compares
+    first):
+
+    - ints: biased uint64 — [x lxor min_int] flips the sign bit, mapping
+      [min_int..max_int] onto [0..2^63-1] in order;
+    - floats: sign-flipped IEEE 754 — negative values have all bits
+      complemented, non-negative values get the sign bit set; [-0.] is
+      normalised to [0.] and NaN encodes as a sentinel that sorts after
+      [+infinity];
+    - strings: NUL-escaped ([\x00] becomes [\x00\xFF]) and terminated
+      with [\x00\x00], so a prefix sorts before its extensions and
+      embedded NULs cannot collide with the terminator. *)
+
+val int_key : int -> string
+(** 8 bytes. *)
+
+val decode_int : string -> int -> int
+(** [decode_int s off] reads the int encoded at offset [off]. *)
+
+val float_key : float -> string
+(** 8 bytes. [-0.] and [0.] encode identically; NaN (any payload)
+    encodes as the sentinel [0xFF x 8], after every number. *)
+
+val decode_float : string -> int -> float
+(** Inverse of {!float_key}; any NaN decodes as [Float.nan]. *)
+
+val string_key : string -> string
+(** Variable width: escaped content plus a 2-byte terminator. *)
+
+val float_int_key : float -> int -> string
+(** Composite [(value, node)] key: [float_key v ^ int_key n], 16
+    bytes. *)

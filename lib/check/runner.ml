@@ -497,6 +497,13 @@ let pub_digest db =
 let run_concurrent ?(config = default_config) ?(log = fun (_ : string) -> ())
     ~seed ~readers ~commits () =
   try
+    (* Small column chunks (2^8 entries) so the scripted writes append
+       and mutate across many chunk boundaries: the run then exercises
+       the store's chunked copy-on-write — shared chunks cloned on first
+       write, fresh chunks appended past the boundary — not just the
+       heap indexes' isolation. The chunk size travels with each vector,
+       so every copy, epoch, and oracle replica in the run agrees. *)
+    Xvi_util.Bigvec.with_chunk_log_for_testing 8 @@ fun () ->
     if readers < 1 then failf "run_concurrent: need at least one reader";
     if commits < 1 then failf "run_concurrent: need at least one commit";
     let rng = Prng.create seed in
@@ -550,6 +557,16 @@ let run_concurrent ?(config = default_config) ?(log = fun (_ : string) -> ())
       | Ok e -> e
       | Error e -> failf "run_concurrent: %s" (Engine.error_to_string e)
     in
+    (* Pin the pre-write epoch and hold it across the whole run: with
+       chunked copy-on-write the writer mutates chunks this pin shares,
+       so its bytes after every commit has landed must still be the
+       0-commit prefix, bit for bit. *)
+    let pin0 = Engine.pin engine in
+    let pin0_digest =
+      Digest.string (Marshal.to_string pin0.Engine.db [ Marshal.Closures ])
+    in
+    if pin0_digest <> expected.(pin0.Engine.commits) then
+      failf "pre-write pin is not the %d-commit prefix" pin0.Engine.commits;
     let total_reads = Atomic.make 0 in
     let writer_done = Atomic.make false in
     let reader idx =
@@ -660,6 +677,13 @@ let run_concurrent ?(config = default_config) ?(log = fun (_ : string) -> ())
      with Check_failed m -> werr := Some m);
     Atomic.set writer_done true;
     let results = List.map Domain.join doms in
+    let pin0_after =
+      Digest.string (Marshal.to_string pin0.Engine.db [ Marshal.Closures ])
+    in
+    if pin0_after <> pin0_digest then
+      failf
+        "pinned pre-write epoch changed under the writer — a copy-on-write \
+         chunk was mutated while shared";
     Engine.close engine;
     match !werr with
     | Some m -> Error m

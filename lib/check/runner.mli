@@ -65,7 +65,13 @@ val render_trace : failure -> string
     Midway through the script the writer {e stalls inside a commit},
     holding the writer lock, and refuses to continue until every reader
     has made further progress — so a run that returns [Ok] has
-    witnessed, not assumed, that no read ever blocks on the writer. *)
+    witnessed, not assumed, that no read ever blocks on the writer.
+
+    The run forces small store-column chunks
+    ({!Xvi_util.Bigvec.with_chunk_log_for_testing}) so the scripted
+    writes cross many chunk boundaries, and holds one pre-write pin
+    across the entire script: its re-digest at the end proves the
+    chunked copy-on-write never mutated a shared chunk in place. *)
 
 type concurrent_outcome = {
   readers : int;  (** reader domains raced *)

@@ -76,11 +76,54 @@ let of_xml ?config src =
 
 let of_xml_exn ?config src = of_store ?config (Parser.parse_exn src)
 
-(* A deep, fully independent replica. Marshal round-trip with [Closures]
-   (the typed specs carry parse closures) — the exact byte path
-   [Snapshot] already trusts for persistence, reused here so the serve
-   layer can publish immutable epochs of a live database. *)
-let copy t = (Marshal.from_string (Marshal.to_string t [ Marshal.Closures ]) 0 : t)
+(* The database splits into the off-heap columnar store and its
+   GC-heap "shell" (configuration plus the indexes). The split is what
+   both replication paths ride on: [copy] snapshots the store
+   copy-on-write and round-trips only the shell through [Marshal], and
+   [Snapshot] serialises the store through its raw columnar codec with
+   the shell marshalled alongside. *)
+type shell = {
+  sh_config : Config.t;
+  sh_strings : String_index.t;
+  sh_typed : Typed_index.t list;
+  sh_substring : Substring_index.t option;
+  sh_names : Name_index.t;
+}
+
+let deconstruct t =
+  ( t.store,
+    {
+      sh_config = t.config;
+      sh_strings = t.strings;
+      sh_typed = t.typed;
+      sh_substring = t.substring;
+      sh_names = t.names;
+    } )
+
+let reconstruct store shell =
+  {
+    store;
+    config = shell.sh_config;
+    strings = shell.sh_strings;
+    typed = shell.sh_typed;
+    substring = shell.sh_substring;
+    names = shell.sh_names;
+    plane = None;
+  }
+
+(* A deep, fully independent replica. The store is an O(chunks)
+   copy-on-write snapshot — epoch publication no longer deep-copies the
+   columns — while the shell still round-trips through [Marshal] with
+   [Closures] (the typed specs carry parse closures), the exact byte
+   path [Snapshot] trusts for persistence. *)
+let copy t =
+  let store = Store.snapshot t.store in
+  let _, shell = deconstruct t in
+  let shell =
+    (Marshal.from_string (Marshal.to_string shell [ Marshal.Closures ]) 0
+      : shell)
+  in
+  reconstruct store shell
 
 let store t = t.store
 let config t = t.config
@@ -175,6 +218,7 @@ let access t ir =
           estimate = String_index.estimate t.strings s;
           cursor = (fun () -> String_index.cursor t.strings t.store s);
           native = (fun () -> String_index.lookup t.strings t.store s);
+          check = verify t ir;
         }
   | Ir.Typed_range (name, r) -> (
       match typed_index t name with
@@ -188,6 +232,14 @@ let access t ir =
               estimate = Typed_index.estimate_range ?lo ?hi ti;
               cursor = (fun () -> Typed_index.cursor ?lo ?hi ti);
               native = (fun () -> Typed_index.range ?lo ?hi ti);
+              (* probe the index's node->value column directly: one
+                 hashtable lookup per candidate, no kind test or IR
+                 dispatch on the hot intersection path *)
+              check =
+                (fun n ->
+                  match Typed_index.value_of ti n with
+                  | Some v -> Range.mem r v
+                  | None -> false);
             })
   | Ir.Contains pat -> (
       match t.substring with
@@ -199,6 +251,7 @@ let access t ir =
               estimate = Substring_index.estimate si pat;
               cursor = (fun () -> Substring_index.cursor si t.store pat);
               native = (fun () -> Substring_index.contains si t.store pat);
+              check = verify t ir;
             })
   | Ir.Element_contains pat -> (
       match t.substring with
@@ -212,14 +265,25 @@ let access t ir =
               cursor = (fun () -> Substring_index.element_cursor si t.store pat);
               native =
                 (fun () -> Substring_index.element_contains si t.store pat);
+              check = verify t ir;
             })
   | Ir.Named name ->
+      (* resolve the name to its interned id once, so [check] compares
+         two ints instead of re-interning per candidate *)
+      let name_id = Xvi_xml.Name_pool.find (Store.names t.store) name in
       Some
         {
           Plan.label = Printf.sprintf "name-index <%s>" name;
           estimate = Name_index.count t.names t.store name;
           cursor = (fun () -> Name_index.cursor t.names t.store name);
           native = (fun () -> Name_index.nodes t.names t.store name);
+          check =
+            (fun n ->
+              match name_id with
+              | None -> false
+              | Some id ->
+                  Store.kind t.store n = Store.Element
+                  && Store.name_id t.store n = id);
         }
   | _ -> None
 

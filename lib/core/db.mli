@@ -66,12 +66,21 @@ val of_xml_exn : ?config:Config.t -> string -> t
      and handle the Error case"]
 
 val copy : t -> t
-(** A deep, fully independent replica — store, every index, and the
-    cached plane. Nothing is shared with the original, so one side can
-    be mutated while the other is read from another domain; this is how
-    {!Xvi_serve.Engine} publishes immutable epochs. Cost is a marshal
-    round-trip of the whole database (the same byte path
-    {!Snapshot.save} persists). *)
+(** A logically independent replica: the off-heap store is snapshotted
+    copy-on-write (O(chunks), sharing column chunks until either side
+    writes), and the indexes round-trip through a marshal of the heap
+    shell. One side can be mutated while the other is read from another
+    domain; this is how {!Xvi_serve.Engine} publishes immutable epochs
+    without deep-copying whole columns per commit. *)
+
+type shell
+(** The GC-heap half of a database: configuration plus every index —
+    everything except the off-heap columnar store. Marshals with
+    closures; {!Snapshot} persists it alongside the store's raw columnar
+    blob. *)
+
+val deconstruct : t -> Xvi_xml.Store.t * shell
+val reconstruct : Xvi_xml.Store.t -> shell -> t
 
 val store : t -> Xvi_xml.Store.t
 

@@ -1,4 +1,4 @@
-let magic = "XVI-SNAPSHOT-3\n"
+let magic = "XVI-SNAPSHOT-4\n"
 
 (* A fingerprint of the running binary: closure marshalling embeds code
    pointers, so a snapshot is only valid for the exact executable that
@@ -23,11 +23,11 @@ let error_to_string = function
 
 (* Format (all header fields end in '\n'):
 
-     magic                 "XVI-SNAPSHOT-3\n"
+     magic                 "XVI-SNAPSHOT-4\n"
      fingerprint           hex digest of the executable
      payload length        decimal byte count
      payload digest        hex MD5 of the payload bytes
-     payload               Marshal output of [(lsn, db)] (closures)
+     payload               Marshal output of [(lsn, store blob, shell)]
 
    The explicit length makes truncation detectable without touching
    [Marshal]; the digest makes any byte flip in the payload detectable.
@@ -35,10 +35,18 @@ let error_to_string = function
    matched, so its undefined behaviour on corrupt input is unreachable
    through this API.
 
-   v3 over v2: the payload is the pair [(lsn, db)] rather than the bare
-   database, so the WAL position the snapshot covers travels under the
-   same digest as the data — a flipped LSN is as detectable as a flipped
-   index byte. *)
+   v3 over v2: the payload carries the LSN, so the WAL position the
+   snapshot covers travels under the same digest as the data — a flipped
+   LSN is as detectable as a flipped index byte.
+
+   v4 over v3: the database is persisted as its two halves — the
+   off-heap columnar store through [Store.Codec] (raw fixed-width column
+   blobs; Bigarray contents would otherwise round-trip through Marshal's
+   slower custom serialiser) and the GC-heap shell (indexes,
+   configuration) marshalled with closures as before. Decoding the blob
+   rebuilds canonical fresh columns, so a recovered database marshals
+   bit-identically to a replayed oracle — the property every fault sweep
+   digests. *)
 
 (* fsync a directory so a rename inside it survives power loss; needs a
    read-only descriptor on the directory itself. *)
@@ -54,7 +62,12 @@ let fsync_dir dir =
       ()
 
 let save ?(lsn = 0) db path =
-  let payload = Marshal.to_string (lsn, db) [ Marshal.Closures ] in
+  let store, shell = Db.deconstruct db in
+  let payload =
+    Marshal.to_string
+      (lsn, Xvi_xml.Store.Codec.encode store, shell)
+      [ Marshal.Closures ]
+  in
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   Fun.protect
@@ -108,8 +121,11 @@ let load_with_lsn ?config path =
                          (Digest.to_hex (Digest.string payload)))
                   then Error (Corrupted "payload digest mismatch")
                   else
-                    let lsn, db =
-                      (Marshal.from_string payload 0 : int * Db.t)
+                    let lsn, blob, shell =
+                      (Marshal.from_string payload 0 : int * string * Db.shell)
+                    in
+                    let db =
+                      Db.reconstruct (Xvi_xml.Store.Codec.decode blob) shell
                     in
                     (match config with
                     | None -> Ok (db, lsn)

@@ -1,7 +1,14 @@
 module Store = Xvi_xml.Store
-module BT = Xvi_btree.Btree.Make (Xvi_btree.Btree.Int_pair_key)
+module BT = Xvi_btree.Btree.Make (Xvi_btree.Btree.Int_key)
 
 type node = Store.node
+
+(* A posting is one unboxed int: the 32-bit hash in the high bits, the
+   node id in the low 30 (62 bits total — exactly OCaml's int range).
+   Packed order equals (hash, node) lexicographic order, so the tree
+   both stores and compares single machine words. *)
+let node_mask = 0x3FFF_FFFF
+let pack h n = (h lsl 30) lor n
 
 type t = {
   fields : Hash.t Indexer.fields;
@@ -15,11 +22,12 @@ let indexable store n =
   | Store.Comment | Store.Pi | Store.Deleted -> false
 
 let add_posting t h n =
-  BT.insert t.postings (Hash.to_int h, n) ();
+  BT.insert t.postings (pack (Hash.to_int h) n) ();
   t.entries <- t.entries + 1
 
 let remove_posting t h n =
-  if BT.remove t.postings (Hash.to_int h, n) then t.entries <- t.entries - 1
+  if BT.remove t.postings (pack (Hash.to_int h) n) then
+    t.entries <- t.entries - 1
 
 (* Merge [k] individually-sorted int arrays into one sorted array; the
    per-domain posting accumulators overlap in (hash, node) key space, so
@@ -46,7 +54,7 @@ let merge_sorted parts =
   if total = 0 then [||] else Array.sub out 0 total
 
 let of_sorted_keys fields keys =
-  let arr = Array.map (fun k -> ((k lsr 30, k land 0x3FFF_FFFF), ())) keys in
+  let arr = Array.map (fun k -> (k, ())) keys in
   { fields; postings = BT.of_sorted_array arr; entries = Array.length arr }
 
 let of_fields ?pool store fields =
@@ -95,9 +103,9 @@ let create store = of_fields store (Indexer.create Indexer.hash_ops store)
 let hash_of t n = Indexer.get t.fields n
 
 let candidates_of_hash t h =
-  let lo = (Hash.to_int h, min_int) and hi = (Hash.to_int h, max_int) in
+  let lo = pack (Hash.to_int h) 0 and hi = pack (Hash.to_int h) node_mask in
   let acc = ref [] in
-  BT.iter_range ~lo ~hi (fun (_, n) () -> acc := n :: !acc) t.postings;
+  BT.iter_range ~lo ~hi (fun k () -> acc := (k land node_mask) :: !acc) t.postings;
   List.rev !acc
 
 let lookup_candidates t _store s = candidates_of_hash t (Hash.hash s)
@@ -108,20 +116,21 @@ let lookup t store s =
 
 let estimate t s =
   let h = Hash.to_int (Hash.hash s) in
-  BT.count_range ~lo:(h, min_int) ~hi:(h, max_int) t.postings
+  BT.count_range ~lo:(pack h 0) ~hi:(pack h node_mask) t.postings
 
 let cursor t store s =
   let h = Hash.to_int (Hash.hash s) in
   let bucket =
-    ref (BT.to_seq_range ~lo:(h, min_int) ~hi:(h, max_int) t.postings)
+    ref (BT.to_seq_range ~lo:(pack h 0) ~hi:(pack h node_mask) t.postings)
   in
   (* pull hash matches off the leaf chain; verify against the real
      string value so collision false positives never escape the cursor *)
   let rec pull () =
     match !bucket () with
     | Seq.Nil -> None
-    | Seq.Cons (((_, n), ()), rest) ->
+    | Seq.Cons ((k, ()), rest) ->
         bucket := rest;
+        let n = k land node_mask in
         if String.equal (Store.string_value store n) s then Some n else pull ()
   in
   pull
@@ -188,7 +197,8 @@ let validate t store =
       end);
   let posting_count = ref 0 in
   BT.iter
-    (fun (h, n) () ->
+    (fun k () ->
+      let h = k lsr 30 and n = k land node_mask in
       incr posting_count;
       match Hashtbl.find_opt expected n with
       | None -> problems := Printf.sprintf "stale posting for node %d" n :: !problems

@@ -1,12 +1,17 @@
 module Store = Xvi_xml.Store
-module BT = Xvi_btree.Btree.Make (Xvi_btree.Btree.Int_pair_key)
+module BT = Xvi_btree.Btree.Make (Xvi_btree.Btree.Int_key)
 
 type node = Store.node
 
 let q = 3
 
+(* A posting packs (24-bit gram, 30-bit node) into one unboxed int;
+   packed order equals (gram, node) lexicographic order. *)
+let node_mask = 0x3FFF_FFFF
+let pack_key g n = (g lsl 30) lor n
+
 type t = {
-  postings : unit BT.t; (* (packed 3-gram, node) *)
+  postings : unit BT.t; (* packed (3-gram, node) *)
   mutable entries : int;
 }
 
@@ -36,8 +41,8 @@ let add_node t store n =
       (* a batch may name the same node twice; the second pass re-adds
          grams that are already present, which must not inflate the
          entry counter *)
-      if not (BT.mem t.postings (g, n)) then begin
-        BT.insert t.postings (g, n) ();
+      if not (BT.mem t.postings (pack_key g n)) then begin
+        BT.insert t.postings (pack_key g n) ();
         t.entries <- t.entries + 1
       end)
     (distinct_grams (Store.text store n))
@@ -45,7 +50,7 @@ let add_node t store n =
 let remove_node_value t n old_value =
   List.iter
     (fun g ->
-      if BT.remove t.postings (g, n) then t.entries <- t.entries - 1)
+      if BT.remove t.postings (pack_key g n) then t.entries <- t.entries - 1)
     (distinct_grams old_value)
 
 let create store =
@@ -71,12 +76,12 @@ let create store =
   Array.iteri
     (fun i k -> if i = 0 || keys.(i - 1) <> k then incr distinct)
     keys;
-  let arr = Array.make !distinct ((0, 0), ()) in
+  let arr = Array.make !distinct (0, ()) in
   let j = ref 0 in
   Array.iteri
     (fun i k ->
       if i = 0 || keys.(i - 1) <> k then begin
-        arr.(!j) <- ((k lsr 30, k land 0x3FFF_FFFF), ());
+        arr.(!j) <- (k, ());
         incr j
       end)
     keys;
@@ -84,8 +89,8 @@ let create store =
 
 let posting_list t g =
   let acc = ref [] in
-  BT.iter_range ~lo:(g, min_int) ~hi:(g, max_int)
-    (fun (_, n) () -> acc := n :: !acc)
+  BT.iter_range ~lo:(pack_key g 0) ~hi:(pack_key g node_mask)
+    (fun k () -> acc := (k land node_mask) :: !acc)
     t.postings;
   List.rev !acc
 
@@ -238,7 +243,7 @@ let pattern_grams pattern =
   else List.sort_uniq Int.compare (List.init (m - q + 1) (fun i -> pack pattern i))
 
 let gram_count t g =
-  BT.count_range ~lo:(g, min_int) ~hi:(g, max_int) t.postings
+  BT.count_range ~lo:(pack_key g 0) ~hi:(pack_key g node_mask) t.postings
 
 let estimate t pattern =
   match pattern_grams pattern with
@@ -300,7 +305,7 @@ let validate t store =
   Store.iter_pre store (fun n ->
       if indexable store n then
         List.iter
-          (fun g -> Hashtbl.replace expected (g, n) ())
+          (fun g -> Hashtbl.replace expected (pack_key g n) ())
           (distinct_grams (Store.text store n)));
   let problems = ref [] in
   let count = ref 0 in
@@ -309,7 +314,8 @@ let validate t store =
       incr count;
       if not (Hashtbl.mem expected key) then
         problems :=
-          Printf.sprintf "stale posting (%d, %d)" (fst key) (snd key)
+          Printf.sprintf "stale posting (%d, %d)" (key lsr 30)
+            (key land node_mask)
           :: !problems)
     t.postings;
   if !count <> Hashtbl.length expected then

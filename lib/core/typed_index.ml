@@ -1,5 +1,10 @@
 module Store = Xvi_xml.Store
-module BT = Xvi_btree.Btree.Make (Xvi_btree.Btree.Float_pair_key)
+module BT = Xvi_btree.Btree.Bytes
+module Enc = Xvi_btree.Encoding
+
+(* Keys are order-preserving byte strings: [float_key value ^ int_key
+   node], so the (value, node) order the index needs is plain byte
+   order and range scans are flat memcmp over the leaves. *)
 
 type node = Store.node
 type reconstruct = [ `Document | `Fragment ]
@@ -41,14 +46,14 @@ let lexical_of t store n =
 
 let add_complete t n value =
   Hashtbl.replace t.by_node n value;
-  BT.insert t.values (value, n) ()
+  BT.insert t.values (Enc.float_int_key value n) ()
 
 let remove_complete t n =
   match Hashtbl.find_opt t.by_node n with
   | None -> ()
   | Some v ->
       Hashtbl.remove t.by_node n;
-      ignore (BT.remove t.values (v, n) : bool)
+      ignore (BT.remove t.values (Enc.float_int_key v n) : bool)
 
 (* Maintain the fragment table for a node whose state just changed.
    Children of a viable element are viable themselves, so their
@@ -139,7 +144,7 @@ let of_fields ?(reconstruct = `Document) ?pool spec store fields =
           List.iter
             (fun (v, n) ->
               Hashtbl.replace t.by_node n v;
-              pairs := ((v, n), ()) :: !pairs)
+              pairs := (Enc.float_int_key v n, ()) :: !pairs)
             local)
         parts
   | _ ->
@@ -157,14 +162,12 @@ let of_fields ?(reconstruct = `Document) ?pool spec store fields =
                 with
                 | Some v ->
                     Hashtbl.replace t.by_node n v;
-                    pairs := ((v, n), ()) :: !pairs
+                    pairs := (Enc.float_int_key v n, ()) :: !pairs
                 | None -> ()
             end
           end));
   let arr = Array.of_list !pairs in
-  Array.sort
-    (fun (k1, ()) (k2, ()) -> Xvi_btree.Btree.Float_pair_key.compare k1 k2)
-    arr;
+  Array.sort (fun (k1, ()) (k2, ()) -> String.compare k1 k2) arr;
   { t with values = BT.of_sorted_array arr }
 
 let create ?reconstruct ?pool spec store =
@@ -173,18 +176,17 @@ let create ?reconstruct ?pool spec store =
   Indexer.create_multi ?pool store [ Indexer.Packed (ops, fields) ];
   of_fields ?reconstruct ?pool spec store fields
 
+let bounds lo hi =
+  ( Option.map (fun v -> Enc.float_int_key v min_int) lo,
+    Option.map (fun v -> Enc.float_int_key v max_int) hi )
+
 let range ?lo ?hi t =
-  let lo = Option.map (fun v -> (v, min_int)) lo in
-  let hi = Option.map (fun v -> (v, max_int)) hi in
+  let lo, hi = bounds lo hi in
   let acc = ref [] in
-  BT.iter_range ?lo ?hi (fun (_, n) () -> acc := n :: !acc) t.values;
+  BT.iter_range ?lo ?hi (fun k () -> acc := Enc.decode_int k 8 :: !acc) t.values;
   List.rev !acc
 
 let equals t v = range ~lo:v ~hi:v t
-
-let bounds lo hi =
-  ( Option.map (fun v -> (v, min_int)) lo,
-    Option.map (fun v -> (v, max_int)) hi )
 
 let estimate_range ?lo ?hi t =
   let lo, hi = bounds lo hi in
@@ -355,7 +357,8 @@ let validate t store =
     expected_complete;
   let tree_count = ref 0 in
   BT.iter
-    (fun (v, n) () ->
+    (fun k () ->
+      let v = Enc.decode_float k 0 and n = Enc.decode_int k 8 in
       incr tree_count;
       match Hashtbl.find_opt expected_complete n with
       | Some v' when v' = v -> ()

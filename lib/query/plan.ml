@@ -7,6 +7,7 @@ type access = {
   estimate : int;
   cursor : unit -> Cursor.t;
   native : unit -> node list;
+  check : node -> bool;
 }
 
 type provider = {
@@ -187,9 +188,58 @@ let rec cursor = function
   | Staircase s -> Cursor.filter s.in_scope (cursor s.inner)
   | Scan s -> scan_cursor s
 
+(* Per-element execution costs in nanoseconds, measured by the planner
+   micro-calibration in the [storage] bench experiment. [cursor_step_ns]
+   is the cost of pulling one element through a leapfrog merge cursor —
+   closure dispatch, an option allocation per step, and the lazy node-
+   order sort a value-ordered leaf performs on first pull.
+   [check_step_ns] is one membership probe — a hashtable lookup on
+   unboxed int keys, the dominant cost of a leaf [check]. Re-run [bench
+   storage] and update these after any change to {!Cursor} or to the
+   index native paths; the ratio, not the absolute values, decides the
+   plan. *)
+let cursor_step_ns = 698.7
+let check_step_ns = 487.4
+
+(* Materialized intersection of leaf accesses: the cheapest leaf's
+   native list drives, and every candidate is probed against the other
+   leaves' [check] predicates — the larger inputs are never materialized
+   (no list allocation, no key decoding). [check] holds for exactly the
+   set each cursor enumerates, so sorting the survivors reproduces
+   [Cursor.inter]'s ascending duplicate-free output bit for bit. *)
+let native_inter accs =
+  (* The leaf estimates are exact index counts, so ordering by them
+     avoids measuring any materialized list. *)
+  match List.sort (fun a b -> Int.compare a.estimate b.estimate) accs with
+  | [] -> []
+  | driver :: rest ->
+      List.sort_uniq Int.compare
+        (List.filter
+           (fun n -> List.for_all (fun a -> a.check n) rest)
+           (driver.native ()))
+
 let run_list t =
   match t with
   | Leaf a -> a.native ()
+  | Inter ts when List.for_all (function Leaf _ -> true | _ -> false) ts ->
+      (* The streaming merge touches every element of every input
+         ([Cursor.inter]'s catch-up walks are linear, and [run_list]
+         consumes the whole merge, so laziness buys nothing); the
+         probe-driven intersection touches only the cheapest input, at
+         (k-1) probes per candidate. The merge remains the only shape
+         for composite plans and for {!run_seq}, where early
+         termination and bounded memory do matter. *)
+      let accs = List.map (function Leaf a -> a | _ -> assert false) ts in
+      let smallest, total =
+        List.fold_left
+          (fun (m, s) a -> (min m a.estimate, s + a.estimate))
+          (max_int, 0) accs
+      in
+      let probes = smallest * (List.length accs - 1) in
+      if float_of_int probes *. check_step_ns
+         < float_of_int total *. cursor_step_ns
+      then native_inter accs
+      else Cursor.to_list (cursor t)
   | _ -> Cursor.to_list (cursor t)
 
 let run_seq t = Cursor.to_seq (cursor t)

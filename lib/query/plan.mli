@@ -36,6 +36,12 @@ type access = {
       (** the index's native answer order (e.g. value order for typed
           ranges) — what single-leaf plans return so pre-existing lookup
           signatures keep their ordering bit-identical *)
+  check : node -> bool;
+      (** O(1)-ish membership test for this leaf's set — the provider's
+          ground-truth verifier specialized to the leaf predicate. Holds
+          for exactly the nodes [native]/[cursor] enumerate, which lets
+          a materialized intersection drive from its cheapest input and
+          probe the rest without materializing them. *)
 }
 
 type provider = {

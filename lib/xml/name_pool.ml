@@ -21,6 +21,9 @@ let intern t name =
       t.n <- id + 1;
       id
 
+let copy t =
+  { by_name = Hashtbl.copy t.by_name; by_id = Array.copy t.by_id; n = t.n }
+
 let find t name = Hashtbl.find_opt t.by_name name
 
 let name t id =

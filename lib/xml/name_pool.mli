@@ -11,6 +11,10 @@ val create : unit -> t
 val intern : t -> string -> int
 (** [intern t name] returns the id for [name], allocating one if new. *)
 
+val copy : t -> t
+(** Structural deep copy; later interns on either side do not affect the
+    other. *)
+
 val find : t -> string -> int option
 (** Id for [name] if already interned. *)
 

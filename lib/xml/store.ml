@@ -1,4 +1,4 @@
-module Vec = Xvi_util.Vec
+module Bv = Xvi_util.Bigvec
 
 type node = int
 
@@ -32,16 +32,23 @@ let kind_of_int = function
 
 let nil = -1
 
+(* All columns are off-heap ([Bigvec]); text content lives as
+   (offset, length) slices into a shared append-only byte arena, so the
+   GC scans nothing proportional to document size. [set_text] appends
+   the replacement bytes and abandons the old slice — the arena only
+   grows, and [compact] is the vacuum. *)
 type t = {
-  kinds : Vec.Int.t;
-  names : Vec.Int.t; (* name-pool id; nil when unnamed *)
-  parents : Vec.Int.t;
-  first_childs : Vec.Int.t;
-  last_childs : Vec.Int.t;
-  next_sibs : Vec.Int.t;
-  prev_sibs : Vec.Int.t;
-  first_attrs : Vec.Int.t;
-  texts : string Vec.Poly.t;
+  kinds : Bv.Int.t;
+  names : Bv.Int.t; (* name-pool id; nil when unnamed *)
+  parents : Bv.Int.t;
+  first_childs : Bv.Int.t;
+  last_childs : Bv.Int.t;
+  next_sibs : Bv.Int.t;
+  prev_sibs : Bv.Int.t;
+  first_attrs : Bv.Int.t;
+  text_offs : Bv.Int.t; (* byte offset into [arena]; 0 when empty *)
+  text_lens : Bv.Int.t;
+  arena : Bv.Byte.t; (* append-only text payload *)
   pool : Name_pool.t;
   mutable live : int;
   counts : int array; (* per kind_to_int, live nodes *)
@@ -50,17 +57,27 @@ type t = {
 
 let document = 0
 
+let get_text t n =
+  let len = Bv.Int.get t.text_lens n in
+  if len = 0 then "" else Bv.Byte.sub_string t.arena (Bv.Int.get t.text_offs n) len
+
+let store_text t txt =
+  if String.length txt = 0 then (0, 0)
+  else (Bv.Byte.append_string t.arena txt, String.length txt)
+
 let append_row t ~kind ~name ~parent ~text =
-  let id = Vec.Int.length t.kinds in
-  Vec.Int.push t.kinds (kind_to_int kind);
-  Vec.Int.push t.names name;
-  Vec.Int.push t.parents parent;
-  Vec.Int.push t.first_childs nil;
-  Vec.Int.push t.last_childs nil;
-  Vec.Int.push t.next_sibs nil;
-  Vec.Int.push t.prev_sibs nil;
-  Vec.Int.push t.first_attrs nil;
-  Vec.Poly.push t.texts text;
+  let id = Bv.Int.length t.kinds in
+  let off, len = store_text t text in
+  Bv.Int.push t.kinds (kind_to_int kind);
+  Bv.Int.push t.names name;
+  Bv.Int.push t.parents parent;
+  Bv.Int.push t.first_childs nil;
+  Bv.Int.push t.last_childs nil;
+  Bv.Int.push t.next_sibs nil;
+  Bv.Int.push t.prev_sibs nil;
+  Bv.Int.push t.first_attrs nil;
+  Bv.Int.push t.text_offs off;
+  Bv.Int.push t.text_lens len;
   t.live <- t.live + 1;
   t.counts.(kind_to_int kind) <- t.counts.(kind_to_int kind) + 1;
   t.live_text_bytes <- t.live_text_bytes + String.length text;
@@ -69,15 +86,17 @@ let append_row t ~kind ~name ~parent ~text =
 let create () =
   let t =
     {
-      kinds = Vec.Int.create ~capacity:256 ();
-      names = Vec.Int.create ~capacity:256 ();
-      parents = Vec.Int.create ~capacity:256 ();
-      first_childs = Vec.Int.create ~capacity:256 ();
-      last_childs = Vec.Int.create ~capacity:256 ();
-      next_sibs = Vec.Int.create ~capacity:256 ();
-      prev_sibs = Vec.Int.create ~capacity:256 ();
-      first_attrs = Vec.Int.create ~capacity:256 ();
-      texts = Vec.Poly.create ~capacity:256 ~dummy:"" ();
+      kinds = Bv.Int.create ();
+      names = Bv.Int.create ();
+      parents = Bv.Int.create ();
+      first_childs = Bv.Int.create ();
+      last_childs = Bv.Int.create ();
+      next_sibs = Bv.Int.create ();
+      prev_sibs = Bv.Int.create ();
+      first_attrs = Bv.Int.create ();
+      text_offs = Bv.Int.create ();
+      text_lens = Bv.Int.create ();
+      arena = Bv.Byte.create ();
       pool = Name_pool.create ();
       live = 0;
       counts = Array.make 7 0;
@@ -88,7 +107,29 @@ let create () =
   assert (id = document);
   t
 
-let kind t n = kind_of_int (Vec.Int.get t.kinds n)
+(* Share-don't-copy epoch publication: every column chunk is shared with
+   the snapshot and cloned lazily on the next write to it. The name pool
+   and scalar bookkeeping are copied eagerly (they are small). *)
+let snapshot t =
+  {
+    kinds = Bv.Int.snapshot t.kinds;
+    names = Bv.Int.snapshot t.names;
+    parents = Bv.Int.snapshot t.parents;
+    first_childs = Bv.Int.snapshot t.first_childs;
+    last_childs = Bv.Int.snapshot t.last_childs;
+    next_sibs = Bv.Int.snapshot t.next_sibs;
+    prev_sibs = Bv.Int.snapshot t.prev_sibs;
+    first_attrs = Bv.Int.snapshot t.first_attrs;
+    text_offs = Bv.Int.snapshot t.text_offs;
+    text_lens = Bv.Int.snapshot t.text_lens;
+    arena = Bv.Byte.snapshot t.arena;
+    pool = Name_pool.copy t.pool;
+    live = t.live;
+    counts = Array.copy t.counts;
+    live_text_bytes = t.live_text_bytes;
+  }
+
+let kind t n = kind_of_int (Bv.Int.get t.kinds n)
 let is_live t n = kind t n <> Deleted
 
 let check_kind t n expected what =
@@ -96,53 +137,53 @@ let check_kind t n expected what =
   if not (List.mem k expected) then
     invalid_arg (Printf.sprintf "Store.%s: node %d has the wrong kind" what n)
 
-let name_id t n = Vec.Int.get t.names n
+let name_id t n = Bv.Int.get t.names n
 
 let name t n =
   check_kind t n [ Element; Attribute; Pi ] "name";
-  Name_pool.name t.pool (Vec.Int.get t.names n)
+  Name_pool.name t.pool (Bv.Int.get t.names n)
 
 let names t = t.pool
 
 let text t n =
   check_kind t n [ Text; Attribute; Comment; Pi ] "text";
-  Vec.Poly.get t.texts n
+  get_text t n
 
 let opt v = if v = nil then None else Some v
-let parent t n = opt (Vec.Int.get t.parents n)
-let first_child t n = opt (Vec.Int.get t.first_childs n)
-let next_sibling t n = opt (Vec.Int.get t.next_sibs n)
-let prev_sibling t n = opt (Vec.Int.get t.prev_sibs n)
-let last_child t n = opt (Vec.Int.get t.last_childs n)
-let first_attribute t n = opt (Vec.Int.get t.first_attrs n)
+let parent t n = opt (Bv.Int.get t.parents n)
+let first_child t n = opt (Bv.Int.get t.first_childs n)
+let next_sibling t n = opt (Bv.Int.get t.next_sibs n)
+let prev_sibling t n = opt (Bv.Int.get t.prev_sibs n)
+let last_child t n = opt (Bv.Int.get t.last_childs n)
+let first_attribute t n = opt (Bv.Int.get t.first_attrs n)
 
 let next_attribute t n =
   check_kind t n [ Attribute ] "next_attribute";
-  opt (Vec.Int.get t.next_sibs n)
+  opt (Bv.Int.get t.next_sibs n)
 
 (* Link [child] as the last child of [parent]. Attributes use a separate
    chain headed by [first_attrs] but reuse next/prev columns. *)
 let link_last_child t ~parent ~child =
-  let last = Vec.Int.get t.last_childs parent in
-  if last = nil then Vec.Int.set t.first_childs parent child
+  let last = Bv.Int.get t.last_childs parent in
+  if last = nil then Bv.Int.set t.first_childs parent child
   else begin
-    Vec.Int.set t.next_sibs last child;
-    Vec.Int.set t.prev_sibs child last
+    Bv.Int.set t.next_sibs last child;
+    Bv.Int.set t.prev_sibs child last
   end;
-  Vec.Int.set t.last_childs parent child
+  Bv.Int.set t.last_childs parent child
 
 let link_attr t ~element ~attr =
   let rec last_in_chain n =
-    match opt (Vec.Int.get t.next_sibs n) with
+    match opt (Bv.Int.get t.next_sibs n) with
     | None -> n
     | Some next -> last_in_chain next
   in
-  match opt (Vec.Int.get t.first_attrs element) with
-  | None -> Vec.Int.set t.first_attrs element attr
+  match opt (Bv.Int.get t.first_attrs element) with
+  | None -> Bv.Int.set t.first_attrs element attr
   | Some first ->
       let last = last_in_chain first in
-      Vec.Int.set t.next_sibs last attr;
-      Vec.Int.set t.prev_sibs attr last
+      Bv.Int.set t.next_sibs last attr;
+      Bv.Int.set t.prev_sibs attr last
 
 let append_element t ~parent name =
   check_kind t parent [ Document; Element ] "append_element";
@@ -194,7 +235,7 @@ let children t n =
 let attributes t n =
   let rec go acc = function
     | None -> List.rev acc
-    | Some a -> go (a :: acc) (opt (Vec.Int.get t.next_sibs a))
+    | Some a -> go (a :: acc) (opt (Bv.Int.get t.next_sibs a))
   in
   go [] (first_attribute t n)
 
@@ -224,27 +265,27 @@ let compare_order t a b =
           else begin
             (* x and y are distinct attributes/children of one parent:
                scan attributes first (document order), then children *)
-            let p = Vec.Int.get t.parents x in
+            let p = Bv.Int.get t.parents x in
             let rec scan cur =
               if cur = x then -1
               else if cur = y then 1
               else
-                match opt (Vec.Int.get t.next_sibs cur) with
+                match opt (Bv.Int.get t.next_sibs cur) with
                 | Some next -> scan next
                 | None -> (
                     (* end of the attribute chain: continue with children *)
                     match
-                      (kind t x = Attribute, opt (Vec.Int.get t.first_childs p))
+                      (kind t x = Attribute, opt (Bv.Int.get t.first_childs p))
                     with
                     | _, Some c when kind t cur = Attribute -> scan c
                     | _ -> invalid_arg "Store.compare_order: unlinked nodes")
             in
             let start =
-              match opt (Vec.Int.get t.first_attrs p) with
+              match opt (Bv.Int.get t.first_attrs p) with
               | Some a0 when kind t x = Attribute || kind t y = Attribute ->
                   a0
               | _ -> (
-                  match opt (Vec.Int.get t.first_childs p) with
+                  match opt (Bv.Int.get t.first_childs p) with
                   | Some c -> c
                   | None -> invalid_arg "Store.compare_order: unlinked nodes")
             in
@@ -268,7 +309,7 @@ let iter_pre ?(root = document) t f =
         | None -> ()
         | Some a ->
             if is_live t a then f a;
-            attrs (opt (Vec.Int.get t.next_sibs a))
+            attrs (opt (Bv.Int.get t.next_sibs a))
       in
       attrs (first_attribute t n);
       let rec kids = function
@@ -292,19 +333,19 @@ let text_nodes ?root t =
   iter_pre ?root t (fun n -> if kind t n = Text then acc := n :: !acc);
   Array.of_list (List.rev !acc)
 
-let node_range t = Vec.Int.length t.kinds
+let node_range t = Bv.Int.length t.kinds
 let live_count t = t.live
 let count_of_kind t k = t.counts.(kind_to_int k)
 
 let string_value t n =
   match kind t n with
-  | Text | Attribute | Comment | Pi -> Vec.Poly.get t.texts n
+  | Text | Attribute | Comment | Pi -> get_text t n
   | Deleted -> ""
   | Document | Element ->
       let buf = Buffer.create 64 in
       let rec walk c =
         match kind t c with
-        | Text -> Buffer.add_string buf (Vec.Poly.get t.texts c)
+        | Text -> Buffer.add_string buf (get_text t c)
         | Element | Document ->
             let rec kids = function
               | None -> ()
@@ -321,21 +362,23 @@ let string_value t n =
 let set_text t n txt =
   check_kind t n [ Text; Attribute ] "set_text";
   t.live_text_bytes <-
-    t.live_text_bytes - String.length (Vec.Poly.get t.texts n) + String.length txt;
-  Vec.Poly.set t.texts n txt
+    t.live_text_bytes - Bv.Int.get t.text_lens n + String.length txt;
+  let off, len = store_text t txt in
+  Bv.Int.set t.text_offs n off;
+  Bv.Int.set t.text_lens n len
 
 let unlink t n =
-  let p = Vec.Int.get t.parents n in
-  let prev = Vec.Int.get t.prev_sibs n in
-  let next = Vec.Int.get t.next_sibs n in
-  if prev <> nil then Vec.Int.set t.next_sibs prev next
+  let p = Bv.Int.get t.parents n in
+  let prev = Bv.Int.get t.prev_sibs n in
+  let next = Bv.Int.get t.next_sibs n in
+  if prev <> nil then Bv.Int.set t.next_sibs prev next
   else if p <> nil then
-    if kind t n = Attribute then Vec.Int.set t.first_attrs p next
-    else Vec.Int.set t.first_childs p next;
-  if next <> nil then Vec.Int.set t.prev_sibs next prev
-  else if p <> nil && kind t n <> Attribute then Vec.Int.set t.last_childs p prev;
-  Vec.Int.set t.prev_sibs n nil;
-  Vec.Int.set t.next_sibs n nil
+    if kind t n = Attribute then Bv.Int.set t.first_attrs p next
+    else Bv.Int.set t.first_childs p next;
+  if next <> nil then Bv.Int.set t.prev_sibs next prev
+  else if p <> nil && kind t n <> Attribute then Bv.Int.set t.last_childs p prev;
+  Bv.Int.set t.prev_sibs n nil;
+  Bv.Int.set t.next_sibs n nil
 
 let tombstone t n =
   let k = kind t n in
@@ -343,9 +386,8 @@ let tombstone t n =
     t.counts.(kind_to_int k) <- t.counts.(kind_to_int k) - 1;
     t.counts.(kind_to_int Deleted) <- t.counts.(kind_to_int Deleted) + 1;
     t.live <- t.live - 1;
-    t.live_text_bytes <-
-      t.live_text_bytes - String.length (Vec.Poly.get t.texts n);
-    Vec.Int.set t.kinds n (kind_to_int Deleted)
+    t.live_text_bytes <- t.live_text_bytes - Bv.Int.get t.text_lens n;
+    Bv.Int.set t.kinds n (kind_to_int Deleted)
   end
 
 let delete_subtree t n =
@@ -358,7 +400,7 @@ let delete_subtree t n =
         | None -> ()
         | Some a ->
             tombstone t a;
-            attrs (opt (Vec.Int.get t.next_sibs a))
+            attrs (opt (Bv.Int.get t.next_sibs a))
       in
       attrs (first_attribute t c);
       let rec kids = function
@@ -379,15 +421,15 @@ let link_before t ~parent ~child ~before =
   match before with
   | None -> link_last_child t ~parent ~child
   | Some sib ->
-      if Vec.Int.get t.parents sib <> parent then
+      if Bv.Int.get t.parents sib <> parent then
         invalid_arg "Store.insert: before-node is not a child of parent";
-      let prev = Vec.Int.get t.prev_sibs sib in
-      Vec.Int.set t.next_sibs child sib;
-      Vec.Int.set t.prev_sibs sib child;
-      if prev = nil then Vec.Int.set t.first_childs parent child
+      let prev = Bv.Int.get t.prev_sibs sib in
+      Bv.Int.set t.next_sibs child sib;
+      Bv.Int.set t.prev_sibs sib child;
+      if prev = nil then Bv.Int.set t.first_childs parent child
       else begin
-        Vec.Int.set t.next_sibs prev child;
-        Vec.Int.set t.prev_sibs child prev
+        Bv.Int.set t.next_sibs prev child;
+        Bv.Int.set t.prev_sibs child prev
       end
 
 let insert_element t ~parent ?before name =
@@ -407,22 +449,21 @@ let insert_text t ~parent ?before txt =
 
 let text_bytes t = t.live_text_bytes
 
-let storage_bytes t =
-  let columns =
-    Vec.Int.memory_bytes t.kinds + Vec.Int.memory_bytes t.names
-    + Vec.Int.memory_bytes t.parents
-    + Vec.Int.memory_bytes t.first_childs
-    + Vec.Int.memory_bytes t.last_childs
-    + Vec.Int.memory_bytes t.next_sibs
-    + Vec.Int.memory_bytes t.prev_sibs
-    + Vec.Int.memory_bytes t.first_attrs
-  in
-  let text_payload = ref 0 in
-  Vec.Poly.iteri
-    (fun _ s -> if String.length s > 0 then text_payload := !text_payload + 24 + String.length s)
-    t.texts;
-  columns + (8 * node_range t) (* texts column pointers *) + !text_payload
-  + Name_pool.memory_bytes t.pool
+let offheap_bytes t =
+  Bv.Int.memory_bytes t.kinds + Bv.Int.memory_bytes t.names
+  + Bv.Int.memory_bytes t.parents
+  + Bv.Int.memory_bytes t.first_childs
+  + Bv.Int.memory_bytes t.last_childs
+  + Bv.Int.memory_bytes t.next_sibs
+  + Bv.Int.memory_bytes t.prev_sibs
+  + Bv.Int.memory_bytes t.first_attrs
+  + Bv.Int.memory_bytes t.text_offs
+  + Bv.Int.memory_bytes t.text_lens
+  + Bv.Byte.memory_bytes t.arena
+
+let heap_bytes t = Name_pool.memory_bytes t.pool
+
+let storage_bytes t = offheap_bytes t + heap_bytes t
 
 let compact t =
   let fresh = create () in
@@ -489,3 +530,124 @@ let pre_size_level t =
       let size, lvl = Hashtbl.find info n in
       out := (n, size, lvl) :: !out);
   Array.of_list (List.rev !out)
+
+module Codec = struct
+  (* Raw columnar blob: fixed-width u64 LE fields and column contents,
+     then the arena bytes. The snapshot layer digest-frames the blob, so
+     the codec itself carries no checksums. Decoding rebuilds canonical
+     fresh vectors (exact chunk tables, zero slack, all-owned flags) —
+     a decoded store marshals identically to an organically built one
+     with the same history. *)
+
+  let add_u64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+  let encode t =
+    let n = node_range t in
+    let arena_len = Bv.Byte.length t.arena in
+    let buf =
+      Buffer.create ((10 * 8 * n) + arena_len + 4096)
+    in
+    add_u64 buf n;
+    add_u64 buf arena_len;
+    add_u64 buf t.live;
+    add_u64 buf t.live_text_bytes;
+    Array.iter (add_u64 buf) t.counts;
+    add_u64 buf (Name_pool.count t.pool);
+    for i = 0 to Name_pool.count t.pool - 1 do
+      let s = Name_pool.name t.pool i in
+      add_u64 buf (String.length s);
+      Buffer.add_string buf s
+    done;
+    let column c =
+      for i = 0 to n - 1 do
+        add_u64 buf (Bv.Int.get c i)
+      done
+    in
+    column t.kinds;
+    column t.names;
+    column t.parents;
+    column t.first_childs;
+    column t.last_childs;
+    column t.next_sibs;
+    column t.prev_sibs;
+    column t.first_attrs;
+    column t.text_offs;
+    column t.text_lens;
+    for i = 0 to arena_len - 1 do
+      Buffer.add_char buf (Bv.Byte.get t.arena i)
+    done;
+    Buffer.contents buf
+
+  let decode blob =
+    let pos = ref 0 in
+    let need k =
+      if !pos + k > String.length blob then
+        failwith "Store.Codec.decode: truncated blob"
+    in
+    let u64 () =
+      need 8;
+      let v = Int64.to_int (String.get_int64_le blob !pos) in
+      pos := !pos + 8;
+      v
+    in
+    let str len =
+      need len;
+      let s = String.sub blob !pos len in
+      pos := !pos + len;
+      s
+    in
+    let n = u64 () in
+    let arena_len = u64 () in
+    let live = u64 () in
+    let live_text_bytes = u64 () in
+    if n < 0 || arena_len < 0 then failwith "Store.Codec.decode: bad header";
+    let counts = Array.init 7 (fun _ -> u64 ()) in
+    let pool = Name_pool.create () in
+    let pool_count = u64 () in
+    for _ = 1 to pool_count do
+      let len = u64 () in
+      ignore (Name_pool.intern pool (str len) : int)
+    done;
+    let column () =
+      let c = Bv.Int.create () in
+      for _ = 1 to n do
+        Bv.Int.push c (u64 ())
+      done;
+      c
+    in
+    let kinds = column () in
+    let names = column () in
+    let parents = column () in
+    let first_childs = column () in
+    let last_childs = column () in
+    let next_sibs = column () in
+    let prev_sibs = column () in
+    let first_attrs = column () in
+    let text_offs = column () in
+    let text_lens = column () in
+    let arena = Bv.Byte.create () in
+    need arena_len;
+    for i = 0 to arena_len - 1 do
+      Bv.Byte.push arena (String.unsafe_get blob (!pos + i))
+    done;
+    pos := !pos + arena_len;
+    if !pos <> String.length blob then
+      failwith "Store.Codec.decode: trailing bytes";
+    {
+      kinds;
+      names;
+      parents;
+      first_childs;
+      last_childs;
+      next_sibs;
+      prev_sibs;
+      first_attrs;
+      text_offs;
+      text_lens;
+      arena;
+      pool;
+      live;
+      counts;
+      live_text_bytes;
+    }
+end

@@ -32,6 +32,12 @@ type kind =
 val create : unit -> t
 (** Empty store containing only the document node. *)
 
+val snapshot : t -> t
+(** O(chunks) copy-on-write snapshot: the result shares all column
+    chunks with [t]; whichever side writes into a shared chunk first
+    clones just that chunk. This is what epoch publication uses instead
+    of deep-copying whole columns. *)
+
 val document : node
 (** The document node id (0). *)
 
@@ -138,8 +144,16 @@ val insert_text : t -> parent:node -> ?before:node -> string -> node
 (** {1 Accounting} *)
 
 val storage_bytes : t -> int
-(** Heap footprint of all columns, text payloads, and the name pool; the
+(** Footprint of all columns, text payloads, and the name pool; the
     "DB size" denominator of the Figure 9 storage experiment. *)
+
+val offheap_bytes : t -> int
+(** Bytes held in Bigarray chunks outside the OCaml heap (the ten node
+    columns plus the text arena). *)
+
+val heap_bytes : t -> int
+(** GC-visible payload bytes — with off-heap columns, just the name
+    pool. *)
 
 val text_bytes : t -> int
 (** Total bytes of live text/attribute content. *)
@@ -153,6 +167,20 @@ val compact : t -> t * (node -> node option)
     [t] is unchanged. Indices must be rebuilt over the new store — ids
     are not stable across compaction, which is why it is an explicit
     maintenance operation, as in any database. *)
+
+(** {1 Columnar codec} *)
+
+module Codec : sig
+  val encode : t -> string
+  (** Serialise the store as a raw columnar blob: fixed-width
+      little-endian column contents plus the text arena and name pool.
+      No internal checksums — the snapshot layer digest-frames it. *)
+
+  val decode : string -> t
+  (** Inverse of {!encode}. The result is canonical: it marshals
+      identically to an organically built store with the same history.
+      @raise Failure on a malformed blob. *)
+end
 
 (** {1 Pre/size/level snapshot} *)
 

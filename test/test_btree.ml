@@ -239,6 +239,127 @@ let test_memory_accounting () =
   Alcotest.(check bool) "plausible lower bound" true (full > 10_000 * 16);
   Alcotest.(check bool) "node count sane" true (BT.node_count t > 10_000 / 33)
 
+(* --- Order-preserving byte encodings (Encoding) ---
+
+   The whole contract of the byte-key tree is one property: encoding
+   must turn value order into byte order. Each property below drives a
+   key codomain through its adversarial corners — int bounds, negative
+   zero, NaN, subnormals, infinities, NUL bytes and prefix pairs. *)
+
+module Enc = Xvi_btree.Encoding
+
+let sign c = compare c 0
+
+let gen_int =
+  QCheck2.Gen.(
+    oneof
+      [
+        int;
+        oneofl [ min_int; max_int; 0; 1; -1; min_int + 1; max_int - 1 ];
+        map (fun b -> if b then 1 lsl 62 else -(1 lsl 62)) bool;
+      ])
+
+let prop_int_order =
+  QCheck2.Test.make ~name:"int_key preserves order" ~count:5000
+    QCheck2.Gen.(pair gen_int gen_int)
+    (fun (a, b) ->
+      sign (String.compare (Enc.int_key a) (Enc.int_key b))
+      = sign (Int.compare a b))
+
+let prop_int_roundtrip =
+  QCheck2.Test.make ~name:"int_key roundtrips" ~count:5000 gen_int (fun a ->
+      Enc.decode_int (Enc.int_key a) 0 = a)
+
+let gen_float =
+  QCheck2.Gen.(
+    oneof
+      [
+        float;
+        oneofl
+          [
+            0.0; -0.0; 1.0; -1.0; Float.infinity; Float.neg_infinity;
+            Float.min_float; -.Float.min_float; Float.max_float;
+            -.Float.max_float; 4.9e-324; -4.9e-324; epsilon_float;
+          ];
+      ])
+
+let prop_float_order =
+  QCheck2.Test.make ~name:"float_key preserves order (non-NaN)" ~count:5000
+    QCheck2.Gen.(pair gen_float gen_float)
+    (fun (a, b) ->
+      sign (String.compare (Enc.float_key a) (Enc.float_key b))
+      = sign (Float.compare (a +. 0.) (b +. 0.)))
+
+let prop_float_nan_last =
+  QCheck2.Test.make ~name:"NaN sorts after every float" ~count:1000 gen_float
+    (fun a -> String.compare (Enc.float_key Float.nan) (Enc.float_key a) >= 0)
+
+let prop_float_roundtrip =
+  QCheck2.Test.make ~name:"float_key roundtrips (bit-exact after -0 -> +0)"
+    ~count:5000 gen_float (fun a ->
+      Int64.equal
+        (Int64.bits_of_float (Enc.decode_float (Enc.float_key a) 0))
+        (Int64.bits_of_float (a +. 0.)))
+
+(* strings with NUL bytes and deliberate prefix pairs *)
+let gen_raw_string =
+  QCheck2.Gen.(
+    string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 24))
+
+let gen_string_pair =
+  QCheck2.Gen.(
+    oneof
+      [
+        pair gen_raw_string gen_raw_string;
+        (* prefix pairs: the terminator must keep "ab" < "ab\x00..." *)
+        map (fun (s, t) -> (s, s ^ t)) (pair gen_raw_string gen_raw_string);
+      ])
+
+let prop_string_order =
+  QCheck2.Test.make ~name:"string_key preserves order" ~count:5000
+    gen_string_pair (fun (a, b) ->
+      sign (String.compare (Enc.string_key a) (Enc.string_key b))
+      = sign (String.compare a b))
+
+let prop_composite_order =
+  QCheck2.Test.make ~name:"float_int_key orders by (value, node)" ~count:5000
+    QCheck2.Gen.(pair (pair gen_float gen_int) (pair gen_float gen_int))
+    (fun ((v1, n1), (v2, n2)) ->
+      let expected =
+        match Float.compare (v1 +. 0.) (v2 +. 0.) with
+        | 0 -> Int.compare n1 n2
+        | c -> c
+      in
+      sign (String.compare (Enc.float_int_key v1 n1) (Enc.float_int_key v2 n2))
+      = sign expected)
+
+(* The Bytes tree over encoded keys iterates in exactly the value order
+   the encodings promise. *)
+let test_bytes_tree_value_order () =
+  let module BK = Xvi_btree.Btree.Bytes in
+  let prng = Xvi_util.Prng.create 3 in
+  let pairs =
+    List.init 2000 (fun i ->
+        ((float_of_int (Xvi_util.Prng.in_range prng (-500) 500) /. 8.0), i))
+  in
+  let t = BK.create () in
+  List.iter (fun (v, n) -> BK.insert t (Enc.float_int_key v n) ()) pairs;
+  let got = ref [] in
+  BK.iter (fun k () -> got := (Enc.decode_float k 0, Enc.decode_int k 8) :: !got) t;
+  let expected =
+    List.sort
+      (fun (v1, n1) (v2, n2) ->
+        match Float.compare v1 v2 with 0 -> Int.compare n1 n2 | c -> c)
+      pairs
+  in
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "iteration is (value, node) order" expected (List.rev !got);
+  match BK.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariant violated: %s" e
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
 let () =
   Alcotest.run "btree"
     [
@@ -265,4 +386,17 @@ let () =
           Alcotest.test_case "dense keys" `Quick test_model_dense_keys;
           Alcotest.test_case "ranges" `Quick test_model_range_consistency;
         ] );
+      ( "encoding",
+        Alcotest.test_case "bytes tree in value order" `Quick
+          test_bytes_tree_value_order
+        :: qcheck
+             [
+               prop_int_order;
+               prop_int_roundtrip;
+               prop_float_order;
+               prop_float_nan_last;
+               prop_float_roundtrip;
+               prop_string_order;
+               prop_composite_order;
+             ] );
     ]

@@ -105,6 +105,85 @@ let test_vec_poly () =
   Alcotest.(check string) "set" "changed" (Vec.Poly.get v 42);
   Alcotest.(check int) "length" 100 (Vec.Poly.length v)
 
+(* --- Bigvec: chunked off-heap vectors with COW snapshots --- *)
+
+module Bigvec = Xvi_util.Bigvec
+
+let marshal_digest (v : Bigvec.Int.t) =
+  Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+let test_bigvec_basics () =
+  (* chunk = 16 elements, so 1000 pushes cross 62 boundaries *)
+  Bigvec.with_chunk_log_for_testing 4 @@ fun () ->
+  let v = Bigvec.Int.create () in
+  for i = 0 to 999 do
+    Bigvec.Int.push v (i * 2)
+  done;
+  Alcotest.(check int) "length" 1000 (Bigvec.Int.length v);
+  Alcotest.(check int) "get" 500 (Bigvec.Int.get v 250);
+  Bigvec.Int.set v 250 (-1);
+  Alcotest.(check int) "set" (-1) (Bigvec.Int.get v 250);
+  Alcotest.(check int) "fold" (List.init 1000 (fun i -> i * 2) |> List.fold_left ( + ) 0)
+    (Bigvec.Int.fold_left ( + ) 0 v + 501);
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Bigvec.get: index 1000 out of [0,1000)") (fun () ->
+      ignore (Bigvec.Int.get v 1000));
+  let a = Bigvec.Int.to_array v in
+  Alcotest.(check int) "to_array length" 1000 (Array.length a);
+  Alcotest.(check bool) "of_array round-trip" true
+    (Bigvec.Int.to_array (Bigvec.Int.of_array a) = a)
+
+let test_bigvec_cow_snapshot () =
+  Bigvec.with_chunk_log_for_testing 4 @@ fun () ->
+  let v = Bigvec.Int.create () in
+  for i = 0 to 99 do
+    Bigvec.Int.push v i
+  done;
+  let snap = Bigvec.Int.snapshot v in
+  let frozen = Bigvec.Int.to_array snap in
+  let d0 = marshal_digest snap in
+  (* mutate a shared chunk and append past several chunk boundaries *)
+  Bigvec.Int.set v 0 (-42);
+  Bigvec.Int.set v 99 (-43);
+  for i = 100 to 299 do
+    Bigvec.Int.push v i
+  done;
+  Alcotest.(check bool) "snapshot contents untouched" true
+    (Bigvec.Int.to_array snap = frozen);
+  Alcotest.(check string) "snapshot marshals bit-identically" d0
+    (marshal_digest snap);
+  Alcotest.(check int) "writer sees its own set" (-42) (Bigvec.Int.get v 0);
+  Alcotest.(check int) "writer sees its append" 299 (Bigvec.Int.get v 299);
+  (* the snapshot side clones on write too: the parent is unaffected *)
+  Bigvec.Int.set snap 1 777;
+  Alcotest.(check int) "parent unaffected by snapshot write" 1
+    (Bigvec.Int.get v 1);
+  (* two snapshots of the same logical state marshal identically *)
+  let w = Bigvec.Int.create () in
+  for i = 0 to 99 do
+    Bigvec.Int.push w i
+  done;
+  Alcotest.(check string) "equal-history snapshots agree" d0
+    (marshal_digest (Bigvec.Int.snapshot w))
+
+let test_bigvec_byte_arena () =
+  Bigvec.with_chunk_log_for_testing 4 @@ fun () ->
+  let b = Bigvec.Byte.create () in
+  let o1 = Bigvec.Byte.append_string b "hello, " in
+  let o2 = Bigvec.Byte.append_string b (String.make 40 'x') in
+  let o3 = Bigvec.Byte.append_string b "world" in
+  Alcotest.(check int) "first offset" 0 o1;
+  Alcotest.(check int) "second offset" 7 o2;
+  Alcotest.(check int) "third offset" 47 o3;
+  Alcotest.(check string) "sub across chunks" (String.make 40 'x')
+    (Bigvec.Byte.sub_string b o2 40);
+  Alcotest.(check string) "tail" "world" (Bigvec.Byte.sub_string b o3 5);
+  let snap = Bigvec.Byte.snapshot b in
+  ignore (Bigvec.Byte.append_string b "more");
+  Alcotest.(check int) "snapshot length frozen" 52 (Bigvec.Byte.length snap);
+  Alcotest.(check string) "snapshot bytes frozen" "world"
+    (Bigvec.Byte.sub_string snap o3 5)
+
 let test_table_formats () =
   Alcotest.(check string) "int" "4,690,640" (Table.fmt_int 4690640);
   Alcotest.(check string) "small int" "42" (Table.fmt_int 42);
@@ -138,6 +217,13 @@ let () =
           Alcotest.test_case "int basics" `Quick test_vec_int_basics;
           Alcotest.test_case "int fold/iter" `Quick test_vec_int_fold_iter;
           Alcotest.test_case "poly" `Quick test_vec_poly;
+        ] );
+      ( "bigvec",
+        [
+          Alcotest.test_case "basics" `Quick test_bigvec_basics;
+          Alcotest.test_case "copy-on-write snapshot" `Quick
+            test_bigvec_cow_snapshot;
+          Alcotest.test_case "byte arena" `Quick test_bigvec_byte_arena;
         ] );
       ( "table",
         [
