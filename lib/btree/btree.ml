@@ -16,6 +16,12 @@ module type S = sig
 
   val create : ?order:int -> unit -> 'a t
   val of_sorted_array : ?order:int -> (key * 'a) array -> 'a t
+
+  val of_sorted_seq : ?order:int -> len:int -> (unit -> key * 'a) -> 'a t
+  (* Bulk load from a generator of exactly [len] strictly-ascending
+     pairs, without materializing them: the streaming ingest path feeds
+     a merge cursor straight into the leaf level. The resulting tree is
+     identical to [of_sorted_array] on the same sequence. *)
   val length : 'a t -> int
   val is_empty : 'a t -> bool
   val find : 'a t -> key -> 'a option
@@ -25,6 +31,13 @@ module type S = sig
   val iter : (key -> 'a -> unit) -> 'a t -> unit
   val fold : (key -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
   val iter_range : ?lo:key -> ?hi:key -> (key -> 'a -> unit) -> 'a t -> unit
+
+  val iter_raw : ?lo:key -> ?hi:key -> (key array -> int -> int -> unit) -> 'a t -> unit
+  (* [iter_raw f t] walks the leaf chain calling [f keys off len] on
+     each run of in-range key slots — no per-key closure dispatch, no
+     key copying, so a scan can decode keys inline. The array is the
+     live leaf storage: the callback must not mutate it or retain it
+     past the call. *)
   val range : ?lo:key -> ?hi:key -> 'a t -> (key * 'a) list
   val to_seq_range : ?lo:key -> ?hi:key -> 'a t -> (key * 'a) Seq.t
   val count_range : ?lo:key -> ?hi:key -> 'a t -> int
@@ -231,29 +244,46 @@ module Make (K : ORDERED) = struct
         | [] -> assert false
     end
 
-  let of_sorted_array ?(order = 32) arr =
+  let of_sorted_seq ?(order = 32) ~len next =
     let t = create ~order () in
-    let n = Array.length arr in
-    for i = 1 to n - 1 do
-      if K.compare (fst arr.(i - 1)) (fst arr.(i)) >= 0 then
-        invalid_arg "Btree.of_sorted_array: keys not strictly ascending"
-    done;
+    if len < 0 then invalid_arg "Btree.of_sorted_seq: negative length";
+    let n = len in
     if n > 0 then begin
+      (* Validate ascent as pairs stream by; the first pair doubles as
+         the fill value for every node's slack slots, exactly as
+         [of_sorted_array] used [arr.(0)]. *)
+      let prev = ref None in
+      let pull () =
+        let (k, _) as pair = next () in
+        (match !prev with
+        | Some pk when K.compare pk k >= 0 ->
+            invalid_arg "Btree.of_sorted_seq: keys not strictly ascending"
+        | _ -> ());
+        prev := Some k;
+        pair
+      in
+      let first = pull () in
+      let fill_key = fst first and fill_val = snd first in
+      let first_used = ref false in
+      let take () =
+        if !first_used then pull ()
+        else begin
+          first_used := true;
+          first
+        end
+      in
       (* leaf level *)
       let sizes = chunk_sizes n ~cap:order ~minv:(min_leaf_keys t) in
-      let fill_key = fst arr.(0) and fill_val = snd arr.(0) in
-      let pos = ref 0 in
       let leaves =
         List.map
           (fun size ->
             let l = new_leaf t ~fill_key ~fill_val in
             for i = 0 to size - 1 do
-              let k, v = arr.(!pos + i) in
+              let k, v = take () in
               l.lkeys.(i) <- k;
               l.lvals.(i) <- v
             done;
             l.ln <- size;
-            pos := !pos + size;
             (l.lkeys.(0), Leaf l))
           sizes
       in
@@ -284,7 +314,7 @@ module Make (K : ORDERED) = struct
                     | (_, kid) :: _ -> kid
                     | [] ->
                         invalid_arg
-                          "Btree.of_sorted_array: internal level exhausted \
+                          "Btree.of_sorted_seq: internal level exhausted \
                            before its chunks"
                   in
                   let nd = new_internal t ~fill_key ~fill_kid in
@@ -307,6 +337,21 @@ module Make (K : ORDERED) = struct
       t.count <- n
     end;
     t
+
+  let of_sorted_array ?order arr =
+    let n = Array.length arr in
+    (* Whole-array pre-validation (kept from the original bulk loader:
+       an invalid array raises before any allocation); the streaming
+       loader then re-checks incrementally as it consumes. *)
+    for i = 1 to n - 1 do
+      if K.compare (fst arr.(i - 1)) (fst arr.(i)) >= 0 then
+        invalid_arg "Btree.of_sorted_array: keys not strictly ascending"
+    done;
+    let pos = ref 0 in
+    of_sorted_seq ?order ~len:n (fun () ->
+        let pair = arr.(!pos) in
+        incr pos;
+        pair)
 
   (* --- Deletion --- *)
 
@@ -493,6 +538,42 @@ module Make (K : ORDERED) = struct
               f l.lkeys.(!j) l.lvals.(!j);
               incr j
             done
+          end
+        in
+        walk start i0
+
+  (* Same leaf walk as [iter_range], but the callback receives each
+     in-range slot run [(lkeys, off, len)] directly: a full-leaf scan
+     makes one call per leaf with zero per-key dispatch, which lets hot
+     scans decode byte keys inline (the typed-tree scan bench). *)
+  let iter_raw ?lo ?hi f t =
+    match t.root with
+    | None -> ()
+    | Some root ->
+        let start =
+          match lo with None -> leftmost_leaf root | Some k -> seek_leaf root k
+        in
+        let i0 =
+          match lo with
+          | None -> 0
+          | Some k -> lower_bound start.lkeys start.ln k
+        in
+        let below_hi k =
+          match hi with None -> true | Some b -> K.compare k b <= 0
+        in
+        let rec walk l i =
+          if i >= l.ln then
+            match l.next with None -> () | Some next -> walk next 0
+          else if below_hi l.lkeys.(l.ln - 1) then begin
+            f l.lkeys i (l.ln - i);
+            match l.next with None -> () | Some next -> walk next 0
+          end
+          else begin
+            let j = ref i in
+            while !j < l.ln && below_hi l.lkeys.(!j) do
+              incr j
+            done;
+            if !j > i then f l.lkeys i (!j - i)
           end
         in
         walk start i0

@@ -39,6 +39,14 @@ module type S = sig
       magnitude cheaper than repeated {!insert}).
       @raise Invalid_argument if keys are not strictly ascending. *)
 
+  val of_sorted_seq : ?order:int -> len:int -> (unit -> key * 'a) -> 'a t
+  (** Bulk load from a generator of exactly [len] strictly ascending
+      pairs, without materializing them: the streaming ingest path
+      feeds a merge cursor straight into the leaf level. Produces a
+      tree identical to {!of_sorted_array} on the same sequence.
+      @raise Invalid_argument as soon as ascent is violated (the
+      generator may have been consumed partway). *)
+
   val length : 'a t -> int
   (** Number of bindings, O(1). *)
 
@@ -66,6 +74,14 @@ module type S = sig
   (** [iter_range ~lo ~hi f t] applies [f] to bindings with
       [lo <= k <= hi] (bounds inclusive; omitted bound = unbounded), in
       ascending order, walking the leaf chain. *)
+
+  val iter_raw : ?lo:key -> ?hi:key -> (key array -> int -> int -> unit) -> 'a t -> unit
+  (** [iter_raw f t] walks the same range as {!iter_range} but hands
+      [f] each run of in-range key slots [(keys, off, len)] directly
+      from the leaf storage — one call per leaf on full leaves, no
+      per-key closure dispatch, no value access. Hot scans use it to
+      decode byte keys inline. The array is live tree storage: [f]
+      must neither mutate it nor retain it past the call. *)
 
   val range : ?lo:key -> ?hi:key -> 'a t -> (key * 'a) list
   (** [iter_range] collected into a list. *)

@@ -1064,3 +1064,270 @@ let repl_sweep ?cut_points ?stream_flips:flip_cap ?follower_crashes:crash_cap
               repl_failovers = !failover_count;
               repl_commits = commits;
             })
+
+(* --- crash-point sweep over streaming bulk ingest ---
+
+   The live run streams a document through Durable.bulk_ingest with a
+   deliberately tiny batch budget, recording the log size after every
+   committed chunk. The crash sweep then replants the pre-ingest
+   snapshot plus a cut (or corrupted) log in a scratch directory and
+   demands, independently of the recovery code's own bookkeeping:
+
+   - open_ lands on the pre-ingest (empty) database with exactly the
+     chunks whose commit boundary survived the cut held as pending —
+     and is idempotent about it;
+   - resume_ingest over the original document converges to a database
+     marshal-bit-identical to the serial whole-document build — no
+     matter where the crash cut;
+   - the completed directory (live or resumed) reopens to that same
+     digest, which doubles as the streamed-vs-whole differential. *)
+
+type ingest_report = {
+  ingest_crash_points : int;
+  ingest_flips : int;
+  ingest_batches : int;
+}
+
+let ingest_sweep ?crash_points ?(ingest_flips = 64) ?(batch_rows = 16) doc =
+  let source_of () =
+    let pos = ref 0 in
+    fun () ->
+      if !pos >= String.length doc then None
+      else begin
+        let n = min 512 (String.length doc - !pos) in
+        let b = Bytes.of_string (String.sub doc !pos n) in
+        pos := !pos + n;
+        Some b
+      end
+  in
+  (* the serial whole-document oracle, and the empty pre-ingest one *)
+  match Xvi_xml.Parser.parse doc with
+  | Error e ->
+      Error ("ingest_sweep: document: " ^ Xvi_xml.Parser.error_to_string e)
+  | Ok store ->
+      let full_digest = db_digest (Db.of_store store) in
+      let empty_digest = db_digest (Db.of_store (Store.create ())) in
+      let base = fresh_dir "xvi_ingest_base" in
+      let crash = fresh_dir "xvi_ingest_crash" in
+      Fun.protect
+        ~finally:(fun () ->
+          rm_rf base;
+          rm_rf crash)
+        (fun () ->
+          let base_wal = Filename.concat base "wal.log" in
+          let base_snap = Filename.concat base "snapshot.xvi" in
+          let snap_bytes = ref "" (* the LSN-0 pre-ingest snapshot *) in
+          let wal_bytes = ref "" in
+          let sizes = ref [] (* log size after each chunk commit, reversed *) in
+          let on_progress (_ : Xvi_ingest.Ingest.progress) =
+            if String.length !snap_bytes = 0 then
+              snap_bytes := read_file base_snap;
+            let w = read_file base_wal in
+            (* the final progress call can land without a fresh commit *)
+            if String.length w > String.length !wal_bytes then begin
+              wal_bytes := w;
+              sizes := String.length w :: !sizes
+            end
+          in
+          (match
+             Durable.bulk_ingest ~dir:base ~batch_rows
+               ~progress:on_progress (source_of ())
+           with
+          | Error m -> failwith ("ingest_sweep: live ingest failed: " ^ m)
+          | Ok t ->
+              let d = db_digest (Durable.db t) in
+              Durable.close t;
+              if d <> full_digest then
+                failwith
+                  "ingest_sweep: streamed ingest diverged from the \
+                   whole-document build");
+          (match Durable.open_ base with
+          | Error m -> failwith ("ingest_sweep: reopen failed: " ^ m)
+          | Ok t ->
+              let d = db_digest (Durable.db t) in
+              let pending = Durable.pending_ingest t in
+              Durable.close t;
+              (match pending with
+              | Some _ ->
+                  failwith
+                    "ingest_sweep: completed directory still reports a \
+                     pending ingest"
+              | None -> ());
+              if d <> full_digest then
+                failwith
+                  "ingest_sweep: completed directory did not reopen to the \
+                   whole-document digest");
+          let wal_bytes = !wal_bytes in
+          let snap_bytes = !snap_bytes in
+          let wal_size = String.length wal_bytes in
+          let sizes = Array.of_list (List.rev !sizes) in
+          let batches = Array.length sizes in
+          let magic_len = String.length Wal.magic in
+          let committed_before cut =
+            let k = ref 0 in
+            Array.iter (fun s -> if s <= cut then incr k) sizes;
+            !k
+          in
+          let failure = ref None in
+          let fail m = if !failure = None then failure := Some m in
+          let crash_snap = Filename.concat crash "snapshot.xvi" in
+          let crash_wal = Filename.concat crash "wal.log" in
+          (* One crash variant: recovery must expose exactly [expect]
+             pending chunks over the empty database, twice over; when
+             chunks survived, resuming over the original document must
+             converge to the whole-document digest, after which the
+             directory must reopen to it. *)
+          let check_variant ~what ~damaged ~expect =
+            write_file crash_snap snap_bytes;
+            write_file crash_wal damaged;
+            match Durable.open_ crash with
+            | Error m -> fail (Printf.sprintf "recovery failed on %s: %s" what m)
+            | Ok t -> (
+                let d1 = db_digest (Durable.db t) in
+                let chunks1 =
+                  match Durable.pending_ingest t with
+                  | None -> 0
+                  | Some p -> p.Durable.chunks
+                in
+                if d1 <> empty_digest then begin
+                  Durable.close t;
+                  fail
+                    (Printf.sprintf
+                       "recovery did not land on the pre-ingest state on %s"
+                       what)
+                end
+                else if chunks1 <> expect then begin
+                  Durable.close t;
+                  fail
+                    (Printf.sprintf
+                       "recovery kept %d chunks on %s (%d committed)" chunks1
+                       what expect)
+                end
+                else begin
+                  Durable.close t;
+                  (* idempotence, then resume on a fresh handle *)
+                  match Durable.open_ crash with
+                  | Error m ->
+                      fail
+                        (Printf.sprintf "second recovery failed on %s: %s" what
+                           m)
+                  | Ok t2 -> (
+                      let d2 = db_digest (Durable.db t2) in
+                      let chunks2 =
+                        match Durable.pending_ingest t2 with
+                        | None -> 0
+                        | Some p -> p.Durable.chunks
+                      in
+                      if d2 <> d1 || chunks2 <> chunks1 then begin
+                        Durable.close t2;
+                        fail
+                          (Printf.sprintf "recovery is not idempotent on %s"
+                             what)
+                      end
+                      else if chunks2 = 0 then Durable.close t2
+                      else
+                        match
+                          Durable.resume_ingest ~batch_rows t2 (source_of ())
+                        with
+                        | Error m ->
+                            fail
+                              (Printf.sprintf "resume failed on %s: %s" what m)
+                        | Ok t3 ->
+                            let d3 = db_digest (Durable.db t3) in
+                            Durable.close t3;
+                            if d3 <> full_digest then
+                              fail
+                                (Printf.sprintf
+                                   "resumed ingest diverged from the \
+                                    whole-document build on %s"
+                                   what)
+                            else (
+                              match Durable.open_ crash with
+                              | Error m ->
+                                  fail
+                                    (Printf.sprintf
+                                       "post-resume reopen failed on %s: %s"
+                                       what m)
+                              | Ok t4 ->
+                                  let d4 = db_digest (Durable.db t4) in
+                                  Durable.close t4;
+                                  if d4 <> full_digest then
+                                    fail
+                                      (Printf.sprintf
+                                         "resumed directory did not reopen \
+                                          to the whole-document digest on %s"
+                                         what)))
+                end)
+          in
+          let expect_open_error ~what ~damaged =
+            write_file crash_snap snap_bytes;
+            write_file crash_wal damaged;
+            match Durable.open_ crash with
+            | Error _ -> ()
+            | Ok t ->
+                Durable.close t;
+                fail (Printf.sprintf "recovery accepted %s" what)
+          in
+          let lengths =
+            match crash_points with
+            | None -> List.init (wal_size + 1) (fun i -> i)
+            | Some cap ->
+                let spaced = List.init cap (fun i -> i * wal_size / cap) in
+                let edges =
+                  Array.to_list sizes
+                  |> List.concat_map (fun s -> [ s - 1; s; s + 1 ])
+                in
+                List.sort_uniq Int.compare
+                  ((0 :: (magic_len - 1) :: magic_len :: wal_size :: edges)
+                  @ spaced)
+                |> List.filter (fun l -> l >= 0 && l <= wal_size)
+          in
+          let points = ref 0 in
+          List.iter
+            (fun len ->
+              if !failure = None then begin
+                incr points;
+                let damaged = String.sub wal_bytes 0 len in
+                let what =
+                  Printf.sprintf "ingest log torn at byte %d of %d" len
+                    wal_size
+                in
+                if len < magic_len then expect_open_error ~what ~damaged
+                else check_variant ~what ~damaged ~expect:(committed_before len)
+              end)
+            lengths;
+          let flip_offsets =
+            let wanted = min ingest_flips wal_size in
+            if wanted <= 0 then []
+            else
+              List.sort_uniq Int.compare
+                (List.init magic_len (fun i -> i)
+                @ List.init wanted (fun i -> i * wal_size / wanted))
+              |> List.filter (fun p -> p >= 0 && p < wal_size)
+          in
+          let flipped = ref 0 in
+          List.iter
+            (fun pos ->
+              if !failure = None then begin
+                incr flipped;
+                let damaged = Bytes.of_string wal_bytes in
+                Bytes.set damaged pos
+                  (Char.chr
+                     (Char.code wal_bytes.[pos] lxor (1 lsl (pos mod 8))));
+                let damaged = Bytes.to_string damaged in
+                let what =
+                  Printf.sprintf "byte flip at ingest log offset %d" pos
+                in
+                if pos < magic_len then expect_open_error ~what ~damaged
+                else check_variant ~what ~damaged ~expect:(committed_before pos)
+              end)
+            flip_offsets;
+          match !failure with
+          | Some m -> Error m
+          | None ->
+              Ok
+                {
+                  ingest_crash_points = !points;
+                  ingest_flips = !flipped;
+                  ingest_batches = batches;
+                })

@@ -160,3 +160,38 @@ val repl_sweep :
     batch one committed transaction, plus a probe insert and delete).
     Each optional cap bounds its sweep to that many evenly spaced
     points (commit edges always included); default is the full sweep. *)
+
+(** {1 Crash-point sweep over streaming bulk ingest}
+
+    {!ingest_sweep} streams a document through
+    {!Xvi_wal.Durable.bulk_ingest} with a deliberately tiny batch
+    budget, recording the log size after every committed chunk, then
+    tears and corrupts the mid-ingest log exactly as {!wal_sweep}
+    does. For every crash position, recovery must land on the
+    pre-ingest (empty) database with exactly the chunks whose commit
+    boundary survived held as pending — idempotently — and
+    {!Xvi_wal.Durable.resume_ingest} over the original document must
+    converge to a database marshal-bit-identical to the serial
+    whole-document build ([Parser.parse] + [Db.of_store]), which the
+    sweep also asserts for the uninterrupted live run and for every
+    reopen of a completed directory. *)
+
+type ingest_report = {
+  ingest_crash_points : int;  (** torn-tail positions exercised *)
+  ingest_flips : int;  (** single-byte corruptions exercised *)
+  ingest_batches : int;  (** chunk commits in the live ingest *)
+}
+
+val ingest_sweep :
+  ?crash_points:int ->
+  ?ingest_flips:int ->
+  ?batch_rows:int ->
+  string ->
+  (ingest_report, string) result
+(** [ingest_sweep doc] — [doc] must parse. [batch_rows] (default [16])
+    sets the live run's batch budget; keep it small so even a short
+    document commits several chunks. [crash_points] caps the torn-tail
+    positions to that many evenly spaced lengths plus every chunk
+    boundary and its neighbours (default: every byte length of the
+    log); [ingest_flips] (default [64]) bounds the corruption
+    offsets. *)

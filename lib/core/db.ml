@@ -71,6 +71,23 @@ let of_store ?(config = Config.default) store =
         build ~config ~pool store)
   else build ~config store
 
+(* Streaming-ingest assembly: [Xvi_ingest] builds the store, the hash
+   postings and the typed trees itself (batch by batch); this puts the
+   same record together that [build] would, constructing only the
+   store-derived parts (names, optional substring index) here. *)
+let assemble ~config ~store ~strings ~typed =
+  {
+    store;
+    config;
+    strings;
+    typed;
+    substring =
+      (if config.Config.substring then Some (Substring_index.create store)
+       else None);
+    names = Name_index.create store;
+    plane = None;
+  }
+
 let of_xml ?config src =
   Result.map (fun store -> of_store ?config store) (Parser.parse src)
 

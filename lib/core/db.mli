@@ -57,6 +57,18 @@ val of_store : ?config:Config.t -> Xvi_xml.Store.t -> t
     {!Indexer.create_multi} for why the parallel build is bit-identical
     to the serial one. *)
 
+val assemble :
+  config:Config.t ->
+  store:Xvi_xml.Store.t ->
+  strings:String_index.t ->
+  typed:Typed_index.t list ->
+  t
+(** Assemble a database from components a streaming builder produced
+    ([Xvi_ingest]): [typed] must be in [config.types] order. The
+    store-derived parts ([Name_index], the optional substring index)
+    are built here. When the components are marshal-identical to what
+    the serial [of_store] pass builds, so is the database. *)
+
 val of_xml : ?config:Config.t -> string -> (t, Xvi_xml.Parser.error) result
 (** Shred an XML document and index it. *)
 

@@ -52,6 +52,7 @@ let replace ~old_child ~new_child ~prefix h =
   combine prefix (combine new_child suffix)
 
 let to_int h = h
+let of_int v = v land 0xFFFF_FFFF
 let equal = Int.equal
 let compare = Int.compare
 let pp fmt h = Format.fprintf fmt "%07x|%02d" (c_array h) (offset h)

@@ -56,6 +56,11 @@ val pack : c_array:int -> offset:int -> t
 (** Inverse of ({!c_array}, {!offset}). Masks out-of-range inputs. *)
 
 val to_int : t -> int
+
+val of_int : int -> t
+(** Re-admit a value produced by {!to_int} — used by builders that
+    stage hashes in unboxed int columns. Masks to 32 bits. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit

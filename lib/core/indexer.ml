@@ -43,6 +43,8 @@ let set f n v =
   done;
   Vec.Poly.set f.vec n v
 
+let alloc_fields ops ~capacity = make_fields ops capacity
+
 let fold_all fn f init =
   let acc = ref init in
   Vec.Poly.iteri (fun n v -> acc := fn n v !acc) f.vec;

@@ -36,6 +36,17 @@ val get : 'f fields -> Xvi_xml.Store.node -> 'f
 (** Nodes never assigned (e.g. childless elements) read as the
     identity, which is exactly their correct field. *)
 
+val set : 'f fields -> Xvi_xml.Store.node -> 'f -> unit
+(** Assign one node's field, growing the storage with identity holes as
+    needed — the write primitive of every builder below, exported for
+    the streaming ingest builder which replays its staged fields
+    through the same calls to reproduce the exact storage shape. *)
+
+val alloc_fields : 'f ops -> capacity:int -> 'f fields
+(** Fresh storage pre-sized for [capacity] nodes (same allocation the
+    whole-document builders make from [Store.node_range]); used by the
+    streaming builder, which only learns the node count at the end. *)
+
 val fold_all : (Xvi_xml.Store.node -> 'f -> 'a -> 'a) -> 'f fields -> 'a -> 'a
 
 val create : 'f ops -> Xvi_xml.Store.t -> 'f fields

@@ -57,6 +57,15 @@ let of_sorted_keys fields keys =
   let arr = Array.map (fun k -> (k, ())) keys in
   { fields; postings = BT.of_sorted_array arr; entries = Array.length arr }
 
+let pack_key h n = pack (Hash.to_int h) n
+
+let of_key_seq fields ~count next =
+  {
+    fields;
+    postings = BT.of_sorted_seq ~len:count (fun () -> (next (), ()));
+    entries = count;
+  }
+
 let of_fields ?pool store fields =
   (* Bulk-load the posting B+tree. (hash, node) fits one unboxed int
      (32 + 30 bits), so collection and sorting run on an int vector —

@@ -30,6 +30,17 @@ val of_fields : ?pool:Xvi_util.Pool.t -> Xvi_xml.Store.t -> Hash.t Indexer.field
     single-threaded. The resulting tree is identical to the serial
     build. *)
 
+val pack_key : Hash.t -> node -> int
+(** The index's posting key: hash in the high 32 bits, node id in the
+    low 30.  Packed order is (hash, node) lexicographic order. *)
+
+val of_key_seq : Hash.t Indexer.fields -> count:int -> (unit -> int) -> t
+(** Streaming-ingest assembly: bulk load from a generator of exactly
+    [count] strictly ascending {!pack_key} postings (the ingest
+    builder's batch-sorted runs, k-way merged), without materializing
+    the key array.  Marshal-identical to the serial {!of_fields} over
+    the same document. *)
+
 val hash_of : t -> node -> Hash.t
 (** The indexed hash of a live node. *)
 

@@ -170,6 +170,30 @@ let of_fields ?(reconstruct = `Document) ?pool spec store fields =
   Array.sort (fun (k1, ()) (k2, ()) -> String.compare k1 k2) arr;
   { t with values = BT.of_sorted_array arr }
 
+(* Streaming-ingest assembly: the builder already ran the state machine
+   and parsed the complete values while shredding; this reproduces the
+   exact structure the serial [of_fields] pass builds — same [by_node]
+   insertion sequence (ascending node id, like [iter_pre]), same sorted
+   pair array, same bulk load — so the result is marshal-identical. *)
+let of_streamed spec fields ~viable_count ~complete =
+  let ops = Indexer.sct_ops spec.Lexical_types.sct in
+  let t =
+    {
+      spec;
+      ops;
+      fields;
+      values = BT.create ();
+      by_node = Hashtbl.create 1024;
+      frags = Hashtbl.create 64;
+      reconstruct = `Document;
+      viable_count;
+    }
+  in
+  Array.iter (fun (n, v) -> Hashtbl.replace t.by_node n v) complete;
+  let pairs = Array.map (fun (n, v) -> (Enc.float_int_key v n, ())) complete in
+  Array.sort (fun (k1, ()) (k2, ()) -> String.compare k1 k2) pairs;
+  { t with values = BT.of_sorted_array pairs }
+
 let create ?reconstruct ?pool spec store =
   let ops = Indexer.sct_ops spec.Lexical_types.sct in
   let fields = Indexer.empty_fields ops store in
@@ -183,7 +207,15 @@ let bounds lo hi =
 let range ?lo ?hi t =
   let lo, hi = bounds lo hi in
   let acc = ref [] in
-  BT.iter_range ?lo ?hi (fun k () -> acc := Enc.decode_int k 8 :: !acc) t.values;
+  (* decode-free leaf walk: one callback per leaf run, the node pulled
+     straight out of the key bytes — no per-binding closure dispatch,
+     no value access *)
+  BT.iter_raw ?lo ?hi
+    (fun keys off len ->
+      for i = off to off + len - 1 do
+        acc := Enc.decode_int keys.(i) 8 :: !acc
+      done)
+    t.values;
   List.rev !acc
 
 let equals t v = range ~lo:v ~hi:v t

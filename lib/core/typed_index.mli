@@ -47,6 +47,19 @@ val of_fields :
     stay single-threaded. [`Fragment] mode always collects serially —
     it fills the shared fragment table during the pass. *)
 
+val of_streamed :
+  Lexical_types.spec ->
+  int Indexer.fields ->
+  viable_count:int ->
+  complete:(node * float) array ->
+  t
+(** Streaming-ingest assembly ([`Document] mode): the ingest builder
+    already counted viable nodes and parsed the complete values while
+    shredding. [complete] must be ascending by node id with each value
+    the successful [spec.parse] of that node's string value; the result
+    is marshal-identical to the serial {!of_fields} pass over the same
+    document. *)
+
 val spec : t -> Lexical_types.spec
 val type_name : t -> string
 

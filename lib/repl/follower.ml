@@ -133,7 +133,8 @@ let local_boundaries data =
                   next,
                   Digest.to_hex (Digest.string (Buffer.contents chain)) )
                 :: acc
-            | Wal.Begin _ | Wal.Update_text _ | Wal.Insert _ | Wal.Delete _ ->
+            | Wal.Begin _ | Wal.Update_text _ | Wal.Insert _ | Wal.Delete _
+            | Wal.Ingest_chunk _ ->
                 acc
           in
           go next acc

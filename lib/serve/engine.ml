@@ -205,10 +205,23 @@ let open_ ?config ?sync_mode ?auto_checkpoint_bytes ?publish_period target =
   | Dir dir -> (
       match Durable.open_ ?config ?sync_mode ?auto_checkpoint_bytes dir with
       | Error m -> Error (Io m)
-      | Ok d ->
-          Ok
-            (make ?publish_period ~backend:(Disk d) ~master:(Durable.db d)
-               ~last_lsn:(Durable.last_lsn d) ()))
+      | Ok d -> (
+          match Durable.pending_ingest d with
+          | Some { Durable.chunks; chunk_bytes } ->
+              (* serving the pre-ingest (empty) database would silently
+                 hide the durable prefix; recovery needs the source *)
+              Durable.close d;
+              Error
+                (Invalid
+                   (Printf.sprintf
+                      "%s holds an interrupted bulk ingest (%d chunks, %d \
+                       bytes); finish it with ingest --resume (or recreate \
+                       the directory)"
+                      dir chunks chunk_bytes))
+          | None ->
+              Ok
+                (make ?publish_period ~backend:(Disk d) ~master:(Durable.db d)
+                   ~last_lsn:(Durable.last_lsn d) ())))
   | Replica dir -> open_replica ?config ?publish_period dir
 
 let init ?sync_mode ?auto_checkpoint_bytes ?publish_period ?(force = false)
@@ -232,6 +245,35 @@ let init ?sync_mode ?auto_checkpoint_bytes ?publish_period ?(force = false)
         Ok
           (make ?publish_period ~backend:(Disk d) ~master:db
              ~last_lsn:(Durable.last_lsn d) ())
+    | exception Unix.Unix_error (e, fn, arg) ->
+        Error (Io (Printf.sprintf "%s: %s(%s)" (Unix.error_message e) fn arg))
+    | exception Sys_error m -> Error (Io m)
+
+let ingest ?config ?sync_mode ?auto_checkpoint_bytes ?publish_period
+    ?(force = false) ?batch_rows ?pool ?progress ~dir source =
+  let file_in_the_way =
+    match Sys.is_directory dir with
+    | true -> false
+    | false -> true
+    | exception Sys_error _ -> false
+  in
+  if file_in_the_way then
+    Error (Invalid (Printf.sprintf "%s exists and is not a directory" dir))
+  else if (not force) && Durable.is_durable_dir dir then
+    Error
+      (Invalid
+         (Printf.sprintf
+            "%s already holds a durable store; pass force to overwrite it" dir))
+  else
+    match
+      Durable.bulk_ingest ?sync_mode ?auto_checkpoint_bytes ~force ?config
+        ?batch_rows ?pool ?progress ~dir source
+    with
+    | Ok d ->
+        Ok
+          (make ?publish_period ~backend:(Disk d) ~master:(Durable.db d)
+             ~last_lsn:(Durable.last_lsn d) ())
+    | Error m -> Error (Io m)
     | exception Unix.Unix_error (e, fn, arg) ->
         Error (Io (Printf.sprintf "%s: %s(%s)" (Unix.error_message e) fn arg))
     | exception Sys_error m -> Error (Io m)

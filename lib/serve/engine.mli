@@ -97,6 +97,28 @@ val init :
     directory unless [force] — the same contract as
     {!Xvi_wal.Durable.create}, minus the exceptions. *)
 
+val ingest :
+  ?config:Xvi_core.Db.Config.t ->
+  ?sync_mode:Xvi_wal.Wal.sync_mode ->
+  ?auto_checkpoint_bytes:int ->
+  ?publish_period:float ->
+  ?force:bool ->
+  ?batch_rows:int ->
+  ?pool:Xvi_util.Pool.t ->
+  ?progress:(Xvi_ingest.Ingest.progress -> unit) ->
+  dir:string ->
+  Xvi_xml.Sax.source ->
+  (t, error) result
+(** Stream a document into a fresh durable directory
+    ({!Xvi_wal.Durable.bulk_ingest}: bounded-memory shred + index,
+    every batch WAL-committed) and serve the finished database — the
+    first published epoch is the fully loaded, durably checkpointed
+    state. [force] as in {!init}. On a parse error the durable prefix
+    stays in the directory; [open_ (Dir d)] then reports the
+    interrupted ingest instead of serving the empty pre-ingest state
+    (finish or recreate it via {!Xvi_wal.Durable.resume_ingest} /
+    the CLI). *)
+
 val is_durable : t -> bool
 val dir : t -> string option
 

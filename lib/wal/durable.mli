@@ -111,8 +111,70 @@ val delete_subtree : t -> Xvi_xml.Store.node -> unit
     {!Xvi_core.Db.delete_subtree}), on an out-of-range node, and on an
     already-deleted node. *)
 
+(** {1 Streaming bulk ingest}
+
+    [bulk_ingest] shreds and indexes a document from a {!Xvi_xml.Sax}
+    byte source in bounded memory ({!Xvi_ingest.Ingest}), committing
+    every builder batch through the log as one
+    [Begin]/[Ingest_chunk]/[Commit] transaction {e after} the event
+    reader accepted its bytes. The directory holds a snapshot of the
+    empty database at LSN 0 throughout; when the stream ends, the
+    finished database is checkpointed and the chunk records truncated
+    away.
+
+    A crash mid-ingest therefore loses at most the open batch: {!open_}
+    finds the pre-ingest snapshot plus the committed chunks — exactly
+    the durable document prefix — reports them via {!pending_ingest},
+    and {!resume_ingest} continues from there. Because the logged
+    chunks replay byte-identically through a fresh builder, the final
+    database is marshal-bit-identical to an uninterrupted ingest (and
+    to the whole-document build) no matter where the crash cut. *)
+
+val bulk_ingest :
+  ?sync_mode:Wal.sync_mode ->
+  ?auto_checkpoint_bytes:int ->
+  ?force:bool ->
+  ?config:Xvi_core.Db.Config.t ->
+  ?batch_rows:int ->
+  ?pool:Xvi_util.Pool.t ->
+  ?progress:(Xvi_ingest.Ingest.progress -> unit) ->
+  dir:string ->
+  Xvi_xml.Sax.source ->
+  (t, string) result
+(** Initialise [dir] (like {!create}, including the [~force] guard
+    against overwriting an existing durable store) and ingest [source]
+    into it. [progress] fires at every committed batch edge. On a parse
+    error the handle is closed and [Error] returned; the directory
+    then reopens with the durable prefix pending (see above). *)
+
+type pending_ingest = { chunks : int; chunk_bytes : int }
+
+val pending_ingest : t -> pending_ingest option
+(** Evidence of an interrupted bulk ingest found by {!open_}: how many
+    committed chunks the log holds and their total byte count. While
+    pending, {!db} is the pre-ingest (empty) database and every update
+    entry point raises [Invalid_argument] — {!resume_ingest} or
+    recreate the directory first. *)
+
+val resume_ingest :
+  ?batch_rows:int ->
+  ?pool:Xvi_util.Pool.t ->
+  ?progress:(Xvi_ingest.Ingest.progress -> unit) ->
+  t ->
+  Xvi_xml.Sax.source ->
+  (t, string) result
+(** Finish an interrupted ingest. [source] must yield the {e same
+    document} the original ingest was fed: the logged chunks are
+    replayed through a fresh builder, the first [chunk_bytes] bytes of
+    [source] are skipped, and ingest continues (a shorter or divergent
+    source surfaces as a parse error). Raises [Invalid_argument] when
+    nothing is pending. On success the returned handle (the same [t])
+    holds the finished, checkpointed database. *)
+
 val checkpoint : t -> unit
-(** Snapshot now, then truncate the log (see the protocol above). *)
+(** Snapshot now, then truncate the log (see the protocol above).
+    Raises [Invalid_argument] while an ingest is pending — it would
+    discard the durable chunks. *)
 
 val sync : t -> unit
 (** Flush any group-commit window or [Never]-mode backlog to stable

@@ -51,6 +51,13 @@ type record =
   | Abort of { txn : int }
   | Checkpoint of { base : lsn }
       (** all records with LSN [<= base] are covered by the snapshot *)
+  | Ingest_chunk of { txn : int; bytes : string }
+      (** one batch of raw source bytes accepted by a streaming bulk
+          ingest ({!Durable.bulk_ingest}): the document prefix they
+          extend is fully tokenized and shredded. These transactions
+          replay through a fresh event stream, not through {!apply} —
+          {!Durable.open_} separates them out; {!apply} treats a stray
+          one as log corruption. *)
 
 type framed = { lsn : lsn; record : record }
 

@@ -1,4 +1,4 @@
-type error = { line : int; col : int; message : string }
+type error = { line : int; col : int; offset : int; message : string }
 
 let error_to_string e = Printf.sprintf "%d:%d: %s" e.line e.col e.message
 
@@ -16,7 +16,10 @@ type state = {
 let fail st fmt =
   Printf.ksprintf
     (fun message ->
-      raise (Parse_error { line = st.line; col = st.pos - st.bol + 1; message }))
+      raise
+        (Parse_error
+           { line = st.line; col = st.pos - st.bol + 1; offset = st.pos;
+             message }))
     fmt
 
 let eof st = st.pos >= String.length st.src

@@ -11,9 +11,13 @@
     subset). Namespaces are not resolved; qualified names are kept as
     opaque strings, as MonetDB/XQuery's storage does. *)
 
-type error = { line : int; col : int; message : string }
+type error = { line : int; col : int; offset : int; message : string }
+(** [line]/[col] are 1-based; [offset] is the 0-based absolute byte
+    offset of the failure position in the input. *)
 
 val error_to_string : error -> string
+(** ["LINE:COL: MESSAGE"] — the byte offset is available on the record
+    for callers that want it (seeking in a stream, editor spans). *)
 
 val parse : ?strip_ws:bool -> string -> (Store.t, error) result
 (** [parse s] shreds document [s] into a fresh store. [strip_ws]

@@ -1,0 +1,500 @@
+(* Streaming pull tokenizer over an incremental byte source.
+
+   This is [Parser]'s lexer re-hosted on a refillable window: the same
+   primitives ([peek]/[advance]/[looking_at]/...), the same entity and
+   whitespace rules, the same prolog/content/epilog grammar — so the
+   event stream, replayed through the [Store] append calls [Parser]
+   makes, rebuilds a marshal-identical store.  Any behavioural
+   divergence from [Parser] here is a bug; the qcheck round-trip and
+   the ingest bit-identity differential exist to catch it. *)
+
+type source = unit -> bytes option
+type position = { line : int; col : int; offset : int }
+
+type event =
+  | Start_element of { name : string; attrs : (string * string) list }
+  | End_element of string
+  | Text of string
+  | Cdata of string
+  | Comment of string
+  | Pi of { target : string; body : string }
+
+type mode = Prolog | Content | Epilog
+
+type t = {
+  source : source;
+  strip_ws : bool;
+  (* Window of not-yet-consumed source bytes: [buf.[pos .. len-1]] are
+     pending, [base] is the absolute offset of [buf.[0]].  Refilling
+     compacts so [base + pos] — the absolute consume offset — is
+     invariant across refills. *)
+  mutable buf : bytes;
+  mutable len : int;
+  mutable pos : int;
+  mutable base : int;
+  mutable src_eof : bool;
+  mutable line : int;
+  mutable bol : int; (* absolute offset of beginning of current line *)
+  mutable stack : string list; (* open element names, innermost first *)
+  mutable depth : int;
+  mutable mode : mode;
+  mutable xmldecl_checked : bool;
+  (* A self-closing tag yields two events from one token. *)
+  mutable pending : (event * position) list;
+  mutable failed : Parser.error option;
+}
+
+exception Fail of Parser.error
+
+let abs t = t.base + t.pos
+
+let fail t fmt =
+  Printf.ksprintf
+    (fun message ->
+      raise
+        (Fail
+           { Parser.line = t.line; col = abs t - t.bol + 1; offset = abs t;
+             message }))
+    fmt
+
+(* --- window management --- *)
+
+let refill t =
+  if t.pos > 0 then begin
+    let rem = t.len - t.pos in
+    Bytes.blit t.buf t.pos t.buf 0 rem;
+    t.base <- t.base + t.pos;
+    t.pos <- 0;
+    t.len <- rem
+  end;
+  match t.source () with
+  | None -> t.src_eof <- true
+  | Some chunk ->
+      let n = Bytes.length chunk in
+      if t.len + n > Bytes.length t.buf then begin
+        let cap = ref (max 64 (2 * Bytes.length t.buf)) in
+        while t.len + n > !cap do
+          cap := 2 * !cap
+        done;
+        let grown = Bytes.create !cap in
+        Bytes.blit t.buf 0 grown 0 t.len;
+        t.buf <- grown
+      end;
+      Bytes.blit chunk 0 t.buf t.len n;
+      t.len <- t.len + n
+
+(* Make [n] bytes available, or return false at end of input — the
+   streaming analogue of [Parser]'s bounds checks: a [looking_at] near
+   the end of input is false, never an error. *)
+let ensure t n =
+  while t.len - t.pos < n && not t.src_eof do
+    refill t
+  done;
+  t.len - t.pos >= n
+
+let at_eof t = not (ensure t 1)
+let peek t = Bytes.get t.buf t.pos
+
+let advance t =
+  if Bytes.get t.buf t.pos = '\n' then begin
+    t.line <- t.line + 1;
+    t.bol <- abs t + 1
+  end;
+  t.pos <- t.pos + 1
+
+let next_ch t =
+  if at_eof t then fail t "unexpected end of input";
+  let c = peek t in
+  advance t;
+  c
+
+let expect t c =
+  let got = next_ch t in
+  if got <> c then fail t "expected %C, found %C" c got
+
+let skip_string t s = String.iter (fun c -> expect t c) s
+
+let looking_at t s =
+  let n = String.length s in
+  ensure t n
+  &&
+  let rec eq i = i = n || (Bytes.get t.buf (t.pos + i) = s.[i] && eq (i + 1)) in
+  eq 0
+
+let is_ws = function ' ' | '\t' | '\r' | '\n' -> true | _ -> false
+
+let skip_ws t =
+  while (not (at_eof t)) && is_ws (peek t) do
+    advance t
+  done
+
+let position t = { line = t.line; col = abs t - t.bol + 1; offset = abs t }
+
+(* --- tokens: transliterations of the [Parser] lexers --- *)
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || c = '_' || c = ':'
+  || Char.code c >= 0x80
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let lex_name t =
+  if at_eof t || not (is_name_start (peek t)) then fail t "expected a name";
+  let buf = Buffer.create 12 in
+  while (not (at_eof t)) && is_name_char (peek t) do
+    Buffer.add_char buf (peek t);
+    advance t
+  done;
+  Buffer.contents buf
+
+(* Same encoder as [Parser.add_utf8]; duplicated because it is not part
+   of the parser's public interface. *)
+let add_utf8 buf code =
+  if code < 0 || code > 0x10FFFF then invalid_arg "add_utf8"
+  else if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let lex_reference t buf =
+  if at_eof t then fail t "unterminated entity reference";
+  if peek t = '#' then begin
+    advance t;
+    let hex = (not (at_eof t)) && (peek t = 'x' || peek t = 'X') in
+    if hex then advance t;
+    let digits = Buffer.create 8 in
+    while (not (at_eof t)) && peek t <> ';' do
+      Buffer.add_char digits (peek t);
+      advance t
+    done;
+    let digits = Buffer.contents digits in
+    expect t ';';
+    let code =
+      try int_of_string (if hex then "0x" ^ digits else digits)
+      with Failure _ -> fail t "bad character reference &#%s;" digits
+    in
+    try add_utf8 buf code
+    with Invalid_argument _ -> fail t "character reference out of range"
+  end
+  else begin
+    let name = lex_name t in
+    expect t ';';
+    match name with
+    | "lt" -> Buffer.add_char buf '<'
+    | "gt" -> Buffer.add_char buf '>'
+    | "amp" -> Buffer.add_char buf '&'
+    | "apos" -> Buffer.add_char buf '\''
+    | "quot" -> Buffer.add_char buf '"'
+    | other -> fail t "unknown entity &%s;" other
+  end
+
+let lex_attr_value t =
+  let quote = next_ch t in
+  if quote <> '"' && quote <> '\'' then fail t "expected quoted attribute value";
+  let buf = Buffer.create 16 in
+  let rec go () =
+    let c = next_ch t in
+    if c = quote then ()
+    else begin
+      (match c with
+      | '&' -> lex_reference t buf
+      | '<' -> fail t "'<' in attribute value"
+      | c -> Buffer.add_char buf c);
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+(* Returns [None] when the run was whitespace-only and stripped.  The
+   entity quirk is [Parser]'s: any reference marks the run non-blank
+   even if it resolves to whitespace. *)
+let lex_text t =
+  let buf = Buffer.create 32 in
+  let only_ws = ref true in
+  let rec go () =
+    if (not (at_eof t)) && peek t <> '<' then begin
+      let c = next_ch t in
+      (match c with
+      | '&' ->
+          only_ws := false;
+          lex_reference t buf
+      | c ->
+          if not (is_ws c) then only_ws := false;
+          Buffer.add_char buf c);
+      go ()
+    end
+  in
+  go ();
+  if Buffer.length buf = 0 then None
+  else if !only_ws && t.strip_ws then None
+  else Some (Buffer.contents buf)
+
+let lex_comment t =
+  (* after "<!--" *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if looking_at t "-->" then skip_string t "-->"
+    else begin
+      if looking_at t "--" then fail t "'--' inside comment";
+      Buffer.add_char buf (next_ch t);
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let lex_cdata t =
+  (* after "<![CDATA[" *)
+  let buf = Buffer.create 32 in
+  let rec go () =
+    if looking_at t "]]>" then skip_string t "]]>"
+    else begin
+      Buffer.add_char buf (next_ch t);
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let lex_pi t =
+  (* after "<?" *)
+  let target = lex_name t in
+  skip_ws t;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if looking_at t "?>" then skip_string t "?>"
+    else begin
+      Buffer.add_char buf (next_ch t);
+      go ()
+    end
+  in
+  go ();
+  (target, Buffer.contents buf)
+
+let skip_doctype t =
+  (* after "<!DOCTYPE" *)
+  let depth = ref 1 in
+  while !depth > 0 do
+    match next_ch t with
+    | '<' -> incr depth
+    | '>' -> decr depth
+    | '[' ->
+        let sub = ref 1 in
+        while !sub > 0 do
+          match next_ch t with
+          | '[' -> incr sub
+          | ']' -> decr sub
+          | _ -> ()
+        done
+    | _ -> ()
+  done
+
+(* --- grammar steps --- *)
+
+(* Attributes then ">" or "/>"; source order preserved. *)
+let lex_attributes t =
+  let rec go acc =
+    skip_ws t;
+    if at_eof t then fail t "unterminated start tag"
+    else if peek t = '>' then begin
+      advance t;
+      (List.rev acc, false)
+    end
+    else if looking_at t "/>" then begin
+      skip_string t "/>";
+      (List.rev acc, true)
+    end
+    else begin
+      let name = lex_name t in
+      skip_ws t;
+      expect t '=';
+      skip_ws t;
+      let value = lex_attr_value t in
+      go ((name, value) :: acc)
+    end
+  in
+  go []
+
+(* '<' already consumed; [p] is its position. *)
+let start_tag t p =
+  let name = lex_name t in
+  let attrs, self_closing = lex_attributes t in
+  if self_closing then begin
+    t.pending <- [ (End_element name, p) ];
+    if t.depth = 0 then t.mode <- Epilog
+  end
+  else begin
+    t.stack <- name :: t.stack;
+    t.depth <- t.depth + 1;
+    t.mode <- Content
+  end;
+  (Start_element { name; attrs }, p)
+
+let rec step_prolog t =
+  skip_ws t;
+  if not t.xmldecl_checked then begin
+    t.xmldecl_checked <- true;
+    (* The XML declaration is consumed and dropped, exactly like
+       [Parser.parse_prolog] — including its acceptance of any PI whose
+       target merely starts with "xml". *)
+    if looking_at t "<?xml" then begin
+      skip_string t "<?";
+      ignore (lex_pi t : string * string)
+    end;
+    skip_ws t
+  end;
+  let p = position t in
+  if looking_at t "<!--" then begin
+    skip_string t "<!--";
+    Some (Comment (lex_comment t), p)
+  end
+  else if looking_at t "<!DOCTYPE" then begin
+    skip_string t "<!DOCTYPE";
+    skip_doctype t;
+    step_prolog t
+  end
+  else if looking_at t "<?" then begin
+    skip_string t "<?";
+    let target, body = lex_pi t in
+    Some (Pi { target; body }, p)
+  end
+  else begin
+    if at_eof t || peek t <> '<' then fail t "expected root element";
+    expect t '<';
+    Some (start_tag t p)
+  end
+
+let rec step_content t =
+  let p = position t in
+  if at_eof t then fail t "unexpected end of input"
+  else if peek t <> '<' then begin
+    match lex_text t with
+    | Some txt -> Some (Text txt, p)
+    | None -> step_content t
+  end
+  else if looking_at t "</" then begin
+    skip_string t "</";
+    let close = lex_name t in
+    (match t.stack with
+    | open_tag :: rest ->
+        if not (String.equal close open_tag) then
+          fail t "mismatched end tag </%s> for <%s>" close open_tag;
+        skip_ws t;
+        expect t '>';
+        t.stack <- rest;
+        t.depth <- t.depth - 1;
+        if t.depth = 0 then t.mode <- Epilog
+    | [] ->
+        (* [Content] mode implies a non-empty stack. *)
+        assert false);
+    Some (End_element close, p)
+  end
+  else if looking_at t "<!--" then begin
+    skip_string t "<!--";
+    Some (Comment (lex_comment t), p)
+  end
+  else if looking_at t "<![CDATA[" then begin
+    skip_string t "<![CDATA[";
+    let txt = lex_cdata t in
+    if String.length txt > 0 then Some (Cdata txt, p) else step_content t
+  end
+  else if looking_at t "<?" then begin
+    skip_string t "<?";
+    let target, body = lex_pi t in
+    Some (Pi { target; body }, p)
+  end
+  else begin
+    expect t '<';
+    Some (start_tag t p)
+  end
+
+let step_epilog t =
+  skip_ws t;
+  let p = position t in
+  if at_eof t then None
+  else if looking_at t "<!--" then begin
+    skip_string t "<!--";
+    Some (Comment (lex_comment t), p)
+  end
+  else if looking_at t "<?" then begin
+    skip_string t "<?";
+    let target, body = lex_pi t in
+    Some (Pi { target; body }, p)
+  end
+  else fail t "content after the root element"
+
+(* --- public interface --- *)
+
+let make ?(strip_ws = true) source =
+  {
+    source;
+    strip_ws;
+    buf = Bytes.create 4096;
+    len = 0;
+    pos = 0;
+    base = 0;
+    src_eof = false;
+    line = 1;
+    bol = 0;
+    stack = [];
+    depth = 0;
+    mode = Prolog;
+    xmldecl_checked = false;
+    pending = [];
+    failed = None;
+  }
+
+let next t =
+  match t.failed with
+  | Some e -> Error e
+  | None -> (
+      match t.pending with
+      | ev :: rest ->
+          t.pending <- rest;
+          Ok (Some ev)
+      | [] -> (
+          try
+            match t.mode with
+            | Prolog -> Ok (step_prolog t)
+            | Content -> Ok (step_content t)
+            | Epilog -> Ok (step_epilog t)
+          with Fail e ->
+            t.failed <- Some e;
+            Error e))
+
+let consumed t = abs t
+let depth t = t.depth
+
+let of_string s =
+  let sent = ref false in
+  fun () ->
+    if !sent then None
+    else begin
+      sent := true;
+      Some (Bytes.of_string s)
+    end
+
+let of_channel ?(chunk_size = 65536) ic =
+  let chunk_size = max 1 chunk_size in
+  let buf = Bytes.create chunk_size in
+  fun () ->
+    let n = input ic buf 0 chunk_size in
+    if n = 0 then None
+    else if n = chunk_size then Some buf
+    else Some (Bytes.sub buf 0 n)

@@ -1,0 +1,75 @@
+(** Streaming pull parser: the [Parser] lexer re-hosted over an
+    incremental byte source.
+
+    [Sax] emits the document as a sequence of events instead of a
+    materialized {!Store.t}, so a consumer (notably [Xvi_ingest]) can
+    shred arbitrarily large inputs with a working set bounded by the
+    element depth, not the document size.  The tokenizer deliberately
+    reproduces [Parser]'s lexical rules bit for bit — entity
+    resolution, whitespace stripping, CDATA handling, prolog and
+    trailing-misc treatment — so that replaying the event stream
+    through the same [Store] append calls yields a store
+    marshal-identical to [Parser.parse] on the concatenated input.
+
+    Chunk boundaries are invisible: the same bytes split any way at
+    all produce the same event sequence. *)
+
+type source = unit -> bytes option
+(** A pull source: [Some chunk] of fresh bytes (the parser copies what
+    it needs; the caller may reuse the buffer), or [None] at end of
+    input.  Empty chunks are allowed and skipped. *)
+
+type position = { line : int; col : int; offset : int }
+(** 1-based line/column and 0-based absolute byte offset of the first
+    byte of the event's token ('<' of a tag, first character of a text
+    run). *)
+
+type event =
+  | Start_element of { name : string; attrs : (string * string) list }
+      (** Attributes in source order, entity references resolved.  A
+          self-closing tag emits [Start_element] immediately followed
+          by [End_element]. *)
+  | End_element of string  (** Tag name, matched against the start tag. *)
+  | Text of string
+      (** Character data with entities resolved.  Whitespace-only runs
+          are dropped under [~strip_ws:true] with [Parser]'s exact
+          rule: a run containing any entity reference is kept even if
+          it resolves to whitespace. *)
+  | Cdata of string
+      (** A non-empty CDATA section.  Reported separately from [Text]
+          (never merged with adjacent character data) but stored as a
+          text node, exactly as [Parser] appends it. *)
+  | Comment of string
+  | Pi of { target : string; body : string }
+      (** Processing instruction.  The leading XML declaration is
+          consumed and not reported, as in [Parser].  Prolog and
+          trailing-misc comments/PIs {e are} reported; the consumer
+          decides their fate ([Parser] stores prolog misc under the
+          document node and drops trailing misc). *)
+
+type t
+
+val make : ?strip_ws:bool -> source -> t
+(** [make source] starts a parse over [source].  [strip_ws] defaults
+    to [true], matching [Parser.parse]. *)
+
+val next : t -> ((event * position) option, Parser.error) result
+(** Pull the next event.  [Ok None] is clean end of document (emitted
+    only after the root element closed and any trailing misc was
+    consumed).  After an [Error] the parser is stuck: subsequent calls
+    return the same error. *)
+
+val consumed : t -> int
+(** Absolute count of source bytes fully tokenized so far.  At every
+    event boundary this is an exact cut point: feeding the first
+    [consumed t] bytes followed by the rest of the input (through any
+    chunking) reproduces the remaining event stream. *)
+
+val depth : t -> int
+(** Number of currently open elements. *)
+
+val of_string : string -> source
+(** The whole document as one chunk. *)
+
+val of_channel : ?chunk_size:int -> in_channel -> source
+(** Read [chunk_size] (default 64 KiB) bytes at a time. *)
