@@ -154,12 +154,12 @@ let fig9 () =
       let name = e.Datasets.name in
       let p = paper_row name in
       let shred_ms =
-        Timing.repeat_ms !reps (fun () -> ignore (Parser.parse_exn e.Datasets.xml))
+        Timing.repeat_ms !reps (fun () -> ignore (Parser.parse_exn e.Datasets.xml : Store.t))
       in
       let store = store_of e in
-      let str_ms = Timing.repeat_ms !reps (fun () -> ignore (SI.create store)) in
+      let str_ms = Timing.repeat_ms !reps (fun () -> ignore (SI.create store : SI.t)) in
       let dbl_ms =
-        Timing.repeat_ms !reps (fun () -> ignore (TI.create (LT.double ()) store))
+        Timing.repeat_ms !reps (fun () -> ignore (TI.create (LT.double ()) store : TI.t))
       in
       time_rows :=
         [
@@ -380,7 +380,7 @@ let micro () =
         (Staged.stage (fun () ->
              let k = Prng.int rng 10_000_000 in
              BT.insert tree k 1;
-             ignore (BT.remove tree k)));
+             ignore (BT.remove tree k : bool)));
     ]
   in
   let test = Test.make_grouped ~name:"xvi" tests in
@@ -403,7 +403,8 @@ let micro () =
       in
       rows := [ name; est ] :: !rows)
     results;
-  Table.print ~header:[ "operation"; "time/op" ] (List.sort compare !rows);
+  Table.print ~header:[ "operation"; "time/op" ]
+    (List.sort (List.compare String.compare) !rows);
   print_newline ()
 
 (* ====================================================== ablation ===== *)
@@ -422,7 +423,7 @@ let ablation () =
   List.iter (fun (n, v) -> Store.set_text store n v) updates;
   let nodes = List.map fst updates in
   let (), inc_ms = Timing.time_ms (fun () -> SI.update_texts si store nodes) in
-  let rebuild_ms = Timing.repeat_ms 3 (fun () -> ignore (SI.create store)) in
+  let rebuild_ms = Timing.repeat_ms 3 (fun () -> ignore (SI.create store : SI.t)) in
   Table.print ~header:[ "string index maintenance (1000 updates)"; "time" ]
     [
       [ "incremental (Figure 8, C-recombination)"; Table.fmt_ms inc_ms ];
@@ -449,12 +450,12 @@ let ablation () =
   in
   let (), fold_ms =
     Timing.time_ms (fun () ->
-        Array.iter (fun n -> ignore (fold_children n)) victims)
+        Array.iter (fun n -> ignore (fold_children n : Hash.t)) victims)
   in
   let (), rehash_ms =
     Timing.time_ms (fun () ->
         Array.iter
-          (fun n -> ignore (Hash.hash (Store.string_value store n)))
+          (fun n -> ignore (Hash.hash (Store.string_value store n) : Hash.t))
           victims)
   in
   Table.print
@@ -477,7 +478,7 @@ let ablation () =
           (fun i ->
             let n = texts.(i) in
             match Store.parent store n with
-            | Some p -> ignore (fold_children p)
+            | Some p -> ignore (fold_children p : Hash.t)
             | None -> ())
           sample)
   in
@@ -506,7 +507,8 @@ let ablation () =
                   (Hash.replace
                      ~old_child:(Indexer.get fields n)
                      ~new_child:(Hash.hash "replacement") ~prefix:!prefix
-                     (Indexer.get fields p))
+                     (Indexer.get fields p)
+                    : Hash.t)
             | None -> ())
           sample)
   in
@@ -525,7 +527,7 @@ let ablation () =
   let wide_root = Store.append_element wide ~parent:Store.document "wide" in
   for i = 0 to 9_999 do
     let c = Store.append_element wide ~parent:wide_root "e" in
-    ignore (Store.append_text wide ~parent:c (string_of_int i))
+    ignore (Store.append_text wide ~parent:c (string_of_int i) : Store.node)
   done;
   let wfields = Indexer.create Indexer.hash_ops wide in
   let early = List.nth (Store.children wide wide_root) 10 in
@@ -536,7 +538,8 @@ let ablation () =
           ignore
             (List.fold_left
                (fun acc c -> Hash.combine acc (Indexer.get wfields c))
-               Hash.empty (Store.children wide wide_root))
+               Hash.empty (Store.children wide wide_root)
+              : Hash.t)
         done)
   in
   let (), wide_delta_ms =
@@ -558,7 +561,8 @@ let ablation () =
             (Hash.replace
                ~old_child:(Indexer.get wfields early)
                ~new_child:(Hash.hash "x") ~prefix:!prefix
-               (Indexer.get wfields wide_root))
+               (Indexer.get wfields wide_root)
+              : Hash.t)
         done)
   in
   Table.print
@@ -590,9 +594,12 @@ let ablation () =
   in
   let (), separate_ms =
     Timing.time_ms (fun () ->
-        ignore (Indexer.create Indexer.hash_ops store);
+        ignore (Indexer.create Indexer.hash_ops store : Hash.t Indexer.fields);
         List.iter
-          (fun spec -> ignore (Indexer.create (Indexer.sct_ops spec.LT.sct) store))
+          (fun spec ->
+            ignore
+              (Indexer.create (Indexer.sct_ops spec.LT.sct) store
+                : int Indexer.fields))
           specs)
   in
   Table.print
@@ -797,7 +804,7 @@ let queries () =
             let t = Xpath.parse_exn q in
             let naive, naive_ms = Timing.time_ms (fun () -> Xpath.eval store t) in
             (* warm run: the plane is cached by the Db *)
-            ignore (Xpath.eval_indexed db t);
+            ignore (Xpath.eval_indexed db t : Store.node list);
             let fast, fast_ms =
               Timing.time_ms (fun () -> Xpath.eval_indexed db t)
             in
@@ -887,8 +894,9 @@ let query_bench () =
          sequential blocks otherwise dominates the comparison. *)
       let planned_ms = ref infinity and naive_ms = ref infinity in
       for _ = 1 to 5 do
-        let p = Timing.repeat_ms reps (fun () -> ignore (Db.query db ir)) in
-        let n = Timing.repeat_ms reps (fun () -> ignore (naive ())) in
+        let p = Timing.repeat_ms reps (fun () -> ignore (Db.query db ir : Store.node list))
+        in
+        let n = Timing.repeat_ms reps (fun () -> ignore (naive () : Store.node list)) in
         if p < !planned_ms then planned_ms := p;
         if n < !naive_ms then naive_ms := n
       done;
@@ -974,7 +982,7 @@ let parallel () =
     List.map
       (fun jobs ->
         let ms =
-          Timing.repeat_ms ~warmup:1 !reps (fun () -> ignore (build jobs))
+          Timing.repeat_ms ~warmup:1 !reps (fun () -> ignore (build jobs : Db.t))
         in
         let fp = fingerprint (build jobs) in
         if jobs = 1 then begin
@@ -1098,7 +1106,7 @@ let wal_bench () =
           [ "sync mode"; "commits"; "total"; "commits/s"; "fsyncs"; "batched" ]
         (List.map
            (fun (name, mode, ms, tps, st, (w : Wal.Writer.stats)) ->
-             ignore mode;
+             ignore (mode : Wal.sync_mode);
              [
                name;
                string_of_int st.Txn.committed;
@@ -1292,7 +1300,7 @@ let serve_bench () =
         | Ok () -> ()
         | Error e -> failwith ("recovered db invalid: " ^ e));
         let rc = (Engine.stats r).Engine.commits in
-        ignore rc;
+        ignore (rc : int);
         Engine.close r
     | Error e -> failwith (Engine.error_to_string e));
     rm_rf dir;
@@ -1815,7 +1823,7 @@ let storage_bench () =
           buckets)
   in
   assert (old_post_scanned = !count);
-  ignore (Sys.opaque_identity !sink);
+  ignore (Sys.opaque_identity !sink : int);
   Table.print
     ~header:
       [ "tree"; "entries"; "boxed keys"; "this PR"; "speedup"; "live words" ]
@@ -1886,7 +1894,8 @@ let storage_bench () =
                   Xvi_query.Cursor.of_sorted_list la;
                   Xvi_query.Cursor.of_lazy_list (fun () ->
                       List.sort Int.compare lb_value_order);
-                ])))
+                ])
+            : Store.node list))
   in
   let check_ms =
     (* the probed column exists before the query runs, so its
@@ -1895,7 +1904,8 @@ let storage_bench () =
     List.iter (fun n -> Hashtbl.replace h n ()) lb_value_order;
     Timing.repeat_ms (max 3 reps) (fun () ->
         ignore
-          (List.sort_uniq Int.compare (List.filter (Hashtbl.mem h) la)))
+          (List.sort_uniq Int.compare (List.filter (Hashtbl.mem h) la)
+            : int list))
   in
   let cursor_step_ns = cursor_ms *. 1e6 /. total in
   let check_step_ns = check_ms *. 1e6 /. float_of_int n_cal in
@@ -2021,7 +2031,7 @@ let ingest_bench () =
   in
   let whole_digest = digest db_w in
   let nodes = Store.live_count (Db.store db_w) in
-  ignore (Sys.opaque_identity db_w);
+  ignore (Sys.opaque_identity db_w : Db.t);
 
   (* --- streamed path (in-memory) ---
      Driven through [Builder] directly so the two phases separate: the
@@ -2072,7 +2082,7 @@ let ingest_bench () =
   let bit_identical = String.equal whole_digest stream_digest in
   if not bit_identical then
     failwith "streamed ingest diverged from the whole-document build";
-  ignore (Sys.opaque_identity db_s);
+  ignore (Sys.opaque_identity db_s : Db.t);
 
   (* --- streamed path (durable: every batch WAL-committed) --- *)
   let dir = Filename.temp_file "xvi_ingest_bench" ".dir" in

@@ -247,7 +247,7 @@ let open_replica ?config ?publish_period dir =
           Error m
       | Ok fd -> Ok { engine = eng; wal_fd = fd })
 
-let open_state t =
+let open_state_locked t =
   match
     open_replica ?config:t.config ?publish_period:t.publish_period t.dir
   with
@@ -275,7 +275,7 @@ let reseed_locked t =
   | () -> (
       match fetch_into t.transport t.dir with
       | Error _ as e -> e
-      | Ok () -> open_state t)
+      | Ok () -> open_state_locked t)
 
 (* A batch is applied all-or-nothing: every frame must decode (the WAL
    digest framing catches in-transit corruption exactly as recovery

@@ -420,7 +420,7 @@ let check_delete_target db node =
    synced; under [Group]/[Never] it is deferred like any other commit.
    [had_tail] is whether unacked commits already existed when the
    operation started — it decides whether this one opens a new window. *)
-let structural_committed t ~had_tail =
+let structural_committed_locked t ~had_tail =
   t.commits <- t.commits + 1;
   let lsn =
     match t.backend with
@@ -455,7 +455,7 @@ let insert_xml t ~parent fragment =
             in
             match inserted with
             | Error e -> Error (Parse e)
-            | Ok roots -> Ok (roots, structural_committed t ~had_tail)))
+            | Ok roots -> Ok (roots, structural_committed_locked t ~had_tail)))
 
 let delete_subtree t node =
   with_lock t (fun () ->
@@ -470,7 +470,7 @@ let delete_subtree t node =
             | Mem -> Db.delete_subtree t.master node
             | Disk d -> Durable.delete_subtree d node
             | Rep _ -> assert false (* rejected by the read_only guard *));
-            Ok (structural_committed t ~had_tail))
+            Ok (structural_committed_locked t ~had_tail))
 
 let sync t = with_lock t (fun () -> if not t.closed then sync_locked t)
 

@@ -40,6 +40,9 @@ let engine t = Atomic.get t.engine
 let request_stop t = Atomic.set t.stop true
 let set_repl t repl = t.repl <- repl
 let set_engine t e = Atomic.set t.engine e
+[@@xvi.lint.allow
+  "D1: engine swap is a single-word atomic publication; request loops \
+   re-read the cell per request, so no lock is needed"]
 
 let create ?(log = fun (_ : string) -> ()) ?repl ~engine ~socket () =
   (* a peer that dies mid-frame must surface as EPIPE on the write —
@@ -195,7 +198,11 @@ let exec t session req =
           | Error m -> (Protocol.Err m, `Continue)
           | Ok None -> (Protocol.Ok_, `Continue)
           | Ok (Some (e, r')) ->
-              Atomic.set t.engine e;
+              (Atomic.set t.engine e
+              [@xvi.lint.allow
+                "D1: promotion swaps the engine cell atomically; the \
+                 request loop re-reads it per request and the old \
+                 engine stays valid for in-flight readers"]);
               t.repl <- Some r';
               t.log "promoted: serving as leader";
               (Protocol.Ok_, `Continue)))

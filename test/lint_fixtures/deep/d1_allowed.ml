@@ -1,0 +1,15 @@
+(* A reasoned allow silences D1; a reasonless one is A0 and does not
+   suppress anything. *)
+
+module Bigvec = struct
+  type t = { mutable n : int }
+
+  let set t (_ : int) v = t.n <- v
+end
+
+type t = { store : Bigvec.t }
+
+let poke t i v = Bigvec.set t.store i v
+[@@xvi.lint.allow "D1: fixture: single-threaded test helper owns the store"]
+
+let prod t i v = Bigvec.set t.store i v [@@xvi.lint.allow "D1"]

@@ -1,0 +1,20 @@
+(* D1 must fire: top-level entry points that reach a store mutation or
+   an epoch publication without holding the writer lock. *)
+
+module Bigvec = struct
+  type t = { mutable n : int }
+
+  let set t (_ : int) v = t.n <- v
+end
+
+type db = { data : Bigvec.t }
+type t = { lock : Mutex.t; published : db Atomic.t; master : db }
+
+(* helper: the mutation itself, three lines below the entry point *)
+let write_cell t i v = Bigvec.set t.master.data i v
+
+(* entry point reaching the mutation through the helper, no lock *)
+let insert t i v = write_cell t i v
+
+(* entry point publishing a fresh epoch with no lock *)
+let publish t = Atomic.set t.published t.master

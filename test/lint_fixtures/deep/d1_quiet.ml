@@ -1,0 +1,30 @@
+(* D1 must stay quiet: the same mutation and publication, but every
+   path runs under the writer lock — through the lock wrapper, or in a
+   [_locked] helper whose caller holds it. *)
+
+module Bigvec = struct
+  type t = { mutable n : int }
+
+  let set t (_ : int) v = t.n <- v
+end
+
+type db = { data : Bigvec.t }
+type t = { lock : Mutex.t; published : db Atomic.t; master : db }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* caller-holds-the-lock contract, by naming convention *)
+let write_cell_locked t i v = Bigvec.set t.master.data i v
+let publish_locked t = Atomic.set t.published t.master
+
+let insert t i v =
+  with_lock t (fun () ->
+      write_cell_locked t i v;
+      publish_locked t)
+
+(* a constructor owns the value it builds: no lock needed *)
+let create () =
+  { lock = Mutex.create (); published = Atomic.make { data = { Bigvec.n = 0 } };
+    master = { data = { Bigvec.n = 0 } } }

@@ -1,0 +1,30 @@
+(* D2 must fire: (a) mutating the store after publishing the epoch in
+   the same critical section — pinned readers share those chunks; and
+   (b) mutating a value that flowed out of [Engine.pin]. *)
+
+module Bigvec = struct
+  type t = { mutable n : int }
+
+  let set t (_ : int) v = t.n <- v
+end
+
+type db = { data : Bigvec.t }
+type t = { lock : Mutex.t; published : db Atomic.t; master : db }
+
+module Engine = struct
+  let pin t = Atomic.get t.published
+end
+
+(* (a): publish, then keep writing into the copy just published *)
+let publish_then_touch t =
+  Mutex.lock t.lock;
+  Atomic.set t.published t.master;
+  Bigvec.set t.master.data 0 1;
+  Mutex.unlock t.lock
+
+(* (b): a pinned snapshot is immutable *)
+let scribble_on_pin t =
+  Mutex.lock t.lock;
+  let s = Engine.pin t in
+  Bigvec.set s.data 0 1;
+  Mutex.unlock t.lock

@@ -1,0 +1,28 @@
+(* D2 must stay quiet: mutation strictly precedes publication, the
+   published value is a fresh copy, and pinned snapshots only flow
+   into copies. *)
+
+module Bigvec = struct
+  type t = { mutable n : int }
+
+  let set t (_ : int) v = t.n <- v
+  let copy t = { n = t.n }
+end
+
+type db = { data : Bigvec.t }
+type t = { lock : Mutex.t; published : db Atomic.t; master : db }
+
+module Engine = struct
+  let pin t = Atomic.get t.published
+end
+
+let commit t i v =
+  Mutex.lock t.lock;
+  Bigvec.set t.master.data i v;
+  Atomic.set t.published { data = Bigvec.copy t.master.data };
+  Mutex.unlock t.lock
+
+(* reading (and copying) a pinned snapshot is the intended use *)
+let snapshot_of_pin t =
+  let s = Engine.pin t in
+  Bigvec.copy s.data

@@ -1,0 +1,20 @@
+(* D3 must fire: durability-ordering violations in WAL-shaped code —
+   ack before fsync, validation after the append, and a snapshot
+   rename with no fsync around it. *)
+
+let replica_apply (_ : string) = ()
+let check_frame (f : string) = String.length f > 0
+
+(* ack reaches the follower before the commit record is on disk *)
+let commit_no_fsync oc frame =
+  output_string oc frame;
+  replica_apply frame
+
+(* the record is already appended when validation rejects it: replay
+   would see a committed record that fails *)
+let commit_validate_late oc frame =
+  output_string oc frame;
+  ignore (check_frame frame : bool)
+
+(* neither the snapshot file nor the directory entry is durable *)
+let install_snapshot tmp dst = Sys.rename tmp dst

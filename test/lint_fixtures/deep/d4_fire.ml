@@ -1,0 +1,21 @@
+(* D4 must fire: the encoder writes a tag the decoder never matches
+   (and the decoder still matches one the encoder no longer emits). *)
+
+module Wal = struct
+  type record = Commit | Insert of string | Truncate
+
+  let encode buf r =
+    match r with
+    | Commit -> Buffer.add_uint8 buf 1
+    | Insert s ->
+        Buffer.add_uint8 buf 2;
+        Buffer.add_string buf s
+    | Truncate -> Buffer.add_uint8 buf 4
+
+  let parse_payload tag s =
+    match tag with
+    | 1 -> Ok Commit
+    | 2 -> Ok (Insert s)
+    | 3 -> Ok Commit
+    | _ -> Error "unknown tag"
+end

@@ -1,0 +1,20 @@
+(* D4 must stay quiet: encoder and decoder agree on the tag set. *)
+
+module Wal = struct
+  type record = Commit | Insert of string | Truncate
+
+  let encode buf r =
+    match r with
+    | Commit -> Buffer.add_uint8 buf 1
+    | Insert s ->
+        Buffer.add_uint8 buf 2;
+        Buffer.add_string buf s
+    | Truncate -> Buffer.add_uint8 buf 3
+
+  let parse_payload tag s =
+    match tag with
+    | 1 -> Ok Commit
+    | 2 -> Ok (Insert s)
+    | 3 -> Ok Truncate
+    | _ -> Error "unknown tag"
+end

@@ -1,0 +1,30 @@
+(* Historical shape (D2): publish-then-extend.  The writer published
+   the epoch first and kept appending into the very vectors the
+   readers had just pinned; the fix is copy -> publish -> mutate the
+   master only. *)
+
+module Bigvec = struct
+  type t = { mutable n : int }
+
+  let push t v = t.n <- (t.n * 16) + v
+  let copy t = { n = t.n }
+end
+
+type db = { data : Bigvec.t }
+type t = { lock : Mutex.t; published : db Atomic.t; master : db }
+
+(* the buggy shape: the published epoch and the write target alias *)
+let commit_then_extend t v =
+  Mutex.lock t.lock;
+  Atomic.set t.published t.master;
+  Bigvec.push t.master.data v;
+  Mutex.unlock t.lock
+
+(* the fixed shape publishes a copy, then extends the master *)
+let commit_fixed t v =
+  Mutex.lock t.lock;
+  Atomic.set t.published { data = Bigvec.copy t.master.data };
+  Mutex.unlock t.lock;
+  Mutex.lock t.lock;
+  Bigvec.push t.master.data v;
+  Mutex.unlock t.lock

@@ -1,0 +1,26 @@
+(* Historical shape (D1): the group-commit flusher thread published a
+   fresh epoch without taking the writer lock, racing the writer's
+   copy-then-publish sequence.  The fixed flusher brackets the
+   publication in lock/unlock. *)
+
+module Bigvec = struct
+  type t = { mutable n : int }
+end
+
+type db = { data : Bigvec.t }
+
+type t = {
+  lock : Mutex.t;
+  published : db Atomic.t;
+  master : db;
+  stop : bool Atomic.t;
+}
+
+(* the buggy shape: one periodic tick, no lock around the publication *)
+let flusher_tick t = Atomic.set t.published t.master
+
+(* the fixed shape stays quiet *)
+let flusher_tick_fixed t =
+  Mutex.lock t.lock;
+  if not (Atomic.get t.stop) then Atomic.set t.published t.master;
+  Mutex.unlock t.lock

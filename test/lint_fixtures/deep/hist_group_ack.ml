@@ -1,0 +1,20 @@
+(* Historical shape (D3): group commit acknowledged the batch to the
+   waiting sessions before the batched fsync ran, so a crash between
+   ack and fsync lost commits the clients had seen succeed. *)
+
+module Unix = struct
+  let fsync (_ : out_channel) = ()
+end
+
+let replica_apply (_ : int) = ()
+
+(* the buggy shape: ack first, fsync later (or never) *)
+let group_commit oc frames =
+  output_string oc (String.concat "" frames);
+  replica_apply (List.length frames)
+
+(* the fixed shape fsyncs the batch before anyone hears about it *)
+let group_commit_fixed oc frames =
+  output_string oc (String.concat "" frames);
+  Unix.fsync oc;
+  replica_apply (List.length frames)

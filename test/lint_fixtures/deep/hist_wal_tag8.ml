@@ -1,0 +1,34 @@
+(* Historical shape (D4): WAL record tag 8 (Ingest_chunk) was added to
+   the encoder when streaming ingest landed; a decoder that predates it
+   replays the log up to the first chunk and fails.  Tag-set equality
+   between [Wal.encode] and [Wal.parse_payload] catches the drift at
+   build time. *)
+
+module Wal = struct
+  type record =
+    | Commit
+    | Insert of string
+    | Delete of int
+    | Ingest_chunk of string
+
+  let encode buf r =
+    match r with
+    | Commit -> Buffer.add_uint8 buf 1
+    | Insert s ->
+        Buffer.add_uint8 buf 2;
+        Buffer.add_string buf s
+    | Delete n ->
+        Buffer.add_uint8 buf 3;
+        Buffer.add_string buf (string_of_int n)
+    | Ingest_chunk s ->
+        Buffer.add_uint8 buf 8;
+        Buffer.add_string buf s
+
+  (* predates streaming ingest: tag 8 is missing *)
+  let parse_payload tag s =
+    match tag with
+    | 1 -> Ok Commit
+    | 2 -> Ok (Insert s)
+    | 3 -> Ok (Delete (int_of_string s))
+    | _ -> Error "unknown tag"
+end

@@ -1,0 +1,22 @@
+(** xvi-lint stage 2: Typedtree-based discipline analysis (D1–D4).
+
+    Builds per-function effect summaries and a call graph over the
+    analyzed compilation units, then checks lock discipline (D1), COW
+    escape (D2), durability ordering (D3) and codec exhaustiveness
+    (D4).  Findings reuse {!Xvi_lint_lib.Lint.finding} and carry a
+    witness call chain; suppression uses the same reasoned
+    [\@xvi.lint.allow "D<n>: why"] attributes, with A0 for malformed
+    ones.  See DESIGN.md "Static analysis". *)
+
+val analyze_cmts :
+  string list -> (Xvi_lint_lib.Lint.finding list, string) result
+(** Analyze the given [.cmt] files as one program.  Non-implementation
+    cmts are skipped; duplicate compilation units are analyzed once.
+    [Error] reports unreadable cmt files. *)
+
+val analyze_sources :
+  string list -> (Xvi_lint_lib.Lint.finding list, string) result
+(** Parse and typecheck the given [.ml] files in-process (against the
+    toolchain stdlib only) and analyze them as one program, with every
+    rule scope enabled — the fixture path.  [Error] is a parse or type
+    error, reported verbatim. *)

@@ -21,6 +21,10 @@ type rule =
   | R4  (* open without Fun.protect or a lexically-paired close *)
   | R5  (* ignore without a type annotation *)
   | R6  (* stdout printing from library code *)
+  | D1  (* store mutation / epoch publication outside the writer lock *)
+  | D2  (* COW escape: mutation after publication, or of a pinned value *)
+  | D3  (* WAL/replication ordering: append -> fsync -> ack; fsync'd rename *)
+  | D4  (* encoder/decoder tag sets out of sync *)
   | A0  (* malformed [@xvi.lint.allow] *)
 
 let rule_id = function
@@ -30,6 +34,10 @@ let rule_id = function
   | R4 -> "R4"
   | R5 -> "R5"
   | R6 -> "R6"
+  | D1 -> "D1"
+  | D2 -> "D2"
+  | D3 -> "D3"
+  | D4 -> "D4"
   | A0 -> "A0"
 
 let rule_of_id = function
@@ -39,6 +47,10 @@ let rule_of_id = function
   | "R4" -> Some R4
   | "R5" -> Some R5
   | "R6" -> Some R6
+  | "D1" -> Some D1
+  | "D2" -> Some D2
+  | "D3" -> Some D3
+  | "D4" -> Some D4
   | _ -> None
 
 (* One line of why each rule exists; printed by [--rules]. *)
@@ -60,11 +72,27 @@ let rule_doc = function
       "ignore must carry a type annotation so partial applications cannot \
        be silently discarded"
   | R6 -> "no print_endline/Printf.printf in lib/: libraries do not own stdout"
+  | D1 ->
+      "deep: every path to a store/Bigvec mutation or epoch publication must \
+       be dominated by the writer lock; reader-side entry points must not \
+       reach one (the PR 6 single-writer MVCC contract)"
+  | D2 ->
+      "deep: no Bigvec.set-family effect after an epoch publication in the \
+       same critical section, and no mutation of a value pinned via \
+       Engine.pin (the PR 8 shared-chunk COW invariant)"
+  | D3 ->
+      "deep: in wal/txn/repl, ack must be dominated by fsync, fsync by \
+       append, validation must precede the append, and a snapshot rename \
+       needs file+dir fsync (the PR 4/PR 7 durability ordering)"
+  | D4 ->
+      "deep: encoder and decoder of the same codec must match the same \
+       tag/verb set, so a new constructor is a build failure, not a replay \
+       surprise"
   | A0 ->
       "a [@xvi.lint.allow] must be \"R<n>: reason\": an unjustified \
        suppression is itself a finding"
 
-let all_rules = [ R1; R2; R3; R4; R5; R6 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; D1; D2; D3; D4 ]
 
 type finding = {
   rule : rule;
@@ -72,6 +100,8 @@ type finding = {
   line : int;
   col : int;
   message : string;
+  witness : (string * string * int) list;
+      (* call chain, outermost first: (function, file, line) *)
 }
 
 let compare_finding a b =
@@ -86,8 +116,15 @@ let compare_finding a b =
   | c -> c
 
 let to_string f =
-  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col (rule_id f.rule)
-    f.message
+  let head =
+    Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col (rule_id f.rule)
+      f.message
+  in
+  match f.witness with
+  | [] -> head
+  | w ->
+      let step (fn, file, line) = Printf.sprintf "%s (%s:%d)" fn file line in
+      head ^ "\n  witness: " ^ String.concat "\n        -> " (List.map step w)
 
 (* --- Longident classification ------------------------------------- *)
 
@@ -270,7 +307,8 @@ let report st rule (loc : Location.t) message =
   in
   if not suppressed then begin
     let line, col = pos_of loc in
-    st.findings <- { rule; file = st.file; line; col; message } :: st.findings
+    st.findings <-
+      { rule; file = st.file; line; col; message; witness = [] } :: st.findings
   end
 
 (* Push every well-formed allow on [attrs]; malformed ones become A0

@@ -1,5 +1,7 @@
 (** Project-invariant linter: parses OCaml sources with compiler-libs
-    and enforces the xvi rule catalogue (R1–R6) over the Parsetree.
+    and enforces the xvi rule catalogue over the Parsetree (R1–R6); the
+    deep Typedtree stage ({!module:Deep} in [tools/lint/deep]) reuses
+    the rule/finding/allow vocabulary declared here for D1–D4.
     See DESIGN.md "Static analysis" for the catalogue and the
     historical bug each rule is derived from. *)
 
@@ -10,6 +12,10 @@ type rule =
   | R4  (** open without Fun.protect or a lexically-paired close *)
   | R5  (** ignore without a type annotation *)
   | R6  (** stdout printing from library code *)
+  | D1  (** store mutation / epoch publication outside the writer lock *)
+  | D2  (** COW escape: mutation after publication or of a pinned value *)
+  | D3  (** WAL/repl ordering: validate→append→fsync→ack; fsync'd rename *)
+  | D4  (** encoder/decoder tag sets out of sync *)
   | A0  (** malformed [\@xvi.lint.allow] attribute *)
 
 val rule_id : rule -> string
@@ -17,7 +23,7 @@ val rule_of_id : string -> rule option
 val rule_doc : rule -> string
 
 val all_rules : rule list
-(** R1–R6, in order; excludes the meta-rule A0. *)
+(** R1–R6 then D1–D4, in order; excludes the meta-rule A0. *)
 
 type finding = {
   rule : rule;
@@ -25,13 +31,30 @@ type finding = {
   line : int;  (** 1-based *)
   col : int;  (** 0-based, as compilers print them *)
   message : string;
+  witness : (string * string * int) list;
+      (** deep-stage call chain, outermost entry point first:
+          [(function, file, line)].  Empty for Parsetree findings. *)
 }
 
 val to_string : finding -> string
-(** [file:line:col: [Rn] message] *)
+(** [file:line:col: [Rn] message], followed by the witness chain when
+    there is one. *)
 
 val compare_finding : finding -> finding -> int
 (** Order by file, line, column, rule id. *)
+
+val allow_attr_name : string
+(** ["xvi.lint.allow"] *)
+
+val parse_allow_text : string -> (rule * string, string) result
+(** ["R2: reason"] → [Ok (R2, reason)]; anything else → [Error why]. *)
+
+val parse_allow_attr :
+  Parsetree.attribute ->
+  ((rule * string, string) result * Location.t) option
+(** [None] when the attribute is not an allow at all; [Some (Error _, _)]
+    when it is an allow but malformed (an A0 finding at the returned
+    location). *)
 
 type file_result = (finding list, string) result
 (** [Error] is a parse failure, reported verbatim. *)

@@ -1,74 +1,185 @@
-(* Driver: [xvi_lint [--rules] path...] lints every .ml/.mli under the
-   given files/directories (default: lib bin).  Exit 0 when clean, 1 on
-   findings, 2 on parse errors or bad usage. *)
+(* Driver: [xvi_lint [--rules] [--format text|json] [--deep DIR]
+   [--deep-src FILE] path...] runs the Parsetree stage over every
+   .ml/.mli under the given files/directories (default: lib bin tools
+   bench) and the Typedtree deep stage over every .cmt under the
+   [--deep] directories (plus any [--deep-src] fixture sources,
+   typechecked in-process).  Exit 0 when clean, 1 on findings, 2 on
+   parse/analysis errors or bad usage. *)
 
 module Lint = Xvi_lint_lib.Lint
+module Deep = Xvi_lint_deep.Deep
 
-let usage = "usage: xvi_lint [--rules] [path ...]"
+let usage =
+  "usage: xvi_lint [--rules] [--format text|json] [--deep dir] \
+   [--deep-src file.ml] [path ...]"
 
 let print_rules () =
   List.iter
     (fun r -> Printf.printf "%s  %s\n" (Lint.rule_id r) (Lint.rule_doc r))
     Lint.all_rules
 
-let rec collect path acc =
+let rec collect ~suffixes path acc =
   if Sys.is_directory path then
     Array.fold_left
       (fun acc entry ->
-        if entry = "_build" || entry = ".git" then acc
-        else collect (Filename.concat path entry) acc)
+        if entry = ".git" then acc
+        else collect ~suffixes (Filename.concat path entry) acc)
       acc
       (Sys.readdir path)
-  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
-  then path :: acc
+  else if List.exists (fun s -> Filename.check_suffix path s) suffixes then
+    path :: acc
   else acc
 
 (* Library-only rules apply to files living under a [lib] directory. *)
-let in_lib path =
-  List.mem "lib" (String.split_on_char '/' path)
+let in_lib path = List.mem "lib" (String.split_on_char '/' path)
+
+(* The source tree walk must not descend into _build (the cmt walk,
+   [--deep], usually points inside it). *)
+let collect_sources path acc =
+  let rec go path acc =
+    if Sys.is_directory path then
+      Array.fold_left
+        (fun acc entry ->
+          if entry = "_build" || entry = ".git" then acc
+          else go (Filename.concat path entry) acc)
+        acc
+        (Sys.readdir path)
+    else if
+      Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+    then path :: acc
+    else acc
+  in
+  go path acc
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let finding_to_json (f : Lint.finding) =
+  let witness =
+    f.witness
+    |> List.map (fun (fn, file, line) ->
+           Printf.sprintf "{\"fn\":\"%s\",\"file\":\"%s\",\"line\":%d}"
+             (json_escape fn) (json_escape file) line)
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\",\"witness\":[%s]}"
+    (Lint.rule_id f.rule) (json_escape f.file) f.line f.col
+    (json_escape f.message) witness
+
+let print_findings ~format findings =
+  match format with
+  | `Text -> List.iter (fun f -> print_endline (Lint.to_string f)) findings
+  | `Json ->
+      print_endline
+        ("[" ^ String.concat ",\n " (List.map finding_to_json findings) ^ "]")
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    if List.mem "--rules" args then begin
-      print_rules ();
-      match List.filter (fun a -> a <> "--rules") args with
-      | [] -> exit 0 (* a pure catalogue query: don't fall through to lint *)
-      | rest -> rest
-    end
-    else args
+  let format = ref `Text in
+  let deep_dirs = ref [] in
+  let deep_srcs = ref [] in
+  let roots = ref [] in
+  let bad u =
+    Printf.eprintf "xvi_lint: %s\n%s\n" u usage;
+    exit 2
   in
-  (match List.find_opt (fun a -> String.length a > 0 && a.[0] = '-') args with
-  | Some flag ->
-      Printf.eprintf "xvi_lint: unknown flag %s\n%s\n" flag usage;
-      exit 2
-  | None -> ());
-  let roots = if args = [] then [ "lib"; "bin" ] else args in
-  (match List.find_opt (fun r -> not (Sys.file_exists r)) roots with
+  let rec parse_args = function
+    | [] -> ()
+    | "--rules" :: rest ->
+        print_rules ();
+        if rest = [] && !roots = [] && !deep_dirs = [] && !deep_srcs = []
+        then exit 0 (* a pure catalogue query: don't fall through to lint *)
+        else parse_args rest
+    | "--format" :: fmt :: rest ->
+        (match fmt with
+        | "text" -> format := `Text
+        | "json" -> format := `Json
+        | other -> bad (Printf.sprintf "unknown format %S" other));
+        parse_args rest
+    | "--deep" :: dir :: rest ->
+        deep_dirs := dir :: !deep_dirs;
+        parse_args rest
+    | "--deep-src" :: file :: rest ->
+        deep_srcs := file :: !deep_srcs;
+        parse_args rest
+    | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
+        bad (Printf.sprintf "unknown flag %s" flag)
+    | path :: rest ->
+        roots := path :: !roots;
+        parse_args rest
+  in
+  parse_args args;
+  let roots =
+    if !roots = [] && !deep_dirs = [] && !deep_srcs = [] then
+      [ "lib"; "bin"; "tools"; "bench" ]
+    else List.rev !roots
+  in
+  (match
+     List.find_opt
+       (fun r -> not (Sys.file_exists r))
+       (roots @ !deep_dirs @ !deep_srcs)
+   with
   | Some missing ->
       Printf.eprintf "xvi_lint: no such file or directory: %s\n" missing;
       exit 2
   | None -> ());
   let files =
-    List.sort String.compare (List.fold_right collect roots [])
+    List.sort String.compare (List.fold_right collect_sources roots [])
   in
   let findings = ref [] in
-  let parse_errors = ref 0 in
+  let errors = ref 0 in
   List.iter
     (fun path ->
       match Lint.lint_file ~in_lib:(in_lib path) path with
       | Ok fs -> findings := List.rev_append fs !findings
       | Error msg ->
-          incr parse_errors;
+          incr errors;
           Printf.eprintf "%s: parse error:\n%s\n" path msg)
     files;
-  let findings = List.sort Lint.compare_finding !findings in
-  List.iter (fun f -> print_endline (Lint.to_string f)) findings;
-  if !parse_errors > 0 then exit 2;
+  (* deep stage: every .cmt under the --deep directories, as one
+     program, so the call graph crosses library boundaries *)
+  let cmts =
+    List.sort String.compare
+      (List.fold_right (collect ~suffixes:[ ".cmt" ]) !deep_dirs [])
+  in
+  if cmts <> [] then begin
+    match Deep.analyze_cmts cmts with
+    | Ok fs -> findings := List.rev_append fs !findings
+    | Error msg ->
+        incr errors;
+        Printf.eprintf "xvi_lint: deep stage failed:\n%s\n" msg
+  end;
+  if !deep_srcs <> [] then begin
+    match Deep.analyze_sources (List.rev !deep_srcs) with
+    | Ok fs -> findings := List.rev_append fs !findings
+    | Error msg ->
+        incr errors;
+        Printf.eprintf "xvi_lint: deep stage failed:\n%s\n" msg
+  end;
+  (* both stages walk the same attributes: dedupe A0 (and any
+     same-position duplicates) across stages *)
+  let findings = List.sort_uniq Lint.compare_finding !findings in
+  print_findings ~format:!format findings;
+  if !errors > 0 then exit 2;
   match findings with
   | [] ->
-      Printf.eprintf "xvi_lint: %d file(s) clean\n" (List.length files)
+      Printf.eprintf "xvi_lint: %d file(s), %d cmt(s) clean\n"
+        (List.length files) (List.length cmts)
   | fs ->
-      Printf.eprintf "xvi_lint: %d finding(s) in %d file(s)\n" (List.length fs)
-        (List.length files);
+      Printf.eprintf "xvi_lint: %d finding(s) in %d file(s), %d cmt(s)\n"
+        (List.length fs) (List.length files) (List.length cmts);
       exit 1
